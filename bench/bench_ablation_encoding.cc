@@ -1,0 +1,86 @@
+// Ablation: encoding choices for LMKG-S (paper §V / §VII-B discussion):
+//   * one-hot vs binary term encoding (binary is the paper's choice for
+//     heterogeneous KGs: far smaller input dimensionality),
+//   * pattern-bound vs SG-Encoding (pattern-bound is per-shape; SG serves
+//     all topologies in one model).
+// Reports accuracy, input width and model size on star-2 queries.
+#include <iostream>
+
+#include "core/lmkg_s.h"
+#include "data/dataset.h"
+#include "encoding/query_encoder.h"
+#include "eval/suite.h"
+#include "sampling/workload.h"
+#include "util/math.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lmkg;
+  using query::Topology;
+  eval::SuiteOptions options = eval::SuiteOptionsFromFlags(argc, argv);
+  std::cout << "Ablation: LMKG-S encodings (swdf profile, scale="
+            << options.dataset_scale << ")\n\n";
+
+  rdf::Graph graph =
+      data::MakeDataset("swdf", options.dataset_scale, options.seed);
+  std::cerr << "[ablation] " << rdf::GraphSummary(graph) << "\n";
+
+  sampling::WorkloadGenerator generator(graph);
+  sampling::WorkloadGenerator::Options wopts;
+  wopts.topology = Topology::kStar;
+  wopts.query_size = 2;
+  wopts.max_cardinality = options.max_cardinality;
+  wopts.count = options.train_queries_per_combo;
+  wopts.seed = options.seed + 1;
+  auto train = generator.Generate(wopts);
+  wopts.count = options.test_queries_per_combo;
+  wopts.seed = options.seed + 2;
+  auto test = generator.Generate(wopts);
+
+  struct Candidate {
+    std::string label;
+    std::unique_ptr<encoding::QueryEncoder> encoder;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"pattern-bound binary",
+                        encoding::MakeStarEncoder(
+                            graph, 2, encoding::TermEncoding::kBinary)});
+  candidates.push_back({"pattern-bound one-hot",
+                        encoding::MakeStarEncoder(
+                            graph, 2, encoding::TermEncoding::kOneHot)});
+  candidates.push_back({"SG binary",
+                        encoding::MakeSgEncoder(
+                            graph, 3, 2, encoding::TermEncoding::kBinary)});
+
+  util::TablePrinter table("LMKG-S with different encodings (star-2)");
+  table.SetHeader({"encoding", "input width", "model bytes",
+                   "avg q-error", "median", "p95", "train s"});
+  for (auto& candidate : candidates) {
+    std::cerr << "[ablation] training with " << candidate.label << "...\n";
+    core::LmkgSConfig config;
+    config.hidden_dim = options.s_hidden_dim;
+    config.epochs = options.s_epochs;
+    config.seed = options.seed + 5;
+    size_t width = candidate.encoder->width();
+    core::LmkgS model(std::move(candidate.encoder), config);
+    auto stats = model.Train(train);
+    std::vector<double> qerrors;
+    for (const auto& lq : test)
+      qerrors.push_back(util::QError(model.EstimateCardinality(lq.query),
+                                     lq.cardinality));
+    util::QErrorStats qstats = util::QErrorStats::Compute(qerrors);
+    table.AddRow({candidate.label, std::to_string(width),
+                  util::HumanBytes(model.MemoryBytes()),
+                  util::FormatValue(qstats.mean),
+                  util::FormatValue(qstats.median),
+                  util::FormatValue(qstats.p95),
+                  util::FormatValue(stats.seconds)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: one-hot blows up the input width (and model "
+               "size) without an accuracy win — the paper's rationale for "
+               "binary encoding on heterogeneous KGs. SG costs a little "
+               "width over pattern-bound but serves every topology.\n";
+  return 0;
+}

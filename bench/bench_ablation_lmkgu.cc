@@ -1,0 +1,111 @@
+// Ablation: LMKG-U design choices.
+//   (a) Training-data sampler: the paper's random-walk sampling vs the
+//       exact uniform tuple sampler ("the main cause of inaccurate model
+//       estimation is the quality of the samples", §VII-A / §VIII-C).
+//   (b) Embedding width (the paper uses 32): size/accuracy trade-off.
+#include <iostream>
+
+#include "core/lmkg_u.h"
+#include "data/dataset.h"
+#include "eval/suite.h"
+#include "sampling/workload.h"
+#include "util/math.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace lmkg;
+using query::Topology;
+
+util::QErrorStats EvalModel(
+    core::LmkgU& model,
+    const std::vector<sampling::LabeledQuery>& test) {
+  std::vector<double> qerrors;
+  for (const auto& lq : test) {
+    if (!model.CanEstimate(lq.query)) continue;
+    qerrors.push_back(util::QError(model.EstimateCardinality(lq.query),
+                                   lq.cardinality));
+  }
+  return util::QErrorStats::Compute(std::move(qerrors));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::SuiteOptions options = eval::SuiteOptionsFromFlags(argc, argv);
+  std::cout << "Ablation: LMKG-U sampler and embedding width (swdf "
+               "profile, scale=" << options.dataset_scale << ")\n\n";
+
+  rdf::Graph graph =
+      data::MakeDataset("swdf", options.dataset_scale, options.seed);
+  std::cerr << "[ablation] " << rdf::GraphSummary(graph) << "\n";
+
+  sampling::WorkloadGenerator generator(graph);
+  sampling::WorkloadGenerator::Options wopts;
+  wopts.topology = Topology::kStar;
+  wopts.query_size = 2;
+  wopts.max_cardinality = options.max_cardinality;
+  wopts.count = options.test_queries_per_combo;
+  wopts.seed = options.seed + 2;
+  auto test = generator.Generate(wopts);
+
+  // (a) sampler quality.
+  {
+    util::TablePrinter table("(a) training-data sampler (star-2)");
+    table.SetHeader({"sampler", "avg q-error", "median", "max"});
+    for (bool random_walk : {false, true}) {
+      core::LmkgUConfig config;
+      config.hidden_dim = options.u_hidden_dim;
+      config.embedding_dim = options.u_embedding_dim;
+      config.train_samples = options.u_train_samples;
+      config.sample_count = options.u_sample_count;
+      config.epochs = options.u_epochs;
+      config.use_random_walk_sampler = random_walk;
+      config.seed = options.seed + 7;
+      core::LmkgU model(graph, Topology::kStar, 2, config);
+      std::cerr << "[ablation] training with "
+                << (random_walk ? "random-walk" : "exact-uniform")
+                << " sampler...\n";
+      model.Train();
+      util::QErrorStats stats = EvalModel(model, test);
+      table.AddRow({random_walk ? "random walk (paper §VII-A)"
+                                : "exact uniform (ours)",
+                    util::FormatValue(stats.mean),
+                    util::FormatValue(stats.median),
+                    util::FormatValue(stats.max)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  // (b) embedding width.
+  {
+    util::TablePrinter table("(b) embedding width (star-2)");
+    table.SetHeader({"embedding dim", "model bytes", "avg q-error",
+                     "median"});
+    for (size_t dim : {size_t{8}, size_t{32}, size_t{64}}) {
+      core::LmkgUConfig config;
+      config.hidden_dim = options.u_hidden_dim;
+      config.embedding_dim = dim;
+      config.train_samples = options.u_train_samples;
+      config.sample_count = options.u_sample_count;
+      config.epochs = options.u_epochs;
+      config.seed = options.seed + 8;
+      core::LmkgU model(graph, Topology::kStar, 2, config);
+      std::cerr << "[ablation] training embedding dim " << dim << "...\n";
+      model.Train();
+      util::QErrorStats stats = EvalModel(model, test);
+      table.AddRow({std::to_string(dim),
+                    util::HumanBytes(model.MemoryBytes()),
+                    util::FormatValue(stats.mean),
+                    util::FormatValue(stats.median)});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected: the exact uniform sampler matches or beats "
+               "random-walk sampling (the paper names sample quality as "
+               "LMKG-U's main limiter); larger embeddings grow the model "
+               "with diminishing accuracy returns (paper uses 32).\n";
+  return 0;
+}

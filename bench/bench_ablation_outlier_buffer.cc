@@ -1,0 +1,79 @@
+// Ablation: the outlier-buffer extension the paper suggests in §VIII-C
+// ("a possible improvement can be to store the cardinalities of the
+// outliers on the side"): LMKG-S wrapped in buffers of increasing
+// capacity, evaluated on a workload that includes the training outliers.
+#include <iostream>
+
+#include "core/lmkg_s.h"
+#include "core/outlier_buffer.h"
+#include "data/dataset.h"
+#include "encoding/query_encoder.h"
+#include "eval/suite.h"
+#include "sampling/workload.h"
+#include "util/math.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lmkg;
+  using query::Topology;
+  eval::SuiteOptions options = eval::SuiteOptionsFromFlags(argc, argv);
+  std::cout << "Ablation: outlier buffer on top of LMKG-S (swdf profile, "
+               "scale=" << options.dataset_scale << ")\n\n";
+
+  rdf::Graph graph =
+      data::MakeDataset("swdf", options.dataset_scale, options.seed);
+  std::cerr << "[ablation] " << rdf::GraphSummary(graph) << "\n";
+
+  sampling::WorkloadGenerator generator(graph);
+  sampling::WorkloadGenerator::Options wopts;
+  wopts.topology = Topology::kStar;
+  wopts.query_size = 2;
+  wopts.max_cardinality = options.max_cardinality;
+  wopts.count = options.train_queries_per_combo;
+  wopts.seed = options.seed + 1;
+  auto train = generator.Generate(wopts);
+
+  // Test pool: fresh queries plus a slice of the training queries — the
+  // buffer can only help on queries it has seen (e.g. recurring
+  // workloads), which is the scenario the paper sketches.
+  wopts.count = options.test_queries_per_combo;
+  wopts.seed = options.seed + 2;
+  auto test = generator.Generate(wopts);
+  for (size_t i = 0; i < train.size(); i += 4) test.push_back(train[i]);
+
+  core::LmkgSConfig config;
+  config.hidden_dim = options.s_hidden_dim;
+  config.epochs = options.s_epochs;
+  config.seed = options.seed + 3;
+  core::LmkgS model(
+      encoding::MakeStarEncoder(graph, 2, encoding::TermEncoding::kBinary),
+      config);
+  std::cerr << "[ablation] training LMKG-S...\n";
+  model.Train(train);
+
+  util::TablePrinter table("LMKG-S with outlier buffer");
+  table.SetHeader({"buffer capacity", "buffered", "extra bytes",
+                   "avg q-error", "p95", "max"});
+  for (size_t capacity : {size_t{0}, size_t{10}, size_t{50}, size_t{200}}) {
+    core::OutlierBuffer buffered(&model, capacity);
+    buffered.Populate(train);
+    std::vector<double> qerrors;
+    for (const auto& lq : test)
+      qerrors.push_back(util::QError(
+          buffered.EstimateCardinality(lq.query), lq.cardinality));
+    util::QErrorStats stats = util::QErrorStats::Compute(qerrors);
+    table.AddRow({std::to_string(capacity),
+                  std::to_string(buffered.buffered()),
+                  util::HumanBytes(buffered.MemoryBytes() -
+                                   model.MemoryBytes()),
+                  util::FormatValue(stats.mean),
+                  util::FormatValue(stats.p95),
+                  util::FormatValue(stats.max)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: a modest buffer cuts the max q-error sharply "
+               "on recurring workloads (it answers the stored outliers "
+               "exactly) at a few KB of extra memory.\n";
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Extension bench (paper §I + §V-A1 future work): the SG-Encoding claims
+// to represent "different query topologies ... in a single model", but the
+// paper's "proof of concept and detailed evaluation is left for our future
+// work". This bench supplies that evaluation: mixed star / chain / tree /
+// star+chain-compound workloads estimated by
+//
+//   * LMKG-S single SG model trained WITH composite shapes,
+//   * LMKG-S single SG model trained on stars+chains only (the SG input
+//     can represent trees, but the model never saw one),
+//   * LMKG-S with pattern-bound encoders (kByType) — composite queries
+//     fall back to the framework's decomposition + uniform join combiner,
+//   * the sampling baselines that accept arbitrary BGPs (wj, jsub, impr).
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "baselines/impr.h"
+#include "baselines/jsub.h"
+#include "baselines/wander_join.h"
+#include "core/lmkg.h"
+#include "data/dataset.h"
+#include "eval/harness.h"
+#include "eval/suite.h"
+#include "query/topology.h"
+#include "rdf/graph.h"
+#include "sampling/composite.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace lmkg;
+
+core::LmkgConfig BaseConfig(const eval::SuiteOptions& options) {
+  core::LmkgConfig config;
+  config.kind = core::ModelKind::kSupervised;
+  config.query_sizes = {2, 3, 5};
+  config.s_config.hidden_dim = options.s_hidden_dim;
+  config.s_config.epochs = options.s_epochs;
+  config.train_queries_per_combo = options.train_queries_per_combo;
+  config.workload_options.max_cardinality = options.max_cardinality;
+  config.seed = options.seed;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::SuiteOptions options = eval::SuiteOptionsFromFlags(argc, argv);
+  util::Flags flags(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "swdf");
+  const size_t per_shape =
+      static_cast<size_t>(flags.GetInt("queries", 80));
+
+  rdf::Graph graph =
+      data::MakeDataset(dataset, options.dataset_scale, options.seed);
+  std::cout << "Extension: one SG model across query topologies ("
+            << dataset << ", scale=" << options.dataset_scale << ")\n"
+            << rdf::GraphSummary(graph) << "\n\n";
+
+  // --- test workloads: one pool per shape --------------------------------
+  struct ShapePool {
+    std::string label;
+    std::vector<sampling::LabeledQuery> queries;
+  };
+  std::vector<ShapePool> pools;
+  {
+    sampling::WorkloadGenerator generator(graph);
+    sampling::WorkloadGenerator::Options wopts;
+    wopts.count = per_shape;
+    wopts.max_cardinality = options.max_cardinality;
+    wopts.seed = options.seed + 101;
+    wopts.topology = query::Topology::kStar;
+    wopts.query_size = 3;
+    pools.push_back({"star-3", generator.Generate(wopts)});
+    wopts.topology = query::Topology::kChain;
+    wopts.seed = options.seed + 102;
+    pools.push_back({"chain-3", generator.Generate(wopts)});
+
+    sampling::CompositeWorkloadGenerator composite(graph);
+    sampling::CompositeWorkloadGenerator::Options copts;
+    copts.count = per_shape;
+    copts.max_cardinality = options.max_cardinality;
+    copts.shape =
+        sampling::CompositeWorkloadGenerator::Options::Shape::kTree;
+    copts.query_size = 3;
+    copts.seed = options.seed + 103;
+    pools.push_back({"tree-3", composite.Generate(copts)});
+    copts.query_size = 5;
+    copts.seed = options.seed + 104;
+    pools.push_back({"tree-5", composite.Generate(copts)});
+    copts.shape =
+        sampling::CompositeWorkloadGenerator::Options::Shape::kStarChain;
+    copts.star_size = 2;
+    copts.chain_size = 2;
+    copts.seed = options.seed + 105;
+    pools.push_back({"star2+chain2", composite.Generate(copts)});
+  }
+  for (const auto& pool : pools)
+    std::cerr << "[ext-composite] " << pool.label << ": "
+              << pool.queries.size() << " test queries\n";
+
+  // --- estimators ----------------------------------------------------------
+  std::vector<std::pair<std::string,
+                        std::unique_ptr<core::CardinalityEstimator>>>
+      estimators;
+  {
+    core::LmkgConfig config = BaseConfig(options);
+    config.grouping = core::Grouping::kSingleModel;
+    config.train_composites = true;
+    auto lmkg = std::make_unique<core::Lmkg>(graph, config);
+    std::cerr << "[ext-composite] training SG+composite model...\n";
+    lmkg->BuildModels();
+    estimators.emplace_back("SG trained w/ composites", std::move(lmkg));
+  }
+  {
+    core::LmkgConfig config = BaseConfig(options);
+    config.grouping = core::Grouping::kSingleModel;
+    config.train_composites = false;
+    auto lmkg = std::make_unique<core::Lmkg>(graph, config);
+    std::cerr << "[ext-composite] training SG star/chain-only model...\n";
+    lmkg->BuildModels();
+    estimators.emplace_back("SG star/chain only", std::move(lmkg));
+  }
+  {
+    core::LmkgConfig config = BaseConfig(options);
+    config.grouping = core::Grouping::kByType;
+    auto lmkg = std::make_unique<core::Lmkg>(graph, config);
+    std::cerr << "[ext-composite] training pattern-bound models...\n";
+    lmkg->BuildModels();
+    estimators.emplace_back("pattern-bound + decomposition",
+                            std::move(lmkg));
+  }
+  {
+    baselines::WanderJoinEstimator::Options wj;
+    wj.num_walks = options.num_walks;
+    wj.seed = options.seed;
+    estimators.emplace_back(
+        "wj", std::make_unique<baselines::WanderJoinEstimator>(graph, wj));
+  }
+  {
+    baselines::JsubEstimator::Options jsub;
+    jsub.num_walks = options.num_walks;
+    jsub.seed = options.seed;
+    estimators.emplace_back(
+        "jsub", std::make_unique<baselines::JsubEstimator>(graph, jsub));
+  }
+  {
+    baselines::ImprEstimator::Options impr;
+    impr.num_walks = options.num_walks;
+    impr.seed = options.seed;
+    estimators.emplace_back(
+        "impr", std::make_unique<baselines::ImprEstimator>(graph, impr));
+  }
+
+  // --- evaluation ----------------------------------------------------------
+  util::TablePrinter table("avg q-error by query shape — " + dataset);
+  std::vector<std::string> header = {"estimator"};
+  for (const auto& pool : pools) header.push_back(pool.label);
+  table.SetHeader(header);
+  for (auto& [name, estimator] : estimators) {
+    std::vector<double> row;
+    for (const auto& pool : pools) {
+      eval::EvalResult result = eval::Evaluate(estimator.get(),
+                                               pool.queries);
+      row.push_back(result.qerror.mean);
+    }
+    table.AddRow(name, row);
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape: the composite-trained SG model carries its "
+         "star/chain accuracy over to trees and compounds; the same model "
+         "without composite training degrades there; decomposition pays "
+         "the uniform-join penalty on composite shapes; the sampling "
+         "baselines handle every shape but with walk-variance errors.\n";
+  return 0;
+}

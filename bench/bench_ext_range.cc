@@ -1,0 +1,173 @@
+// Extension bench (paper §IV future work): range-query cardinality
+// estimation. LMKG proper handles equality only; the paper sketches the
+// extension — "modify the input encoding with histogram selectivity
+// values". This bench measures that extension (RangeLmkgS) against the
+// classical histogram + independence + join-uniformity estimator the
+// introduction criticizes, across range widths and query shapes.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "encoding/query_encoder.h"
+#include "eval/suite.h"
+#include "range/histogram.h"
+#include "range/range_encoder.h"
+#include "range/range_independence.h"
+#include "range/range_lmkg_s.h"
+#include "range/range_workload.h"
+#include "util/flags.h"
+#include "util/math.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace lmkg;
+
+// Width fraction of a query's first (widest) range constraint.
+double WidthFraction(const range::LabeledRangeQuery& lq, size_t num_nodes) {
+  double widest = 0.0;
+  for (const auto& r : lq.query.ranges)
+    widest = std::max(
+        widest, (static_cast<double>(r.hi) - r.lo + 1.0) / num_nodes);
+  return widest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eval::SuiteOptions options = eval::SuiteOptionsFromFlags(argc, argv);
+  util::Flags flags(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "swdf");
+  const size_t train_count =
+      static_cast<size_t>(flags.GetInt("train", 500));
+  const size_t test_count = static_cast<size_t>(flags.GetInt("test", 150));
+  const size_t hist_buckets =
+      static_cast<size_t>(flags.GetInt("buckets", 32));
+
+  rdf::Graph graph =
+      data::MakeDataset(dataset, options.dataset_scale, options.seed);
+  std::cout << "Extension: range-query estimation (" << dataset
+            << ", scale=" << options.dataset_scale
+            << ", histogram buckets=" << hist_buckets << ")\n"
+            << rdf::GraphSummary(graph) << "\n\n";
+
+  range::PredicateHistograms histograms(graph, hist_buckets);
+  range::RangeWorkloadGenerator generator(graph);
+
+  // Train + test workloads over star-2, star-3, chain-2 with the full
+  // width spectrum.
+  struct Combo {
+    query::Topology topology;
+    int size;
+    const char* label;
+  };
+  const std::vector<Combo> combos = {
+      {query::Topology::kStar, 2, "star-2"},
+      {query::Topology::kStar, 3, "star-3"},
+      {query::Topology::kChain, 2, "chain-2"},
+  };
+  std::vector<range::LabeledRangeQuery> train;
+  std::vector<std::vector<range::LabeledRangeQuery>> tests;
+  for (size_t c = 0; c < combos.size(); ++c) {
+    range::RangeWorkloadGenerator::Options wopts;
+    wopts.topology = combos[c].topology;
+    wopts.query_size = combos[c].size;
+    wopts.count = train_count;
+    wopts.max_cardinality = options.max_cardinality;
+    wopts.seed = options.seed + 11 * c + 1;
+    auto batch = generator.Generate(wopts);
+    train.insert(train.end(), batch.begin(), batch.end());
+    wopts.count = test_count;
+    wopts.seed = options.seed + 11 * c + 7;
+    tests.push_back(generator.Generate(wopts));
+    std::cerr << "[ext-range] " << combos[c].label << ": "
+              << batch.size() << " train / " << tests.back().size()
+              << " test queries\n";
+  }
+
+  // The learned range estimator: SG base encoding sized for the largest
+  // combo, two extra slots per pattern.
+  const int max_size = 3;
+  core::LmkgSConfig s_config;
+  s_config.hidden_dim = options.s_hidden_dim;
+  s_config.epochs = options.s_epochs;
+  s_config.seed = options.seed;
+  range::RangeLmkgS model(
+      std::make_unique<range::RangeQueryEncoder>(
+          encoding::MakeSgEncoder(graph, max_size + 1, max_size,
+                                  encoding::TermEncoding::kBinary),
+          &histograms, max_size),
+      s_config);
+  std::cerr << "[ext-range] training LMKG-S-R on " << train.size()
+            << " queries...\n";
+  auto stats = model.Train(train);
+  std::cerr << "[ext-range] trained in " << stats.seconds << "s\n";
+
+  range::RangeIndependenceEstimator baseline(graph, &histograms);
+
+  // Per-shape table.
+  util::TablePrinter by_shape("avg q-error by query shape — " + dataset);
+  by_shape.SetHeader({"estimator", "star-2", "star-3", "chain-2"});
+  std::vector<double> model_row, baseline_row;
+  for (auto& pool : tests) {
+    std::vector<double> mq, bq;
+    for (const auto& lq : pool) {
+      if (!model.CanEstimate(lq.query)) continue;
+      mq.push_back(util::QError(model.EstimateCardinality(lq.query),
+                                lq.cardinality));
+      bq.push_back(util::QError(baseline.EstimateCardinality(lq.query),
+                                lq.cardinality));
+    }
+    model_row.push_back(util::QErrorStats::Compute(mq).mean);
+    baseline_row.push_back(util::QErrorStats::Compute(bq).mean);
+  }
+  by_shape.AddRow("LMKG-S-R", model_row);
+  by_shape.AddRow("hist-indep", baseline_row);
+  by_shape.Print(std::cout);
+  std::cout << "\n";
+
+  // Per-width-band table (pooled over shapes).
+  struct Band {
+    double lo, hi;
+    const char* label;
+  };
+  const std::vector<Band> bands = {{0.0, 0.01, "narrow (<1%)"},
+                                   {0.01, 0.08, "medium (1-8%)"},
+                                   {0.08, 1.01, "broad (>8%)"}};
+  util::TablePrinter by_width("avg q-error by range width — " + dataset);
+  by_width.SetHeader({"estimator", bands[0].label, bands[1].label,
+                      bands[2].label});
+  std::vector<double> model_w, baseline_w;
+  for (const Band& band : bands) {
+    std::vector<double> mq, bq;
+    for (const auto& pool : tests) {
+      for (const auto& lq : pool) {
+        double f = WidthFraction(lq, graph.num_nodes());
+        if (f < band.lo || f >= band.hi) continue;
+        if (!model.CanEstimate(lq.query)) continue;
+        mq.push_back(util::QError(model.EstimateCardinality(lq.query),
+                                  lq.cardinality));
+        bq.push_back(util::QError(baseline.EstimateCardinality(lq.query),
+                                  lq.cardinality));
+      }
+    }
+    model_w.push_back(util::QErrorStats::Compute(mq).mean);
+    baseline_w.push_back(util::QErrorStats::Compute(bq).mean);
+  }
+  by_width.AddRow("LMKG-S-R", model_w);
+  by_width.AddRow("hist-indep", baseline_w);
+  by_width.Print(std::cout);
+
+  std::cout << "\nModel memory: " << util::HumanBytes(model.MemoryBytes())
+            << "; histogram synopsis: "
+            << util::HumanBytes(histograms.MemoryBytes())
+            << "\nExpected shape: the learned estimator wins where the "
+               "independence assumption bites (joins + correlated "
+               "predicates, selective ranges); the histogram baseline is "
+               "competitive for broad ranges on single-join stars.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 4: query-cardinality distribution per dataset. The paper shows
+// that, averaged over query sizes, the vast majority of queries have a
+// small result size with a long tail of outliers. We generate workloads
+// WITHOUT bucket balancing (the natural distribution) and print the share
+// of queries per log5 result-size bucket.
+#include <iostream>
+#include <map>
+
+#include "data/dataset.h"
+#include "eval/harness.h"
+#include "eval/suite.h"
+#include "sampling/workload.h"
+#include "util/math.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lmkg;
+  using query::Topology;
+  eval::SuiteOptions options = eval::SuiteOptionsFromFlags(argc, argv);
+  std::cout << "Fig. 4: datasets' query cardinality distribution (scale="
+            << options.dataset_scale << ")\n\n";
+
+  util::TablePrinter table("share of queries per result-size bucket (%)");
+  std::vector<std::string> header = {"dataset"};
+  for (const auto& bucket : eval::PaperBuckets()) header.push_back(bucket.label);
+  table.SetHeader(header);
+
+  for (const auto& name : data::DatasetNames()) {
+    rdf::Graph graph =
+        data::MakeDataset(name, options.dataset_scale, options.seed);
+    std::cerr << "[fig4] " << name << ": " << rdf::GraphSummary(graph)
+              << "\n";
+    sampling::WorkloadGenerator generator(graph);
+    std::map<int, size_t> histogram;
+    size_t total = 0;
+    for (Topology topology : {Topology::kStar, Topology::kChain}) {
+      for (int size : options.query_sizes) {
+        sampling::WorkloadGenerator::Options wopts;
+        wopts.topology = topology;
+        wopts.query_size = size;
+        wopts.count = options.test_queries_per_combo;
+        wopts.bucket_balanced = false;  // natural distribution
+        wopts.max_cardinality = options.max_cardinality;
+        wopts.seed = options.seed + size * 31 +
+                     (topology == Topology::kChain ? 100 : 0);
+        for (const auto& lq : generator.Generate(wopts)) {
+          ++histogram[util::ResultSizeBucket(lq.cardinality)];
+          ++total;
+        }
+      }
+    }
+    std::vector<double> row;
+    for (const auto& bucket : eval::PaperBuckets()) {
+      size_t count = 0;
+      for (int b = bucket.lo; b <= bucket.hi; ++b)
+        if (histogram.count(b)) count += histogram[b];
+      row.push_back(total > 0 ? 100.0 * count / total : 0.0);
+    }
+    table.AddRow(name, row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: heavily skewed towards small result sizes "
+               "with a thin tail of very large outliers.\n";
+  return 0;
+}

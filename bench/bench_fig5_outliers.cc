@@ -1,0 +1,102 @@
+// Fig. 5: impact of outliers on LMKG-S accuracy (star queries). The paper
+// removes the top-k largest-cardinality queries from the query data and
+// shows accuracy improving steadily ("even if we remove the top-10
+// outliers ... higher accuracy; this trend continues").
+//
+// To reproduce the effect the training data must follow the *natural*
+// (heavily skewed) cardinality distribution, as in the paper's §VII-A
+// training-data creation — large-cardinality queries are then rare in
+// training and badly estimated, so removing them from the evaluation
+// improves accuracy.
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "core/lmkg_s.h"
+#include "data/dataset.h"
+#include "encoding/query_encoder.h"
+#include "eval/suite.h"
+#include "sampling/workload.h"
+#include "util/math.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lmkg;
+  using query::Topology;
+  eval::SuiteOptions options = eval::SuiteOptionsFromFlags(argc, argv);
+  std::cout << "Fig. 5: impact of outliers on LMKG-S (star queries, "
+               "swdf profile, scale=" << options.dataset_scale << ")\n\n";
+
+  rdf::Graph graph =
+      data::MakeDataset("swdf", options.dataset_scale, options.seed);
+  std::cerr << "[fig5] " << rdf::GraphSummary(graph) << "\n";
+
+  // Naturally distributed star workloads over all sizes: outliers are
+  // rare in training but present in the (larger) test pool.
+  sampling::WorkloadGenerator generator(graph);
+  std::vector<sampling::LabeledQuery> train, test;
+  for (int size : options.query_sizes) {
+    sampling::WorkloadGenerator::Options wopts;
+    wopts.topology = Topology::kStar;
+    wopts.query_size = size;
+    wopts.bucket_balanced = false;  // natural, skewed distribution
+    wopts.max_cardinality = options.max_cardinality;
+    wopts.count = options.train_queries_per_combo;
+    wopts.seed = options.seed + size;
+    auto part = generator.Generate(wopts);
+    train.insert(train.end(), part.begin(), part.end());
+    wopts.count = options.test_queries_per_combo * 2;
+    wopts.seed = options.seed + size + 500;
+    part = generator.Generate(wopts);
+    test.insert(test.end(), part.begin(), part.end());
+  }
+  std::cerr << "[fig5] " << train.size() << " train / " << test.size()
+            << " test star queries\n";
+
+  core::LmkgSConfig config;
+  config.hidden_dim = options.s_hidden_dim;
+  config.epochs = options.s_epochs;
+  config.seed = options.seed + 9;
+  core::LmkgS model(
+      encoding::MakeStarEncoder(graph, options.query_sizes.back(),
+                                encoding::TermEncoding::kBinary),
+      config);
+  std::cerr << "[fig5] training LMKG-S...\n";
+  model.Train(train);
+
+  struct Entry {
+    double qerror;
+    double cardinality;
+  };
+  std::vector<Entry> entries;
+  for (const auto& lq : test) {
+    if (!model.CanEstimate(lq.query)) continue;
+    entries.push_back({util::QError(model.EstimateCardinality(lq.query),
+                                    lq.cardinality),
+                       lq.cardinality});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.cardinality > b.cardinality;
+            });
+
+  util::TablePrinter table("LMKG-S avg q-error after outlier removal");
+  table.SetHeader({"removed", "avg q-error", "max q-error"});
+  size_t n = entries.size();
+  std::set<size_t> removals = {0, 10, n / 100 + 1, n / 20 + 1, n / 10 + 1};
+  for (size_t removed : removals) {
+    if (removed >= n) continue;
+    std::vector<double> qerrors;
+    for (size_t i = removed; i < n; ++i)
+      qerrors.push_back(entries[i].qerror);
+    util::QErrorStats stats = util::QErrorStats::Compute(qerrors);
+    table.AddRow({"top-" + std::to_string(removed),
+                  util::FormatValue(stats.mean),
+                  util::FormatValue(stats.max)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: accuracy improves monotonically as more of "
+               "the largest-cardinality queries are removed — LMKG-S is "
+               "mainly hurt by outliers, not query complexity.\n";
+  return 0;
+}

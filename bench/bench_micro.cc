@@ -1,0 +1,253 @@
+// Micro benchmarks (google-benchmark) of the performance-critical pieces:
+// graph index lookups, exact counting, query encoding, NN forward/
+// backward, ResMADE conditionals and the samplers.
+#include <benchmark/benchmark.h>
+
+#include "core/lmkg_u.h"
+#include "core/workload_monitor.h"
+#include "data/dataset.h"
+#include "encoding/query_encoder.h"
+#include "nn/adam.h"
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/made.h"
+#include "query/executor.h"
+#include "query/topology.h"
+#include "range/histogram.h"
+#include "range/range_executor.h"
+#include "range/range_workload.h"
+#include "sampling/composite.h"
+#include "sampling/population.h"
+#include "sampling/workload.h"
+
+namespace {
+
+using namespace lmkg;
+using query::PatternTerm;
+using query::Topology;
+
+const rdf::Graph& TestGraph() {
+  static const rdf::Graph* graph =
+      new rdf::Graph(data::MakeDataset("swdf", 0.01, 42));
+  return *graph;
+}
+
+void BM_GraphOutEdgeLookup(benchmark::State& state) {
+  const rdf::Graph& graph = TestGraph();
+  util::Pcg32 rng(1);
+  const auto& subjects = graph.subjects();
+  for (auto _ : state) {
+    rdf::TermId s = subjects[rng.UniformInt(
+        static_cast<uint32_t>(subjects.size()))];
+    benchmark::DoNotOptimize(graph.OutEdgesWithPredicate(s, 1).size());
+  }
+}
+BENCHMARK(BM_GraphOutEdgeLookup);
+
+void BM_GraphHasTriple(benchmark::State& state) {
+  const rdf::Graph& graph = TestGraph();
+  util::Pcg32 rng(2);
+  const auto& triples = graph.triples();
+  for (auto _ : state) {
+    const auto& t =
+        triples[rng.UniformInt(static_cast<uint32_t>(triples.size()))];
+    benchmark::DoNotOptimize(graph.HasTriple(t.s, t.p, t.o));
+  }
+}
+BENCHMARK(BM_GraphHasTriple);
+
+void BM_ExecutorStar2(benchmark::State& state) {
+  const rdf::Graph& graph = TestGraph();
+  sampling::WorkloadGenerator generator(graph);
+  sampling::WorkloadGenerator::Options options;
+  options.topology = Topology::kStar;
+  options.query_size = 2;
+  options.count = 50;
+  options.seed = 3;
+  auto workload = generator.Generate(options);
+  query::Executor executor(graph);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        executor.Count(workload[i % workload.size()].query));
+    ++i;
+  }
+}
+BENCHMARK(BM_ExecutorStar2);
+
+void BM_EncodeStarBinary(benchmark::State& state) {
+  const rdf::Graph& graph = TestGraph();
+  auto encoder =
+      encoding::MakeStarEncoder(graph, 8, encoding::TermEncoding::kBinary);
+  query::Query q = query::MakeStarQuery(
+      PatternTerm::Variable(0),
+      {{PatternTerm::Bound(1), PatternTerm::Bound(2)},
+       {PatternTerm::Bound(2), PatternTerm::Variable(1)}});
+  std::vector<float> out(encoder->width());
+  for (auto _ : state) {
+    encoder->Encode(q, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_EncodeStarBinary);
+
+void BM_EncodeSg(benchmark::State& state) {
+  const rdf::Graph& graph = TestGraph();
+  auto encoder =
+      encoding::MakeSgEncoder(graph, 9, 8, encoding::TermEncoding::kBinary);
+  query::Query q = query::MakeStarQuery(
+      PatternTerm::Variable(0),
+      {{PatternTerm::Bound(1), PatternTerm::Bound(2)},
+       {PatternTerm::Bound(2), PatternTerm::Variable(1)}});
+  std::vector<float> out(encoder->width());
+  for (auto _ : state) {
+    encoder->Encode(q, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_EncodeSg);
+
+void BM_DenseForward(benchmark::State& state) {
+  util::Pcg32 rng(4);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Dense>(512, 256, rng));
+  net.Add(std::make_unique<nn::Relu>());
+  net.Add(std::make_unique<nn::Dense>(256, 1, rng));
+  nn::Matrix x(64, 512);
+  nn::FillGaussian(&x, 1.0f, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net.Forward(x, false).at(0, 0));
+}
+BENCHMARK(BM_DenseForward);
+
+void BM_DenseTrainStep(benchmark::State& state) {
+  util::Pcg32 rng(5);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Dense>(512, 256, rng));
+  net.Add(std::make_unique<nn::Relu>());
+  net.Add(std::make_unique<nn::Dense>(256, 1, rng));
+  net.Add(std::make_unique<nn::Sigmoid>());
+  nn::Adam adam(net.Params(), 1e-3f);
+  nn::Matrix x(64, 512), dpred;
+  nn::FillGaussian(&x, 1.0f, rng);
+  std::vector<float> y(64, 0.5f);
+  for (auto _ : state) {
+    const nn::Matrix& pred = net.Forward(x, true);
+    nn::MseLoss(pred, y, &dpred);
+    net.ZeroGrad();
+    net.Backward(dpred);
+    adam.Step();
+  }
+}
+BENCHMARK(BM_DenseTrainStep);
+
+void BM_ResMadeConditional(benchmark::State& state) {
+  nn::ResMadeConfig config;
+  config.domain_sizes = {1000, 50, 1000, 50, 1000};
+  config.embedding_dim = 32;
+  config.hidden_dim = 128;
+  config.seed = 6;
+  nn::ResMade model(config);
+  std::vector<uint32_t> batch(64 * 5, 1);
+  nn::Matrix probs;
+  for (auto _ : state) {
+    model.ConditionalProbs(batch, 64, 4, &probs);
+    benchmark::DoNotOptimize(probs.at(0, 0));
+  }
+}
+BENCHMARK(BM_ResMadeConditional);
+
+void BM_StarPopulationSample(benchmark::State& state) {
+  const rdf::Graph& graph = TestGraph();
+  sampling::StarPopulation population(graph, 3);
+  util::Pcg32 rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(population.SampleUniform(rng).center);
+}
+BENCHMARK(BM_StarPopulationSample);
+
+void BM_ChainPopulationSample(benchmark::State& state) {
+  const rdf::Graph& graph = TestGraph();
+  sampling::ChainPopulation population(graph, 3);
+  util::Pcg32 rng(8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(population.SampleUniform(rng).nodes[0]);
+}
+BENCHMARK(BM_ChainPopulationSample);
+
+void BM_ClassifyDetailedTopology(benchmark::State& state) {
+  // A 6-pattern flower: the most expensive classification path.
+  query::Query q = query::MakeStarQuery(
+      PatternTerm::Variable(0),
+      {{PatternTerm::Bound(1), PatternTerm::Variable(1)},
+       {PatternTerm::Bound(2), PatternTerm::Variable(2)},
+       {PatternTerm::Bound(3), PatternTerm::Variable(3)}});
+  query::TriplePattern back;
+  back.s = PatternTerm::Variable(3);
+  back.p = PatternTerm::Bound(4);
+  back.o = PatternTerm::Variable(0);
+  q.patterns.push_back(back);
+  query::NormalizeVariables(&q);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(query::ClassifyDetailedTopology(q));
+}
+BENCHMARK(BM_ClassifyDetailedTopology);
+
+void BM_CompositeTreeSample(benchmark::State& state) {
+  const rdf::Graph& graph = TestGraph();
+  sampling::CompositeSampler sampler(graph);
+  util::Pcg32 rng(9);
+  for (auto _ : state) {
+    auto tree = sampler.SampleTree(4, rng);
+    benchmark::DoNotOptimize(tree.has_value());
+  }
+}
+BENCHMARK(BM_CompositeTreeSample);
+
+void BM_HistogramEstimate(benchmark::State& state) {
+  const rdf::Graph& graph = TestGraph();
+  range::PredicateHistograms histograms(graph, 32);
+  util::Pcg32 rng(10);
+  const auto nodes = static_cast<uint32_t>(graph.num_nodes());
+  for (auto _ : state) {
+    uint32_t lo = 1 + rng.UniformInt(nodes);
+    uint32_t hi = std::min(nodes, lo + rng.UniformInt(nodes / 4 + 1));
+    benchmark::DoNotOptimize(histograms.Selectivity(1, lo, hi));
+  }
+}
+BENCHMARK(BM_HistogramEstimate);
+
+void BM_RangeExecutorStar2(benchmark::State& state) {
+  const rdf::Graph& graph = TestGraph();
+  range::RangeWorkloadGenerator generator(graph);
+  range::RangeWorkloadGenerator::Options options;
+  options.query_size = 2;
+  options.count = 50;
+  options.seed = 11;
+  auto workload = generator.Generate(options);
+  range::RangeExecutor executor(graph);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        executor.Count(workload[i % workload.size()].query));
+    ++i;
+  }
+}
+BENCHMARK(BM_RangeExecutorStar2);
+
+void BM_WorkloadMonitorObserve(benchmark::State& state) {
+  core::WorkloadMonitor monitor;
+  query::Query star = query::MakeStarQuery(
+      PatternTerm::Variable(0),
+      {{PatternTerm::Bound(1), PatternTerm::Variable(1)},
+       {PatternTerm::Bound(2), PatternTerm::Variable(2)}});
+  for (auto _ : state) {
+    monitor.Observe(star);
+    benchmark::DoNotOptimize(monitor.total_weight());
+  }
+}
+BENCHMARK(BM_WorkloadMonitorObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

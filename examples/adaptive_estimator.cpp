@@ -1,0 +1,107 @@
+// Adaptive model lifecycle: the paper's execution-phase sketch (§IV) —
+// "If a change in the workload of queries is detected during the
+// execution phase, a new model may be created, or an existing model may
+// be dropped."
+//
+//   ./adaptive_estimator
+//
+// Demonstrates:
+//   core::WorkloadMonitor — decayed (topology, size) mix of the stream
+//   core::AdaptiveLmkg    — model pool that follows the workload
+#include <iostream>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "data/dataset.h"
+#include "query/query.h"
+#include "sampling/workload.h"
+#include "util/math.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace lmkg;
+
+double MedianQError(core::AdaptiveLmkg& estimator,
+                    const std::vector<sampling::LabeledQuery>& queries,
+                    size_t from, size_t to) {
+  std::vector<double> qerrors;
+  for (size_t i = from; i < to && i < queries.size(); ++i)
+    qerrors.push_back(
+        util::QError(estimator.EstimateCardinality(queries[i].query),
+                     queries[i].cardinality));
+  return util::QErrorStats::Compute(std::move(qerrors)).median;
+}
+
+}  // namespace
+
+int main() {
+  using query::Topology;
+
+  // A correlated conference-metadata graph — the setting where falling
+  // back to independence-based estimation actually hurts.
+  rdf::Graph graph = data::MakeDataset("swdf", 0.01, /*seed=*/7);
+  std::cout << "Graph: " << rdf::GraphSummary(graph) << "\n\n";
+
+  // Bootstrap with star-2 only: the workload the operator expected.
+  core::AdaptiveLmkgConfig config;
+  config.s_config.hidden_dim = 64;
+  config.s_config.epochs = 25;
+  config.train_queries = 250;
+  config.initial_combos = {{Topology::kStar, 2}};
+  config.monitor.min_observations = 25;
+  config.monitor.decay = 0.92;
+  config.verbose = true;
+  std::cout << "Bootstrapping with a star-2 model...\n";
+  core::AdaptiveLmkg adaptive(graph, config);
+
+  // Phase 1: the expected star-2 stream.
+  sampling::WorkloadGenerator generator(graph);
+  sampling::WorkloadGenerator::Options wopts;
+  wopts.topology = Topology::kStar;
+  wopts.query_size = 2;
+  wopts.count = 60;
+  wopts.seed = 21;
+  auto stars = generator.Generate(wopts);
+  double star_q = MedianQError(adaptive, stars, 0, stars.size());
+  std::cout << "Phase 1 (star-2 stream, covered): median q-error "
+            << util::FormatValue(star_q) << "\n\n";
+
+  // Phase 2: the workload shifts to star-3 — uncovered, so queries fall
+  // back to the independence combination and quality degrades.
+  wopts.query_size = 3;
+  wopts.count = 80;
+  wopts.seed = 22;
+  auto shifted = generator.Generate(wopts);
+  double before = MedianQError(adaptive, shifted, 0, 40);
+  std::cout << "Phase 2 (shift to star-3, uncovered): median q-error "
+            << util::FormatValue(before) << " (independence fallback)\n";
+
+  // The monitor has seen the shift; adapt.
+  std::cout << "\nMonitor shares after the shift:\n";
+  util::TablePrinter shares("decayed workload mix");
+  shares.SetHeader({"combo", "share"});
+  for (const auto& cs : adaptive.monitor().Shares())
+    shares.AddRow({std::string(query::TopologyName(cs.combo.topology)) +
+                       "-" + std::to_string(cs.combo.size),
+                   util::FormatValue(cs.share)});
+  shares.Print(std::cout);
+
+  auto report = adaptive.Adapt();
+  std::cout << "\nAdapt(): created " << report.created.size()
+            << " model(s), dropped " << report.dropped.size() << "\n";
+
+  // Phase 3: the same star-3 stream, now served by a specialized model.
+  double after = MedianQError(adaptive, shifted, 40, 80);
+  std::cout << "Phase 3 (star-3 stream, adapted): median q-error "
+            << util::FormatValue(after) << "\n\n";
+
+  std::cout << "Models: " << adaptive.num_models() << ", "
+            << util::HumanBytes(adaptive.MemoryBytes())
+            << ". The shift was detected from the decayed mix and the "
+               "new model closed the accuracy gap ("
+            << util::FormatValue(before) << " -> "
+            << util::FormatValue(after) << ").\n";
+  return 0;
+}

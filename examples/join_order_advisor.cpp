@@ -1,0 +1,119 @@
+// Join-order advisor: the motivating application of cardinality
+// estimation (paper §I: "producing efficient query plans heavily relies
+// on accurate cardinality estimates"). For a basic graph pattern, the
+// advisor scores every left-deep join order by the estimated sizes of its
+// intermediate results and recommends the cheapest; an exact-counting
+// oracle shows how close the learned estimates get to the true optimum.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "core/lmkg.h"
+#include "data/dataset.h"
+#include "query/executor.h"
+#include "query/sparql_parser.h"
+#include "util/math.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace lmkg;
+
+// Cost of a left-deep order = sum of estimated intermediate result sizes
+// (the C_out cost model). `estimate` maps a prefix BGP to a cardinality.
+template <typename EstimateFn>
+double OrderCost(const query::Query& q, const std::vector<size_t>& order,
+                 EstimateFn estimate) {
+  double cost = 0.0;
+  query::Query prefix;
+  for (size_t idx : order) {
+    prefix.patterns.push_back(q.patterns[idx]);
+    query::Query normalized = prefix;
+    query::NormalizeVariables(&normalized);
+    cost += estimate(normalized);
+  }
+  return cost;
+}
+
+std::string OrderToString(const std::vector<size_t>& order) {
+  std::string s;
+  for (size_t idx : order) s += "t" + std::to_string(idx) + " ";
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  rdf::Graph graph = data::MakeDataset("swdf", 0.01, /*seed=*/7);
+  std::cout << "Graph: " << rdf::GraphSummary(graph) << "\n\n";
+
+  // The estimator: LMKG-S over both topologies and sizes up to 3 (prefix
+  // subqueries of the plan can be stars, chains, or composites — the
+  // facade decomposes what no model covers).
+  core::LmkgConfig config;
+  config.kind = core::ModelKind::kSupervised;
+  config.grouping = core::Grouping::kBySize;
+  config.query_sizes = {2, 3};
+  config.s_config.epochs = 30;
+  config.s_config.hidden_dim = 96;
+  config.train_queries_per_combo = 250;
+  std::cout << "Training LMKG-S...\n\n";
+  core::Lmkg lmkg(graph, config);
+  lmkg.BuildModels();
+
+  // A composite query: star at ?paper + chain into the citation graph.
+  const char* text =
+      "SELECT * WHERE { ?paper <rdf:type> <class/InProceedings> . "
+      "?paper <swc:hasTopic> <topic/0> . "
+      "?paper <swrc:cites> ?cited . }";
+  auto parsed = query::ParseSparql(text, graph);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().message() << "\n";
+    return 1;
+  }
+  const query::Query& q = parsed.value();
+  std::cout << "Query: " << text << "\n\n";
+
+  query::Executor executor(graph);
+  auto learned = [&](const query::Query& sub) {
+    return lmkg.EstimateCardinality(sub);
+  };
+  auto exact = [&](const query::Query& sub) {
+    return executor.Cardinality(sub);
+  };
+
+  // Enumerate all left-deep orders (3 patterns -> 6 orders).
+  std::vector<size_t> order(q.patterns.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::TablePrinter table("join orders: estimated vs true cost");
+  table.SetHeader({"order", "LMKG cost", "true cost"});
+  std::vector<size_t> best_learned, best_true;
+  double best_learned_cost = 1e300, best_true_cost = 1e300;
+  do {
+    double learned_cost = OrderCost(q, order, learned);
+    double true_cost = OrderCost(q, order, exact);
+    table.AddRow({OrderToString(order), util::FormatValue(learned_cost),
+                  util::FormatValue(true_cost)});
+    if (learned_cost < best_learned_cost) {
+      best_learned_cost = learned_cost;
+      best_learned = order;
+    }
+    if (true_cost < best_true_cost) {
+      best_true_cost = true_cost;
+      best_true = order;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  table.Print(std::cout);
+
+  double chosen_true_cost = OrderCost(q, best_learned, exact);
+  std::cout << "\nLMKG picks:    " << OrderToString(best_learned)
+            << " (true cost " << util::FormatValue(chosen_true_cost)
+            << ")\n";
+  std::cout << "True optimum:  " << OrderToString(best_true)
+            << " (true cost " << util::FormatValue(best_true_cost) << ")\n";
+  std::cout << "Plan overhead vs optimum: "
+            << util::FormatValue(chosen_true_cost /
+                                 std::max(best_true_cost, 1.0))
+            << "x\n";
+  return 0;
+}

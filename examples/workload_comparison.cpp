@@ -1,0 +1,59 @@
+// Workload comparison: trains LMKG-S and LMKG-U on a small SWDF-profile
+// graph and pits them against two representative competitors
+// (characteristic sets and WanderJoin) on a mixed star/chain workload —
+// a miniature of the paper's §VIII-B evaluation.
+#include <iostream>
+
+#include "baselines/cset.h"
+#include "baselines/wander_join.h"
+#include "data/dataset.h"
+#include "eval/harness.h"
+#include "eval/suite.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lmkg;
+
+  eval::SuiteOptions options = eval::SuiteOptionsFromFlags(argc, argv);
+  options.query_sizes = {2, 3};
+  options.test_queries_per_combo = 60;
+  options.train_queries_per_combo = 250;
+
+  rdf::Graph graph =
+      data::MakeDataset("swdf", options.dataset_scale, options.seed);
+  std::cout << "Graph: " << rdf::GraphSummary(graph) << "\n\n";
+
+  std::cout << "Building test workload (exact counts as labels)...\n";
+  eval::WorkloadSet test = eval::BuildTestWorkloads(graph, options);
+  auto all = test.All();
+  std::cout << all.size() << " labeled test queries\n\n";
+
+  std::cout << "Training LMKG-S...\n";
+  auto lmkg_s = eval::BuildLmkgS(graph, options);
+  std::cout << "Training LMKG-U...\n";
+  auto lmkg_u = eval::BuildLmkgU(graph, options);
+  baselines::CsetEstimator cset(graph);
+  baselines::WanderJoinEstimator::Options wj_options;
+  wj_options.num_walks = options.num_walks;
+  baselines::WanderJoinEstimator wj(graph, wj_options);
+
+  util::TablePrinter table("mixed star/chain workload, sizes {2,3}");
+  table.SetHeader({"estimator", "median q", "avg q", "p95 q", "max q",
+                   "avg ms", "memory"});
+  core::CardinalityEstimator* estimators[] = {lmkg_s.get(), lmkg_u.get(),
+                                              &cset, &wj};
+  for (core::CardinalityEstimator* estimator : estimators) {
+    eval::EvalResult result = eval::Evaluate(estimator, all);
+    table.AddRow({result.estimator, util::FormatValue(result.qerror.median),
+                  util::FormatValue(result.qerror.mean),
+                  util::FormatValue(result.qerror.p95),
+                  util::FormatValue(result.qerror.max),
+                  util::FormatValue(result.avg_estimation_ms),
+                  util::HumanBytes(estimator->MemoryBytes())});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(bench/bench_fig8..11 run the full nine-estimator "
+               "comparison of the paper.)\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "baselines/cset.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lmkg::baselines {
+
+using query::PatternTerm;
+using query::Query;
+using rdf::TermId;
+
+CsetEstimator::CsetEstimator(const rdf::Graph& graph) : graph_(graph) {
+  LMKG_CHECK(graph.finalized());
+  // One pass per subject over its (sorted) out-edges yields its
+  // characteristic set and per-predicate triple counts.
+  std::map<std::vector<TermId>, size_t> index;
+  for (TermId s : graph.subjects()) {
+    std::vector<TermId> preds;
+    std::vector<uint64_t> occurrences;
+    for (const auto& e : graph.OutEdges(s)) {
+      if (preds.empty() || preds.back() != e.p) {
+        preds.push_back(e.p);
+        occurrences.push_back(1);
+      } else {
+        ++occurrences.back();
+      }
+    }
+    auto [it, inserted] = index.emplace(preds, sets_.size());
+    if (inserted) {
+      CharacteristicSet cs;
+      cs.predicates = preds;
+      cs.occurrences.assign(preds.size(), 0);
+      sets_.push_back(std::move(cs));
+    }
+    CharacteristicSet& cs = sets_[it->second];
+    cs.count += 1;
+    for (size_t i = 0; i < occurrences.size(); ++i)
+      cs.occurrences[i] += occurrences[i];
+  }
+}
+
+bool CsetEstimator::CanEstimate(const Query& q) const {
+  if (q.patterns.empty()) return false;
+  // Requires bound predicates (the synopsis is keyed by predicate).
+  for (const auto& t : q.patterns)
+    if (!t.p.bound()) return false;
+  return query::AsStar(q).has_value() || query::AsChain(q).has_value();
+}
+
+double CsetEstimator::BoundObjectSelectivity(TermId p) const {
+  size_t distinct = graph_.DistinctObjects(p);
+  return distinct == 0 ? 0.0 : 1.0 / static_cast<double>(distinct);
+}
+
+double CsetEstimator::EstimateStar(const Query& q) const {
+  auto star = query::AsStar(q);
+  LMKG_CHECK(star.has_value());
+
+  // Query predicates with multiplicities (repeated predicates in a star
+  // multiply the per-subject occurrence count once per use).
+  std::vector<TermId> preds;
+  double object_selectivity = 1.0;
+  for (const auto& [p, o] : star->pairs) {
+    preds.push_back(p.value);
+    if (o.bound()) object_selectivity *= BoundObjectSelectivity(p.value);
+  }
+  std::vector<TermId> distinct_preds = preds;
+  std::sort(distinct_preds.begin(), distinct_preds.end());
+  distinct_preds.erase(
+      std::unique(distinct_preds.begin(), distinct_preds.end()),
+      distinct_preds.end());
+
+  double total = 0.0;
+  for (const CharacteristicSet& cs : sets_) {
+    // C ⊇ query predicates?
+    if (!std::includes(cs.predicates.begin(), cs.predicates.end(),
+                       distinct_preds.begin(), distinct_preds.end()))
+      continue;
+    double contribution = static_cast<double>(cs.count);
+    for (TermId p : preds) {
+      auto it = std::lower_bound(cs.predicates.begin(),
+                                 cs.predicates.end(), p);
+      size_t idx = static_cast<size_t>(it - cs.predicates.begin());
+      contribution *= static_cast<double>(cs.occurrences[idx]) /
+                      static_cast<double>(cs.count);
+    }
+    total += contribution;
+  }
+  total *= object_selectivity;
+
+  // A bound centre selects one subject of the Σ; uniformity over subjects.
+  if (star->center.bound() && !graph_.subjects().empty())
+    total /= static_cast<double>(graph_.subjects().size());
+  return total;
+}
+
+double CsetEstimator::EstimateChain(const Query& q) const {
+  auto chain = query::AsChain(q);
+  LMKG_CHECK(chain.has_value());
+  const auto& preds = chain->predicates;
+  double estimate =
+      static_cast<double>(graph_.PredicateCount(preds[0].value));
+  for (size_t i = 1; i < preds.size(); ++i) {
+    double left_distinct = static_cast<double>(
+        graph_.DistinctObjects(preds[i - 1].value));
+    double right_count =
+        static_cast<double>(graph_.PredicateCount(preds[i].value));
+    double right_distinct = static_cast<double>(
+        graph_.DistinctSubjects(preds[i].value));
+    double denom = std::max(left_distinct, right_distinct);
+    if (denom <= 0.0) return 0.0;
+    estimate *= right_count / denom;
+  }
+  // Bound nodes: uniformity over the joined predicate's distinct terms.
+  for (size_t i = 0; i < chain->nodes.size(); ++i) {
+    if (!chain->nodes[i].bound()) continue;
+    double distinct;
+    if (i == 0)
+      distinct = static_cast<double>(
+          graph_.DistinctSubjects(preds[0].value));
+    else
+      distinct = static_cast<double>(
+          graph_.DistinctObjects(preds[i - 1].value));
+    if (distinct > 0.0) estimate /= distinct;
+  }
+  return estimate;
+}
+
+double CsetEstimator::EstimateCardinality(const Query& q) {
+  LMKG_CHECK(CanEstimate(q));
+  if (query::AsStar(q).has_value()) return EstimateStar(q);
+  return EstimateChain(q);
+}
+
+size_t CsetEstimator::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const CharacteristicSet& cs : sets_) {
+    bytes += cs.predicates.capacity() * sizeof(TermId);
+    bytes += cs.occurrences.capacity() * sizeof(uint64_t);
+    bytes += sizeof(CharacteristicSet);
+  }
+  return bytes;
+}
+
+}  // namespace lmkg::baselines

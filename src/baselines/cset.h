@@ -1,0 +1,60 @@
+#ifndef LMKG_BASELINES_CSET_H_
+#define LMKG_BASELINES_CSET_H_
+
+#include <map>
+#include <vector>
+
+#include "core/estimator.h"
+#include "rdf/graph.h"
+
+namespace lmkg::baselines {
+
+/// Characteristic Sets (Neumann & Moerkotte, ICDE 2011) — the summary-based
+/// estimator tailored for star queries: every subject is summarized by the
+/// set of predicates it emits; for each distinct set the synopsis keeps the
+/// number of subjects and, per predicate, the total number of triples.
+///
+/// A star query with bound predicates {p1..pk} is estimated as
+///
+///   Σ_{C ⊇ {p1..pk}} count(C) · Π_i (occurrences(C, p_i) / count(C))
+///
+/// with a (1 / distinct-objects(p)) selectivity factor per bound object —
+/// the independence assumption the original paper makes for bound objects.
+///
+/// Chain queries are not covered by the original paper; like the LMKG
+/// authors ("we followed the reference paper and tried to implement the
+/// presented algorithm to the best of our capabilities ... for chain
+/// queries"), we add the textbook join estimate: consecutive triple sets
+/// joined with |R⋈S| = |R|·|S| / max(V(R, o), V(S, s)).
+class CsetEstimator : public core::CardinalityEstimator {
+ public:
+  explicit CsetEstimator(const rdf::Graph& graph);
+
+  double EstimateCardinality(const query::Query& q) override;
+  bool CanEstimate(const query::Query& q) const override;
+  std::string name() const override { return "cset"; }
+  size_t MemoryBytes() const override;
+
+  /// Number of distinct characteristic sets found in the graph.
+  size_t num_characteristic_sets() const { return sets_.size(); }
+
+ private:
+  struct CharacteristicSet {
+    std::vector<rdf::TermId> predicates;  // sorted, distinct
+    uint64_t count = 0;                   // subjects with this set
+    // occurrences[i] = total triples with predicates[i] over the subjects.
+    std::vector<uint64_t> occurrences;
+  };
+
+  double EstimateStar(const query::Query& q) const;
+  double EstimateChain(const query::Query& q) const;
+  // Estimated selectivity of binding the object of predicate p.
+  double BoundObjectSelectivity(rdf::TermId p) const;
+
+  const rdf::Graph& graph_;
+  std::vector<CharacteristicSet> sets_;
+};
+
+}  // namespace lmkg::baselines
+
+#endif  // LMKG_BASELINES_CSET_H_

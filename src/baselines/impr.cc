@@ -1,0 +1,93 @@
+#include "baselines/impr.h"
+
+#include <algorithm>
+
+#include "baselines/sampling_common.h"
+#include "util/check.h"
+
+namespace lmkg::baselines {
+
+using query::PatternTerm;
+using rdf::TermId;
+
+ImprEstimator::ImprEstimator(const rdf::Graph& graph,
+                             const Options& options)
+    : graph_(graph),
+      options_(options),
+      rng_(options.seed, /*stream=*/0x19e) {
+  LMKG_CHECK(graph.finalized());
+}
+
+bool ImprEstimator::CanEstimate(const query::Query& q) const {
+  return !q.patterns.empty();
+}
+
+double ImprEstimator::EstimateCardinality(const query::Query& q) {
+  LMKG_CHECK(CanEstimate(q));
+  const std::vector<size_t> order = internal::WalkOrder(q);
+  std::vector<TermId> binding(q.num_vars, rdf::kUnboundTerm);
+  std::vector<int> newly_bound;
+  const double m = static_cast<double>(graph_.num_triples());
+
+  // Anchor of each non-seed pattern: a term whose value is known once the
+  // preceding patterns are bound (the pattern's subject or object).
+  auto anchor_value = [&](const query::TriplePattern& t) -> TermId {
+    internal::Resolved r = internal::ResolvePattern(t, binding);
+    if (r.s != rdf::kUnboundTerm) return r.s;
+    return r.o;  // may be 0 => disconnected pattern
+  };
+
+  double sum = 0.0;
+  for (size_t walk = 0; walk < options_.num_walks; ++walk) {
+    std::fill(binding.begin(), binding.end(), rdf::kUnboundTerm);
+    double weight = m;
+
+    // Seed: uniform random triple; must match the first pattern.
+    {
+      const auto& t = q.patterns[order[0]];
+      const rdf::Triple& seed = graph_.triples()[rng_.UniformInt(
+          static_cast<uint32_t>(graph_.num_triples()))];
+      newly_bound.clear();
+      if (!internal::BindTriple(t, seed, &binding, &newly_bound)) {
+        continue;  // walk contributes 0
+      }
+    }
+
+    bool alive = true;
+    for (size_t step = 1; step < order.size() && alive; ++step) {
+      const auto& t = q.patterns[order[step]];
+      TermId anchor = anchor_value(t);
+      if (anchor == rdf::kUnboundTerm) {
+        // Disconnected pattern: re-seed uniformly over all triples.
+        weight *= m;
+        const rdf::Triple& seed = graph_.triples()[rng_.UniformInt(
+            static_cast<uint32_t>(graph_.num_triples()))];
+        newly_bound.clear();
+        alive = internal::BindTriple(t, seed, &binding, &newly_bound);
+        continue;
+      }
+      // Uniform incident edge of the anchor, ignoring direction and
+      // label; the walk dies if it does not realize the pattern.
+      auto out = graph_.OutEdges(anchor);
+      auto in = graph_.InEdges(anchor);
+      size_t degree = out.size() + in.size();
+      if (degree == 0) {
+        alive = false;
+        break;
+      }
+      size_t pick = rng_.UniformInt(static_cast<uint32_t>(degree));
+      rdf::Triple chosen =
+          pick < out.size()
+              ? rdf::Triple{anchor, out[pick].p, out[pick].o}
+              : rdf::Triple{in[pick - out.size()].s,
+                            in[pick - out.size()].p, anchor};
+      newly_bound.clear();
+      alive = internal::BindTriple(t, chosen, &binding, &newly_bound);
+      weight *= static_cast<double>(degree);
+    }
+    if (alive) sum += weight;
+  }
+  return sum / static_cast<double>(options_.num_walks);
+}
+
+}  // namespace lmkg::baselines

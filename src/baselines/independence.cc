@@ -1,0 +1,56 @@
+#include "baselines/independence.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace lmkg::baselines {
+
+using query::Query;
+
+IndependenceEstimator::IndependenceEstimator(const rdf::Graph& graph)
+    : graph_(graph), single_pattern_(graph) {
+  LMKG_CHECK(graph.finalized());
+}
+
+bool IndependenceEstimator::CanEstimate(const Query& q) const {
+  return !q.patterns.empty();
+}
+
+double IndependenceEstimator::EstimateCardinality(const Query& q) {
+  LMKG_CHECK(CanEstimate(q)) << query::QueryToString(q);
+
+  double estimate = 1.0;
+  for (const auto& t : q.patterns) {
+    Query one;
+    one.patterns = {t};
+    query::NormalizeVariables(&one);
+    estimate *= single_pattern_.EstimateCardinality(one);
+  }
+
+  // Join uniformity: each extra occurrence of a shared variable divides
+  // by its domain size.
+  std::map<int, int> occurrences;
+  std::map<int, bool> is_predicate;
+  for (const auto& t : q.patterns) {
+    std::map<int, bool> seen;
+    if (t.s.is_var()) seen.emplace(t.s.var, false);
+    if (t.o.is_var()) seen.emplace(t.o.var, false);
+    if (t.p.is_var()) {
+      seen.emplace(t.p.var, true);
+      is_predicate[t.p.var] = true;
+    }
+    for (const auto& [v, pred] : seen) ++occurrences[v];
+  }
+  for (const auto& [v, count] : occurrences) {
+    if (count < 2) continue;
+    double domain = is_predicate.count(v) > 0 && is_predicate[v]
+                        ? static_cast<double>(graph_.num_predicates())
+                        : static_cast<double>(graph_.num_nodes());
+    for (int i = 1; i < count; ++i) estimate /= std::max(domain, 1.0);
+  }
+  return estimate;
+}
+
+}  // namespace lmkg::baselines

@@ -1,0 +1,42 @@
+#ifndef LMKG_BASELINES_INDEPENDENCE_H_
+#define LMKG_BASELINES_INDEPENDENCE_H_
+
+#include <string>
+
+#include "core/estimator.h"
+#include "core/single_pattern.h"
+#include "rdf/graph.h"
+
+namespace lmkg::baselines {
+
+/// The classical single-attribute-synopsis estimator in the style of the
+/// Jena ARQ optimizer (Stocker et al., WWW 2008) and RDF-3X's statistics:
+/// every triple pattern is estimated in isolation from exact index
+/// statistics, then the pattern estimates are combined under attribute
+/// independence and join uniformity:
+///
+///   est(q) = Π_i exact(pattern_i) / Π_{v} domain(v)^(occ(v) - 1)
+///
+/// This is the approach whose failure mode motivates LMKG (paper §I/§II:
+/// "the introduced estimation functions assume independence between the
+/// attributes which leads to underestimations" — correlated predicates
+/// make the product collapse far below the true count). It serves as the
+/// correlation-blindness baseline in bench_ext_baselines.
+class IndependenceEstimator : public core::CardinalityEstimator {
+ public:
+  explicit IndependenceEstimator(const rdf::Graph& graph);
+
+  double EstimateCardinality(const query::Query& q) override;
+  bool CanEstimate(const query::Query& q) const override;
+  std::string name() const override { return "indep"; }
+  /// All statistics live in the graph's indexes.
+  size_t MemoryBytes() const override { return 0; }
+
+ private:
+  const rdf::Graph& graph_;
+  core::SinglePatternEstimator single_pattern_;
+};
+
+}  // namespace lmkg::baselines
+
+#endif  // LMKG_BASELINES_INDEPENDENCE_H_

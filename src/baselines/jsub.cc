@@ -1,0 +1,111 @@
+#include "baselines/jsub.h"
+
+#include <algorithm>
+
+#include "baselines/sampling_common.h"
+#include "util/check.h"
+
+namespace lmkg::baselines {
+
+using rdf::TermId;
+
+JsubEstimator::JsubEstimator(const rdf::Graph& graph,
+                             const Options& options)
+    : graph_(graph),
+      options_(options),
+      rng_(options.seed, /*stream=*/0x25b) {
+  LMKG_CHECK(graph.finalized());
+  const size_t b = graph.num_predicates();
+  max_out_fan_.assign(b + 1, 0);
+  max_in_fan_.assign(b + 1, 0);
+  // Max fan-outs per predicate: one scan over each clustered index.
+  for (TermId s : graph.subjects()) {
+    auto edges = graph.OutEdges(s);
+    size_t i = 0;
+    while (i < edges.size()) {
+      size_t j = i;
+      while (j < edges.size() && edges[j].p == edges[i].p) ++j;
+      max_out_fan_[edges[i].p] = std::max(
+          max_out_fan_[edges[i].p], static_cast<uint32_t>(j - i));
+      i = j;
+    }
+  }
+  for (TermId o : graph.objects()) {
+    auto edges = graph.InEdges(o);
+    size_t i = 0;
+    while (i < edges.size()) {
+      size_t j = i;
+      while (j < edges.size() && edges[j].p == edges[i].p) ++j;
+      max_in_fan_[edges[i].p] = std::max(
+          max_in_fan_[edges[i].p], static_cast<uint32_t>(j - i));
+      i = j;
+    }
+  }
+}
+
+bool JsubEstimator::CanEstimate(const query::Query& q) const {
+  return !q.patterns.empty();
+}
+
+double JsubEstimator::EstimateCardinality(const query::Query& q) {
+  LMKG_CHECK(CanEstimate(q));
+  std::vector<size_t> order = internal::WalkOrder(q);
+  std::vector<TermId> binding(q.num_vars, rdf::kUnboundTerm);
+  std::vector<int> newly_bound;
+
+  double sum = 0.0;
+  for (size_t walk = 0; walk < options_.num_walks; ++walk) {
+    std::fill(binding.begin(), binding.end(), rdf::kUnboundTerm);
+    double weight = 1.0;
+    for (size_t idx : order) {
+      const auto& t = q.patterns[idx];
+      bool same_so_var =
+          t.s.is_var() && t.o.is_var() && t.s.var == t.o.var;
+      internal::Resolved r = internal::ResolvePattern(t, binding);
+      auto candidates =
+          internal::Candidates::ForPattern(graph_, r, same_so_var);
+
+      // Upper bound on the candidate count for this pattern shape.
+      uint64_t bound;
+      if (r.s != rdf::kUnboundTerm && r.p != rdf::kUnboundTerm &&
+          r.o != rdf::kUnboundTerm) {
+        bound = 1;
+      } else if (r.s != rdf::kUnboundTerm && r.p != rdf::kUnboundTerm) {
+        bound = max_out_fan_[r.p];
+      } else if (r.o != rdf::kUnboundTerm && r.p != rdf::kUnboundTerm) {
+        bound = max_in_fan_[r.p];
+      } else if (r.p != rdf::kUnboundTerm) {
+        bound = graph_.PredicateCount(r.p);  // exact, no slack
+      } else {
+        bound = graph_.num_triples();
+      }
+      bound = std::max<uint64_t>(bound, candidates.count());
+      if (bound == 0 || candidates.count() == 0) {
+        weight = 0.0;
+        break;
+      }
+      uint64_t slot = static_cast<uint64_t>(
+          rng_.UniformInt64(0, static_cast<int64_t>(bound) - 1));
+      if (slot >= candidates.count()) {
+        weight = 0.0;  // sampled into the upper-bound slack
+        break;
+      }
+      rdf::Triple triple = candidates.Get(slot);
+      newly_bound.clear();
+      if (!internal::BindTriple(t, triple, &binding, &newly_bound)) {
+        weight = 0.0;
+        break;
+      }
+      weight *= static_cast<double>(bound);
+    }
+    sum += weight;
+  }
+  return sum / static_cast<double>(options_.num_walks);
+}
+
+size_t JsubEstimator::MemoryBytes() const {
+  return (max_out_fan_.capacity() + max_in_fan_.capacity()) *
+         sizeof(uint32_t);
+}
+
+}  // namespace lmkg::baselines

@@ -1,0 +1,53 @@
+#ifndef LMKG_BASELINES_JSUB_H_
+#define LMKG_BASELINES_JSUB_H_
+
+#include <vector>
+
+#include "core/estimator.h"
+#include "rdf/graph.h"
+#include "util/random.h"
+
+namespace lmkg::baselines {
+
+/// JSUB — join sampling with upper bounds, after Zhao, Christensen, Li, Hu
+/// & Yi (SIGMOD 2018), in the G-CARE adaptation for graphs: like
+/// WanderJoin, but each extension step samples a uniform slot from an
+/// *upper bound* B_i on the pattern's fan-out (the precomputed maximum
+/// degree for the pattern's shape) instead of the actual candidate count;
+/// slots beyond the actual candidates kill the walk. Completed walks
+/// contribute Π B_i, so
+///
+///   E[est] = Π B_i · Π (c_i / B_i) = Π c_i  — unbiased, but the
+///
+/// per-walk values are products of upper bounds, which is what makes JSUB
+/// skew high (the paper describes it as "producing estimates of the upper
+/// bound of the cardinality").
+class JsubEstimator : public core::CardinalityEstimator {
+ public:
+  struct Options {
+    size_t num_walks = 1000;
+    uint64_t seed = 1;
+  };
+
+  explicit JsubEstimator(const rdf::Graph& graph)
+      : JsubEstimator(graph, Options()) {}
+  JsubEstimator(const rdf::Graph& graph, const Options& options);
+
+  double EstimateCardinality(const query::Query& q) override;
+  bool CanEstimate(const query::Query& q) const override;
+  std::string name() const override { return "jsub"; }
+  size_t MemoryBytes() const override;
+
+ private:
+  const rdf::Graph& graph_;
+  Options options_;
+  util::Pcg32 rng_;
+  // Per predicate: max out-fan (objects per subject) and max in-fan
+  // (subjects per object) — the upper bounds for extension steps.
+  std::vector<uint32_t> max_out_fan_;
+  std::vector<uint32_t> max_in_fan_;
+};
+
+}  // namespace lmkg::baselines
+
+#endif  // LMKG_BASELINES_JSUB_H_

@@ -1,0 +1,215 @@
+#include "baselines/mscn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/loss.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace lmkg::baselines {
+
+using query::PatternTerm;
+using query::Query;
+using rdf::TermId;
+
+MscnEstimator::MscnEstimator(const rdf::Graph& graph,
+                             const MscnConfig& config)
+    : graph_(graph), config_(config) {
+  LMKG_CHECK(graph.finalized());
+  util::Pcg32 rng(config.seed, /*stream=*/0x5c2);
+
+  // Materialized node sample for the bitmap features.
+  if (config_.num_samples > 0) {
+    const auto& subjects = graph.subjects();
+    sample_nodes_.reserve(config_.num_samples);
+    for (size_t i = 0; i < config_.num_samples; ++i)
+      sample_nodes_.push_back(rng.Choice(subjects));
+  }
+
+  set_net_.Add(std::make_unique<nn::Dense>(pattern_width(),
+                                           config_.hidden_dim, rng));
+  set_net_.Add(std::make_unique<nn::Relu>());
+  set_net_.Add(std::make_unique<nn::Dense>(config_.hidden_dim,
+                                           config_.hidden_dim, rng));
+  set_net_.Add(std::make_unique<nn::Relu>());
+
+  out_net_.Add(std::make_unique<nn::Dense>(config_.hidden_dim,
+                                           config_.hidden_dim, rng));
+  out_net_.Add(std::make_unique<nn::Relu>());
+  out_net_.Add(std::make_unique<nn::Dense>(config_.hidden_dim, 1, rng));
+  out_net_.Add(std::make_unique<nn::Sigmoid>());
+
+  std::vector<nn::ParamRef> params = set_net_.Params();
+  for (nn::ParamRef p : out_net_.Params()) params.push_back(p);
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params),
+                                          config_.learning_rate);
+}
+
+void MscnEstimator::EncodePattern(const query::TriplePattern& t,
+                                  float* out) const {
+  auto norm = [](TermId value, size_t domain) {
+    return domain == 0 ? 0.0f
+                       : static_cast<float>(value) /
+                             static_cast<float>(domain);
+  };
+  out[0] = t.s.bound() ? norm(t.s.value, graph_.num_nodes()) : 0.0f;
+  out[1] = t.s.bound() ? 1.0f : 0.0f;
+  out[2] = t.p.bound() ? norm(t.p.value, graph_.num_predicates()) : 0.0f;
+  out[3] = t.p.bound() ? 1.0f : 0.0f;
+  out[4] = t.o.bound() ? norm(t.o.value, graph_.num_nodes()) : 0.0f;
+  out[5] = t.o.bound() ? 1.0f : 0.0f;
+  // Sample bitmap: which sample nodes can bind this pattern's subject.
+  for (size_t i = 0; i < sample_nodes_.size(); ++i) {
+    TermId node = sample_nodes_[i];
+    bool match;
+    if (t.s.bound() && t.s.value != node) {
+      match = false;
+    } else if (t.p.bound() && t.o.bound()) {
+      match = graph_.HasTriple(node, t.p.value, t.o.value);
+    } else if (t.p.bound()) {
+      match = !graph_.OutEdgesWithPredicate(node, t.p.value).empty();
+    } else if (t.o.bound()) {
+      match = false;
+      for (const auto& e : graph_.OutEdges(node)) {
+        if (e.o == t.o.value) {
+          match = true;
+          break;
+        }
+      }
+    } else {
+      match = graph_.OutDegree(node) > 0;
+    }
+    out[6 + i] = match ? 1.0f : 0.0f;
+  }
+}
+
+const nn::Matrix& MscnEstimator::ForwardBatch(
+    const std::vector<const Query*>& queries, bool training) {
+  size_t total_elements = 0;
+  for (const Query* q : queries) total_elements += q->patterns.size();
+  elements_.Resize(total_elements, pattern_width());
+  query_offsets_.assign(queries.size() + 1, 0);
+  size_t row = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    query_offsets_[qi] = row;
+    for (const auto& t : queries[qi]->patterns)
+      EncodePattern(t, elements_.row(row++));
+  }
+  query_offsets_[queries.size()] = row;
+
+  const nn::Matrix& embedded = set_net_.Forward(elements_, training);
+  // Mean-pool the element embeddings per query.
+  pooled_.Resize(queries.size(), config_.hidden_dim);
+  pooled_.SetZero();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    size_t begin = query_offsets_[qi], end = query_offsets_[qi + 1];
+    float inv = 1.0f / static_cast<float>(std::max<size_t>(end - begin, 1));
+    float* dst = pooled_.row(qi);
+    for (size_t r = begin; r < end; ++r) {
+      const float* src = embedded.row(r);
+      for (size_t j = 0; j < config_.hidden_dim; ++j)
+        dst[j] += src[j] * inv;
+    }
+  }
+  return out_net_.Forward(pooled_, training);
+}
+
+void MscnEstimator::BackwardBatch(const nn::Matrix& dpred) {
+  out_net_.Backward(dpred);
+  const nn::Matrix& dpool = out_net_.input_grad();
+  // Distribute the pooled gradient back to the elements.
+  delements_.Resize(elements_.rows(), config_.hidden_dim);
+  for (size_t qi = 0; qi + 1 < query_offsets_.size(); ++qi) {
+    size_t begin = query_offsets_[qi], end = query_offsets_[qi + 1];
+    float inv = 1.0f / static_cast<float>(std::max<size_t>(end - begin, 1));
+    const float* src = dpool.row(qi);
+    for (size_t r = begin; r < end; ++r) {
+      float* dst = delements_.row(r);
+      for (size_t j = 0; j < config_.hidden_dim; ++j)
+        dst[j] = src[j] * inv;
+    }
+  }
+  set_net_.Backward(delements_);
+}
+
+MscnEstimator::TrainStats MscnEstimator::Train(
+    const std::vector<sampling::LabeledQuery>& data) {
+  LMKG_CHECK(!data.empty());
+  util::Stopwatch timer;
+  if (!scaler_.fitted()) {
+    std::vector<double> cards;
+    cards.reserve(data.size());
+    for (const auto& lq : data) cards.push_back(lq.cardinality);
+    scaler_.Fit(cards);
+  }
+  const double log_range = scaler_.log_max() - scaler_.log_min();
+
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Pcg32 shuffle_rng(config_.seed, /*stream=*/0x5c3);
+
+  TrainStats stats;
+  std::vector<const Query*> batch_queries;
+  std::vector<float> batch_y;
+  nn::Matrix dpred;
+  std::vector<nn::ParamRef> params = set_net_.Params();
+  for (nn::ParamRef p : out_net_.Params()) params.push_back(p);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    shuffle_rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < data.size();
+         start += config_.batch_size) {
+      size_t end = std::min(start + config_.batch_size, data.size());
+      batch_queries.clear();
+      batch_y.clear();
+      for (size_t i = start; i < end; ++i) {
+        batch_queries.push_back(&data[order[i]].query);
+        batch_y.push_back(
+            static_cast<float>(scaler_.Scale(data[order[i]].cardinality)));
+      }
+      const nn::Matrix& pred = ForwardBatch(batch_queries, true);
+      double loss = nn::QErrorLoss(pred, batch_y, log_range, &dpred);
+      set_net_.ZeroGrad();
+      out_net_.ZeroGrad();
+      BackwardBatch(dpred);
+      nn::ClipGradientNorm(params, config_.grad_clip_norm);
+      optimizer_->Step();
+      epoch_loss += loss;
+      ++batches;
+    }
+    stats.epoch_losses.push_back(epoch_loss /
+                                 std::max<size_t>(batches, 1));
+    trained_ = true;
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+double MscnEstimator::EstimateCardinality(const Query& q) {
+  LMKG_CHECK(trained_) << "MSCN estimate before Train";
+  std::vector<const Query*> queries = {&q};
+  const nn::Matrix& pred = ForwardBatch(queries, false);
+  return scaler_.Unscale(pred.at(0, 0));
+}
+
+bool MscnEstimator::CanEstimate(const Query& q) const {
+  return !q.patterns.empty();
+}
+
+std::string MscnEstimator::name() const {
+  if (config_.num_samples == 0) return "mscn-0";
+  if (config_.num_samples % 1000 == 0)
+    return util::StrFormat("mscn-%zuk", config_.num_samples / 1000);
+  return util::StrFormat("mscn-%zu", config_.num_samples);
+}
+
+size_t MscnEstimator::MemoryBytes() const {
+  return set_net_.ParamBytes() + out_net_.ParamBytes() +
+         sample_nodes_.capacity() * sizeof(TermId);
+}
+
+}  // namespace lmkg::baselines

@@ -1,0 +1,162 @@
+#ifndef LMKG_BASELINES_SAMPLING_COMMON_H_
+#define LMKG_BASELINES_SAMPLING_COMMON_H_
+
+#include <span>
+#include <vector>
+
+#include "query/query.h"
+#include "rdf/graph.h"
+
+// Shared machinery of the sampling-based baseline estimators (WanderJoin,
+// JSUB, IMPR): pattern resolution under a partial variable binding,
+// uniform access to the set of index candidates for a pattern, and a
+// connectivity-aware walk order.
+
+namespace lmkg::baselines::internal {
+
+/// Pattern positions resolved against a binding (0 = still free).
+struct Resolved {
+  rdf::TermId s = rdf::kUnboundTerm;
+  rdf::TermId p = rdf::kUnboundTerm;
+  rdf::TermId o = rdf::kUnboundTerm;
+};
+
+inline Resolved ResolvePattern(const query::TriplePattern& t,
+                               const std::vector<rdf::TermId>& binding) {
+  auto value = [&](const query::PatternTerm& term) -> rdf::TermId {
+    if (term.bound()) return term.value;
+    return binding[term.var];
+  };
+  return Resolved{value(t.s), value(t.p), value(t.o)};
+}
+
+/// Uniform random access over the triples matching a resolved pattern.
+/// Uses the narrowest index span available; falls back to a materialized
+/// filtered list when no contiguous span matches (unbound predicates with
+/// a resolved endpoint, repeated-variable patterns).
+class Candidates {
+ public:
+  static Candidates ForPattern(const rdf::Graph& graph, Resolved r,
+                               bool same_so_var) {
+    Candidates c;
+    c.graph_ = &graph;
+    c.r_ = r;
+    if (!same_so_var && r.s && r.p && r.o) {
+      c.mode_ = kSingle;
+      c.count_ = graph.HasTriple(r.s, r.p, r.o) ? 1 : 0;
+      return c;
+    }
+    if (!same_so_var && r.s && r.p) {
+      c.mode_ = kOut;
+      c.out_ = graph.OutEdgesWithPredicate(r.s, r.p);
+      c.count_ = c.out_.size();
+      return c;
+    }
+    if (!same_so_var && r.o && r.p) {
+      c.mode_ = kIn;
+      c.in_ = graph.InEdgesWithPredicate(r.o, r.p);
+      c.count_ = c.in_.size();
+      return c;
+    }
+    if (!same_so_var && !r.s && !r.o && r.p) {
+      c.mode_ = kPred;
+      c.pairs_ = graph.PredicatePairs(r.p);
+      c.count_ = c.pairs_.size();
+      return c;
+    }
+    if (!same_so_var && !r.s && !r.p && !r.o) {
+      c.mode_ = kAll;
+      c.count_ = graph.num_triples();
+      return c;
+    }
+    // Fallback: materialize the matching triples.
+    c.mode_ = kFiltered;
+    auto matches = [&](rdf::TermId s, rdf::TermId p, rdf::TermId o) {
+      if (r.s && s != r.s) return false;
+      if (r.p && p != r.p) return false;
+      if (r.o && o != r.o) return false;
+      if (same_so_var && s != o) return false;
+      return true;
+    };
+    if (r.s) {
+      for (const auto& e : graph.OutEdges(r.s))
+        if (matches(r.s, e.p, e.o))
+          c.filtered_.push_back(rdf::Triple{r.s, e.p, e.o});
+    } else if (r.o) {
+      for (const auto& e : graph.InEdges(r.o))
+        if (matches(e.s, e.p, r.o))
+          c.filtered_.push_back(rdf::Triple{e.s, e.p, r.o});
+    } else if (r.p) {
+      for (const auto& so : graph.PredicatePairs(r.p))
+        if (matches(so.s, r.p, so.o))
+          c.filtered_.push_back(rdf::Triple{so.s, r.p, so.o});
+    } else {
+      for (const auto& t : graph.triples())
+        if (matches(t.s, t.p, t.o)) c.filtered_.push_back(t);
+    }
+    c.count_ = c.filtered_.size();
+    return c;
+  }
+
+  size_t count() const { return count_; }
+
+  rdf::Triple Get(size_t i) const {
+    switch (mode_) {
+      case kSingle:
+        return rdf::Triple{r_.s, r_.p, r_.o};
+      case kOut:
+        return rdf::Triple{r_.s, out_[i].p, out_[i].o};
+      case kIn:
+        return rdf::Triple{in_[i].s, in_[i].p, r_.o};
+      case kPred:
+        return rdf::Triple{pairs_[i].s, r_.p, pairs_[i].o};
+      case kAll:
+        return graph_->triples()[i];
+      case kFiltered:
+        return filtered_[i];
+    }
+    return rdf::Triple{};
+  }
+
+ private:
+  enum Mode { kSingle, kOut, kIn, kPred, kAll, kFiltered };
+  Mode mode_ = kAll;
+  const rdf::Graph* graph_ = nullptr;
+  Resolved r_;
+  std::span<const rdf::PredicateObject> out_;
+  std::span<const rdf::PredicateSubject> in_;
+  std::span<const rdf::SubjectObject> pairs_;
+  std::vector<rdf::Triple> filtered_;
+  size_t count_ = 0;
+};
+
+/// Binds the pattern's variables to a concrete triple. Returns false on a
+/// conflict with the existing binding; records newly bound vars so the
+/// caller can undo.
+inline bool BindTriple(const query::TriplePattern& t,
+                       const rdf::Triple& triple,
+                       std::vector<rdf::TermId>* binding,
+                       std::vector<int>* newly_bound) {
+  auto bind = [&](const query::PatternTerm& term,
+                  rdf::TermId value) -> bool {
+    if (!term.is_var()) return term.value == value;
+    rdf::TermId& slot = (*binding)[term.var];
+    if (slot == rdf::kUnboundTerm) {
+      slot = value;
+      newly_bound->push_back(term.var);
+      return true;
+    }
+    return slot == value;
+  };
+  return bind(t.s, triple.s) && bind(t.p, triple.p) && bind(t.o, triple.o);
+}
+
+/// Walk order: start from the pattern with the most bound terms; then
+/// repeatedly append a pattern sharing a variable with the ones already
+/// placed (falling back to the next most-bound pattern when the query is
+/// disconnected).
+std::vector<size_t> WalkOrder(const query::Query& q);
+
+}  // namespace lmkg::baselines::internal
+
+#endif  // LMKG_BASELINES_SAMPLING_COMMON_H_

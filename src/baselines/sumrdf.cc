@@ -1,0 +1,144 @@
+#include "baselines/sumrdf.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+
+namespace lmkg::baselines {
+
+using query::PatternTerm;
+using query::Query;
+using rdf::TermId;
+
+SumRdfEstimator::SumRdfEstimator(const rdf::Graph& graph,
+                                 const Options& options)
+    : graph_(graph), options_(options) {
+  LMKG_CHECK(graph.finalized());
+  LMKG_CHECK_GE(options.target_buckets, 1u);
+
+  // Bucket nodes by a hash of their structural type: the multiset of
+  // outgoing and incoming predicates.
+  const size_t n = graph.num_nodes();
+  node_bucket_.assign(n + 1, 0);
+  std::vector<uint64_t> bucket_count(options_.target_buckets, 0);
+  for (TermId v = 1; v <= n; ++v) {
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t x) {
+      h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    for (const auto& e : graph.OutEdges(v)) mix(e.p * 2);
+    for (const auto& e : graph.InEdges(v)) mix(e.p * 2 + 1);
+    uint32_t bucket =
+        static_cast<uint32_t>(h % options_.target_buckets);
+    node_bucket_[v] = bucket;
+    ++bucket_count[bucket];
+  }
+  bucket_sizes_.assign(bucket_count.begin(), bucket_count.end());
+
+  // Summary edges with multiplicities.
+  std::map<std::tuple<uint32_t, TermId, uint32_t>, uint64_t> weights;
+  for (const rdf::Triple& t : graph.triples())
+    ++weights[{node_bucket_[t.s], t.p, node_bucket_[t.o]}];
+  summary_edges_ = weights.size();
+  for (const auto& [key, w] : weights) {
+    auto [b1, p, b2] = key;
+    out_index_[{b1, p}].emplace_back(b2, w);
+    in_index_[{b2, p}].emplace_back(b1, w);
+  }
+}
+
+bool SumRdfEstimator::CanEstimate(const Query& q) const {
+  if (q.patterns.empty()) return false;
+  for (const auto& t : q.patterns)
+    if (!t.p.bound()) return false;  // summary is keyed by predicate
+  return true;
+}
+
+void SumRdfEstimator::Recurse(const Query& q, size_t pattern_idx,
+                              std::vector<int>* assignment, double factor,
+                              double* total, size_t* budget) const {
+  if (*budget == 0) return;
+  --(*budget);
+  if (pattern_idx == q.patterns.size()) {
+    *total += factor;
+    return;
+  }
+  const auto& t = q.patterns[pattern_idx];
+  TermId p = t.p.value;
+
+  // Resolve endpoint buckets: -1 = unassigned variable.
+  auto bucket_of = [&](const PatternTerm& term) -> int {
+    if (term.bound()) return static_cast<int>(node_bucket_[term.value]);
+    return (*assignment)[term.var];
+  };
+  int bs = bucket_of(t.s);
+  int bo = bucket_of(t.o);
+
+  auto edge_factor = [&](uint32_t b1, uint32_t b2, uint64_t w) {
+    double denom = static_cast<double>(bucket_sizes_[b1]) *
+                   static_cast<double>(bucket_sizes_[b2]);
+    return denom > 0.0 ? static_cast<double>(w) / denom : 0.0;
+  };
+  // The |σ(x)| factor of a variable fires when it is first assigned.
+  auto descend = [&](uint32_t b1, uint32_t b2, uint64_t w) {
+    double next = factor * edge_factor(b1, b2, w);
+    if (next == 0.0) return;
+    int saved_s = -2, saved_o = -2;
+    if (t.s.is_var() && (*assignment)[t.s.var] < 0) {
+      saved_s = (*assignment)[t.s.var];
+      (*assignment)[t.s.var] = static_cast<int>(b1);
+      next *= static_cast<double>(bucket_sizes_[b1]);
+    }
+    if (t.o.is_var() && (*assignment)[t.o.var] < 0) {
+      saved_o = (*assignment)[t.o.var];
+      (*assignment)[t.o.var] = static_cast<int>(b2);
+      next *= static_cast<double>(bucket_sizes_[b2]);
+    }
+    Recurse(q, pattern_idx + 1, assignment, next, total, budget);
+    if (saved_s != -2) (*assignment)[t.s.var] = saved_s;
+    if (saved_o != -2) (*assignment)[t.o.var] = saved_o;
+  };
+
+  if (bs >= 0) {
+    auto it = out_index_.find({static_cast<uint32_t>(bs), p});
+    if (it == out_index_.end()) return;
+    for (const auto& [b2, w] : it->second) {
+      if (bo >= 0 && static_cast<int>(b2) != bo) continue;
+      descend(static_cast<uint32_t>(bs), b2, w);
+    }
+    return;
+  }
+  if (bo >= 0) {
+    auto it = in_index_.find({static_cast<uint32_t>(bo), p});
+    if (it == in_index_.end()) return;
+    for (const auto& [b1, w] : it->second)
+      descend(b1, static_cast<uint32_t>(bo), w);
+    return;
+  }
+  // Both endpoints free: enumerate every summary edge with predicate p.
+  for (const auto& [key, entries] : out_index_) {
+    if (key.second != p) continue;
+    for (const auto& [b2, w] : entries) descend(key.first, b2, w);
+  }
+}
+
+double SumRdfEstimator::EstimateCardinality(const Query& q) {
+  LMKG_CHECK(CanEstimate(q));
+  std::vector<int> assignment(q.num_vars, -1);
+  double total = 0.0;
+  size_t budget = options_.expansion_budget;
+  Recurse(q, 0, &assignment, 1.0, &total, &budget);
+  return total;
+}
+
+size_t SumRdfEstimator::MemoryBytes() const {
+  size_t bytes = node_bucket_.capacity() * sizeof(uint32_t) +
+                 bucket_sizes_.capacity() * sizeof(uint64_t);
+  // Each summary edge appears in both directional indexes.
+  bytes += summary_edges_ * 2 *
+           (sizeof(std::pair<uint32_t, uint64_t>) + sizeof(void*));
+  return bytes;
+}
+
+}  // namespace lmkg::baselines

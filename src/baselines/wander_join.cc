@@ -1,0 +1,101 @@
+#include "baselines/wander_join.h"
+
+#include <algorithm>
+
+#include "baselines/sampling_common.h"
+#include "util/check.h"
+
+namespace lmkg::baselines {
+
+namespace internal {
+
+std::vector<size_t> WalkOrder(const query::Query& q) {
+  const size_t k = q.patterns.size();
+  auto bound_terms = [&](const query::TriplePattern& t) {
+    return (t.s.bound() ? 1 : 0) + (t.p.bound() ? 1 : 0) +
+           (t.o.bound() ? 1 : 0);
+  };
+  std::vector<bool> placed(k, false);
+  std::vector<bool> var_known(q.num_vars, false);
+  std::vector<size_t> order;
+  order.reserve(k);
+  auto shares_known_var = [&](const query::TriplePattern& t) {
+    for (const query::PatternTerm* term : {&t.s, &t.p, &t.o})
+      if (term->is_var() && var_known[term->var]) return true;
+    return false;
+  };
+  for (size_t step = 0; step < k; ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < k; ++i) {
+      if (placed[i]) continue;
+      int score = bound_terms(q.patterns[i]);
+      // Connectivity dominates: a pattern touching an already-bound
+      // variable can use an index lookup instead of a full scan.
+      if (step > 0 && shares_known_var(q.patterns[i])) score += 10;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    placed[best] = true;
+    order.push_back(static_cast<size_t>(best));
+    const auto& t = q.patterns[best];
+    for (const query::PatternTerm* term : {&t.s, &t.p, &t.o})
+      if (term->is_var()) var_known[term->var] = true;
+  }
+  return order;
+}
+
+}  // namespace internal
+
+WanderJoinEstimator::WanderJoinEstimator(const rdf::Graph& graph,
+                                         const Options& options)
+    : graph_(graph),
+      options_(options),
+      rng_(options.seed, /*stream=*/0x7a1d) {
+  LMKG_CHECK(graph.finalized());
+  LMKG_CHECK_GE(options.num_walks, 1u);
+}
+
+bool WanderJoinEstimator::CanEstimate(const query::Query& q) const {
+  return !q.patterns.empty();
+}
+
+double WanderJoinEstimator::EstimateCardinality(const query::Query& q) {
+  LMKG_CHECK(CanEstimate(q));
+  std::vector<size_t> order = internal::WalkOrder(q);
+  std::vector<rdf::TermId> binding(q.num_vars, rdf::kUnboundTerm);
+  std::vector<int> newly_bound;
+
+  double sum = 0.0;
+  for (size_t walk = 0; walk < options_.num_walks; ++walk) {
+    std::fill(binding.begin(), binding.end(), rdf::kUnboundTerm);
+    double weight = 1.0;
+    for (size_t idx : order) {
+      const auto& t = q.patterns[idx];
+      bool same_so_var =
+          t.s.is_var() && t.o.is_var() && t.s.var == t.o.var;
+      internal::Resolved r = internal::ResolvePattern(t, binding);
+      auto candidates =
+          internal::Candidates::ForPattern(graph_, r, same_so_var);
+      if (candidates.count() == 0) {
+        weight = 0.0;
+        break;
+      }
+      size_t pick = rng_.UniformInt(
+          static_cast<uint32_t>(candidates.count()));
+      rdf::Triple triple = candidates.Get(pick);
+      newly_bound.clear();
+      if (!internal::BindTriple(t, triple, &binding, &newly_bound)) {
+        weight = 0.0;
+        break;
+      }
+      weight *= static_cast<double>(candidates.count());
+    }
+    sum += weight;
+  }
+  return sum / static_cast<double>(options_.num_walks);
+}
+
+}  // namespace lmkg::baselines

@@ -1,0 +1,44 @@
+#ifndef LMKG_BASELINES_WANDER_JOIN_H_
+#define LMKG_BASELINES_WANDER_JOIN_H_
+
+#include "core/estimator.h"
+#include "rdf/graph.h"
+#include "util/random.h"
+
+namespace lmkg::baselines {
+
+/// WanderJoin (Li, Wu, Yi & Zhao, SIGMOD 2016) adapted to knowledge
+/// graphs the way G-CARE does: each triple pattern is a relation, joins
+/// are walked by picking a uniform random index candidate per pattern and
+/// multiplying the candidate counts — the Horvitz-Thompson estimator
+///
+///   est = mean over walks of  Π_i |candidates_i|   (0 for dead walks).
+///
+/// Walk order follows query connectivity so every step can use an index.
+class WanderJoinEstimator : public core::CardinalityEstimator {
+ public:
+  struct Options {
+    size_t num_walks = 1000;
+    uint64_t seed = 1;
+  };
+
+  explicit WanderJoinEstimator(const rdf::Graph& graph)
+      : WanderJoinEstimator(graph, Options()) {}
+  WanderJoinEstimator(const rdf::Graph& graph, const Options& options);
+
+  double EstimateCardinality(const query::Query& q) override;
+  bool CanEstimate(const query::Query& q) const override;
+  std::string name() const override { return "wj"; }
+  /// Sampling methods keep no synopsis — they draw from the graph itself
+  /// (which is why Table II lists no size for them).
+  size_t MemoryBytes() const override { return 0; }
+
+ private:
+  const rdf::Graph& graph_;
+  Options options_;
+  util::Pcg32 rng_;
+};
+
+}  // namespace lmkg::baselines
+
+#endif  // LMKG_BASELINES_WANDER_JOIN_H_

@@ -1,0 +1,173 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "encoding/query_encoder.h"
+#include "sampling/composite.h"
+#include "util/check.h"
+
+namespace lmkg::core {
+
+using query::Query;
+using query::Topology;
+
+AdaptiveLmkg::AdaptiveLmkg(const rdf::Graph& graph,
+                           const AdaptiveLmkgConfig& config)
+    : graph_(graph),
+      config_(config),
+      monitor_(config.monitor),
+      single_pattern_(graph) {
+  for (const Combo& combo : config_.initial_combos) {
+    LMKG_CHECK(models_.count(combo) == 0)
+        << "duplicate initial combo " << TopologyName(combo.topology)
+        << "-" << combo.size;
+    models_[combo] = TrainSpecialized(combo);
+  }
+}
+
+std::unique_ptr<LmkgS> AdaptiveLmkg::TrainSpecialized(const Combo& combo) {
+  LMKG_CHECK_GE(combo.size, 2) << "size-1 queries are answered exactly";
+  const uint64_t seed = config_.seed + 131 * (models_created_++) + 17;
+
+  std::unique_ptr<encoding::QueryEncoder> encoder;
+  std::vector<sampling::LabeledQuery> train;
+  if (combo.topology == Topology::kStar ||
+      combo.topology == Topology::kChain) {
+    encoder = combo.topology == Topology::kStar
+                  ? encoding::MakeStarEncoder(graph_, combo.size,
+                                              config_.term_encoding)
+                  : encoding::MakeChainEncoder(graph_, combo.size,
+                                               config_.term_encoding);
+    sampling::WorkloadGenerator generator(graph_);
+    sampling::WorkloadGenerator::Options options =
+        config_.workload_options;
+    options.topology = combo.topology;
+    options.query_size = combo.size;
+    options.count = std::max<size_t>(100, config_.train_queries);
+    options.seed = seed;
+    train = generator.Generate(options);
+  } else {
+    // Composite combos: SG-Encoding over tree workloads of that size.
+    encoder = encoding::MakeSgEncoder(graph_, combo.size + 1, combo.size,
+                                      config_.term_encoding);
+    sampling::CompositeWorkloadGenerator generator(graph_);
+    sampling::CompositeWorkloadGenerator::Options options;
+    options.query_size = combo.size;
+    options.count = std::max<size_t>(100, config_.train_queries);
+    options.max_cardinality = config_.workload_options.max_cardinality;
+    options.seed = seed;
+    train = generator.Generate(options);
+  }
+  LMKG_CHECK(!train.empty())
+      << "no training data for " << TopologyName(combo.topology) << "-"
+      << combo.size;
+  LmkgSConfig scfg = config_.s_config;
+  scfg.seed = seed + 1;
+  auto model = std::make_unique<LmkgS>(std::move(encoder), scfg);
+  model->Train(train);
+  if (config_.verbose)
+    std::cerr << "[adaptive] trained " << TopologyName(combo.topology)
+              << "-" << combo.size << " on " << train.size()
+              << " queries\n";
+  return model;
+}
+
+double AdaptiveLmkg::IndependenceFallback(const Query& q) const {
+  double estimate = 1.0;
+  for (const auto& t : q.patterns) {
+    Query one;
+    one.patterns = {t};
+    query::NormalizeVariables(&one);
+    estimate *= single_pattern_.EstimateCardinality(one);
+  }
+  std::map<int, int> occurrences;
+  std::map<int, bool> is_predicate;
+  for (const auto& t : q.patterns) {
+    std::map<int, bool> seen;
+    if (t.s.is_var()) seen.emplace(t.s.var, false);
+    if (t.o.is_var()) seen.emplace(t.o.var, false);
+    if (t.p.is_var()) {
+      seen.emplace(t.p.var, true);
+      is_predicate[t.p.var] = true;
+    }
+    for (const auto& [v, pred] : seen) ++occurrences[v];
+  }
+  for (const auto& [v, count] : occurrences) {
+    if (count < 2) continue;
+    double domain = is_predicate.count(v) > 0 && is_predicate[v]
+                        ? static_cast<double>(graph_.num_predicates())
+                        : static_cast<double>(graph_.num_nodes());
+    for (int i = 1; i < count; ++i) estimate /= std::max(domain, 1.0);
+  }
+  return estimate;
+}
+
+double AdaptiveLmkg::EstimateCardinality(const Query& q) {
+  LMKG_CHECK(CanEstimate(q)) << query::QueryToString(q);
+  monitor_.Observe(q);
+  if (q.patterns.size() == 1)
+    return single_pattern_.EstimateCardinality(q);
+
+  Combo combo{query::ClassifyTopology(q), static_cast<int>(q.size())};
+  if (auto it = models_.find(combo); it != models_.end() &&
+                                     it->second->CanEstimate(q))
+    return it->second->EstimateCardinality(q);
+  // No exact combo model: any model whose encoder fits the query (e.g. a
+  // larger SG model) still beats the independence fallback.
+  for (auto& [key, model] : models_)
+    if (model->CanEstimate(q)) return model->EstimateCardinality(q);
+  return IndependenceFallback(q);
+}
+
+bool AdaptiveLmkg::CanEstimate(const Query& q) const {
+  return !q.patterns.empty();
+}
+
+AdaptiveLmkg::AdaptReport AdaptiveLmkg::Adapt() {
+  AdaptReport report;
+  // Create models for hot uncovered combos (size-1 needs no model;
+  // composite shapes need >= 3 patterns for a genuine tree workload —
+  // 2-pattern composites stay on the independence fallback).
+  for (const Combo& combo : monitor_.HotCombos()) {
+    if (combo.size < 2 || models_.count(combo) > 0) continue;
+    if (combo.topology == query::Topology::kComposite && combo.size < 3)
+      continue;
+    models_[combo] = TrainSpecialized(combo);
+    report.created.push_back(combo);
+  }
+  // Enforce the memory budget by dropping cold models, coldest first.
+  if (config_.memory_budget_bytes > 0) {
+    while (MemoryBytes() > config_.memory_budget_bytes) {
+      auto coldest = models_.end();
+      double coldest_share = config_.monitor.cold_share;
+      for (auto it = models_.begin(); it != models_.end(); ++it) {
+        if (!monitor_.IsCold(it->first)) continue;
+        double share = 0.0;
+        for (const auto& cs : monitor_.Shares())
+          if (cs.combo == it->first) share = cs.share;
+        if (coldest == models_.end() || share < coldest_share) {
+          coldest = it;
+          coldest_share = share;
+        }
+      }
+      if (coldest == models_.end()) break;  // nothing cold to drop
+      report.dropped.push_back(coldest->first);
+      if (config_.verbose)
+        std::cerr << "[adaptive] dropped "
+                  << TopologyName(coldest->first.topology) << "-"
+                  << coldest->first.size << "\n";
+      models_.erase(coldest);
+    }
+  }
+  return report;
+}
+
+size_t AdaptiveLmkg::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [combo, model] : models_) bytes += model->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace lmkg::core

@@ -1,0 +1,95 @@
+#ifndef LMKG_CORE_ADAPTIVE_H_
+#define LMKG_CORE_ADAPTIVE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/lmkg_s.h"
+#include "core/single_pattern.h"
+#include "core/workload_monitor.h"
+#include "encoding/term_encoder.h"
+#include "rdf/graph.h"
+#include "sampling/workload.h"
+
+namespace lmkg::core {
+
+struct AdaptiveLmkgConfig {
+  LmkgSConfig s_config;
+  encoding::TermEncoding term_encoding = encoding::TermEncoding::kBinary;
+  /// Supervised training queries generated per specialized model.
+  size_t train_queries = 300;
+  /// Base options for the generated training workloads (topology/size/
+  /// seed are overridden per model).
+  sampling::WorkloadGenerator::Options workload_options;
+  WorkloadMonitor::Options monitor;
+  /// Total model-byte budget enforced by Adapt(); 0 = unlimited. When the
+  /// budget is exceeded, cold models (decayed share < monitor.cold_share)
+  /// are dropped coldest-first.
+  size_t memory_budget_bytes = 0;
+  /// Combos served from construction (trained immediately).
+  std::vector<WorkloadMonitor::Combo> initial_combos = {
+      {query::Topology::kStar, 2}, {query::Topology::kChain, 2}};
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// The model-lifecycle manager the paper sketches for the execution phase
+/// (§IV: "If a change in the workload of queries is detected during the
+/// execution phase, a new model may be created, or an existing model may
+/// be dropped."). Serves queries from a pool of specialized LMKG-S
+/// models keyed by (topology, size); every estimate feeds the
+/// WorkloadMonitor, and Adapt() reconciles the model pool with the
+/// observed mix:
+///
+///   * hot combos without a model get one trained on freshly generated
+///     workloads (star/chain use pattern-bound encoders; composite sizes
+///     use SG-Encoding over tree workloads),
+///   * when a memory budget is set and exceeded, cold models are dropped.
+///
+/// Queries with no matching model fall back to the independence
+/// combination of exact single-pattern statistics — the always-available
+/// estimate a plain RDF engine would use.
+class AdaptiveLmkg : public CardinalityEstimator {
+ public:
+  using Combo = WorkloadMonitor::Combo;
+
+  AdaptiveLmkg(const rdf::Graph& graph, const AdaptiveLmkgConfig& config);
+
+  double EstimateCardinality(const query::Query& q) override;
+  bool CanEstimate(const query::Query& q) const override;
+  std::string name() const override { return "LMKG-adaptive"; }
+  size_t MemoryBytes() const override;
+
+  struct AdaptReport {
+    std::vector<Combo> created;
+    std::vector<Combo> dropped;
+  };
+
+  /// Runs the lifecycle policy once. Call periodically (e.g. every N
+  /// queries); training hot models is the expensive part.
+  AdaptReport Adapt();
+
+  bool Covers(const Combo& combo) const {
+    return models_.count(combo) > 0;
+  }
+  size_t num_models() const { return models_.size(); }
+  const WorkloadMonitor& monitor() const { return monitor_; }
+
+ private:
+  std::unique_ptr<LmkgS> TrainSpecialized(const Combo& combo);
+  double IndependenceFallback(const query::Query& q) const;
+
+  const rdf::Graph& graph_;
+  AdaptiveLmkgConfig config_;
+  WorkloadMonitor monitor_;
+  std::map<Combo, std::unique_ptr<LmkgS>> models_;
+  mutable SinglePatternEstimator single_pattern_;
+  size_t models_created_ = 0;  // seeds successive trainings differently
+};
+
+}  // namespace lmkg::core
+
+#endif  // LMKG_CORE_ADAPTIVE_H_

@@ -1,0 +1,36 @@
+#ifndef LMKG_CORE_ESTIMATOR_H_
+#define LMKG_CORE_ESTIMATOR_H_
+
+#include <string>
+
+#include "query/query.h"
+
+namespace lmkg::core {
+
+/// Common interface of every cardinality estimator in the repository —
+/// the two LMKG models, the framework facade, and all competitors
+/// (characteristic sets, SUMRDF, WanderJoin, JSUB, IMPR, MSCN).
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Estimated result size of the query. Estimates are floored at 0; the
+  /// q-error metric floors them at 1. Estimators with sampling components
+  /// may be stateful (RNG advance), hence non-const.
+  virtual double EstimateCardinality(const query::Query& q) = 0;
+
+  /// Whether this estimator can handle the query's shape at all (topology
+  /// and size capacity). EstimateCardinality requires CanEstimate.
+  virtual bool CanEstimate(const query::Query& q) const = 0;
+
+  /// Display name ("LMKG-S", "wj", ...), used in result tables.
+  virtual std::string name() const = 0;
+
+  /// Approximate size of the estimator's state (model parameters or
+  /// summaries) — Table II's "memory consumption".
+  virtual size_t MemoryBytes() const = 0;
+};
+
+}  // namespace lmkg::core
+
+#endif  // LMKG_CORE_ESTIMATOR_H_

@@ -1,0 +1,92 @@
+#ifndef LMKG_CORE_LMKG_S_H_
+#define LMKG_CORE_LMKG_S_H_
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/estimator.h"
+#include "util/status.h"
+#include "encoding/query_encoder.h"
+#include "nn/adam.h"
+#include "nn/layer.h"
+#include "sampling/workload.h"
+#include "util/math.h"
+
+namespace lmkg::core {
+
+/// The loss LMKG-S trains against (paper §VI-A concludes mean q-error is
+/// the adequate objective; MSE is kept for the ablation bench).
+enum class LossKind {
+  kQError,
+  kMse,
+};
+
+struct LmkgSConfig {
+  size_t hidden_dim = 256;
+  int num_hidden_layers = 2;  // paper: 2-3 layers of 512 work well
+  double dropout = 0.1;
+  int epochs = 60;            // paper uses 200; benches scale down
+  size_t batch_size = 64;
+  float learning_rate = 1e-3f;
+  LossKind loss = LossKind::kQError;
+  double grad_clip_norm = 5.0;
+  uint64_t seed = 1;
+};
+
+/// LMKG-S — the supervised estimator (paper §VI-A): a multi-layer
+/// perceptron over a query encoding (pattern-bound or SG), trained on
+/// (query, true cardinality) pairs. Cardinalities are log-scaled then
+/// min-max scaled to [0,1]; the output layer is a sigmoid; hidden layers
+/// use ReLU with optional dropout; the objective is the mean q-error.
+class LmkgS : public CardinalityEstimator {
+ public:
+  LmkgS(std::unique_ptr<encoding::QueryEncoder> encoder,
+        const LmkgSConfig& config);
+
+  struct TrainStats {
+    std::vector<double> epoch_losses;
+    double seconds = 0.0;
+    size_t examples = 0;
+  };
+
+  /// Called after every epoch; lets benches evaluate accuracy checkpoints
+  /// during one training run (Fig. 6 sweeps epochs this way).
+  using EpochCallback = std::function<void(int epoch, double mean_loss)>;
+
+  /// Trains on labeled queries; every query must satisfy CanEstimate.
+  /// Calling Train again continues from the current weights.
+  TrainStats Train(const std::vector<sampling::LabeledQuery>& data,
+                   const EpochCallback& callback = nullptr);
+
+  double EstimateCardinality(const query::Query& q) override;
+  bool CanEstimate(const query::Query& q) const override;
+  std::string name() const override;
+  size_t MemoryBytes() const override;
+
+  /// Persists the trained weights + label scaler ("train once in the
+  /// creation phase, reuse thereafter"). Load requires a model built with
+  /// the same encoder/config; every tensor shape is verified.
+  util::Status Save(std::ostream& out);
+  util::Status Load(std::istream& in);
+
+  const encoding::QueryEncoder& encoder() const { return *encoder_; }
+  const util::LogMinMaxScaler& scaler() const { return scaler_; }
+
+ private:
+  void BuildNetwork();
+
+  std::unique_ptr<encoding::QueryEncoder> encoder_;
+  LmkgSConfig config_;
+  nn::Sequential net_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  util::LogMinMaxScaler scaler_;
+  bool trained_ = false;
+  // Reused per-estimate buffers.
+  nn::Matrix input_buffer_;
+};
+
+}  // namespace lmkg::core
+
+#endif  // LMKG_CORE_LMKG_S_H_

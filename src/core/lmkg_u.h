@@ -1,0 +1,108 @@
+#ifndef LMKG_CORE_LMKG_U_H_
+#define LMKG_CORE_LMKG_U_H_
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/estimator.h"
+#include "util/status.h"
+#include "nn/adam.h"
+#include "nn/made.h"
+#include "rdf/graph.h"
+#include "sampling/population.h"
+#include "sampling/random_walk.h"
+#include "util/random.h"
+
+namespace lmkg::core {
+
+struct LmkgUConfig {
+  size_t embedding_dim = 32;  // paper §VIII-B: 32-dim term embeddings
+  size_t hidden_dim = 128;
+  int num_blocks = 2;
+  int epochs = 5;  // paper: 5 epochs balance time and accuracy (Fig. 6)
+  size_t batch_size = 64;
+  float learning_rate = 1e-3f;
+  double grad_clip_norm = 5.0;
+  /// Training tuples sampled from the pattern population.
+  size_t train_samples = 8000;
+  /// Use the paper's random-walk sampler instead of the exact uniform
+  /// population sampler (ablation: sample quality is LMKG-U's main
+  /// accuracy limiter, §VIII-C).
+  bool use_random_walk_sampler = false;
+  /// Particles for likelihood-weighted progressive sampling at estimation
+  /// time (§VI-B).
+  size_t sample_count = 64;
+  uint64_t seed = 1;
+};
+
+/// LMKG-U — the unsupervised estimator (paper §VI-B): a ResMADE
+/// autoregressive model over the pattern-bound term sequence of one
+/// (topology, size) group, trained on fully bound patterns sampled from
+/// the graph. Query-time estimates marginalize unbound terms with
+/// likelihood-weighted forward sampling:
+///
+///   est(q) = N_k · E[ Π_{bound t} P(x_t = v_t | x_<t) ]
+///
+/// where N_k is the size of the pattern population (see
+/// sampling::StarPopulation / ChainPopulation for the space definition
+/// that makes this consistent with exact BGP counts).
+class LmkgU : public CardinalityEstimator {
+ public:
+  LmkgU(const rdf::Graph& graph, query::Topology topology, int k,
+        const LmkgUConfig& config);
+
+  struct TrainStats {
+    std::vector<double> epoch_nll;
+    double seconds = 0.0;
+    size_t examples = 0;
+  };
+
+  using EpochCallback = std::function<void(int epoch, double mean_nll)>;
+
+  /// Samples its own training data from the graph (unsupervised — no
+  /// labeled queries involved) and fits the density model. Calling again
+  /// continues training on freshly sampled tuples.
+  TrainStats Train(const EpochCallback& callback = nullptr);
+
+  double EstimateCardinality(const query::Query& q) override;
+  bool CanEstimate(const query::Query& q) const override;
+  std::string name() const override;
+  size_t MemoryBytes() const override;
+
+  /// Persists the trained density model. Load requires an instance built
+  /// over the same graph with the same (topology, k, config).
+  util::Status Save(std::ostream& out);
+  util::Status Load(std::istream& in);
+
+  query::Topology topology() const { return topology_; }
+  int k() const { return k_; }
+  /// Population size N_k the estimates are scaled by.
+  double population_size() const;
+
+ private:
+  // Builds the (bound-or-0 value, boundness) sequence for a query in the
+  // model's position order. Returns false if the query does not fit.
+  bool QueryToSequence(const query::Query& q,
+                       std::vector<uint32_t>* values,
+                       std::vector<bool>* bound) const;
+
+  const rdf::Graph& graph_;
+  query::Topology topology_;
+  int k_;
+  LmkgUConfig config_;
+  std::unique_ptr<nn::ResMade> model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  std::unique_ptr<sampling::StarPopulation> star_pop_;
+  std::unique_ptr<sampling::ChainPopulation> chain_pop_;
+  sampling::RandomWalkSampler walker_;
+  util::Pcg32 rng_;
+  bool trained_ = false;
+  // Reused buffers for progressive sampling.
+  nn::Matrix probs_;
+};
+
+}  // namespace lmkg::core
+
+#endif  // LMKG_CORE_LMKG_U_H_

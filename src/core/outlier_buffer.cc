@@ -1,0 +1,90 @@
+#include "core/outlier_buffer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace lmkg::core {
+
+OutlierBuffer::OutlierBuffer(CardinalityEstimator* inner, size_t capacity)
+    : inner_(inner), capacity_(capacity) {
+  LMKG_CHECK(inner != nullptr);
+}
+
+std::string OutlierBuffer::CanonicalKey(const query::Query& q) {
+  // Stringify each pattern with variables marked but unnumbered, sort,
+  // then renumber variables in first-occurrence order over the sorted
+  // pattern list.
+  struct Entry {
+    std::string sort_key;
+    const query::TriplePattern* pattern;
+  };
+  auto term_sort_key = [](const query::PatternTerm& t) {
+    return t.bound() ? util::StrFormat("b%u", t.value) : std::string("v");
+  };
+  std::vector<Entry> entries;
+  entries.reserve(q.patterns.size());
+  for (const auto& t : q.patterns) {
+    entries.push_back({term_sort_key(t.s) + "|" + term_sort_key(t.p) +
+                           "|" + term_sort_key(t.o),
+                       &t});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.sort_key < b.sort_key;
+                   });
+  std::map<int, int> var_remap;
+  auto term_key = [&](const query::PatternTerm& t) {
+    if (t.bound()) return util::StrFormat("b%u", t.value);
+    auto [it, inserted] =
+        var_remap.emplace(t.var, static_cast<int>(var_remap.size()));
+    return util::StrFormat("?%d", it->second);
+  };
+  std::string key;
+  for (const Entry& e : entries) {
+    key += "(" + term_key(e.pattern->s) + " " + term_key(e.pattern->p) +
+           " " + term_key(e.pattern->o) + ")";
+  }
+  return key;
+}
+
+void OutlierBuffer::Populate(
+    const std::vector<sampling::LabeledQuery>& data) {
+  std::vector<const sampling::LabeledQuery*> sorted;
+  sorted.reserve(data.size());
+  for (const auto& lq : data) sorted.push_back(&lq);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) {
+              return a->cardinality > b->cardinality;
+            });
+  buffer_.clear();
+  for (const auto* lq : sorted) {
+    if (buffer_.size() >= capacity_) break;
+    buffer_.emplace(CanonicalKey(lq->query), lq->cardinality);
+  }
+}
+
+double OutlierBuffer::EstimateCardinality(const query::Query& q) {
+  auto it = buffer_.find(CanonicalKey(q));
+  if (it != buffer_.end()) return it->second;
+  return inner_->EstimateCardinality(q);
+}
+
+bool OutlierBuffer::CanEstimate(const query::Query& q) const {
+  return inner_->CanEstimate(q);
+}
+
+std::string OutlierBuffer::name() const {
+  return inner_->name() + "+buffer";
+}
+
+size_t OutlierBuffer::MemoryBytes() const {
+  size_t bytes = inner_->MemoryBytes();
+  for (const auto& [key, value] : buffer_)
+    bytes += key.size() + sizeof(value) + sizeof(void*) * 2;
+  return bytes;
+}
+
+}  // namespace lmkg::core

@@ -1,0 +1,48 @@
+#ifndef LMKG_CORE_OUTLIER_BUFFER_H_
+#define LMKG_CORE_OUTLIER_BUFFER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/estimator.h"
+#include "sampling/workload.h"
+
+namespace lmkg::core {
+
+/// The outlier-buffer extension the paper proposes in §VIII-C ("given a
+/// larger space budget, a possible improvement can be to store the
+/// cardinalities of the outliers on the side"): a decorator that remembers
+/// the exact cardinalities of the top-`capacity` largest training queries
+/// and answers them by lookup, delegating everything else to the wrapped
+/// estimator. bench_ablation_outlier_buffer measures the effect.
+class OutlierBuffer : public CardinalityEstimator {
+ public:
+  /// Does not own `inner`; it must outlive this object.
+  OutlierBuffer(CardinalityEstimator* inner, size_t capacity);
+
+  /// Fills the buffer with the `capacity` largest-cardinality queries of
+  /// the training workload.
+  void Populate(const std::vector<sampling::LabeledQuery>& data);
+
+  double EstimateCardinality(const query::Query& q) override;
+  bool CanEstimate(const query::Query& q) const override;
+  std::string name() const override;
+  size_t MemoryBytes() const override;
+
+  size_t buffered() const { return buffer_.size(); }
+
+  /// Canonical lookup key of a query: patterns sorted, variables
+  /// renumbered by first occurrence after sorting — equivalent queries map
+  /// to the same key.
+  static std::string CanonicalKey(const query::Query& q);
+
+ private:
+  CardinalityEstimator* inner_;
+  size_t capacity_;
+  std::unordered_map<std::string, double> buffer_;
+};
+
+}  // namespace lmkg::core
+
+#endif  // LMKG_CORE_OUTLIER_BUFFER_H_

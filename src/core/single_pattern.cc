@@ -1,0 +1,19 @@
+#include "core/single_pattern.h"
+
+#include "util/check.h"
+
+namespace lmkg::core {
+
+SinglePatternEstimator::SinglePatternEstimator(const rdf::Graph& graph)
+    : executor_(graph) {}
+
+bool SinglePatternEstimator::CanEstimate(const query::Query& q) const {
+  return q.patterns.size() == 1;
+}
+
+double SinglePatternEstimator::EstimateCardinality(const query::Query& q) {
+  LMKG_CHECK(CanEstimate(q));
+  return executor_.Cardinality(q);
+}
+
+}  // namespace lmkg::core

@@ -1,0 +1,32 @@
+#ifndef LMKG_CORE_SINGLE_PATTERN_H_
+#define LMKG_CORE_SINGLE_PATTERN_H_
+
+#include "core/estimator.h"
+#include "query/executor.h"
+#include "rdf/graph.h"
+
+namespace lmkg::core {
+
+/// Exact estimator for single triple patterns. With one pattern the
+/// cardinality is an index statistic (out-degree, predicate count, ...)
+/// every RDF engine keeps anyway, so LMKG answers size-1 queries and the
+/// size-1 leftovers of query decomposition directly from the graph instead
+/// of a learned model (the learned models start at 2 joins, paper §VIII).
+class SinglePatternEstimator : public CardinalityEstimator {
+ public:
+  explicit SinglePatternEstimator(const rdf::Graph& graph);
+
+  double EstimateCardinality(const query::Query& q) override;
+  bool CanEstimate(const query::Query& q) const override;
+  std::string name() const override { return "single-pattern"; }
+  /// The statistics live in the graph's indexes; the estimator itself
+  /// holds nothing.
+  size_t MemoryBytes() const override { return 0; }
+
+ private:
+  query::Executor executor_;
+};
+
+}  // namespace lmkg::core
+
+#endif  // LMKG_CORE_SINGLE_PATTERN_H_

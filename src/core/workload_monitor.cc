@@ -1,0 +1,62 @@
+#include "core/workload_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lmkg::core {
+
+WorkloadMonitor::WorkloadMonitor() : WorkloadMonitor(Options()) {}
+
+WorkloadMonitor::WorkloadMonitor(const Options& options)
+    : options_(options) {
+  LMKG_CHECK_GT(options.decay, 0.0);
+  LMKG_CHECK_LE(options.decay, 1.0);
+  LMKG_CHECK_GE(options.hot_share, options.cold_share);
+}
+
+double WorkloadMonitor::DecayedWeight(const Entry& e) const {
+  return e.weight *
+         std::pow(options_.decay,
+                  static_cast<double>(observations_ - e.stamp));
+}
+
+void WorkloadMonitor::Observe(const query::Query& q) {
+  Combo combo{query::ClassifyTopology(q), static_cast<int>(q.size())};
+  ++observations_;
+  total_weight_ = total_weight_ * options_.decay + 1.0;
+  Entry& entry = weights_[combo];
+  entry.weight = DecayedWeight(entry) + 1.0;
+  entry.stamp = observations_;
+}
+
+std::vector<WorkloadMonitor::ComboShare> WorkloadMonitor::Shares() const {
+  std::vector<ComboShare> shares;
+  if (total_weight_ <= 0.0) return shares;
+  shares.reserve(weights_.size());
+  for (const auto& [combo, entry] : weights_)
+    shares.push_back({combo, DecayedWeight(entry) / total_weight_});
+  std::sort(shares.begin(), shares.end(),
+            [](const ComboShare& a, const ComboShare& b) {
+              return a.share > b.share;
+            });
+  return shares;
+}
+
+std::vector<WorkloadMonitor::Combo> WorkloadMonitor::HotCombos() const {
+  std::vector<Combo> hot;
+  if (observations_ < options_.min_observations) return hot;
+  for (const ComboShare& cs : Shares())
+    if (cs.share >= options_.hot_share) hot.push_back(cs.combo);
+  return hot;
+}
+
+bool WorkloadMonitor::IsCold(const Combo& combo) const {
+  auto it = weights_.find(combo);
+  if (it == weights_.end()) return true;
+  if (total_weight_ <= 0.0) return true;
+  return DecayedWeight(it->second) / total_weight_ < options_.cold_share;
+}
+
+}  // namespace lmkg::core

@@ -1,0 +1,85 @@
+#ifndef LMKG_CORE_WORKLOAD_MONITOR_H_
+#define LMKG_CORE_WORKLOAD_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "query/query.h"
+
+namespace lmkg::core {
+
+/// Tracks the (topology, size) mix of the execution-phase query stream
+/// with exponentially decayed counts — the detection signal behind the
+/// paper's §IV statement: "If a change in the workload of queries is
+/// detected during the execution phase, a new model may be created, or an
+/// existing model may be dropped."
+///
+/// Each observation multiplies every combo's weight by `decay` and adds 1
+/// to the observed combo, so a combo that stops appearing fades with a
+/// half-life of ln(2)/ln(1/decay) observations (~34 at the default 0.98).
+class WorkloadMonitor {
+ public:
+  struct Options {
+    /// Per-observation multiplicative decay of all combo weights.
+    double decay = 0.98;
+    /// Minimum decayed share for a combo to count as "hot".
+    double hot_share = 0.15;
+    /// Minimum decayed share below which a combo counts as "cold".
+    double cold_share = 0.02;
+    /// Observations before shift detection activates (avoids reacting to
+    /// the first few queries).
+    size_t min_observations = 30;
+  };
+
+  struct Combo {
+    query::Topology topology = query::Topology::kStar;
+    int size = 0;
+
+    friend auto operator<=>(const Combo&, const Combo&) = default;
+  };
+
+  struct ComboShare {
+    Combo combo;
+    double share = 0.0;
+  };
+
+  WorkloadMonitor();  // default options
+  explicit WorkloadMonitor(const Options& options);
+
+  /// Records one executed query (classified by base topology + size).
+  void Observe(const query::Query& q);
+
+  /// Decayed share of every observed combo, largest first.
+  std::vector<ComboShare> Shares() const;
+
+  /// Combos whose decayed share >= hot_share. Empty until
+  /// min_observations queries have been seen.
+  std::vector<Combo> HotCombos() const;
+
+  /// Whether the combo's decayed share has fallen below cold_share (true
+  /// also for combos never observed).
+  bool IsCold(const Combo& combo) const;
+
+  size_t observations() const { return observations_; }
+  double total_weight() const { return total_weight_; }
+
+ private:
+  // Weights are stored time-stamped: the true decayed weight of an entry
+  // is weight * decay^(observations_ - stamp). Normalizing by
+  // total_weight_ (kept in the same timeframe) cancels the common factor.
+  struct Entry {
+    double weight = 0.0;
+    size_t stamp = 0;
+  };
+  double DecayedWeight(const Entry& e) const;
+
+  Options options_;
+  std::map<Combo, Entry> weights_;
+  double total_weight_ = 0.0;
+  size_t observations_ = 0;
+};
+
+}  // namespace lmkg::core
+
+#endif  // LMKG_CORE_WORKLOAD_MONITOR_H_

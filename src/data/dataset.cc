@@ -1,0 +1,55 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/lubm_generator.h"
+#include "data/swdf_generator.h"
+#include "data/yago_generator.h"
+#include "util/check.h"
+
+namespace lmkg::data {
+
+const std::vector<PaperProfile>& PaperProfiles() {
+  static const std::vector<PaperProfile>* profiles =
+      new std::vector<PaperProfile>{
+          {"swdf", 250000, 76000, 171},
+          {"lubm", 2700000, 663000, 19},
+          {"yago", 15000000, 12000000, 91},
+      };
+  return *profiles;
+}
+
+const std::vector<std::string>& DatasetNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"swdf", "lubm", "yago"};
+  return *names;
+}
+
+rdf::Graph MakeDataset(const std::string& name, double scale,
+                       uint64_t seed) {
+  LMKG_CHECK_GT(scale, 0.0);
+  if (name == "swdf") {
+    return SwdfGenerator(scale, seed).Generate();
+  }
+  if (name == "lubm") {
+    // scale 1.0 == LUBM(20), the paper's configuration. Fractional scales
+    // first shrink the number of universities, then the departments.
+    double universities = 20.0 * scale;
+    if (universities >= 1.0) {
+      return LubmGenerator(static_cast<int>(std::lround(universities)), seed)
+          .Generate();
+    }
+    return LubmGenerator(1, seed, /*department_fraction=*/
+                         std::max(0.05, universities))
+        .Generate();
+  }
+  if (name == "yago") {
+    return YagoGenerator(scale, seed).Generate();
+  }
+  LMKG_CHECK(false) << "unknown dataset: " << name
+                    << " (expected swdf|lubm|yago)";
+  __builtin_unreachable();
+}
+
+}  // namespace lmkg::data

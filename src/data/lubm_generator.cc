@@ -1,0 +1,315 @@
+#include "data/lubm_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace lmkg::data {
+namespace {
+
+using rdf::TermId;
+
+// The 19 Univ-Bench predicates occurring in generated instance data.
+enum Pred {
+  kType = 0,
+  kWorksFor,
+  kMemberOf,
+  kSubOrganizationOf,
+  kUndergraduateDegreeFrom,
+  kMastersDegreeFrom,
+  kDoctoralDegreeFrom,
+  kTakesCourse,
+  kTeacherOf,
+  kAdvisor,
+  kPublicationAuthor,
+  kHeadOf,
+  kResearchInterest,
+  kName,
+  kEmailAddress,
+  kTelephone,
+  kTeachingAssistantOf,
+  kResearchAssistantOf,
+  kTitle,
+  kNumPredicates,
+};
+
+const char* const kPredicateNames[kNumPredicates] = {
+    "rdf:type",
+    "ub:worksFor",
+    "ub:memberOf",
+    "ub:subOrganizationOf",
+    "ub:undergraduateDegreeFrom",
+    "ub:mastersDegreeFrom",
+    "ub:doctoralDegreeFrom",
+    "ub:takesCourse",
+    "ub:teacherOf",
+    "ub:advisor",
+    "ub:publicationAuthor",
+    "ub:headOf",
+    "ub:researchInterest",
+    "ub:name",
+    "ub:emailAddress",
+    "ub:telephone",
+    "ub:teachingAssistantOf",
+    "ub:researchAssistantOf",
+    "ub:title",
+};
+
+}  // namespace
+
+LubmGenerator::LubmGenerator(int universities, uint64_t seed,
+                             double department_fraction)
+    : universities_(universities),
+      seed_(seed),
+      department_fraction_(department_fraction) {
+  LMKG_CHECK_GE(universities, 1);
+  LMKG_CHECK_GT(department_fraction, 0.0);
+  LMKG_CHECK_LE(department_fraction, 1.0);
+}
+
+rdf::Graph LubmGenerator::Generate() {
+  util::Pcg32 rng(seed_, /*stream=*/0x10b3);
+  rdf::Graph graph;
+  rdf::TermDictionary& dict = graph.dict();
+
+  std::vector<TermId> pred(kNumPredicates);
+  for (int i = 0; i < kNumPredicates; ++i)
+    pred[i] = dict.InternPredicate(kPredicateNames[i]);
+
+  TermId class_university = dict.InternNode("class/University");
+  TermId class_department = dict.InternNode("class/Department");
+  TermId class_full_prof = dict.InternNode("class/FullProfessor");
+  TermId class_assoc_prof = dict.InternNode("class/AssociateProfessor");
+  TermId class_asst_prof = dict.InternNode("class/AssistantProfessor");
+  TermId class_lecturer = dict.InternNode("class/Lecturer");
+  TermId class_undergrad = dict.InternNode("class/UndergraduateStudent");
+  TermId class_grad = dict.InternNode("class/GraduateStudent");
+  TermId class_course = dict.InternNode("class/Course");
+  TermId class_grad_course = dict.InternNode("class/GraduateCourse");
+  TermId class_publication = dict.InternNode("class/Publication");
+  TermId class_research_group = dict.InternNode("class/ResearchGroup");
+
+  // 30 research areas shared across the whole corpus.
+  std::vector<TermId> research_areas(30);
+  for (size_t i = 0; i < research_areas.size(); ++i)
+    research_areas[i] =
+        dict.InternNode(util::StrFormat("research/Area%zu", i));
+
+  std::vector<TermId> university_ids(universities_);
+  for (int u = 0; u < universities_; ++u)
+    university_ids[u] =
+        dict.InternNode(util::StrFormat("univ/University%d", u));
+
+  // University systems: a small top layer of the subOrganizationOf
+  // hierarchy (university -> system). Together with research subgroups
+  // below this gives the data directed paths of length 8+, which the
+  // chain-8 workloads of the evaluation require.
+  int nsystems = std::max(1, universities_ / 10);
+  std::vector<TermId> system_ids(nsystems);
+  for (int i = 0; i < nsystems; ++i) {
+    system_ids[i] = dict.InternNode(util::StrFormat("univ/System%d", i));
+    graph.AddTripleIds(system_ids[i], pred[kName],
+                       dict.InternNode(util::StrFormat(
+                           "\"sysname-%d\"", i)));
+  }
+
+  auto literal = [&](const char* kind, int u, int d, size_t i) {
+    return dict.InternNode(
+        util::StrFormat("\"%s-%d-%d-%zu\"", kind, u, d, i));
+  };
+
+  for (int u = 0; u < universities_; ++u) {
+    TermId univ = university_ids[u];
+    graph.AddTripleIds(univ, pred[kType], class_university);
+    graph.AddTripleIds(univ, pred[kName], literal("uname", u, -1, 0));
+    graph.AddTripleIds(univ, pred[kSubOrganizationOf],
+                       system_ids[u % nsystems]);
+
+    // LUBM: 15-25 departments per university.
+    int total_depts = 15 + static_cast<int>(rng.UniformInt(11));
+    int ndepts = std::max(
+        1, static_cast<int>(total_depts * department_fraction_));
+    for (int d = 0; d < ndepts; ++d) {
+      TermId dept =
+          dict.InternNode(util::StrFormat("univ%d/Department%d", u, d));
+      graph.AddTripleIds(dept, pred[kType], class_department);
+      graph.AddTripleIds(dept, pred[kSubOrganizationOf], univ);
+
+      // Research groups: 10-20 per department, roughly half of which
+      // have a subgroup (subgroup -> group -> dept -> univ -> system).
+      int ngroups = 10 + static_cast<int>(rng.UniformInt(11));
+      std::vector<TermId> groups(ngroups);
+      std::vector<TermId> all_groups;
+      for (int g = 0; g < ngroups; ++g) {
+        groups[g] = dict.InternNode(
+            util::StrFormat("univ%d/dept%d/Group%d", u, d, g));
+        graph.AddTripleIds(groups[g], pred[kType], class_research_group);
+        graph.AddTripleIds(groups[g], pred[kSubOrganizationOf], dept);
+        all_groups.push_back(groups[g]);
+        if (rng.Bernoulli(0.5)) {
+          TermId subgroup = dict.InternNode(
+              util::StrFormat("univ%d/dept%d/Group%d/Sub", u, d, g));
+          graph.AddTripleIds(subgroup, pred[kType], class_research_group);
+          graph.AddTripleIds(subgroup, pred[kSubOrganizationOf],
+                             groups[g]);
+          all_groups.push_back(subgroup);
+        }
+      }
+
+      // Faculty: full 7-10, associate 10-14, assistant 8-11, lecturer 5-7.
+      struct FacultySpec {
+        TermId cls;
+        int lo, hi;
+        const char* prefix;
+      };
+      FacultySpec specs[] = {
+          {class_full_prof, 7, 10, "FullProfessor"},
+          {class_assoc_prof, 10, 14, "AssociateProfessor"},
+          {class_asst_prof, 8, 11, "AssistantProfessor"},
+          {class_lecturer, 5, 7, "Lecturer"},
+      };
+      std::vector<TermId> faculty;
+      std::vector<TermId> courses;
+      std::vector<TermId> grad_courses;
+      size_t course_counter = 0;
+      for (const auto& spec : specs) {
+        int n = spec.lo + static_cast<int>(
+                              rng.UniformInt(spec.hi - spec.lo + 1));
+        for (int f = 0; f < n; ++f) {
+          TermId person = dict.InternNode(util::StrFormat(
+              "univ%d/dept%d/%s%d", u, d, spec.prefix, f));
+          faculty.push_back(person);
+          graph.AddTripleIds(person, pred[kType], spec.cls);
+          graph.AddTripleIds(person, pred[kWorksFor], dept);
+          // A third of the faculty also works for a research (sub)group,
+          // extending the worksFor/subOrganizationOf chains.
+          if (rng.Bernoulli(0.33))
+            graph.AddTripleIds(
+                person, pred[kWorksFor],
+                all_groups[rng.UniformInt(all_groups.size())]);
+          graph.AddTripleIds(person, pred[kName],
+                             literal("name", u, d, faculty.size()));
+          graph.AddTripleIds(person, pred[kEmailAddress],
+                             literal("email", u, d, faculty.size()));
+          graph.AddTripleIds(person, pred[kTelephone],
+                             literal("tel", u, d, faculty.size()));
+          // Degrees from random universities — the cross-university joins.
+          graph.AddTripleIds(
+              person, pred[kUndergraduateDegreeFrom],
+              university_ids[rng.UniformInt(universities_)]);
+          graph.AddTripleIds(
+              person, pred[kMastersDegreeFrom],
+              university_ids[rng.UniformInt(universities_)]);
+          graph.AddTripleIds(
+              person, pred[kDoctoralDegreeFrom],
+              university_ids[rng.UniformInt(universities_)]);
+          graph.AddTripleIds(
+              person, pred[kResearchInterest],
+              research_areas[rng.UniformInt(research_areas.size())]);
+          // Courses: 1-2 undergraduate + 1-2 graduate per faculty member.
+          int nc = 1 + static_cast<int>(rng.UniformInt(2));
+          for (int c = 0; c < nc; ++c) {
+            TermId course = dict.InternNode(util::StrFormat(
+                "univ%d/dept%d/Course%zu", u, d, course_counter++));
+            graph.AddTripleIds(course, pred[kType], class_course);
+            graph.AddTripleIds(person, pred[kTeacherOf], course);
+            courses.push_back(course);
+          }
+          int ngc = 1 + static_cast<int>(rng.UniformInt(2));
+          for (int c = 0; c < ngc; ++c) {
+            TermId course = dict.InternNode(util::StrFormat(
+                "univ%d/dept%d/GradCourse%zu", u, d, course_counter++));
+            graph.AddTripleIds(course, pred[kType], class_grad_course);
+            graph.AddTripleIds(person, pred[kTeacherOf], course);
+            grad_courses.push_back(course);
+          }
+        }
+      }
+      // Department head: one full professor.
+      graph.AddTripleIds(faculty[0], pred[kHeadOf], dept);
+
+      // Publications: 0-20 per faculty member, authored by the member and
+      // possibly co-authored by students (added below once they exist).
+      std::vector<TermId> publications;
+      size_t pub_counter = 0;
+      for (TermId person : faculty) {
+        int npubs = static_cast<int>(rng.UniformInt(21));
+        for (int q = 0; q < npubs; ++q) {
+          TermId pub = dict.InternNode(util::StrFormat(
+              "univ%d/dept%d/Publication%zu", u, d, pub_counter++));
+          graph.AddTripleIds(pub, pred[kType], class_publication);
+          graph.AddTripleIds(pub, pred[kPublicationAuthor], person);
+          graph.AddTripleIds(pub, pred[kTitle],
+                             literal("ptitle", u, d, pub_counter));
+          publications.push_back(pub);
+        }
+      }
+
+      // Graduate students: 3-4 per faculty member.
+      std::vector<TermId> grads;
+      for (size_t f = 0; f < faculty.size(); ++f) {
+        int n = 3 + static_cast<int>(rng.UniformInt(2));
+        for (int s = 0; s < n; ++s) {
+          TermId grad = dict.InternNode(util::StrFormat(
+              "univ%d/dept%d/GradStudent%zu", u, d, grads.size()));
+          grads.push_back(grad);
+          graph.AddTripleIds(grad, pred[kType], class_grad);
+          graph.AddTripleIds(grad, pred[kMemberOf], dept);
+          graph.AddTripleIds(grad, pred[kName],
+                             literal("gname", u, d, grads.size()));
+          graph.AddTripleIds(grad, pred[kEmailAddress],
+                             literal("gemail", u, d, grads.size()));
+          graph.AddTripleIds(
+              grad, pred[kUndergraduateDegreeFrom],
+              university_ids[rng.UniformInt(universities_)]);
+          graph.AddTripleIds(grad, pred[kAdvisor], faculty[f]);
+          int nc = 1 + static_cast<int>(rng.UniformInt(3));
+          for (int c = 0; c < nc; ++c)
+            graph.AddTripleIds(
+                grad, pred[kTakesCourse],
+                grad_courses[rng.UniformInt(grad_courses.size())]);
+          if (rng.Bernoulli(0.2) && !publications.empty())
+            graph.AddTripleIds(
+                publications[rng.UniformInt(publications.size())],
+                pred[kPublicationAuthor], grad);
+          if (rng.Bernoulli(0.25))
+            graph.AddTripleIds(
+                grad, pred[kTeachingAssistantOf],
+                courses[rng.UniformInt(courses.size())]);
+          else if (rng.Bernoulli(0.25))
+            graph.AddTripleIds(
+                grad, pred[kResearchAssistantOf],
+                all_groups[rng.UniformInt(all_groups.size())]);
+        }
+      }
+
+      // Undergraduate students: 8-14 per faculty member.
+      size_t nundergrad = 0;
+      for (size_t f = 0; f < faculty.size(); ++f)
+        nundergrad += 8 + rng.UniformInt(7);
+      for (size_t s = 0; s < nundergrad; ++s) {
+        TermId ug = dict.InternNode(util::StrFormat(
+            "univ%d/dept%d/UndergradStudent%zu", u, d, s));
+        graph.AddTripleIds(ug, pred[kType], class_undergrad);
+        graph.AddTripleIds(ug, pred[kMemberOf], dept);
+        graph.AddTripleIds(ug, pred[kName], literal("uname2", u, d, s));
+        int nc = 2 + static_cast<int>(rng.UniformInt(3));
+        for (int c = 0; c < nc; ++c)
+          graph.AddTripleIds(ug, pred[kTakesCourse],
+                             courses[rng.UniformInt(courses.size())]);
+        // 1/5 of undergraduates have a faculty advisor.
+        if (rng.Bernoulli(0.2))
+          graph.AddTripleIds(ug, pred[kAdvisor],
+                             faculty[rng.UniformInt(faculty.size())]);
+      }
+    }
+  }
+
+  graph.Finalize();
+  return graph;
+}
+
+}  // namespace lmkg::data

@@ -1,0 +1,36 @@
+#ifndef LMKG_DATA_LUBM_GENERATOR_H_
+#define LMKG_DATA_LUBM_GENERATOR_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace lmkg::data {
+
+/// Re-implementation of the LUBM benchmark data generator (Guo, Pan, Heflin
+/// — "LUBM: A benchmark for OWL knowledge base systems", J. Web Semant.
+/// 2005): universities containing departments with faculty, students,
+/// courses and publications, linked by the 19 predicates of the Univ-Bench
+/// ontology that appear in instance data.
+///
+/// The paper evaluates on LUBM with scaling factor 20 (~2.7M triples,
+/// ~663K entities, 19 predicates); `universities = 20` reproduces that.
+/// `department_fraction < 1` shrinks each university proportionally, which
+/// is how the small test/bench scales are produced.
+class LubmGenerator {
+ public:
+  LubmGenerator(int universities, uint64_t seed,
+                double department_fraction = 1.0);
+
+  /// Builds and finalizes the graph.
+  rdf::Graph Generate();
+
+ private:
+  int universities_;
+  uint64_t seed_;
+  double department_fraction_;
+};
+
+}  // namespace lmkg::data
+
+#endif  // LMKG_DATA_LUBM_GENERATOR_H_

@@ -1,0 +1,225 @@
+#include "data/swdf_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace lmkg::data {
+namespace {
+
+using rdf::TermId;
+
+// Core conference-metadata predicates (the frequently used ones in SWDF).
+const char* const kCorePredicates[] = {
+    "rdf:type",        "swrc:title",       "swc:isPartOf",
+    "foaf:maker",      "swc:hasTopic",     "dc:year",
+    "foaf:name",       "swrc:affiliation", "swc:holdsRole",
+    "swc:roleAt",      "swrc:cites",       "swc:hasLocation",
+    "swc:relatedTo",   "swrc:pages",       "ical:dtstart",
+    "swc:attendeeAt",  "foaf:based_near",  "swrc:series",
+    "foaf:homepage",   "dc:subjectArea",
+};
+constexpr int kNumCore = 20;
+
+// SWDF has 171 predicates; beyond the core ones the tail is long and
+// rarely used. We synthesize the remaining 151 as misc:p{i} applied with
+// Zipf-decreasing frequency.
+constexpr int kNumMisc = 151;
+
+}  // namespace
+
+SwdfGenerator::SwdfGenerator(double scale, uint64_t seed)
+    : scale_(scale), seed_(seed) {
+  LMKG_CHECK_GT(scale, 0.0);
+}
+
+rdf::Graph SwdfGenerator::Generate() {
+  util::Pcg32 rng(seed_, /*stream=*/0x5afd);
+  rdf::Graph graph;
+  rdf::TermDictionary& dict = graph.dict();
+
+  const size_t papers = std::max<size_t>(40, 15000 * scale_);
+  const size_t people = std::max<size_t>(30, 12000 * scale_);
+  const size_t orgs = std::max<size_t>(10, 2000 * scale_);
+  const size_t topics = std::max<size_t>(10, 1000 * scale_);
+  const size_t events = std::max<size_t>(4, 120 * scale_);
+  const size_t locations = std::max<size_t>(5, 100 * scale_);
+  const size_t series = std::max<size_t>(2, 20 * scale_);
+
+  // Intern predicates first so their ids are stable and dense.
+  std::vector<TermId> pred(kNumCore);
+  for (int i = 0; i < kNumCore; ++i)
+    pred[i] = dict.InternPredicate(kCorePredicates[i]);
+  std::vector<TermId> misc(kNumMisc);
+  for (int i = 0; i < kNumMisc; ++i)
+    misc[i] = dict.InternPredicate(util::StrFormat("misc:p%d", i));
+
+  enum CoreIdx {
+    kType = 0, kTitle, kIsPartOf, kMaker, kHasTopic, kYear, kName,
+    kAffiliation, kHoldsRole, kRoleAt, kCites, kHasLocation, kRelatedTo,
+    kPages, kDtStart, kAttendeeAt, kBasedNear, kSeries, kHomepage,
+    kSubjectArea,
+  };
+
+  auto intern_many = [&](const char* prefix, size_t n) {
+    std::vector<TermId> ids(n);
+    for (size_t i = 0; i < n; ++i)
+      ids[i] = dict.InternNode(util::StrFormat("%s%zu", prefix, i));
+    return ids;
+  };
+
+  std::vector<TermId> paper_ids = intern_many("paper/", papers);
+  std::vector<TermId> person_ids = intern_many("person/", people);
+  std::vector<TermId> org_ids = intern_many("org/", orgs);
+  std::vector<TermId> topic_ids = intern_many("topic/", topics);
+  std::vector<TermId> event_ids = intern_many("event/", events);
+  std::vector<TermId> location_ids = intern_many("place/", locations);
+  std::vector<TermId> series_ids = intern_many("series/", series);
+  std::vector<TermId> role_ids = intern_many("role/", 8);
+  std::vector<TermId> year_ids = intern_many("year/", 15);
+
+  TermId class_paper = dict.InternNode("class/InProceedings");
+  TermId class_person = dict.InternNode("class/Person");
+  TermId class_event = dict.InternNode("class/ConferenceEvent");
+  TermId class_org = dict.InternNode("class/Organization");
+
+  // Skewed pickers: authorship, chairing and topics are Zipf-heavy — the
+  // term correlations LMKG is designed to learn come from here.
+  util::ZipfDistribution person_zipf(people, 0.9);
+  util::ZipfDistribution topic_zipf(topics, 1.0);
+  util::ZipfDistribution org_zipf(orgs, 1.1);
+  util::ZipfDistribution event_zipf(events, 0.7);
+  util::ZipfDistribution misc_zipf(kNumMisc, 1.4);
+
+  // Events: series membership, location, year, start date.
+  for (size_t e = 0; e < events; ++e) {
+    TermId ev = event_ids[e];
+    graph.AddTripleIds(ev, pred[kType], class_event);
+    graph.AddTripleIds(ev, pred[kSeries],
+                       series_ids[e % series_ids.size()]);
+    graph.AddTripleIds(ev, pred[kHasLocation],
+                       location_ids[rng.UniformInt(locations)]);
+    graph.AddTripleIds(ev, pred[kYear],
+                       year_ids[e % year_ids.size()]);
+    graph.AddTripleIds(
+        ev, pred[kDtStart],
+        dict.InternNode(util::StrFormat("\"date-%zu\"", e)));
+  }
+
+  // People: name, affiliation (correlated with the person's rank so that
+  // frequent authors cluster in big orgs), homepage for some.
+  std::vector<size_t> person_org(people);
+  for (size_t a = 0; a < people; ++a) {
+    TermId person = person_ids[a];
+    graph.AddTripleIds(person, pred[kType], class_person);
+    graph.AddTripleIds(
+        person, pred[kName],
+        dict.InternNode(util::StrFormat("\"name-%zu\"", a)));
+    size_t org = a < orgs ? a : org_zipf.Sample(rng);
+    person_org[a] = org;
+    if (rng.Bernoulli(0.85))
+      graph.AddTripleIds(person, pred[kAffiliation], org_ids[org]);
+    if (rng.Bernoulli(0.2))
+      graph.AddTripleIds(
+          person, pred[kHomepage],
+          dict.InternNode(util::StrFormat("\"http://hp/%zu\"", a)));
+  }
+  for (size_t g = 0; g < orgs; ++g) {
+    graph.AddTripleIds(org_ids[g], pred[kType], class_org);
+    if (rng.Bernoulli(0.5))
+      graph.AddTripleIds(org_ids[g], pred[kBasedNear],
+                         location_ids[rng.UniformInt(locations)]);
+  }
+
+  // Papers: the bulk of the data. A paper's event correlates with its
+  // authors (communities submit to "their" conferences).
+  for (size_t i = 0; i < papers; ++i) {
+    TermId paper = paper_ids[i];
+    graph.AddTripleIds(paper, pred[kType], class_paper);
+    graph.AddTripleIds(
+        paper, pred[kTitle],
+        dict.InternNode(util::StrFormat("\"title-%zu\"", i)));
+    size_t lead = person_zipf.Sample(rng);
+    size_t event = (lead + event_zipf.Sample(rng)) % events;
+    graph.AddTripleIds(paper, pred[kIsPartOf], event_ids[event]);
+    int nauthors = 1 + static_cast<int>(rng.UniformInt(5));
+    graph.AddTripleIds(paper, pred[kMaker], person_ids[lead]);
+    for (int a = 1; a < nauthors; ++a) {
+      // Co-authors cluster around the lead author's org.
+      size_t co = rng.Bernoulli(0.5)
+                      ? person_zipf.Sample(rng)
+                      : (lead + 1 + rng.UniformInt(20)) % people;
+      graph.AddTripleIds(paper, pred[kMaker], person_ids[co]);
+    }
+    int ntopics = 1 + static_cast<int>(rng.UniformInt(3));
+    size_t topic_base = topic_zipf.Sample(rng);
+    for (int t = 0; t < ntopics; ++t) {
+      size_t topic = t == 0 ? topic_base
+                            : (topic_base + rng.UniformInt(10)) % topics;
+      graph.AddTripleIds(paper, pred[kHasTopic], topic_ids[topic]);
+    }
+    graph.AddTripleIds(paper, pred[kYear],
+                       year_ids[event % year_ids.size()]);
+    if (rng.Bernoulli(0.6))
+      graph.AddTripleIds(
+          paper, pred[kPages],
+          dict.InternNode(util::StrFormat("\"pages-%u\"",
+                                          rng.UniformInt(500))));
+    // Citations among papers (to earlier ids; forms chains).
+    if (i > 0) {
+      int ncites = static_cast<int>(rng.UniformInt(4));
+      for (int c = 0; c < ncites; ++c)
+        graph.AddTripleIds(paper, pred[kCites],
+                           paper_ids[rng.UniformInt(i)]);
+    }
+    if (rng.Bernoulli(0.3))
+      graph.AddTripleIds(paper, pred[kSubjectArea],
+                         topic_ids[topic_zipf.Sample(rng)]);
+  }
+
+  // Roles: frequent authors also hold chairs — term correlation again.
+  size_t nroles = people / 3;
+  for (size_t r = 0; r < nroles; ++r) {
+    size_t who = person_zipf.Sample(rng);
+    TermId role = role_ids[rng.UniformInt(8)];
+    graph.AddTripleIds(person_ids[who], pred[kHoldsRole], role);
+    graph.AddTripleIds(role, pred[kRoleAt],
+                       event_ids[event_zipf.Sample(rng)]);
+    if (rng.Bernoulli(0.7))
+      graph.AddTripleIds(person_ids[who], pred[kAttendeeAt],
+                         event_ids[event_zipf.Sample(rng)]);
+  }
+
+  // relatedTo: topic hierarchy (chains among topics).
+  for (size_t t = 1; t < topics; ++t)
+    if (rng.Bernoulli(0.5))
+      graph.AddTripleIds(topic_ids[t], pred[kRelatedTo],
+                         topic_ids[rng.UniformInt(t)]);
+
+  // Long tail of rarely-used predicates, Zipf-distributed so a handful of
+  // them still appear a few hundred times while most are very rare.
+  size_t nmisc = static_cast<size_t>(25000 * scale_);
+  for (size_t i = 0; i < nmisc; ++i) {
+    TermId p = misc[misc_zipf.Sample(rng)];
+    // Misc facts attach mostly to papers and people.
+    TermId s = rng.Bernoulli(0.6) ? paper_ids[rng.UniformInt(papers)]
+                                  : person_ids[person_zipf.Sample(rng)];
+    TermId o;
+    double kind = rng.NextDouble();
+    if (kind < 0.4)
+      o = topic_ids[topic_zipf.Sample(rng)];
+    else if (kind < 0.7)
+      o = event_ids[rng.UniformInt(events)];
+    else
+      o = person_ids[person_zipf.Sample(rng)];
+    graph.AddTripleIds(s, p, o);
+  }
+
+  graph.Finalize();
+  return graph;
+}
+
+}  // namespace lmkg::data

@@ -1,0 +1,34 @@
+#ifndef LMKG_DATA_SWDF_GENERATOR_H_
+#define LMKG_DATA_SWDF_GENERATOR_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace lmkg::data {
+
+/// Synthetic stand-in for the Semantic Web Dog Food (SWDF) dataset
+/// (Möller et al., ISWC 2007): conference metadata — papers, authors,
+/// events, organisations, topics, roles.
+///
+/// The paper uses SWDF as the *small but highly interconnected* dataset:
+/// ~250K triples, ~76K entities, 171 predicates, with strong correlations
+/// (the same people author many papers, chair events, and share
+/// affiliations) and heavy degree skew. The generator reproduces those
+/// aggregate properties; see DESIGN.md §1 for the substitution rationale.
+class SwdfGenerator {
+ public:
+  /// scale 1.0 ≈ the paper's dataset size.
+  SwdfGenerator(double scale, uint64_t seed);
+
+  /// Builds and finalizes the graph.
+  rdf::Graph Generate();
+
+ private:
+  double scale_;
+  uint64_t seed_;
+};
+
+}  // namespace lmkg::data
+
+#endif  // LMKG_DATA_SWDF_GENERATOR_H_

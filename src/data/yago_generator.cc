@@ -1,0 +1,117 @@
+#include "data/yago_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace lmkg::data {
+namespace {
+
+using rdf::TermId;
+
+// A representative slice of YAGO's 91 relations, grouped by domain. The
+// remaining ones are synthesized as yago:rel{i}.
+const char* const kNamedPredicates[] = {
+    "rdf:type",       "yago:isLocatedIn",  "yago:bornIn",
+    "yago:diedIn",    "yago:isCitizenOf",  "yago:livesIn",
+    "yago:marriedTo", "yago:hasChild",     "yago:created",
+    "yago:actedIn",   "yago:directed",     "yago:wroteMusicFor",
+    "yago:playsFor",  "yago:worksAt",      "yago:graduatedFrom",
+    "yago:hasCapital", "yago:dealsWith",   "yago:imports",
+    "yago:exports",   "yago:owns",         "yago:influences",
+    "yago:isPartOf",  "yago:happenedIn",   "yago:participatedIn",
+    "yago:hasWonPrize", "yago:label",      "yago:hasGender",
+    "yago:hasWebsite", "yago:isInterestedIn", "yago:isAffiliatedTo",
+};
+constexpr int kNumNamed = 30;
+constexpr int kNumPredicates = 91;
+
+}  // namespace
+
+YagoGenerator::YagoGenerator(double scale, uint64_t seed)
+    : scale_(scale), seed_(seed) {
+  LMKG_CHECK_GT(scale, 0.0);
+}
+
+rdf::Graph YagoGenerator::Generate() {
+  util::Pcg32 rng(seed_, /*stream=*/0xa60);
+  rdf::Graph graph;
+  rdf::TermDictionary& dict = graph.dict();
+
+  const size_t target_triples = std::max<size_t>(2000, 15.0e6 * scale_);
+  // YAGO's defining property: entities ≈ 0.8 × triples.
+  const size_t num_entities = std::max<size_t>(
+      1600, static_cast<size_t>(target_triples * 0.8));
+  // Hubs: types, countries, famous entities — tiny set, huge in-degree.
+  const size_t num_hubs = std::max<size_t>(40, num_entities / 2000);
+
+  std::vector<TermId> pred(kNumPredicates);
+  for (int i = 0; i < kNumPredicates; ++i) {
+    pred[i] = dict.InternPredicate(
+        i < kNumNamed ? std::string(kNamedPredicates[i])
+                      : util::StrFormat("yago:rel%d", i));
+  }
+  // Predicate usage is heavily skewed (rdf:type and isLocatedIn dominate).
+  util::ZipfDistribution pred_zipf(kNumPredicates, 1.05);
+
+  // Entity ids are interned lazily as used so that the dictionary only
+  // contains entities that actually occur.
+  std::vector<TermId> entity_cache(num_entities, rdf::kUnboundTerm);
+  auto entity = [&](size_t i) -> TermId {
+    if (entity_cache[i] == rdf::kUnboundTerm)
+      entity_cache[i] = dict.InternNode(util::StrFormat("y/e%zu", i));
+    return entity_cache[i];
+  };
+
+  util::ZipfDistribution hub_zipf(num_hubs, 0.8);
+  util::ZipfDistribution subject_zipf(num_entities, 0.4);
+
+  // Per-predicate object pools: "concentrating" predicates (types,
+  // locations, prizes, gender, ...) draw objects from a small pool, which
+  // creates the huge in-degree hubs of real YAGO.
+  std::vector<size_t> object_pool_size(kNumPredicates);
+  for (int i = 0; i < kNumPredicates; ++i) {
+    if (i == 0)
+      object_pool_size[i] = std::max<size_t>(20, num_hubs / 2);  // types
+    else if (i < 8)
+      object_pool_size[i] = num_hubs;  // geo & person-to-place
+    else if (i < 24)
+      object_pool_size[i] = 0;  // entity-to-entity: general pool
+    else
+      object_pool_size[i] = std::max<size_t>(5, num_hubs / 8);
+  }
+
+  size_t emitted = 0;
+  while (emitted < target_triples) {
+    int p = static_cast<int>(pred_zipf.Sample(rng));
+    // Subjects: mildly skewed over the whole entity space, so most
+    // entities appear just once or twice.
+    size_t s_idx = subject_zipf.Sample(rng);
+    TermId s = entity(s_idx);
+    TermId o;
+    if (object_pool_size[p] > 0) {
+      // Concentrating predicate: object from a small per-predicate window
+      // of the hub range (the last num_hubs entity indices).
+      size_t pool = object_pool_size[p];
+      size_t base = (static_cast<size_t>(p) * 131) % num_hubs;
+      size_t slot = (base + hub_zipf.Sample(rng) % pool) % num_hubs;
+      o = entity(num_entities - num_hubs + slot);
+    } else {
+      // Entity-to-entity predicate: object drawn like subjects; this is
+      // what makes chains possible.
+      o = entity(subject_zipf.Sample(rng));
+    }
+    if (s != o) {
+      graph.AddTripleIds(s, pred[p], o);
+      ++emitted;
+    }
+  }
+
+  graph.Finalize();
+  return graph;
+}
+
+}  // namespace lmkg::data

@@ -1,0 +1,37 @@
+#ifndef LMKG_DATA_YAGO_GENERATOR_H_
+#define LMKG_DATA_YAGO_GENERATOR_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace lmkg::data {
+
+/// Synthetic stand-in for the YAGO knowledge base (Suchanek et al., 2008).
+///
+/// The paper uses YAGO as the *heterogeneous, huge-vocabulary* dataset:
+/// ~15M triples over ~12M entities and 91 predicates — i.e. most entities
+/// occur only once or twice while a few hubs (countries, famous people,
+/// types) have enormous degree. That property is exactly what makes
+/// LMKG-U infeasible on YAGO in the paper (§VIII, "LMKG-U is not able to
+/// learn the complete set of queries of size 3 and beyond"), so the
+/// generator's job is to reproduce the entities/triples ratio and the hub
+/// skew, not any particular YAGO fact.
+class YagoGenerator {
+ public:
+  /// scale 1.0 ≈ 15M triples / 12M entities. Bench defaults use much
+  /// smaller scales; the entity-to-triple ratio (~0.8) is preserved at all
+  /// scales.
+  YagoGenerator(double scale, uint64_t seed);
+
+  /// Builds and finalizes the graph.
+  rdf::Graph Generate();
+
+ private:
+  double scale_;
+  uint64_t seed_;
+};
+
+}  // namespace lmkg::data
+
+#endif  // LMKG_DATA_YAGO_GENERATOR_H_

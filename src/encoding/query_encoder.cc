@@ -1,0 +1,276 @@
+#include "encoding/query_encoder.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace lmkg::encoding {
+namespace {
+
+using query::PatternTerm;
+using query::Query;
+
+// Sort key giving queries a canonical pattern order: bound terms by id,
+// variables after all bound terms (by variable number for determinism).
+std::tuple<uint64_t, uint64_t> TermKey(const PatternTerm& t) {
+  if (t.bound()) return {0, t.value};
+  return {1, static_cast<uint64_t>(t.var)};
+}
+
+// Identity of a query node: same bound id or same variable -> same node.
+using NodeKey = std::pair<bool, uint64_t>;  // (is_var, id-or-var)
+NodeKey MakeNodeKey(const PatternTerm& t) {
+  return t.bound() ? NodeKey{false, t.value}
+                   : NodeKey{true, static_cast<uint64_t>(t.var)};
+}
+
+// --- Pattern-bound star ---------------------------------------------------
+
+class StarEncoder final : public QueryEncoder {
+ public:
+  StarEncoder(const rdf::Graph& graph, int max_size,
+              TermEncoding term_encoding)
+      : max_size_(max_size),
+        node_enc_(term_encoding, graph.num_nodes()),
+        pred_enc_(term_encoding, graph.num_predicates()) {
+    LMKG_CHECK_GE(max_size, 1);
+  }
+
+  size_t width() const override {
+    return node_enc_.width() +
+           static_cast<size_t>(max_size_) *
+               (pred_enc_.width() + node_enc_.width());
+  }
+
+  bool CanEncode(const Query& q) const override {
+    auto star = query::AsStar(q);
+    return star.has_value() &&
+           star->pairs.size() <= static_cast<size_t>(max_size_);
+  }
+
+  void Encode(const Query& q, float* out) const override {
+    auto star = query::AsStar(q);
+    LMKG_CHECK(star.has_value()) << "not a star: " << QueryToString(q);
+    LMKG_CHECK_LE(star->pairs.size(), static_cast<size_t>(max_size_));
+    auto pairs = star->pairs;
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) {
+                return std::tuple(TermKey(a.first), TermKey(a.second)) <
+                       std::tuple(TermKey(b.first), TermKey(b.second));
+              });
+    std::fill(out, out + width(), 0.0f);
+    float* cursor = out;
+    node_enc_.Encode(star->center.bound() ? star->center.value : 0, cursor);
+    cursor += node_enc_.width();
+    for (const auto& [p, o] : pairs) {
+      pred_enc_.Encode(p.bound() ? p.value : 0, cursor);
+      cursor += pred_enc_.width();
+      node_enc_.Encode(o.bound() ? o.value : 0, cursor);
+      cursor += node_enc_.width();
+    }
+  }
+
+  std::string name() const override {
+    return util::StrFormat("star%d-%s", max_size_,
+                           TermEncodingName(node_enc_.encoding()));
+  }
+
+ private:
+  int max_size_;
+  TermEncoder node_enc_;
+  TermEncoder pred_enc_;
+};
+
+// --- Pattern-bound chain ----------------------------------------------------
+
+class ChainEncoder final : public QueryEncoder {
+ public:
+  ChainEncoder(const rdf::Graph& graph, int max_size,
+               TermEncoding term_encoding)
+      : max_size_(max_size),
+        node_enc_(term_encoding, graph.num_nodes()),
+        pred_enc_(term_encoding, graph.num_predicates()) {
+    LMKG_CHECK_GE(max_size, 1);
+  }
+
+  size_t width() const override {
+    return static_cast<size_t>(max_size_ + 1) * node_enc_.width() +
+           static_cast<size_t>(max_size_) * pred_enc_.width();
+  }
+
+  bool CanEncode(const Query& q) const override {
+    auto chain = query::AsChain(q);
+    return chain.has_value() &&
+           chain->predicates.size() <= static_cast<size_t>(max_size_);
+  }
+
+  void Encode(const Query& q, float* out) const override {
+    auto chain = query::AsChain(q);
+    LMKG_CHECK(chain.has_value()) << "not a chain: " << QueryToString(q);
+    LMKG_CHECK_LE(chain->predicates.size(),
+                  static_cast<size_t>(max_size_));
+    std::fill(out, out + width(), 0.0f);
+    float* cursor = out;
+    for (size_t i = 0; i < chain->nodes.size(); ++i) {
+      node_enc_.Encode(
+          chain->nodes[i].bound() ? chain->nodes[i].value : 0, cursor);
+      cursor += node_enc_.width();
+      if (i < chain->predicates.size()) {
+        pred_enc_.Encode(
+            chain->predicates[i].bound() ? chain->predicates[i].value : 0,
+            cursor);
+        cursor += pred_enc_.width();
+      }
+    }
+  }
+
+  std::string name() const override {
+    return util::StrFormat("chain%d-%s", max_size_,
+                           TermEncodingName(node_enc_.encoding()));
+  }
+
+ private:
+  int max_size_;
+  TermEncoder node_enc_;
+  TermEncoder pred_enc_;
+};
+
+// --- SG-Encoding ------------------------------------------------------------
+
+class SgEncoderImpl final : public QueryEncoder {
+ public:
+  SgEncoderImpl(const rdf::Graph& graph, int max_nodes, int max_edges,
+                TermEncoding term_encoding)
+      : max_nodes_(max_nodes),
+        max_edges_(max_edges),
+        node_enc_(term_encoding, graph.num_nodes()),
+        pred_enc_(term_encoding, graph.num_predicates()) {
+    LMKG_CHECK_GE(max_nodes, 2);
+    LMKG_CHECK_GE(max_edges, 1);
+  }
+
+  size_t width() const override {
+    return a_size() + x_size() + e_size();
+  }
+
+  bool CanEncode(const Query& q) const override {
+    if (q.patterns.empty()) return false;
+    SgFootprint fp = ComputeSgFootprint(q);
+    return fp.nodes <= max_nodes_ && fp.edges <= max_edges_;
+  }
+
+  void Encode(const Query& q, float* out) const override {
+    LMKG_CHECK(CanEncode(q)) << "query exceeds SG capacity: "
+                             << QueryToString(q);
+    std::fill(out, out + width(), 0.0f);
+
+    // Determine the canonical node and edge orderings (paper Fig. 2 step
+    // 2.2): star -> centre first, then pairs in canonical order; chain ->
+    // walk order; otherwise first occurrence.
+    std::vector<query::TriplePattern> patterns = q.patterns;
+    if (auto star = query::AsStar(q); star.has_value()) {
+      std::sort(patterns.begin(), patterns.end(),
+                [](const query::TriplePattern& a,
+                   const query::TriplePattern& b) {
+                  return std::tuple(TermKey(a.p), TermKey(a.o)) <
+                         std::tuple(TermKey(b.p), TermKey(b.o));
+                });
+    } else if (auto chain = query::AsChain(q); chain.has_value()) {
+      patterns.clear();
+      for (size_t i = 0; i < chain->predicates.size(); ++i) {
+        query::TriplePattern t;
+        t.s = chain->nodes[i];
+        t.p = chain->predicates[i];
+        t.o = chain->nodes[i + 1];
+        patterns.push_back(t);
+      }
+    }
+
+    std::map<NodeKey, int> node_index;
+    auto node_of = [&](const PatternTerm& t) {
+      auto [it, inserted] =
+          node_index.emplace(MakeNodeKey(t),
+                             static_cast<int>(node_index.size()));
+      return it->second;
+    };
+
+    float* a = out;
+    float* x = out + a_size();
+    float* e = x + x_size();
+    for (size_t l = 0; l < patterns.size(); ++l) {
+      const auto& t = patterns[l];
+      int i = node_of(t.s);
+      int j = node_of(t.o);
+      // A_ijl = 1: edge l from node i to node j.
+      a[(static_cast<size_t>(i) * max_nodes_ + j) * max_edges_ + l] = 1.0f;
+      pred_enc_.Encode(t.p.bound() ? t.p.value : 0,
+                       e + l * pred_enc_.width());
+    }
+    for (const auto& [key, idx] : node_index) {
+      rdf::TermId value =
+          key.first ? rdf::kUnboundTerm
+                    : static_cast<rdf::TermId>(key.second);
+      node_enc_.Encode(value, x + static_cast<size_t>(idx) *
+                                      node_enc_.width());
+    }
+  }
+
+  std::string name() const override {
+    return util::StrFormat("sg-n%d-e%d-%s", max_nodes_, max_edges_,
+                           TermEncodingName(node_enc_.encoding()));
+  }
+
+  size_t a_size() const {
+    return static_cast<size_t>(max_nodes_) * max_nodes_ * max_edges_;
+  }
+  size_t x_size() const {
+    return static_cast<size_t>(max_nodes_) * node_enc_.width();
+  }
+  size_t e_size() const {
+    return static_cast<size_t>(max_edges_) * pred_enc_.width();
+  }
+
+ private:
+  int max_nodes_;
+  int max_edges_;
+  TermEncoder node_enc_;
+  TermEncoder pred_enc_;
+};
+
+}  // namespace
+
+SgFootprint ComputeSgFootprint(const query::Query& q) {
+  std::map<NodeKey, int> nodes;
+  for (const auto& t : q.patterns) {
+    nodes.emplace(MakeNodeKey(t.s), static_cast<int>(nodes.size()));
+    nodes.emplace(MakeNodeKey(t.o), static_cast<int>(nodes.size()));
+  }
+  SgFootprint fp;
+  fp.nodes = static_cast<int>(nodes.size());
+  fp.edges = static_cast<int>(q.patterns.size());
+  return fp;
+}
+
+std::unique_ptr<QueryEncoder> MakeStarEncoder(const rdf::Graph& graph,
+                                              int max_size,
+                                              TermEncoding term_encoding) {
+  return std::make_unique<StarEncoder>(graph, max_size, term_encoding);
+}
+
+std::unique_ptr<QueryEncoder> MakeChainEncoder(const rdf::Graph& graph,
+                                               int max_size,
+                                               TermEncoding term_encoding) {
+  return std::make_unique<ChainEncoder>(graph, max_size, term_encoding);
+}
+
+std::unique_ptr<QueryEncoder> MakeSgEncoder(const rdf::Graph& graph,
+                                            int max_nodes, int max_edges,
+                                            TermEncoding term_encoding) {
+  return std::make_unique<SgEncoderImpl>(graph, max_nodes, max_edges,
+                                         term_encoding);
+}
+
+}  // namespace lmkg::encoding

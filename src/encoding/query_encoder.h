@@ -1,0 +1,77 @@
+#ifndef LMKG_ENCODING_QUERY_ENCODER_H_
+#define LMKG_ENCODING_QUERY_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "encoding/term_encoder.h"
+#include "query/query.h"
+#include "rdf/graph.h"
+
+namespace lmkg::encoding {
+
+/// Featurizes whole queries into fixed-width float vectors — the input of
+/// LMKG-S (paper §V-A). Two families exist:
+///
+///   * Pattern-bound (§V-A2): a flat concatenation of term encodings tied
+///     to one topology and maximum size. Compact, but one model per shape.
+///   * SG-Encoding (§V-A1): (A, X, E) — adjacency tensor + node feature
+///     matrix + predicate feature matrix. Topology-agnostic: one model can
+///     serve star, chain, and composite queries up to (max_nodes,
+///     max_edges).
+///
+/// Queries smaller than the encoder's capacity are padded with zeros
+/// (absent terms), which is what lets one size-k model answer size-<k
+/// queries (paper Table II discussion).
+class QueryEncoder {
+ public:
+  virtual ~QueryEncoder() = default;
+
+  /// Width of the feature vector in floats.
+  virtual size_t width() const = 0;
+  /// Whether this encoder can represent the query (topology + capacity).
+  virtual bool CanEncode(const query::Query& q) const = 0;
+  /// Writes the feature vector into out[0..width()). Requires CanEncode.
+  virtual void Encode(const query::Query& q, float* out) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Convenience: encode into a fresh vector.
+  std::vector<float> EncodeToVector(const query::Query& q) const {
+    std::vector<float> out(width(), 0.0f);
+    Encode(q, out.data());
+    return out;
+  }
+};
+
+/// Pattern-bound star encoder: [subject | p1 o1 | ... | pk ok], pairs in
+/// canonical (p, o) order so equivalent queries encode identically.
+std::unique_ptr<QueryEncoder> MakeStarEncoder(const rdf::Graph& graph,
+                                              int max_size,
+                                              TermEncoding term_encoding);
+
+/// Pattern-bound chain encoder: [n1 p1 n2 ... pk nk+1] in walk order.
+std::unique_ptr<QueryEncoder> MakeChainEncoder(const rdf::Graph& graph,
+                                               int max_size,
+                                               TermEncoding term_encoding);
+
+/// SG-Encoding with capacity for `max_nodes` nodes and `max_edges` edges.
+/// Layout: [A | X | E] with A row-major (i * n + j) * e + l, X and E one
+/// row per node/edge. Star queries place the centre at node 0 and objects
+/// in canonical predicate order; chains use walk order; composite queries
+/// use first-occurrence order.
+std::unique_ptr<QueryEncoder> MakeSgEncoder(const rdf::Graph& graph,
+                                            int max_nodes, int max_edges,
+                                            TermEncoding term_encoding);
+
+/// Capacity planning helpers: the (nodes, edges) footprint of a query
+/// under SG-Encoding.
+struct SgFootprint {
+  int nodes = 0;
+  int edges = 0;
+};
+SgFootprint ComputeSgFootprint(const query::Query& q);
+
+}  // namespace lmkg::encoding
+
+#endif  // LMKG_ENCODING_QUERY_ENCODER_H_

@@ -1,0 +1,53 @@
+#include "encoding/term_encoder.h"
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace lmkg::encoding {
+
+const char* TermEncodingName(TermEncoding e) {
+  switch (e) {
+    case TermEncoding::kOneHot:
+      return "one-hot";
+    case TermEncoding::kBinary:
+      return "binary";
+  }
+  return "?";
+}
+
+TermEncoder::TermEncoder(TermEncoding encoding, size_t domain_size)
+    : encoding_(encoding), domain_size_(domain_size) {
+  LMKG_CHECK_GE(domain_size, 1u);
+  width_ = encoding == TermEncoding::kOneHot
+               ? domain_size
+               : static_cast<size_t>(util::BinaryEncodingBits(domain_size));
+}
+
+void TermEncoder::Encode(rdf::TermId id, float* out) const {
+  LMKG_CHECK_LE(static_cast<size_t>(id), domain_size_);
+  for (size_t i = 0; i < width_; ++i) out[i] = 0.0f;
+  if (id == rdf::kUnboundTerm) return;
+  if (encoding_ == TermEncoding::kOneHot) {
+    out[id - 1] = 1.0f;
+    return;
+  }
+  rdf::TermId v = id;
+  for (size_t bit = 0; bit < width_ && v != 0; ++bit) {
+    out[bit] = static_cast<float>(v & 1u);
+    v >>= 1u;
+  }
+}
+
+rdf::TermId TermEncoder::Decode(const float* in) const {
+  if (encoding_ == TermEncoding::kOneHot) {
+    for (size_t i = 0; i < width_; ++i)
+      if (in[i] > 0.5f) return static_cast<rdf::TermId>(i + 1);
+    return rdf::kUnboundTerm;
+  }
+  rdf::TermId v = 0;
+  for (size_t bit = 0; bit < width_; ++bit)
+    if (in[bit] > 0.5f) v |= (1u << bit);
+  return v;
+}
+
+}  // namespace lmkg::encoding

@@ -1,0 +1,53 @@
+#ifndef LMKG_ENCODING_TERM_ENCODER_H_
+#define LMKG_ENCODING_TERM_ENCODER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "rdf/triple.h"
+
+namespace lmkg::encoding {
+
+/// The two single-term encodings of the paper (§V):
+///
+///   * kOneHot — width = domain size, position id-1 set to 1; an unbound
+///     term is all zeros. O(|domain|) space per term.
+///   * kBinary — width = ceil(log2(domain)) + 1 bits holding the id's
+///     binary representation; unbound encodes as all zeros (ids start at 1
+///     so every bound term has at least one set bit). Preferred for large,
+///     heterogeneous KGs.
+enum class TermEncoding {
+  kOneHot,
+  kBinary,
+};
+
+const char* TermEncodingName(TermEncoding e);
+
+/// Encodes term ids of one domain (nodes or predicates) into fixed-width
+/// 0/1 float vectors consumable by the neural networks.
+class TermEncoder {
+ public:
+  TermEncoder(TermEncoding encoding, size_t domain_size);
+
+  /// Width in floats of one encoded term.
+  size_t width() const { return width_; }
+  TermEncoding encoding() const { return encoding_; }
+  size_t domain_size() const { return domain_size_; }
+
+  /// Writes the encoding of `id` into out[0..width()). id 0 (unbound)
+  /// writes all zeros. Requires id <= domain_size.
+  void Encode(rdf::TermId id, float* out) const;
+
+  /// Inverse of Encode for well-formed inputs (used by tests to verify the
+  /// encodings are lossless). Returns 0 for the all-zero vector.
+  rdf::TermId Decode(const float* in) const;
+
+ private:
+  TermEncoding encoding_;
+  size_t domain_size_;
+  size_t width_;
+};
+
+}  // namespace lmkg::encoding
+
+#endif  // LMKG_ENCODING_TERM_ENCODER_H_

@@ -1,0 +1,77 @@
+#include "eval/comparison.h"
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "util/math.h"
+#include "util/stopwatch.h"
+
+namespace lmkg::eval {
+
+double MeanOf(const std::vector<double>& values) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    sum += v;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+ComparisonResult RunComparison(const rdf::Graph& graph,
+                               const SuiteOptions& options,
+                               bool include_lmkg_u) {
+  ComparisonResult result;
+  std::cerr << "[comparison] building test workloads...\n";
+  result.test = BuildTestWorkloads(graph, options);
+  std::cerr << "[comparison] building training workloads...\n";
+  WorkloadSet train = BuildTrainWorkloads(graph, options);
+  auto train_all = train.All();
+
+  std::cerr << "[comparison] training baselines (incl. MSCN)...\n";
+  BaselineSuite baselines = BuildBaselines(graph, train_all, options);
+  std::cerr << "[comparison] training LMKG-S...\n";
+  auto lmkg_s = BuildLmkgS(graph, options);
+  std::unique_ptr<core::Lmkg> lmkg_u;
+  if (include_lmkg_u) {
+    std::cerr << "[comparison] training LMKG-U...\n";
+    lmkg_u = BuildLmkgU(graph, options);
+  }
+
+  std::vector<core::CardinalityEstimator*> estimators;
+  for (auto& baseline : baselines.estimators)
+    estimators.push_back(baseline.get());
+  if (lmkg_u != nullptr) estimators.push_back(lmkg_u.get());
+  estimators.push_back(lmkg_s.get());
+
+  for (core::CardinalityEstimator* estimator : estimators) {
+    std::cerr << "[comparison] evaluating " << estimator->name() << "...\n";
+    result.estimator_names.push_back(estimator->name());
+    std::vector<ComparisonCell> row;
+    for (const auto& workload : result.test.workloads) {
+      ComparisonCell cell;
+      cell.qerrors.reserve(workload.size());
+      cell.times_ms.reserve(workload.size());
+      for (const auto& lq : workload) {
+        if (!estimator->CanEstimate(lq.query)) {
+          cell.qerrors.push_back(
+              std::numeric_limits<double>::quiet_NaN());
+          cell.times_ms.push_back(
+              std::numeric_limits<double>::quiet_NaN());
+          continue;
+        }
+        util::Stopwatch timer;
+        double estimate = estimator->EstimateCardinality(lq.query);
+        cell.times_ms.push_back(timer.ElapsedMillis());
+        cell.qerrors.push_back(util::QError(estimate, lq.cardinality));
+      }
+      row.push_back(std::move(cell));
+    }
+    result.cells.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace lmkg::eval

@@ -1,0 +1,44 @@
+#ifndef LMKG_EVAL_COMPARISON_H_
+#define LMKG_EVAL_COMPARISON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/suite.h"
+#include "rdf/graph.h"
+
+namespace lmkg::eval {
+
+/// One evaluated (estimator, workload-combo) cell: per-query q-errors and
+/// estimation times, aligned with the combo's LabeledQuery list.
+struct ComparisonCell {
+  std::vector<double> qerrors;
+  std::vector<double> times_ms;
+};
+
+/// The full competitor comparison of §VIII-B: every estimator of the
+/// paper's figures evaluated over every (topology, size) workload. The
+/// figure benches (8, 9, 10, 11) aggregate these cells along different
+/// axes.
+struct ComparisonResult {
+  std::vector<std::string> estimator_names;
+  /// cells[estimator][combo] aligns with test.combos / test.workloads.
+  std::vector<std::vector<ComparisonCell>> cells;
+  WorkloadSet test;
+};
+
+/// Trains LMKG-S, optionally LMKG-U, and the baselines on `graph`, then
+/// evaluates everything. `include_lmkg_u` is false for YAGO-style
+/// datasets (the paper excludes LMKG-U there: the term vocabulary makes
+/// the autoregressive model infeasible). Progress goes to stderr.
+ComparisonResult RunComparison(const rdf::Graph& graph,
+                               const SuiteOptions& options,
+                               bool include_lmkg_u);
+
+/// Mean of finite values; 0 if none.
+double MeanOf(const std::vector<double>& values);
+
+}  // namespace lmkg::eval
+
+#endif  // LMKG_EVAL_COMPARISON_H_

@@ -1,0 +1,67 @@
+#include "eval/harness.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/stopwatch.h"
+
+namespace lmkg::eval {
+
+EvalResult Evaluate(core::CardinalityEstimator* estimator,
+                    const std::vector<sampling::LabeledQuery>& queries) {
+  EvalResult result;
+  result.estimator = estimator->name();
+  std::vector<double> qerrors;
+  double total_ms = 0.0;
+  for (const auto& lq : queries) {
+    if (!estimator->CanEstimate(lq.query)) continue;
+    util::Stopwatch timer;
+    double estimate = estimator->EstimateCardinality(lq.query);
+    total_ms += timer.ElapsedMillis();
+    qerrors.push_back(util::QError(estimate, lq.cardinality));
+  }
+  result.queries = qerrors.size();
+  result.qerror = util::QErrorStats::Compute(std::move(qerrors));
+  result.avg_estimation_ms =
+      result.queries > 0 ? total_ms / static_cast<double>(result.queries)
+                         : 0.0;
+  return result;
+}
+
+std::vector<double> ComputeQErrors(
+    core::CardinalityEstimator* estimator,
+    const std::vector<sampling::LabeledQuery>& queries) {
+  std::vector<double> qerrors;
+  qerrors.reserve(queries.size());
+  for (const auto& lq : queries) {
+    if (!estimator->CanEstimate(lq.query)) {
+      qerrors.push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    double estimate = estimator->EstimateCardinality(lq.query);
+    qerrors.push_back(util::QError(estimate, lq.cardinality));
+  }
+  return qerrors;
+}
+
+std::vector<sampling::LabeledQuery> FilterByBucketRange(
+    const std::vector<sampling::LabeledQuery>& queries, int lo, int hi) {
+  std::vector<sampling::LabeledQuery> out;
+  for (const auto& lq : queries) {
+    int bucket = util::ResultSizeBucket(lq.cardinality);
+    if (bucket >= lo && bucket <= hi) out.push_back(lq);
+  }
+  return out;
+}
+
+const std::vector<BucketSpec>& PaperBuckets() {
+  static const std::vector<BucketSpec>* buckets =
+      new std::vector<BucketSpec>{
+          {0, 0, "[5^0,5^1)"}, {1, 1, "[5^1,5^2)"}, {2, 2, "[5^2,5^3)"},
+          {3, 3, "[5^3,5^4)"}, {4, 4, "[5^4,5^5)"}, {5, 5, "[5^5,5^6)"},
+          {6, 9, "[5^6,5^9)"},
+      };
+  return *buckets;
+}
+
+}  // namespace lmkg::eval

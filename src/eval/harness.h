@@ -1,0 +1,50 @@
+#ifndef LMKG_EVAL_HARNESS_H_
+#define LMKG_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "sampling/workload.h"
+#include "util/math.h"
+
+namespace lmkg::eval {
+
+/// Accuracy + latency of one estimator over one workload.
+struct EvalResult {
+  std::string estimator;
+  util::QErrorStats qerror;
+  double avg_estimation_ms = 0.0;
+  size_t queries = 0;
+};
+
+/// Runs the estimator over every query it can estimate, measuring q-error
+/// against the workload's exact cardinalities and the per-query estimation
+/// wall time (the paper's Fig. 11 metric; sampling estimators do their
+/// whole walk budget inside one call).
+EvalResult Evaluate(core::CardinalityEstimator* estimator,
+                    const std::vector<sampling::LabeledQuery>& queries);
+
+/// Per-query q-errors, aligned with `queries`; NaN for queries the
+/// estimator cannot handle.
+std::vector<double> ComputeQErrors(
+    core::CardinalityEstimator* estimator,
+    const std::vector<sampling::LabeledQuery>& queries);
+
+/// Queries whose log₅ result-size bucket lies in [lo, hi].
+std::vector<sampling::LabeledQuery> FilterByBucketRange(
+    const std::vector<sampling::LabeledQuery>& queries, int lo, int hi);
+
+/// The result-size buckets of the paper's figures: [5^0,5^1) ... [5^5,5^6)
+/// individually, then [5^6,5^9) grouped ("the last buckets are grouped for
+/// larger ranges involving the outliers").
+struct BucketSpec {
+  int lo;
+  int hi;
+  std::string label;
+};
+const std::vector<BucketSpec>& PaperBuckets();
+
+}  // namespace lmkg::eval
+
+#endif  // LMKG_EVAL_HARNESS_H_

@@ -1,0 +1,196 @@
+#include "eval/suite.h"
+
+#include "baselines/cset.h"
+#include "baselines/impr.h"
+#include "baselines/jsub.h"
+#include "baselines/mscn.h"
+#include "baselines/sumrdf.h"
+#include "baselines/wander_join.h"
+#include "util/flags.h"
+
+namespace lmkg::eval {
+
+using query::Topology;
+
+std::vector<sampling::LabeledQuery> WorkloadSet::All() const {
+  std::vector<sampling::LabeledQuery> all;
+  for (const auto& w : workloads) all.insert(all.end(), w.begin(), w.end());
+  return all;
+}
+
+std::vector<sampling::LabeledQuery> WorkloadSet::ByTopology(
+    Topology t) const {
+  std::vector<sampling::LabeledQuery> out;
+  for (size_t i = 0; i < combos.size(); ++i)
+    if (combos[i].first == t)
+      out.insert(out.end(), workloads[i].begin(), workloads[i].end());
+  return out;
+}
+
+std::vector<sampling::LabeledQuery> WorkloadSet::BySize(int size) const {
+  std::vector<sampling::LabeledQuery> out;
+  for (size_t i = 0; i < combos.size(); ++i)
+    if (combos[i].second == size)
+      out.insert(out.end(), workloads[i].begin(), workloads[i].end());
+  return out;
+}
+
+namespace {
+
+WorkloadSet BuildWorkloads(const rdf::Graph& graph,
+                           const SuiteOptions& options, size_t count,
+                           uint64_t seed_offset) {
+  WorkloadSet set;
+  sampling::WorkloadGenerator generator(graph);
+  for (Topology topology : {Topology::kStar, Topology::kChain}) {
+    for (int size : options.query_sizes) {
+      sampling::WorkloadGenerator::Options wopts;
+      wopts.topology = topology;
+      wopts.query_size = size;
+      wopts.count = count;
+      wopts.max_cardinality = options.max_cardinality;
+      wopts.max_attempts_factor = 25;
+      wopts.seed = options.seed + seed_offset +
+                   static_cast<uint64_t>(size) * 131 +
+                   (topology == Topology::kChain ? 7777 : 0);
+      set.combos.emplace_back(topology, size);
+      set.workloads.push_back(generator.Generate(wopts));
+    }
+  }
+  return set;
+}
+
+}  // namespace
+
+WorkloadSet BuildTestWorkloads(const rdf::Graph& graph,
+                               const SuiteOptions& options) {
+  return BuildWorkloads(graph, options, options.test_queries_per_combo,
+                        /*seed_offset=*/0);
+}
+
+WorkloadSet BuildTrainWorkloads(const rdf::Graph& graph,
+                                const SuiteOptions& options) {
+  return BuildWorkloads(graph, options, options.train_queries_per_combo,
+                        /*seed_offset=*/900001);
+}
+
+BaselineSuite BuildBaselines(
+    const rdf::Graph& graph,
+    const std::vector<sampling::LabeledQuery>& train,
+    const SuiteOptions& options) {
+  BaselineSuite suite;
+
+  baselines::ImprEstimator::Options impr_opts;
+  impr_opts.num_walks = options.num_walks;
+  impr_opts.seed = options.seed + 1;
+  suite.estimators.push_back(
+      std::make_unique<baselines::ImprEstimator>(graph, impr_opts));
+
+  baselines::JsubEstimator::Options jsub_opts;
+  jsub_opts.num_walks = options.num_walks;
+  jsub_opts.seed = options.seed + 2;
+  suite.estimators.push_back(
+      std::make_unique<baselines::JsubEstimator>(graph, jsub_opts));
+
+  suite.estimators.push_back(
+      std::make_unique<baselines::SumRdfEstimator>(graph));
+
+  baselines::WanderJoinEstimator::Options wj_opts;
+  wj_opts.num_walks = options.num_walks;
+  wj_opts.seed = options.seed + 3;
+  suite.estimators.push_back(
+      std::make_unique<baselines::WanderJoinEstimator>(graph, wj_opts));
+
+  suite.estimators.push_back(
+      std::make_unique<baselines::CsetEstimator>(graph));
+
+  for (size_t samples : {size_t{0}, size_t{1000}}) {
+    baselines::MscnConfig mscn_config;
+    mscn_config.num_samples = samples;
+    mscn_config.epochs = options.mscn_epochs;
+    mscn_config.seed = options.seed + 4 + samples;
+    auto mscn =
+        std::make_unique<baselines::MscnEstimator>(graph, mscn_config);
+    mscn->Train(train);
+    suite.estimators.push_back(std::move(mscn));
+  }
+  return suite;
+}
+
+std::unique_ptr<core::Lmkg> BuildLmkgS(const rdf::Graph& graph,
+                                       const SuiteOptions& options) {
+  core::LmkgConfig config;
+  config.kind = core::ModelKind::kSupervised;
+  config.grouping = core::Grouping::kBySize;
+  config.query_sizes = options.query_sizes;
+  config.s_config.hidden_dim = options.s_hidden_dim;
+  config.s_config.epochs = options.s_epochs;
+  config.s_config.seed = options.seed + 100;
+  config.train_queries_per_combo = options.train_queries_per_combo;
+  config.workload_options.max_cardinality = options.max_cardinality;
+  config.workload_options.max_attempts_factor = 25;
+  config.seed = options.seed + 100;
+  auto lmkg = std::make_unique<core::Lmkg>(graph, config);
+  lmkg->BuildModels();
+  return lmkg;
+}
+
+std::unique_ptr<core::Lmkg> BuildLmkgU(const rdf::Graph& graph,
+                                       const SuiteOptions& options) {
+  core::LmkgConfig config;
+  config.kind = core::ModelKind::kUnsupervised;
+  config.grouping = core::Grouping::kSpecialized;
+  config.query_sizes = options.query_sizes;
+  config.u_config.hidden_dim = options.u_hidden_dim;
+  config.u_config.embedding_dim = options.u_embedding_dim;
+  config.u_config.epochs = options.u_epochs;
+  config.u_config.train_samples = options.u_train_samples;
+  config.u_config.sample_count = options.u_sample_count;
+  config.u_config.seed = options.seed + 200;
+  config.seed = options.seed + 200;
+  auto lmkg = std::make_unique<core::Lmkg>(graph, config);
+  lmkg->BuildModels();
+  return lmkg;
+}
+
+SuiteOptions SuiteOptionsFromFlags(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  SuiteOptions options;
+  if (flags.GetBool("paper", false)) {
+    // Paper-scale settings: full datasets, 600 test queries per combo,
+    // 200 supervised epochs, 5 unsupervised epochs. Expect hours of
+    // training on one CPU core.
+    options.dataset_scale = 1.0;
+    options.test_queries_per_combo = 600;
+    options.train_queries_per_combo = 2000;
+    options.s_hidden_dim = 512;
+    options.s_epochs = 200;
+    options.u_hidden_dim = 256;
+    options.u_epochs = 5;
+    options.u_train_samples = 100000;
+    options.u_sample_count = 200;
+    options.num_walks = 1000;
+    options.mscn_epochs = 100;
+  }
+  options.dataset_scale =
+      flags.GetDouble("scale", options.dataset_scale);
+  options.seed = flags.GetInt("seed", static_cast<int64_t>(options.seed));
+  options.test_queries_per_combo = flags.GetInt(
+      "queries", static_cast<int64_t>(options.test_queries_per_combo));
+  options.train_queries_per_combo = flags.GetInt(
+      "train_queries",
+      static_cast<int64_t>(options.train_queries_per_combo));
+  options.s_epochs =
+      static_cast<int>(flags.GetInt("s_epochs", options.s_epochs));
+  options.u_epochs =
+      static_cast<int>(flags.GetInt("u_epochs", options.u_epochs));
+  options.u_train_samples = flags.GetInt(
+      "u_train_samples", static_cast<int64_t>(options.u_train_samples));
+  options.num_walks =
+      flags.GetInt("walks", static_cast<int64_t>(options.num_walks));
+  options.mscn_epochs =
+      static_cast<int>(flags.GetInt("mscn_epochs", options.mscn_epochs));
+  return options;
+}
+
+}  // namespace lmkg::eval

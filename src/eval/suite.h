@@ -1,0 +1,87 @@
+#ifndef LMKG_EVAL_SUITE_H_
+#define LMKG_EVAL_SUITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/lmkg.h"
+#include "rdf/graph.h"
+#include "sampling/workload.h"
+
+namespace lmkg::eval {
+
+/// Knobs shared by the benchmark binaries. Defaults are sized so every
+/// bench finishes in minutes on one CPU core; `--paper` style flags raise
+/// them towards the paper's configuration (see EXPERIMENTS.md).
+struct SuiteOptions {
+  double dataset_scale = 0.02;
+  uint64_t seed = 42;
+  std::vector<int> query_sizes = {2, 3, 5, 8};
+  size_t test_queries_per_combo = 100;   // paper: 600
+  size_t train_queries_per_combo = 350;  // supervised training data
+  /// Queries above this true cardinality are discarded (also caps the
+  /// exact-counting work of workload generation). 5^9 covers the paper's
+  /// largest result-size bucket.
+  uint64_t max_cardinality = 1953125;
+  // LMKG-S
+  size_t s_hidden_dim = 128;
+  int s_epochs = 40;  // paper: 200
+  // LMKG-U
+  size_t u_hidden_dim = 96;
+  size_t u_embedding_dim = 32;
+  int u_epochs = 4;  // paper: 5
+  size_t u_train_samples = 4000;
+  size_t u_sample_count = 48;
+  // Sampling baselines
+  size_t num_walks = 300;
+  // MSCN
+  int mscn_epochs = 20;
+};
+
+/// Builds a test workload for every (topology, size) combination.
+struct WorkloadSet {
+  // Parallel vectors: combos[i] matches workloads[i].
+  std::vector<std::pair<query::Topology, int>> combos;
+  std::vector<std::vector<sampling::LabeledQuery>> workloads;
+
+  /// Concatenation of every workload.
+  std::vector<sampling::LabeledQuery> All() const;
+  /// Concatenation over one topology.
+  std::vector<sampling::LabeledQuery> ByTopology(query::Topology t) const;
+  /// Concatenation over one size.
+  std::vector<sampling::LabeledQuery> BySize(int size) const;
+};
+
+WorkloadSet BuildTestWorkloads(const rdf::Graph& graph,
+                               const SuiteOptions& options);
+/// Same generator, disjoint seeds — the supervised training workload.
+WorkloadSet BuildTrainWorkloads(const rdf::Graph& graph,
+                                const SuiteOptions& options);
+
+/// The competitor line-up of Figs. 8-11: impr, jsub, sumrdf, wj, cset,
+/// mscn-0, mscn-1k (the MSCN models are trained on `train`).
+struct BaselineSuite {
+  std::vector<std::unique_ptr<core::CardinalityEstimator>> estimators;
+};
+BaselineSuite BuildBaselines(const rdf::Graph& graph,
+                             const std::vector<sampling::LabeledQuery>& train,
+                             const SuiteOptions& options);
+
+/// LMKG-S as configured for the competitor comparison (§VIII-B:
+/// SG-Encoding + query size grouping), trained on generated data.
+std::unique_ptr<core::Lmkg> BuildLmkgS(const rdf::Graph& graph,
+                                       const SuiteOptions& options);
+/// LMKG-U as configured for the comparison (§VIII-B: pattern-bound
+/// encoding, 32-dim embeddings, query size and type grouping).
+std::unique_ptr<core::Lmkg> BuildLmkgU(const rdf::Graph& graph,
+                                       const SuiteOptions& options);
+
+/// Applies the common bench flags (--scale, --seed, --queries, --paper,
+/// ...) onto the defaults.
+SuiteOptions SuiteOptionsFromFlags(int argc, char** argv);
+
+}  // namespace lmkg::eval
+
+#endif  // LMKG_EVAL_SUITE_H_

@@ -1,0 +1,54 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace lmkg::nn {
+
+GradCheckResult CheckGradients(
+    const std::function<double(bool with_grad)>& eval,
+    const std::vector<ParamRef>& params, double epsilon,
+    size_t max_entries_per_param, uint64_t seed) {
+  util::Pcg32 rng(seed, /*stream=*/0x96ad);
+  GradCheckResult result;
+
+  // One pass with gradients to fill the analytic side.
+  eval(/*with_grad=*/true);
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(params.size());
+  for (const ParamRef& p : params)
+    analytic.emplace_back(p.grad->data(), p.grad->data() + p.grad->size());
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Matrix* value = params[pi].value;
+    const size_t n = value->size();
+    if (n == 0) continue;
+    size_t checks = std::min(max_entries_per_param, n);
+    for (size_t c = 0; c < checks; ++c) {
+      size_t j = checks == n
+                     ? c
+                     : rng.UniformInt(static_cast<uint32_t>(n));
+      float original = value->data()[j];
+      value->data()[j] = original + static_cast<float>(epsilon);
+      double plus = eval(false);
+      value->data()[j] = original - static_cast<float>(epsilon);
+      double minus = eval(false);
+      value->data()[j] = original;
+      double numeric = (plus - minus) / (2.0 * epsilon);
+      double a = analytic[pi][j];
+      double abs_diff = std::fabs(a - numeric);
+      double denom =
+          std::max({std::fabs(a), std::fabs(numeric), 1e-4});
+      result.max_abs_diff = std::max(result.max_abs_diff, abs_diff);
+      result.max_rel_diff =
+          std::max(result.max_rel_diff, abs_diff / denom);
+      if (abs_diff > 1e-3 && abs_diff / denom > 5e-2) ++result.violations;
+      ++result.entries_checked;
+    }
+  }
+  return result;
+}
+
+}  // namespace lmkg::nn

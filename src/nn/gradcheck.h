@@ -1,0 +1,38 @@
+#ifndef LMKG_NN_GRADCHECK_H_
+#define LMKG_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace lmkg::nn {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  double max_abs_diff = 0.0;  // max |analytic - numeric|
+  double max_rel_diff = 0.0;  // relative to max(|analytic|, |numeric|, 1e-4)
+  size_t entries_checked = 0;
+  /// Entries where BOTH the absolute and the relative error exceed their
+  /// tolerances (1e-3 / 5e-2). Tiny-gradient entries are noise-dominated
+  /// in float32 (large relative, tiny absolute error) and entries sitting
+  /// exactly on a ReLU kink show half-gradients (the analytic subgradient
+  /// is still valid); requiring both bounds to fail filters those out.
+  size_t violations = 0;
+};
+
+/// Verifies analytic gradients against central finite differences.
+///
+/// `eval(with_grad)` must run the model on a FIXED batch and return the
+/// loss; when with_grad is true it must also zero and then accumulate
+/// gradients into `params`. Checks up to `max_entries_per_param` randomly
+/// chosen weights per parameter tensor (exhaustive checks are too slow for
+/// anything but toy nets).
+GradCheckResult CheckGradients(
+    const std::function<double(bool with_grad)>& eval,
+    const std::vector<ParamRef>& params, double epsilon = 1e-3,
+    size_t max_entries_per_param = 24, uint64_t seed = 7);
+
+}  // namespace lmkg::nn
+
+#endif  // LMKG_NN_GRADCHECK_H_

@@ -1,0 +1,193 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+namespace lmkg::nn {
+
+// --- Dense -----------------------------------------------------------------
+
+Dense::Dense(size_t in_dim, size_t out_dim, util::Pcg32& rng)
+    : w_(in_dim, out_dim),
+      b_(1, out_dim),
+      dw_(in_dim, out_dim),
+      db_(1, out_dim) {
+  // He initialization; biases start slightly positive so no ReLU sits
+  // exactly on its kink at init (dead units would otherwise keep
+  // exact-zero pre-activations forever, which also breaks
+  // finite-difference gradient verification).
+  float stddev =
+      in_dim > 0 ? std::sqrt(2.0f / static_cast<float>(in_dim)) : 0.0f;
+  FillGaussian(&w_, stddev, rng);
+  b_.Fill(0.01f);
+}
+
+void Dense::Forward(const Matrix& in, Matrix* out, bool) {
+  MatMul(in, w_, out);
+  AddRowVector(out, b_);
+}
+
+void Dense::Backward(const Matrix& in, const Matrix&, const Matrix& dout,
+                     Matrix* din) {
+  MatMulTransAAccum(in, dout, &dw_);   // dW += inᵀ * dout
+  SumRowsAccum(dout, &db_);            // db += Σ rows dout
+  if (din != nullptr) MatMulTransB(dout, w_, din);  // din = dout * Wᵀ
+}
+
+void Dense::CollectParams(std::vector<ParamRef>* params) {
+  params->push_back({&w_, &dw_});
+  params->push_back({&b_, &db_});
+}
+
+// --- MaskedDense -------------------------------------------------------------
+
+MaskedDense::MaskedDense(size_t in_dim, size_t out_dim, util::Pcg32& rng)
+    : Dense(in_dim, out_dim, rng), mask_(in_dim, out_dim) {
+  mask_.Fill(1.0f);
+}
+
+void MaskedDense::SetMask(Matrix mask) {
+  LMKG_CHECK_EQ(mask.rows(), w_.rows());
+  LMKG_CHECK_EQ(mask.cols(), w_.cols());
+  mask_ = std::move(mask);
+  ApplyMaskToWeights();
+}
+
+void MaskedDense::ApplyMaskToWeights() { HadamardInPlace(&w_, mask_); }
+
+void MaskedDense::Forward(const Matrix& in, Matrix* out, bool training) {
+  // Re-mask in case the optimizer nudged masked weights (their gradients
+  // are masked below, but weight decay / numeric drift must not leak).
+  ApplyMaskToWeights();
+  Dense::Forward(in, out, training);
+}
+
+void MaskedDense::Backward(const Matrix& in, const Matrix& out,
+                           const Matrix& dout, Matrix* din) {
+  Dense::Backward(in, out, dout, din);
+  HadamardInPlace(&dw_, mask_);
+}
+
+// --- Relu --------------------------------------------------------------------
+
+void Relu::Forward(const Matrix& in, Matrix* out, bool) {
+  out->Resize(in.rows(), in.cols());
+  const float* x = in.data();
+  float* y = out->data();
+  for (size_t i = 0; i < in.size(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void Relu::Backward(const Matrix& in, const Matrix&, const Matrix& dout,
+                    Matrix* din) {
+  din->Resize(in.rows(), in.cols());
+  const float* x = in.data();
+  const float* d = dout.data();
+  float* g = din->data();
+  for (size_t i = 0; i < in.size(); ++i) g[i] = x[i] > 0.0f ? d[i] : 0.0f;
+}
+
+// --- Sigmoid -------------------------------------------------------------------
+
+void Sigmoid::Forward(const Matrix& in, Matrix* out, bool) {
+  out->Resize(in.rows(), in.cols());
+  const float* x = in.data();
+  float* y = out->data();
+  for (size_t i = 0; i < in.size(); ++i)
+    y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+void Sigmoid::Backward(const Matrix&, const Matrix& out,
+                       const Matrix& dout, Matrix* din) {
+  din->Resize(out.rows(), out.cols());
+  const float* y = out.data();
+  const float* d = dout.data();
+  float* g = din->data();
+  for (size_t i = 0; i < out.size(); ++i) g[i] = d[i] * y[i] * (1.0f - y[i]);
+}
+
+// --- Dropout -------------------------------------------------------------------
+
+Dropout::Dropout(double rate, uint64_t seed)
+    : rate_(rate), rng_(seed, /*stream=*/0xd20) {
+  LMKG_CHECK(rate >= 0.0 && rate < 1.0);
+}
+
+void Dropout::Forward(const Matrix& in, Matrix* out, bool training) {
+  out->Resize(in.rows(), in.cols());
+  if (!training || rate_ == 0.0) {
+    std::copy(in.data(), in.data() + in.size(), out->data());
+    return;
+  }
+  mask_.Resize(in.rows(), in.cols());
+  const float keep = 1.0f - static_cast<float>(rate_);
+  const float scale = 1.0f / keep;
+  const float* x = in.data();
+  float* m = mask_.data();
+  float* y = out->data();
+  for (size_t i = 0; i < in.size(); ++i) {
+    m[i] = rng_.Bernoulli(rate_) ? 0.0f : scale;
+    y[i] = x[i] * m[i];
+  }
+}
+
+void Dropout::Backward(const Matrix& in, const Matrix&, const Matrix& dout,
+                       Matrix* din) {
+  din->Resize(in.rows(), in.cols());
+  if (mask_.empty() || mask_.rows() != in.rows()) {
+    // Forward ran in inference mode.
+    std::copy(dout.data(), dout.data() + dout.size(), din->data());
+    return;
+  }
+  const float* d = dout.data();
+  const float* m = mask_.data();
+  float* g = din->data();
+  for (size_t i = 0; i < in.size(); ++i) g[i] = d[i] * m[i];
+}
+
+// --- Sequential -------------------------------------------------------------------
+
+void Sequential::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  activations_.emplace_back();
+  grad_buffers_.emplace_back();
+}
+
+const Matrix& Sequential::Forward(const Matrix& in, bool training) {
+  LMKG_CHECK(!layers_.empty());
+  input_.Resize(in.rows(), in.cols());
+  std::copy(in.data(), in.data() + in.size(), input_.data());
+  const Matrix* current = &input_;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->Forward(*current, &activations_[i], training);
+    current = &activations_[i];
+  }
+  return activations_.back();
+}
+
+void Sequential::Backward(const Matrix& dout) {
+  LMKG_CHECK(!layers_.empty());
+  const Matrix* current_grad = &dout;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    const Matrix& in = i == 0 ? input_ : activations_[i - 1];
+    Matrix* din = i == 0 ? &input_grad_ : &grad_buffers_[i - 1];
+    layers_[i]->Backward(in, activations_[i], *current_grad, din);
+    current_grad = din;
+  }
+}
+
+std::vector<ParamRef> Sequential::Params() {
+  std::vector<ParamRef> params;
+  for (auto& layer : layers_) layer->CollectParams(&params);
+  return params;
+}
+
+void Sequential::ZeroGrad() {
+  for (ParamRef p : Params()) p.grad->SetZero();
+}
+
+size_t Sequential::ParamCount() const {
+  size_t n = 0;
+  for (const auto& layer : layers_) n += layer->ParamCount();
+  return n;
+}
+
+}  // namespace lmkg::nn

@@ -1,0 +1,155 @@
+#ifndef LMKG_NN_LAYER_H_
+#define LMKG_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/random.h"
+
+namespace lmkg::nn {
+
+/// A trainable parameter and its gradient accumulator.
+struct ParamRef {
+  Matrix* value = nullptr;
+  Matrix* grad = nullptr;
+};
+
+/// One differentiable layer. Layers are stateless across batches except
+/// for caches written by Forward and consumed by the matching Backward
+/// (call them in pairs).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// out = f(in). `training` enables dropout noise etc.
+  virtual void Forward(const Matrix& in, Matrix* out, bool training) = 0;
+
+  /// Given dL/dout, accumulates parameter gradients and writes dL/din.
+  /// `in`/`out` are the tensors of the immediately preceding Forward.
+  virtual void Backward(const Matrix& in, const Matrix& out,
+                        const Matrix& dout, Matrix* din) = 0;
+
+  virtual void CollectParams(std::vector<ParamRef>* /*params*/) {}
+  virtual size_t ParamCount() const { return 0; }
+  virtual std::string name() const = 0;
+};
+
+/// Fully connected layer: out = in * W + b, W is (in_dim x out_dim).
+/// He-initialized (suits the ReLU stacks used throughout LMKG).
+class Dense : public Layer {
+ public:
+  Dense(size_t in_dim, size_t out_dim, util::Pcg32& rng);
+
+  void Forward(const Matrix& in, Matrix* out, bool training) override;
+  void Backward(const Matrix& in, const Matrix& out, const Matrix& dout,
+                Matrix* din) override;
+  void CollectParams(std::vector<ParamRef>* params) override;
+  size_t ParamCount() const override { return w_.size() + b_.size(); }
+  std::string name() const override { return "dense"; }
+
+  Matrix& weights() { return w_; }
+  Matrix& bias() { return b_; }
+
+ protected:
+  Matrix w_, b_;
+  Matrix dw_, db_;
+};
+
+/// Dense layer with a fixed 0/1 connectivity mask on the weights — the
+/// building block of MADE (Germain et al., ICML 2015). The mask is applied
+/// multiplicatively on every forward/backward, so masked connections stay
+/// dead under any optimizer update.
+class MaskedDense : public Dense {
+ public:
+  MaskedDense(size_t in_dim, size_t out_dim, util::Pcg32& rng);
+
+  /// mask has shape (in_dim x out_dim); entries must be 0 or 1.
+  void SetMask(Matrix mask);
+  const Matrix& mask() const { return mask_; }
+
+  void Forward(const Matrix& in, Matrix* out, bool training) override;
+  void Backward(const Matrix& in, const Matrix& out, const Matrix& dout,
+                Matrix* din) override;
+  std::string name() const override { return "masked_dense"; }
+
+ private:
+  void ApplyMaskToWeights();
+  Matrix mask_;
+};
+
+/// Elementwise max(0, x).
+class Relu : public Layer {
+ public:
+  void Forward(const Matrix& in, Matrix* out, bool training) override;
+  void Backward(const Matrix& in, const Matrix& out, const Matrix& dout,
+                Matrix* din) override;
+  std::string name() const override { return "relu"; }
+};
+
+/// Elementwise logistic 1 / (1 + e^-x) — the output activation of LMKG-S
+/// (predictions live in [0,1] after log/min-max scaling).
+class Sigmoid : public Layer {
+ public:
+  void Forward(const Matrix& in, Matrix* out, bool training) override;
+  void Backward(const Matrix& in, const Matrix& out, const Matrix& dout,
+                Matrix* din) override;
+  std::string name() const override { return "sigmoid"; }
+};
+
+/// Inverted dropout: at train time zeroes units with probability `rate`
+/// and rescales by 1/(1-rate); identity at inference.
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, uint64_t seed);
+
+  void Forward(const Matrix& in, Matrix* out, bool training) override;
+  void Backward(const Matrix& in, const Matrix& out, const Matrix& dout,
+                Matrix* din) override;
+  std::string name() const override { return "dropout"; }
+
+ private:
+  double rate_;
+  util::Pcg32 rng_;
+  Matrix mask_;
+};
+
+/// A feed-forward stack of layers with cached activations, enough for the
+/// LMKG-S / MSCN style models. Usage per batch:
+///   const Matrix& out = net.Forward(in, true);
+///   ... compute dL/dout ...
+///   net.ZeroGrad(); net.Backward(dout);  then optimizer.Step().
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+
+  void Add(std::unique_ptr<Layer> layer);
+
+  const Matrix& Forward(const Matrix& in, bool training);
+  /// Backpropagates dL/d(last output); requires a preceding Forward.
+  /// Also computes dL/d(input), available from input_grad() — needed when
+  /// stacks are chained through non-layer glue (e.g. MSCN's set pooling).
+  void Backward(const Matrix& dout);
+  const Matrix& input_grad() const { return input_grad_; }
+
+  std::vector<ParamRef> Params();
+  void ZeroGrad();
+  size_t ParamCount() const;
+  /// float32 parameter bytes — model size for the Table II accounting.
+  size_t ParamBytes() const { return ParamCount() * sizeof(float); }
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Matrix> activations_;  // activations_[i] = output of layer i
+  Matrix input_;                     // copy of last forward input
+  Matrix input_grad_;
+  std::vector<Matrix> grad_buffers_;
+};
+
+}  // namespace lmkg::nn
+
+#endif  // LMKG_NN_LAYER_H_

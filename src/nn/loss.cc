@@ -1,0 +1,87 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lmkg::nn {
+
+double MseLoss(const Matrix& pred, const std::vector<float>& target,
+               Matrix* dpred) {
+  LMKG_CHECK_EQ(pred.cols(), 1u);
+  LMKG_CHECK_EQ(pred.rows(), target.size());
+  const size_t n = pred.rows();
+  dpred->Resize(n, 1);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    float diff = pred.at(i, 0) - target[i];
+    loss += static_cast<double>(diff) * diff;
+    dpred->at(i, 0) = 2.0f * diff * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+double QErrorLoss(const Matrix& pred, const std::vector<float>& target,
+                  double log_range, Matrix* dpred,
+                  double sample_grad_clip) {
+  LMKG_CHECK_EQ(pred.cols(), 1u);
+  LMKG_CHECK_EQ(pred.rows(), target.size());
+  LMKG_CHECK_GT(log_range, 0.0);
+  const size_t n = pred.rows();
+  dpred->Resize(n, 1);
+  double loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    double diff = static_cast<double>(pred.at(i, 0)) - target[i];
+    double q = std::exp(log_range * std::fabs(diff));
+    loss += q;
+    double grad = log_range * (diff >= 0.0 ? 1.0 : -1.0) * q * inv_n;
+    grad = std::clamp(grad, -sample_grad_clip * inv_n,
+                      sample_grad_clip * inv_n);
+    dpred->at(i, 0) = static_cast<float>(grad);
+  }
+  return loss * inv_n;
+}
+
+void Softmax(const Matrix& logits, Matrix* out) {
+  out->Resize(logits.rows(), logits.cols());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const float* x = logits.row(i);
+    float* y = out->row(i);
+    float max_logit = x[0];
+    for (size_t j = 1; j < logits.cols(); ++j)
+      max_logit = std::max(max_logit, x[j]);
+    float sum = 0.0f;
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      y[j] = std::exp(x[j] - max_logit);
+      sum += y[j];
+    }
+    float inv = 1.0f / sum;
+    for (size_t j = 0; j < logits.cols(); ++j) y[j] *= inv;
+  }
+}
+
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<uint32_t>& targets,
+                           Matrix* dlogits) {
+  LMKG_CHECK_EQ(logits.rows(), targets.size());
+  const size_t n = logits.rows();
+  Softmax(logits, dlogits);  // dlogits temporarily holds probabilities
+  double nll = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t cls = targets[i];
+    LMKG_CHECK_LT(cls, logits.cols());
+    float p = dlogits->at(i, cls);
+    nll -= std::log(std::max(p, 1e-30f));
+    // d NLL / d logits = (softmax - onehot) / n
+    float* row = dlogits->row(i);
+    for (size_t j = 0; j < logits.cols(); ++j) row[j] *= inv_n;
+    row[cls] -= inv_n;
+  }
+  return nll / static_cast<double>(n);
+}
+
+}  // namespace lmkg::nn

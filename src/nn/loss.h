@@ -1,0 +1,41 @@
+#ifndef LMKG_NN_LOSS_H_
+#define LMKG_NN_LOSS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace lmkg::nn {
+
+/// Mean squared error over a (batch x 1) prediction column.
+/// Returns the loss; writes dL/dpred into dpred (same shape as pred).
+double MseLoss(const Matrix& pred, const std::vector<float>& target,
+               Matrix* dpred);
+
+/// Mean q-error loss on scaled-log predictions — the objective of LMKG-S
+/// (paper §VI-A): predictions and targets live in [0,1] after
+/// y = (ln c - ln c_min) / (ln c_max - ln c_min), so
+///
+///   q(pred, y) = max(ĉ/c, c/ĉ) = exp(log_range · |pred - y|)
+///
+/// with log_range = ln c_max - ln c_min. The gradient
+/// d q / d pred = log_range · sign(pred - y) · q grows with the q-error
+/// itself; `sample_grad_clip` caps the per-sample magnitude so early
+/// training does not explode (pair with ClipGradientNorm as well).
+double QErrorLoss(const Matrix& pred, const std::vector<float>& target,
+                  double log_range, Matrix* dpred,
+                  double sample_grad_clip = 100.0);
+
+/// Softmax + cross-entropy over logits (batch x classes) against integer
+/// class targets. Returns mean NLL (nats); writes dL/dlogits.
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<uint32_t>& targets,
+                           Matrix* dlogits);
+
+/// Row-wise softmax (out may alias logits' shape); used at inference time
+/// by the autoregressive sampler.
+void Softmax(const Matrix& logits, Matrix* out);
+
+}  // namespace lmkg::nn
+
+#endif  // LMKG_NN_LOSS_H_

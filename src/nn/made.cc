@@ -1,0 +1,272 @@
+#include "nn/made.h"
+
+#include <algorithm>
+#include <map>
+
+#include "nn/loss.h"
+#include "util/check.h"
+
+namespace lmkg::nn {
+
+ResMade::ResMade(const ResMadeConfig& config)
+    : domains_(config.domain_sizes),
+      embedding_dim_(config.embedding_dim),
+      hidden_dim_(config.hidden_dim) {
+  const size_t T = domains_.size();
+  LMKG_CHECK_GE(T, 2u);
+  LMKG_CHECK_GE(embedding_dim_, 1u);
+  LMKG_CHECK_GE(hidden_dim_, static_cast<size_t>(T));
+  util::Pcg32 rng(config.seed, /*stream=*/0x3ade);
+
+  // Shared embedding tables per distinct domain size.
+  std::map<uint32_t, size_t> table_of_domain;
+  position_table_.resize(T);
+  for (size_t t = 0; t < T; ++t) {
+    LMKG_CHECK_GE(domains_[t], 1u);
+    auto [it, inserted] =
+        table_of_domain.emplace(domains_[t], embed_tables_.size());
+    if (inserted) {
+      embed_tables_.emplace_back(domains_[t] + 1, embedding_dim_);
+      FillGaussian(&embed_tables_.back(), 0.1f, rng);
+      embed_grads_.emplace_back(domains_[t] + 1, embedding_dim_);
+    }
+    position_table_[t] = it->second;
+  }
+
+  // Hidden degrees: sorted blocks over [1, T-1], so each output head reads
+  // a prefix of the hidden vector.
+  hidden_degree_.resize(hidden_dim_);
+  for (size_t j = 0; j < hidden_dim_; ++j)
+    hidden_degree_[j] =
+        1 + static_cast<int>((j * (T - 1)) / hidden_dim_);
+  head_prefix_.resize(T);
+  for (size_t t = 0; t < T; ++t) {
+    // Head for position t (degree t+1) may read hidden units with degree
+    // <= t; degrees are sorted, so that is a prefix.
+    size_t n = 0;
+    while (n < hidden_dim_ &&
+           hidden_degree_[n] <= static_cast<int>(t))
+      ++n;
+    head_prefix_[t] = n;
+  }
+
+  // Input layer mask: input dims of position t carry degree t+1; a hidden
+  // unit of degree m reads inputs with degree <= m.
+  input_layer_ = std::make_unique<MaskedDense>(T * embedding_dim_,
+                                               hidden_dim_, rng);
+  {
+    Matrix mask(T * embedding_dim_, hidden_dim_);
+    for (size_t t = 0; t < T; ++t) {
+      int in_degree = static_cast<int>(t) + 1;
+      for (size_t e = 0; e < embedding_dim_; ++e) {
+        size_t i = t * embedding_dim_ + e;
+        for (size_t j = 0; j < hidden_dim_; ++j)
+          mask.at(i, j) = hidden_degree_[j] >= in_degree ? 1.0f : 0.0f;
+      }
+    }
+    input_layer_->SetMask(std::move(mask));
+  }
+
+  // Residual blocks: hidden-to-hidden mask allows degree_out >= degree_in.
+  Matrix hh_mask(hidden_dim_, hidden_dim_);
+  for (size_t i = 0; i < hidden_dim_; ++i)
+    for (size_t j = 0; j < hidden_dim_; ++j)
+      hh_mask.at(i, j) =
+          hidden_degree_[j] >= hidden_degree_[i] ? 1.0f : 0.0f;
+  blocks_.resize(std::max(config.num_blocks, 0));
+  for (auto& block : blocks_) {
+    block.fc1 = std::make_unique<MaskedDense>(hidden_dim_, hidden_dim_, rng);
+    block.fc2 = std::make_unique<MaskedDense>(hidden_dim_, hidden_dim_, rng);
+    Matrix m1 = hh_mask, m2 = hh_mask;
+    block.fc1->SetMask(std::move(m1));
+    block.fc2->SetMask(std::move(m2));
+  }
+
+  // Output heads: ordinary Dense over the degree-<t prefix (empty for
+  // position 0 — bias-only marginal).
+  heads_.reserve(T);
+  for (size_t t = 0; t < T; ++t)
+    heads_.push_back(
+        std::make_unique<Dense>(head_prefix_[t], domains_[t], rng));
+}
+
+void ResMade::EmbedBatch(const std::vector<uint32_t>& batch,
+                         size_t batch_size, size_t limit, Matrix* x) const {
+  const size_t T = domains_.size();
+  LMKG_CHECK_EQ(batch.size(), batch_size * T);
+  x->Resize(batch_size, T * embedding_dim_);
+  x->SetZero();
+  for (size_t r = 0; r < batch_size; ++r) {
+    float* row = x->row(r);
+    for (size_t t = 0; t < std::min(limit, T); ++t) {
+      uint32_t v = batch[r * T + t];
+      LMKG_CHECK_LE(v, domains_[t]);
+      const Matrix& table = embed_tables_[position_table_[t]];
+      const float* emb = table.row(v);
+      float* dst = row + t * embedding_dim_;
+      for (size_t e = 0; e < embedding_dim_; ++e) dst[e] = emb[e];
+    }
+  }
+}
+
+void ResMade::HiddenForward(const Matrix& x, bool training) {
+  input_layer_->Forward(x, &z0_, training);
+  // h0 = relu(z0)
+  h0_.Resize(z0_.rows(), z0_.cols());
+  for (size_t i = 0; i < z0_.size(); ++i)
+    h0_.data()[i] = z0_.data()[i] > 0.0f ? z0_.data()[i] : 0.0f;
+
+  const Matrix* h = &h0_;
+  for (auto& block : blocks_) {
+    block.in.Resize(h->rows(), h->cols());
+    std::copy(h->data(), h->data() + h->size(), block.in.data());
+    block.fc1->Forward(block.in, &block.a, training);
+    block.a_relu.Resize(block.a.rows(), block.a.cols());
+    for (size_t i = 0; i < block.a.size(); ++i)
+      block.a_relu.data()[i] =
+          block.a.data()[i] > 0.0f ? block.a.data()[i] : 0.0f;
+    block.fc2->Forward(block.a_relu, &block.c, training);
+    // out = relu(in + c)
+    block.out.Resize(block.in.rows(), block.in.cols());
+    for (size_t i = 0; i < block.in.size(); ++i) {
+      float v = block.in.data()[i] + block.c.data()[i];
+      block.out.data()[i] = v > 0.0f ? v : 0.0f;
+    }
+    h = &block.out;
+  }
+  hidden_final_.Resize(h->rows(), h->cols());
+  std::copy(h->data(), h->data() + h->size(), hidden_final_.data());
+}
+
+void ResMade::CopyPrefix(const Matrix& src, size_t n, Matrix* dst) {
+  dst->Resize(src.rows(), n);
+  for (size_t r = 0; r < src.rows(); ++r) {
+    const float* s = src.row(r);
+    float* d = dst->row(r);
+    for (size_t j = 0; j < n; ++j) d[j] = s[j];
+  }
+}
+
+double ResMade::ForwardBackward(const std::vector<uint32_t>& batch,
+                                size_t batch_size) {
+  const size_t T = domains_.size();
+  EmbedBatch(batch, batch_size, T, &embedded_);
+  HiddenForward(embedded_, /*training=*/true);
+
+  dhidden_.Resize(batch_size, hidden_dim_);
+  dhidden_.SetZero();
+  double total_nll = 0.0;
+  std::vector<uint32_t> targets(batch_size);
+  for (size_t t = 0; t < T; ++t) {
+    const size_t n = head_prefix_[t];
+    CopyPrefix(hidden_final_, n, &head_in_);
+    heads_[t]->Forward(head_in_, &logits_, true);
+    for (size_t r = 0; r < batch_size; ++r) {
+      uint32_t v = batch[r * T + t];
+      LMKG_CHECK_GE(v, 1u);
+      targets[r] = v - 1;  // class index
+    }
+    total_nll += SoftmaxCrossEntropy(logits_, targets, &dlogits_);
+    heads_[t]->Backward(head_in_, logits_, dlogits_, &dhead_in_);
+    // Accumulate the head's input gradient into the hidden prefix.
+    for (size_t r = 0; r < batch_size; ++r) {
+      const float* g = dhead_in_.row(r);
+      float* d = dhidden_.row(r);
+      for (size_t j = 0; j < n; ++j) d[j] += g[j];
+    }
+  }
+
+  // Backward through blocks.
+  Matrix* dh = &dhidden_;
+  for (size_t bi = blocks_.size(); bi-- > 0;) {
+    Block& block = blocks_[bi];
+    // out = relu(in + c): gate the incoming gradient.
+    for (size_t i = 0; i < block.out.size(); ++i)
+      if (block.out.data()[i] <= 0.0f) dh->data()[i] = 0.0f;
+    // dc = dh (post-gate); din (skip) = dh + fc-path gradient.
+    block.fc2->Backward(block.a_relu, block.c, *dh, &scratch_);
+    // scratch_ = d a_relu; gate through relu(a).
+    for (size_t i = 0; i < block.a.size(); ++i)
+      if (block.a.data()[i] <= 0.0f) scratch_.data()[i] = 0.0f;
+    block.fc1->Backward(block.in, block.a, scratch_, &dx_);
+    // dh (still holding gated dout) += dx_ : total gradient on block.in.
+    for (size_t i = 0; i < dh->size(); ++i)
+      dh->data()[i] += dx_.data()[i];
+  }
+
+  // Backward through h0 = relu(z0).
+  for (size_t i = 0; i < z0_.size(); ++i)
+    if (z0_.data()[i] <= 0.0f) dh->data()[i] = 0.0f;
+  input_layer_->Backward(embedded_, z0_, *dh, &dz0_);
+
+  // Embedding gradients.
+  for (size_t r = 0; r < batch_size; ++r) {
+    const float* g = dz0_.row(r);
+    for (size_t t = 0; t < T; ++t) {
+      uint32_t v = batch[r * T + t];
+      Matrix& grad = embed_grads_[position_table_[t]];
+      float* dst = grad.row(v);
+      const float* src = g + t * embedding_dim_;
+      for (size_t e = 0; e < embedding_dim_; ++e) dst[e] += src[e];
+    }
+  }
+  return total_nll;
+}
+
+double ResMade::Evaluate(const std::vector<uint32_t>& batch,
+                         size_t batch_size) {
+  const size_t T = domains_.size();
+  EmbedBatch(batch, batch_size, T, &embedded_);
+  HiddenForward(embedded_, /*training=*/false);
+  double total_nll = 0.0;
+  std::vector<uint32_t> targets(batch_size);
+  for (size_t t = 0; t < T; ++t) {
+    CopyPrefix(hidden_final_, head_prefix_[t], &head_in_);
+    heads_[t]->Forward(head_in_, &logits_, false);
+    for (size_t r = 0; r < batch_size; ++r)
+      targets[r] = batch[r * T + t] - 1;
+    total_nll += SoftmaxCrossEntropy(logits_, targets, &dlogits_);
+  }
+  return total_nll;
+}
+
+void ResMade::ConditionalProbs(const std::vector<uint32_t>& batch,
+                               size_t batch_size, size_t t, Matrix* probs) {
+  LMKG_CHECK_LT(t, domains_.size());
+  // Only positions < t can influence head t (enforced by the masks), so
+  // embedding is cut off there and later values may be garbage/0.
+  EmbedBatch(batch, batch_size, t, &embedded_);
+  HiddenForward(embedded_, /*training=*/false);
+  CopyPrefix(hidden_final_, head_prefix_[t], &head_in_);
+  heads_[t]->Forward(head_in_, &logits_, false);
+  Softmax(logits_, probs);
+}
+
+std::vector<ParamRef> ResMade::Params() {
+  std::vector<ParamRef> params;
+  for (size_t i = 0; i < embed_tables_.size(); ++i)
+    params.push_back({&embed_tables_[i], &embed_grads_[i]});
+  input_layer_->CollectParams(&params);
+  for (auto& block : blocks_) {
+    block.fc1->CollectParams(&params);
+    block.fc2->CollectParams(&params);
+  }
+  for (auto& head : heads_) head->CollectParams(&params);
+  return params;
+}
+
+void ResMade::ZeroGrad() {
+  for (ParamRef p : Params()) p.grad->SetZero();
+}
+
+size_t ResMade::ParamCount() const {
+  size_t n = 0;
+  for (const auto& t : embed_tables_) n += t.size();
+  n += input_layer_->ParamCount();
+  for (const auto& block : blocks_)
+    n += block.fc1->ParamCount() + block.fc2->ParamCount();
+  for (const auto& head : heads_) n += head->ParamCount();
+  return n;
+}
+
+}  // namespace lmkg::nn

@@ -1,0 +1,118 @@
+#ifndef LMKG_NN_MADE_H_
+#define LMKG_NN_MADE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/tensor.h"
+
+namespace lmkg::nn {
+
+/// Configuration of a ResMADE density model over term sequences.
+struct ResMadeConfig {
+  /// Domain size D_t of each sequence position (values run 1..D_t; 0 is
+  /// the "absent" padding id and never receives probability mass).
+  std::vector<uint32_t> domain_sizes;
+  /// Width of the per-term input embeddings (paper §VI-B: LMKG-U embeds
+  /// each term of the pattern-bound encoding; 32 in the evaluation).
+  size_t embedding_dim = 32;
+  size_t hidden_dim = 128;
+  /// Number of residual blocks after the input layer (each block is two
+  /// masked linear layers with a skip connection — "ResMADE", the MADE
+  /// variant with residual connections the paper uses).
+  int num_blocks = 2;
+  uint64_t seed = 1;
+};
+
+/// Deep autoregressive density estimator with MADE-style weight masking
+/// (Germain et al., 2015) and residual connections: models
+///
+///   P(x) = Π_t P(x_t | x_<t)
+///
+/// over fixed-length sequences of categorical terms. This is the neural
+/// model behind LMKG-U (paper §VI-B).
+///
+/// Implementation notes:
+///   * Input embeddings are shared across positions with equal domain size
+///     (for LMKG: one node table, one predicate table), keeping the model
+///     within the paper's tens-of-MB budget.
+///   * Hidden-unit degrees are assigned in sorted blocks, so the units a
+///     position-t output head may read form a prefix of the hidden vector;
+///     each head is then an ordinary Dense over that prefix and only the
+///     position being queried is ever materialized — the estimation-time
+///     critical path of progressive sampling.
+///   * Position 0's conditional P(x_1) is produced by a bias-only head,
+///     exactly as in standard MADE.
+class ResMade {
+ public:
+  explicit ResMade(const ResMadeConfig& config);
+
+  ResMade(const ResMade&) = delete;
+  ResMade& operator=(const ResMade&) = delete;
+
+  size_t sequence_length() const { return domains_.size(); }
+  uint32_t domain_size(size_t t) const { return domains_[t]; }
+
+  /// Trains on a batch of fully bound sequences, flattened row-major
+  /// (batch_size x T). Values must be in [1, D_t]. Accumulates gradients
+  /// and returns the mean (over rows) total NLL in nats.
+  double ForwardBackward(const std::vector<uint32_t>& batch,
+                         size_t batch_size);
+
+  /// Mean total NLL without touching gradients (validation).
+  double Evaluate(const std::vector<uint32_t>& batch, size_t batch_size);
+
+  /// Writes P(x_t = · | x_<t) for each row into probs (batch_size x D_t);
+  /// probs column v-1 is the probability of value v. Positions >= t of the
+  /// input rows are ignored (may be 0).
+  void ConditionalProbs(const std::vector<uint32_t>& batch,
+                        size_t batch_size, size_t t, Matrix* probs);
+
+  std::vector<ParamRef> Params();
+  void ZeroGrad();
+  size_t ParamCount() const;
+  size_t ParamBytes() const { return ParamCount() * sizeof(float); }
+
+ private:
+  struct Block {
+    std::unique_ptr<MaskedDense> fc1;
+    std::unique_ptr<MaskedDense> fc2;
+    // Forward caches.
+    Matrix in, a, a_relu, c, out;
+  };
+
+  // Embeds batch values into x (batch x T*E); positions >= limit write 0.
+  void EmbedBatch(const std::vector<uint32_t>& batch, size_t batch_size,
+                  size_t limit, Matrix* x) const;
+  // Runs input layer + blocks; leaves the final hidden in hidden_final_.
+  void HiddenForward(const Matrix& x, bool training);
+  // Copies the first n columns of src into dst.
+  static void CopyPrefix(const Matrix& src, size_t n, Matrix* dst);
+
+  std::vector<uint32_t> domains_;
+  size_t embedding_dim_;
+  size_t hidden_dim_;
+
+  // Shared embedding tables and which table each position uses.
+  std::vector<Matrix> embed_tables_;       // (D+1) x E each
+  std::vector<Matrix> embed_grads_;
+  std::vector<size_t> position_table_;     // position -> table index
+
+  std::vector<int> hidden_degree_;         // sorted, in [1, T-1]
+  std::vector<size_t> head_prefix_;        // per position: usable hidden
+  std::unique_ptr<MaskedDense> input_layer_;
+  std::vector<Block> blocks_;
+  std::vector<std::unique_ptr<Dense>> heads_;  // per position
+
+  // Forward caches (training path).
+  Matrix embedded_, z0_, h0_;
+  Matrix hidden_final_;
+  Matrix head_in_, logits_, dlogits_, dhead_in_;
+  Matrix dhidden_, dx_, dz0_, scratch_;
+};
+
+}  // namespace lmkg::nn
+
+#endif  // LMKG_NN_MADE_H_

@@ -1,0 +1,83 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace lmkg::nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x4c4d4b47;  // "LMKG"
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+util::Status SaveParams(const std::vector<ParamRef>& params,
+                        std::ostream& out) {
+  WriteU32(out, kMagic);
+  WriteU32(out, kVersion);
+  WriteU32(out, static_cast<uint32_t>(params.size()));
+  for (const ParamRef& p : params) {
+    WriteU32(out, static_cast<uint32_t>(p.value->rows()));
+    WriteU32(out, static_cast<uint32_t>(p.value->cols()));
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(p.value->size() *
+                                           sizeof(float)));
+  }
+  out.flush();
+  if (!out) return util::Status::Error("serialize: write failed");
+  return util::Status::Ok();
+}
+
+util::Status LoadParams(const std::vector<ParamRef>& params,
+                        std::istream& in) {
+  uint32_t magic = 0, version = 0, count = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic)
+    return util::Status::Error("serialize: bad magic (not an LMKG model)");
+  if (!ReadU32(in, &version) || version != kVersion)
+    return util::Status::Error(
+        util::StrFormat("serialize: unsupported version %u", version));
+  if (!ReadU32(in, &count) || count != params.size())
+    return util::Status::Error(util::StrFormat(
+        "serialize: tensor count mismatch (file %u, model %zu)", count,
+        params.size()));
+  // Verify every shape before touching any tensor, so a mismatch cannot
+  // leave the model half-loaded.
+  std::vector<std::pair<uint32_t, uint32_t>> shapes(params.size());
+  std::vector<std::vector<float>> buffers(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    uint32_t rows = 0, cols = 0;
+    if (!ReadU32(in, &rows) || !ReadU32(in, &cols))
+      return util::Status::Error("serialize: truncated header");
+    if (rows != params[i].value->rows() ||
+        cols != params[i].value->cols())
+      return util::Status::Error(util::StrFormat(
+          "serialize: tensor %zu shape mismatch (file %ux%u, model "
+          "%zux%zu)",
+          i, rows, cols, params[i].value->rows(),
+          params[i].value->cols()));
+    buffers[i].resize(static_cast<size_t>(rows) * cols);
+    in.read(reinterpret_cast<char*>(buffers[i].data()),
+            static_cast<std::streamsize>(buffers[i].size() *
+                                         sizeof(float)));
+    if (!in) return util::Status::Error("serialize: truncated data");
+    shapes[i] = {rows, cols};
+  }
+  for (size_t i = 0; i < params.size(); ++i)
+    std::copy(buffers[i].begin(), buffers[i].end(),
+              params[i].value->data());
+  return util::Status::Ok();
+}
+
+}  // namespace lmkg::nn

@@ -1,0 +1,27 @@
+#ifndef LMKG_NN_SERIALIZE_H_
+#define LMKG_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/status.h"
+
+namespace lmkg::nn {
+
+/// Binary serialization of model parameters ("train once in the creation
+/// phase, reuse in every execution phase"). The format stores a magic
+/// header, the tensor count, and each tensor's shape + float32 data; it
+/// is architecture-agnostic — loading requires a model constructed with
+/// the same configuration, and every shape is verified.
+util::Status SaveParams(const std::vector<ParamRef>& params,
+                        std::ostream& out);
+
+/// Restores parameters in place. Fails (without partial writes to the
+/// remaining tensors) on magic/count/shape mismatch or truncated input.
+util::Status LoadParams(const std::vector<ParamRef>& params,
+                        std::istream& in);
+
+}  // namespace lmkg::nn
+
+#endif  // LMKG_NN_SERIALIZE_H_

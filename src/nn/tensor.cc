@@ -1,0 +1,96 @@
+#include "nn/tensor.h"
+
+namespace lmkg::nn {
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  LMKG_CHECK_EQ(a.cols(), b.rows());
+  out->Resize(a.rows(), b.cols());
+  out->SetZero();
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (size_t l = 0; l < k; ++l) {
+      float av = arow[l];
+      if (av == 0.0f) continue;  // sparse 0/1 encodings are common inputs
+      const float* brow = b.row(l);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  LMKG_CHECK_EQ(a.rows(), b.rows());
+  out->Resize(a.cols(), b.cols());
+  out->SetZero();
+  MatMulTransAAccum(a, b, out);
+}
+
+void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* out) {
+  LMKG_CHECK_EQ(a.rows(), b.rows());
+  LMKG_CHECK_EQ(out->rows(), a.cols());
+  LMKG_CHECK_EQ(out->cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t l = 0; l < k; ++l) {
+    const float* arow = a.row(l);
+    const float* brow = b.row(l);
+    for (size_t i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out->row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  LMKG_CHECK_EQ(a.cols(), b.cols());
+  out->Resize(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float sum = 0.0f;
+      for (size_t l = 0; l < k; ++l) sum += arow[l] * brow[l];
+      orow[j] = sum;
+    }
+  }
+}
+
+void AddRowVector(Matrix* m, const Matrix& bias) {
+  LMKG_CHECK_EQ(bias.rows(), 1u);
+  LMKG_CHECK_EQ(bias.cols(), m->cols());
+  for (size_t i = 0; i < m->rows(); ++i) {
+    float* row = m->row(i);
+    const float* b = bias.row(0);
+    for (size_t j = 0; j < m->cols(); ++j) row[j] += b[j];
+  }
+}
+
+void SumRowsAccum(const Matrix& m, Matrix* out) {
+  LMKG_CHECK_EQ(out->rows(), 1u);
+  LMKG_CHECK_EQ(out->cols(), m.cols());
+  float* o = out->row(0);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i);
+    for (size_t j = 0; j < m.cols(); ++j) o[j] += row[j];
+  }
+}
+
+void HadamardInPlace(Matrix* dst, const Matrix& src) {
+  LMKG_CHECK_EQ(dst->rows(), src.rows());
+  LMKG_CHECK_EQ(dst->cols(), src.cols());
+  float* d = dst->data();
+  const float* s = src.data();
+  for (size_t i = 0; i < dst->size(); ++i) d[i] *= s[i];
+}
+
+void FillGaussian(Matrix* m, float stddev, util::Pcg32& rng) {
+  float* d = m->data();
+  for (size_t i = 0; i < m->size(); ++i)
+    d[i] = static_cast<float>(rng.NextGaussian()) * stddev;
+}
+
+}  // namespace lmkg::nn

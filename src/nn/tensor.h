@@ -1,0 +1,81 @@
+#ifndef LMKG_NN_TENSOR_H_
+#define LMKG_NN_TENSOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lmkg::nn {
+
+/// Dense row-major float matrix — the only tensor type the NN substrate
+/// needs (vectors are 1 x n matrices). Sized for the models LMKG trains
+/// (hidden dims in the hundreds); all ops are cache-aware loops with no
+/// BLAS dependency.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(size_t r) { return data_.data() + r * cols_; }
+  const float* row(size_t r) const { return data_.data() + r * cols_; }
+
+  float& at(size_t r, size_t c) {
+    LMKG_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    LMKG_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  void SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  /// Reshapes to (rows, cols), reallocating if needed; contents undefined.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). out is resized.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = aᵀ * b. Shapes: (k x m)ᵀ * (k x n) -> (m x n).
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out);
+/// out = a * bᵀ. Shapes: (m x k) * (n x k)ᵀ -> (m x n).
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out);
+/// out += aᵀ * b (out must already have shape m x n) — gradient
+/// accumulation for weight matrices.
+void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Adds a 1 x n bias row to every row of m.
+void AddRowVector(Matrix* m, const Matrix& bias);
+
+/// Accumulates the column sums of m into a 1 x n matrix (bias gradient).
+void SumRowsAccum(const Matrix& m, Matrix* out);
+
+/// Elementwise: dst = dst ⊙ src (same shape).
+void HadamardInPlace(Matrix* dst, const Matrix& src);
+
+/// Fills with N(0, stddev) — weight initialization.
+void FillGaussian(Matrix* m, float stddev, util::Pcg32& rng);
+
+}  // namespace lmkg::nn
+
+#endif  // LMKG_NN_TENSOR_H_

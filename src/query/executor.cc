@@ -1,0 +1,166 @@
+#include "query/executor.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lmkg::query {
+namespace {
+
+using rdf::TermId;
+
+// Resolves a pattern term under the current binding: returns the bound id,
+// the value its variable is bound to, or 0 if still free.
+TermId Resolve(const PatternTerm& t, const std::vector<TermId>& binding) {
+  if (t.bound()) return t.value;
+  return binding[t.var];
+}
+
+}  // namespace
+
+Executor::Executor(const rdf::Graph& graph) : graph_(graph) {
+  LMKG_CHECK(graph.finalized());
+}
+
+uint64_t Executor::EstimateCandidates(const TriplePattern& t,
+                                      const State& state) const {
+  TermId s = Resolve(t.s, state.binding);
+  TermId p = Resolve(t.p, state.binding);
+  TermId o = Resolve(t.o, state.binding);
+  if (s && p && o) return 1;
+  if (s && p) return graph_.OutEdgesWithPredicate(s, p).size();
+  if (o && p) return graph_.InEdgesWithPredicate(o, p).size();
+  if (s) return graph_.OutDegree(s);
+  if (o) return graph_.InDegree(o);
+  if (p) return graph_.PredicateCount(p);
+  return graph_.num_triples();
+}
+
+int Executor::PickNextPattern(const State& state) const {
+  int best = -1;
+  uint64_t best_cost = UINT64_MAX;
+  for (size_t i = 0; i < state.query->patterns.size(); ++i) {
+    if (state.done[i]) continue;
+    uint64_t cost = EstimateCandidates(state.query->patterns[i], state);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+template <typename Visit>
+void Executor::ForEachMatch(const TriplePattern& t, const State& state,
+                            Visit visit) const {
+  TermId s = Resolve(t.s, state.binding);
+  TermId p = Resolve(t.p, state.binding);
+  TermId o = Resolve(t.o, state.binding);
+
+  // A pattern like (?x p ?x) requires s == o when both resolve through the
+  // same free variable; detect that case for filtering below.
+  bool same_so_var = t.s.is_var() && t.o.is_var() && t.s.var == t.o.var;
+
+  if (s != rdf::kUnboundTerm) {
+    auto edges = p != rdf::kUnboundTerm ? graph_.OutEdgesWithPredicate(s, p)
+                                        : graph_.OutEdges(s);
+    for (const auto& e : edges) {
+      if (o != rdf::kUnboundTerm && e.o != o) continue;
+      if (same_so_var && e.o != s) continue;
+      visit(s, e.p, e.o);
+    }
+    return;
+  }
+  if (o != rdf::kUnboundTerm) {
+    auto edges = p != rdf::kUnboundTerm ? graph_.InEdgesWithPredicate(o, p)
+                                        : graph_.InEdges(o);
+    for (const auto& e : edges) {
+      if (same_so_var && e.s != o) continue;
+      visit(e.s, e.p, o);
+    }
+    return;
+  }
+  if (p != rdf::kUnboundTerm) {
+    for (const auto& so : graph_.PredicatePairs(p)) {
+      if (same_so_var && so.s != so.o) continue;
+      visit(so.s, p, so.o);
+    }
+    return;
+  }
+  for (const auto& triple : graph_.triples()) {
+    if (same_so_var && triple.s != triple.o) continue;
+    visit(triple.s, triple.p, triple.o);
+  }
+}
+
+uint64_t Executor::CountMatches(const TriplePattern& t,
+                                const State& state) const {
+  TermId s = Resolve(t.s, state.binding);
+  TermId p = Resolve(t.p, state.binding);
+  TermId o = Resolve(t.o, state.binding);
+  bool same_so_var = t.s.is_var() && t.o.is_var() && t.s.var == t.o.var;
+
+  // Fast paths that avoid iteration entirely.
+  if (!same_so_var) {
+    if (s && p && o) return graph_.HasTriple(s, p, o) ? 1 : 0;
+    if (s && p && !o) return graph_.OutEdgesWithPredicate(s, p).size();
+    if (!s && p && o) return graph_.InEdgesWithPredicate(o, p).size();
+    if (s && !p && !o) return graph_.OutDegree(s);
+    if (!s && !p && o) return graph_.InDegree(o);
+    if (!s && p && !o) return graph_.PredicateCount(p);
+    if (!s && !p && !o) return graph_.num_triples();
+  }
+  uint64_t n = 0;
+  ForEachMatch(t, state, [&](TermId, TermId, TermId) { ++n; });
+  return n;
+}
+
+void Executor::Recurse(State* state, size_t remaining) const {
+  if (state->count >= state->limit) return;
+  int idx = PickNextPattern(*state);
+  LMKG_CHECK_GE(idx, 0);
+  const TriplePattern& t = state->query->patterns[idx];
+
+  if (remaining == 1) {
+    state->count += CountMatches(t, *state);
+    return;
+  }
+
+  state->done[idx] = true;
+  ForEachMatch(t, *state, [&](TermId s, TermId p, TermId o) {
+    if (state->count >= state->limit) return;
+    // Bind free variables of this pattern, remembering what we bound so we
+    // can undo afterwards.
+    int bound_vars[3];
+    int nbound = 0;
+    auto bind = [&](const PatternTerm& term, TermId value) -> bool {
+      if (!term.is_var()) return true;
+      TermId& slot = state->binding[term.var];
+      if (slot == rdf::kUnboundTerm) {
+        slot = value;
+        bound_vars[nbound++] = term.var;
+        return true;
+      }
+      return slot == value;
+    };
+    bool ok = bind(t.s, s) && bind(t.p, p) && bind(t.o, o);
+    if (ok) Recurse(state, remaining - 1);
+    for (int i = 0; i < nbound; ++i)
+      state->binding[bound_vars[i]] = rdf::kUnboundTerm;
+  });
+  state->done[idx] = false;
+}
+
+uint64_t Executor::Count(const Query& q, uint64_t limit) const {
+  LMKG_CHECK(q.Valid()) << QueryToString(q);
+  if (q.patterns.empty()) return 0;
+  State state;
+  state.query = &q;
+  state.binding.assign(q.num_vars, rdf::kUnboundTerm);
+  state.done.assign(q.patterns.size(), false);
+  state.limit = limit;
+  Recurse(&state, q.patterns.size());
+  return state.count;
+}
+
+}  // namespace lmkg::query

@@ -1,0 +1,66 @@
+#ifndef LMKG_QUERY_EXECUTOR_H_
+#define LMKG_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "rdf/graph.h"
+
+namespace lmkg::query {
+
+inline constexpr uint64_t kNoLimit = UINT64_MAX;
+
+/// Exact cardinality computation for basic graph patterns by backtracking
+/// join over the graph's indexes. This is the ground truth used both to
+/// label training data and to score every estimator (the paper's
+/// `card(qp)`, §III).
+///
+/// Algorithm: patterns are ordered greedily by estimated candidate count
+/// given the variables already bound (most selective first); candidates
+/// for each pattern come from the best available index (SPO / OPS / PSO);
+/// when only one pattern remains its matches are counted without
+/// enumerating bindings, which makes star queries with unbound objects
+/// cheap.
+class Executor {
+ public:
+  explicit Executor(const rdf::Graph& graph);
+
+  /// Number of distinct variable bindings matching the pattern. A fully
+  /// bound query yields 1 if all triples exist, else 0. Counting stops at
+  /// `limit` (the return value is then >= limit, not exact).
+  uint64_t Count(const Query& q, uint64_t limit = kNoLimit) const;
+
+  /// Convenience: true cardinality of a query, as double (the unit every
+  /// estimator reports in).
+  double Cardinality(const Query& q) const {
+    return static_cast<double>(Count(q));
+  }
+
+ private:
+  struct State {
+    const Query* query = nullptr;
+    std::vector<rdf::TermId> binding;  // per variable; 0 = unbound
+    std::vector<bool> done;            // per pattern
+    uint64_t count = 0;
+    uint64_t limit = kNoLimit;
+  };
+
+  // Estimated number of index candidates for `t` under current bindings.
+  uint64_t EstimateCandidates(const TriplePattern& t,
+                              const State& state) const;
+  int PickNextPattern(const State& state) const;
+  void Recurse(State* state, size_t remaining) const;
+  // Enumerates matches of `t` under the binding; invokes visit(s,p,o).
+  template <typename Visit>
+  void ForEachMatch(const TriplePattern& t, const State& state,
+                    Visit visit) const;
+  // Counts matches of `t` under the binding without recursing.
+  uint64_t CountMatches(const TriplePattern& t, const State& state) const;
+
+  const rdf::Graph& graph_;
+};
+
+}  // namespace lmkg::query
+
+#endif  // LMKG_QUERY_EXECUTOR_H_

@@ -1,0 +1,210 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace lmkg::query {
+
+const char* TopologyName(Topology t) {
+  switch (t) {
+    case Topology::kSingle:
+      return "single";
+    case Topology::kStar:
+      return "star";
+    case Topology::kChain:
+      return "chain";
+    case Topology::kComposite:
+      return "composite";
+  }
+  return "?";
+}
+
+bool Query::fully_bound() const {
+  for (const auto& t : patterns)
+    if (t.s.is_var() || t.p.is_var() || t.o.is_var()) return false;
+  return true;
+}
+
+bool Query::Valid() const {
+  std::vector<int> seen_node(num_vars, 0);
+  std::vector<int> seen_pred(num_vars, 0);
+  for (const auto& t : patterns) {
+    for (const PatternTerm* term : {&t.s, &t.p, &t.o}) {
+      if (term->is_var()) {
+        if (term->bound()) return false;
+        if (term->var < 0 || term->var >= num_vars) return false;
+      } else if (!term->bound()) {
+        return false;  // neither bound nor variable
+      }
+    }
+    if (t.s.is_var()) seen_node[t.s.var] = 1;
+    if (t.o.is_var()) seen_node[t.o.var] = 1;
+    if (t.p.is_var()) seen_pred[t.p.var] = 1;
+  }
+  for (int v = 0; v < num_vars; ++v) {
+    if (!seen_node[v] && !seen_pred[v]) return false;  // unused var
+    if (seen_node[v] && seen_pred[v]) return false;    // mixed id spaces
+  }
+  if (!var_names.empty() &&
+      var_names.size() != static_cast<size_t>(num_vars))
+    return false;
+  return true;
+}
+
+Query MakeStarQuery(
+    PatternTerm center,
+    const std::vector<std::pair<PatternTerm, PatternTerm>>&
+        predicate_object_pairs) {
+  Query q;
+  for (const auto& [p, o] : predicate_object_pairs) {
+    TriplePattern t;
+    t.s = center;
+    t.p = p;
+    t.o = o;
+    q.patterns.push_back(t);
+  }
+  NormalizeVariables(&q);
+  return q;
+}
+
+Query MakeChainQuery(const std::vector<PatternTerm>& nodes,
+                     const std::vector<PatternTerm>& predicates) {
+  LMKG_CHECK_EQ(nodes.size(), predicates.size() + 1);
+  Query q;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    TriplePattern t;
+    t.s = nodes[i];
+    t.p = predicates[i];
+    t.o = nodes[i + 1];
+    q.patterns.push_back(t);
+  }
+  NormalizeVariables(&q);
+  return q;
+}
+
+void NormalizeVariables(Query* q) {
+  std::map<int, int> remap;
+  auto renumber = [&](PatternTerm* t) {
+    if (!t->is_var()) return;
+    auto [it, inserted] =
+        remap.emplace(t->var, static_cast<int>(remap.size()));
+    t->var = it->second;
+  };
+  for (auto& t : q->patterns) {
+    renumber(&t.s);
+    renumber(&t.p);
+    renumber(&t.o);
+  }
+  q->num_vars = static_cast<int>(remap.size());
+  if (!q->var_names.empty()) {
+    std::vector<std::string> names(remap.size());
+    for (const auto& [old_v, new_v] : remap) {
+      if (old_v >= 0 && old_v < static_cast<int>(q->var_names.size()))
+        names[new_v] = q->var_names[old_v];
+    }
+    q->var_names = std::move(names);
+  }
+}
+
+namespace {
+
+// Two pattern terms refer to the same query node iff they are the same
+// variable or the same bound id.
+bool SameTerm(const PatternTerm& a, const PatternTerm& b) {
+  if (a.is_var() != b.is_var()) return false;
+  return a.is_var() ? a.var == b.var : a.value == b.value;
+}
+
+}  // namespace
+
+std::optional<StarView> AsStar(const Query& q) {
+  if (q.patterns.empty()) return std::nullopt;
+  StarView view;
+  view.center = q.patterns[0].s;
+  for (const auto& t : q.patterns) {
+    if (!SameTerm(t.s, view.center)) return std::nullopt;
+    view.pairs.emplace_back(t.p, t.o);
+  }
+  return view;
+}
+
+std::optional<ChainView> AsChain(const Query& q) {
+  if (q.patterns.empty()) return std::nullopt;
+  const size_t k = q.patterns.size();
+  if (k == 1) {
+    ChainView view;
+    view.nodes = {q.patterns[0].s, q.patterns[0].o};
+    view.predicates = {q.patterns[0].p};
+    return view;
+  }
+  // Find the head: a pattern whose subject is no other pattern's object.
+  std::vector<bool> used(k, false);
+  int head = -1;
+  for (size_t i = 0; i < k; ++i) {
+    bool is_object = false;
+    for (size_t j = 0; j < k; ++j)
+      if (i != j && SameTerm(q.patterns[i].s, q.patterns[j].o))
+        is_object = true;
+    if (!is_object) {
+      if (head != -1) {
+        // Two heads: not a single chain unless one of them links forward;
+        // bail out — composite shapes go through decomposition.
+        return std::nullopt;
+      }
+      head = static_cast<int>(i);
+    }
+  }
+  if (head == -1) return std::nullopt;  // cyclic
+  ChainView view;
+  view.nodes.push_back(q.patterns[head].s);
+  PatternTerm current = q.patterns[head].s;
+  for (size_t step = 0; step < k; ++step) {
+    int next = -1;
+    for (size_t j = 0; j < k; ++j) {
+      if (!used[j] && SameTerm(q.patterns[j].s, current)) {
+        if (next != -1) return std::nullopt;  // branching: star-ish
+        next = static_cast<int>(j);
+      }
+    }
+    if (next == -1) return std::nullopt;  // disconnected
+    used[next] = true;
+    view.predicates.push_back(q.patterns[next].p);
+    view.nodes.push_back(q.patterns[next].o);
+    current = q.patterns[next].o;
+  }
+  // All nodes along the chain must be distinct query terms, otherwise the
+  // shape is a cycle/petal.
+  for (size_t i = 0; i < view.nodes.size(); ++i)
+    for (size_t j = i + 1; j < view.nodes.size(); ++j)
+      if (SameTerm(view.nodes[i], view.nodes[j])) return std::nullopt;
+  return view;
+}
+
+Topology ClassifyTopology(const Query& q) {
+  if (q.patterns.size() <= 1) return Topology::kSingle;
+  if (AsStar(q).has_value()) return Topology::kStar;
+  if (AsChain(q).has_value()) return Topology::kChain;
+  return Topology::kComposite;
+}
+
+std::string QueryToString(const Query& q) {
+  auto term = [&](const PatternTerm& t) -> std::string {
+    if (t.is_var()) {
+      if (!q.var_names.empty() &&
+          t.var < static_cast<int>(q.var_names.size()))
+        return "?" + q.var_names[t.var];
+      return util::StrFormat("?%d", t.var);
+    }
+    return util::StrFormat("%u", t.value);
+  };
+  std::vector<std::string> parts;
+  for (const auto& t : q.patterns)
+    parts.push_back(util::StrFormat("(%s %s %s)", term(t.s).c_str(),
+                                    term(t.p).c_str(), term(t.o).c_str()));
+  return util::Join(parts, " ");
+}
+
+}  // namespace lmkg::query

@@ -1,0 +1,116 @@
+#ifndef LMKG_QUERY_QUERY_H_
+#define LMKG_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace lmkg::query {
+
+inline constexpr int kNoVar = -1;
+
+/// One position of a triple pattern: either a bound term id or a query
+/// variable. Variables are numbered densely from 0 within a Query.
+struct PatternTerm {
+  rdf::TermId value = rdf::kUnboundTerm;  // >= 1 iff bound
+  int var = kNoVar;                       // >= 0 iff variable
+
+  bool bound() const { return value != rdf::kUnboundTerm; }
+  bool is_var() const { return var != kNoVar; }
+
+  static PatternTerm Bound(rdf::TermId id) {
+    PatternTerm t;
+    t.value = id;
+    return t;
+  }
+  static PatternTerm Variable(int v) {
+    PatternTerm t;
+    t.var = v;
+    return t;
+  }
+
+  friend bool operator==(const PatternTerm&, const PatternTerm&) = default;
+};
+
+/// A triple pattern (s, p, o) where each position may be bound or a var.
+struct TriplePattern {
+  PatternTerm s;
+  PatternTerm p;
+  PatternTerm o;
+
+  friend bool operator==(const TriplePattern&,
+                         const TriplePattern&) = default;
+};
+
+/// Query topology classes considered by the paper (§V). LMKG focuses on
+/// star and chain, the two most common shapes in real SPARQL logs
+/// (Bonifati et al., VLDB 2017); anything else is kComposite and is
+/// handled by decomposition (§IV "Query Decomposition").
+enum class Topology {
+  kSingle,     // one triple pattern
+  kStar,       // >= 2 patterns sharing one subject
+  kChain,      // o_i joins s_{i+1}
+  kComposite,  // anything else
+};
+
+const char* TopologyName(Topology t);
+
+/// A basic graph pattern (conjunction of triple patterns) with `num_vars`
+/// variables numbered 0..num_vars-1. Optional variable names are kept for
+/// printing/parsing round trips.
+struct Query {
+  std::vector<TriplePattern> patterns;
+  int num_vars = 0;
+  std::vector<std::string> var_names;  // may be empty; else size num_vars
+
+  /// Number of triple patterns ("query size" in the paper's terms).
+  size_t size() const { return patterns.size(); }
+
+  /// True if no position holds a variable.
+  bool fully_bound() const;
+
+  /// Checks internal consistency: vars dense in [0, num_vars), no variable
+  /// used both as a node (s/o) and as a predicate.
+  bool Valid() const;
+};
+
+/// Builds a subject-star query: all patterns share `center` as subject.
+Query MakeStarQuery(PatternTerm center,
+                    const std::vector<std::pair<PatternTerm, PatternTerm>>&
+                        predicate_object_pairs);
+
+/// Builds a chain query from k+1 node terms and k predicate terms:
+/// (n0,p0,n1), (n1,p1,n2), ...
+Query MakeChainQuery(const std::vector<PatternTerm>& nodes,
+                     const std::vector<PatternTerm>& predicates);
+
+/// Classifies the topology; chain detection reorders patterns if needed.
+Topology ClassifyTopology(const Query& q);
+
+/// Star view of a query (center + (p, o) pairs), if it is star-shaped
+/// (single patterns qualify as stars of size 1).
+struct StarView {
+  PatternTerm center;
+  std::vector<std::pair<PatternTerm, PatternTerm>> pairs;
+};
+std::optional<StarView> AsStar(const Query& q);
+
+/// Chain view (node/predicate sequences in walk order), if chain-shaped.
+struct ChainView {
+  std::vector<PatternTerm> nodes;       // k+1
+  std::vector<PatternTerm> predicates;  // k
+};
+std::optional<ChainView> AsChain(const Query& q);
+
+/// Renumbers variables densely and fills num_vars; call after hand-building
+/// queries from pattern lists.
+void NormalizeVariables(Query* q);
+
+/// Debug representation like "(?0 <p3> e17) (?0 <p5> ?1)".
+std::string QueryToString(const Query& q);
+
+}  // namespace lmkg::query
+
+#endif  // LMKG_QUERY_QUERY_H_

@@ -1,0 +1,194 @@
+#include "query/sparql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace lmkg::query {
+namespace {
+
+struct Token {
+  enum Kind { kVar, kUri, kLiteral, kPunct, kWord } kind;
+  std::string text;
+};
+
+util::Status TokenizeError(size_t pos) {
+  return util::Status::Error(
+      util::StrFormat("sparql: tokenize error at offset %zu", pos));
+}
+
+util::Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '{' || c == '}' || c == '.' || c == ';' || c == ',') {
+      tokens.push_back({Token::kPunct, std::string(1, c)});
+      ++i;
+      continue;
+    }
+    if (c == '?') {
+      size_t j = i + 1;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_'))
+        ++j;
+      if (j == i + 1) return TokenizeError(i);
+      tokens.push_back({Token::kVar, std::string(text.substr(i + 1, j - i - 1))});
+      i = j;
+      continue;
+    }
+    if (c == '<') {
+      size_t j = text.find('>', i + 1);
+      if (j == std::string_view::npos) return TokenizeError(i);
+      tokens.push_back({Token::kUri, std::string(text.substr(i + 1, j - i - 1))});
+      i = j + 1;
+      continue;
+    }
+    if (c == '"') {
+      size_t j = i + 1;
+      while (j < text.size() && text[j] != '"') {
+        if (text[j] == '\\') ++j;
+        ++j;
+      }
+      if (j >= text.size()) return TokenizeError(i);
+      // Literals are stored quoted in the dictionary.
+      tokens.push_back(
+          {Token::kLiteral, std::string(text.substr(i, j - i + 1))});
+      i = j + 1;
+      continue;
+    }
+    // Bare word: keyword (SELECT/WHERE) or prefixed name.
+    size_t j = i;
+    while (j < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[j])) &&
+           text[j] != '{' && text[j] != '}' && text[j] != ';' &&
+           text[j] != ',' &&
+           !(text[j] == '.' &&
+             (j + 1 >= text.size() ||
+              std::isspace(static_cast<unsigned char>(text[j + 1])) ||
+              text[j + 1] == '}')))
+      ++j;
+    if (j == i) return TokenizeError(i);
+    tokens.push_back({Token::kWord, std::string(text.substr(i, j - i))});
+    i = j;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+util::Result<Query> ParseSparql(std::string_view text,
+                                const rdf::Graph& graph) {
+  auto tokens_result = Tokenize(text);
+  if (!tokens_result.ok()) return tokens_result.status();
+  const std::vector<Token>& tokens = tokens_result.value();
+
+  size_t i = 0;
+  auto error = [&](const std::string& msg) {
+    return util::Status::Error("sparql: " + msg);
+  };
+  auto upper = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(), ::toupper);
+    return s;
+  };
+
+  if (i >= tokens.size() || tokens[i].kind != Token::kWord ||
+      upper(tokens[i].text) != "SELECT")
+    return error("expected SELECT");
+  ++i;
+  // Projection list (variables or *) — parsed and ignored: cardinality
+  // estimation counts full bindings.
+  while (i < tokens.size() &&
+         (tokens[i].kind == Token::kVar ||
+          (tokens[i].kind == Token::kWord && tokens[i].text == "*")))
+    ++i;
+  if (i >= tokens.size() || tokens[i].kind != Token::kWord ||
+      upper(tokens[i].text) != "WHERE")
+    return error("expected WHERE");
+  ++i;
+  if (i >= tokens.size() || tokens[i].text != "{")
+    return error("expected {");
+  ++i;
+
+  Query q;
+  std::map<std::string, int> var_ids;
+  auto make_term = [&](const Token& tok,
+                       bool is_predicate) -> util::Result<PatternTerm> {
+    switch (tok.kind) {
+      case Token::kVar: {
+        auto [it, inserted] =
+            var_ids.emplace(tok.text, static_cast<int>(var_ids.size()));
+        if (inserted) q.var_names.push_back(tok.text);
+        return PatternTerm::Variable(it->second);
+      }
+      case Token::kUri:
+      case Token::kWord:
+      case Token::kLiteral: {
+        std::optional<rdf::TermId> id =
+            is_predicate ? graph.dict().FindPredicate(tok.text)
+                         : graph.dict().FindNode(tok.text);
+        if (!id.has_value())
+          return util::Status::Error("sparql: unknown term '" + tok.text +
+                                     "'");
+        return PatternTerm::Bound(*id);
+      }
+      case Token::kPunct:
+        break;
+    }
+    return util::Status::Error("sparql: unexpected token '" + tok.text +
+                               "'");
+  };
+
+  PatternTerm subject;
+  bool have_subject = false;
+  while (i < tokens.size() && tokens[i].text != "}") {
+    if (!have_subject) {
+      auto s = make_term(tokens[i], /*is_predicate=*/false);
+      if (!s.ok()) return s.status();
+      subject = s.value();
+      have_subject = true;
+      ++i;
+    }
+    if (i + 1 >= tokens.size()) return error("truncated triple pattern");
+    auto p = make_term(tokens[i], /*is_predicate=*/true);
+    if (!p.ok()) return p.status();
+    auto o = make_term(tokens[i + 1], /*is_predicate=*/false);
+    if (!o.ok()) return o.status();
+    i += 2;
+    TriplePattern t;
+    t.s = subject;
+    t.p = p.value();
+    t.o = o.value();
+    q.patterns.push_back(t);
+    if (i >= tokens.size()) return error("missing pattern terminator");
+    if (tokens[i].text == ";") {
+      ++i;  // same subject continues
+    } else if (tokens[i].text == ".") {
+      have_subject = false;
+      ++i;
+    } else if (tokens[i].text == "}") {
+      break;
+    } else {
+      return error("expected '.', ';' or '}' after pattern, got '" +
+                   tokens[i].text + "'");
+    }
+  }
+  if (i >= tokens.size() || tokens[i].text != "}")
+    return error("expected }");
+  if (q.patterns.empty()) return error("empty graph pattern");
+
+  q.num_vars = static_cast<int>(var_ids.size());
+  if (!q.Valid()) return error("invalid pattern (variable used as both "
+                               "node and predicate?)");
+  return q;
+}
+
+}  // namespace lmkg::query

@@ -1,0 +1,32 @@
+#ifndef LMKG_QUERY_SPARQL_PARSER_H_
+#define LMKG_QUERY_SPARQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "query/query.h"
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace lmkg::query {
+
+/// Parses a pragmatic subset of SPARQL sufficient for the workloads LMKG
+/// handles — SELECT over one basic graph pattern:
+///
+///   SELECT ?x ?y WHERE {
+///     ?x <swrc:hasAuthor> <person/42> ;
+///        <swc:genre> "Horror" .
+///     ?y <swrc:cites> ?x .
+///   }
+///
+/// Supported terms: `?var`, `<uri-or-prefixed-name>`, `"literal"`, and bare
+/// prefixed names (`swrc:title`). `;` continues the subject of the previous
+/// pattern, `.` ends it. Bound terms are resolved against the graph's
+/// dictionary; referencing an unknown term is an error (its cardinality
+/// would trivially be 0).
+util::Result<Query> ParseSparql(std::string_view text,
+                                const rdf::Graph& graph);
+
+}  // namespace lmkg::query
+
+#endif  // LMKG_QUERY_SPARQL_PARSER_H_

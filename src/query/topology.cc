@@ -1,0 +1,327 @@
+#include "query/topology.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace lmkg::query {
+
+namespace {
+
+// Node key: variables and bound ids live in disjoint key spaces.
+using NodeKey = std::pair<int, uint64_t>;
+
+NodeKey KeyOf(const PatternTerm& t) {
+  return t.bound() ? NodeKey(0, t.value) : NodeKey(1, t.var);
+}
+
+// The query's node graph: vertices are distinct s/o terms, edges are the
+// triple patterns directed subject -> object. Built once per
+// classification.
+struct NodeGraph {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;  // (subject vertex, object vertex)
+  std::vector<std::vector<int>> incident;  // vertex -> incident edge ids
+  std::vector<std::vector<int>> outgoing;  // vertex -> out-edge ids
+  std::vector<int> in_deg;
+  std::vector<int> out_deg;
+  bool has_self_loop = false;
+
+  int Degree(int v) const { return static_cast<int>(incident[v].size()); }
+};
+
+NodeGraph BuildNodeGraph(const Query& q) {
+  NodeGraph g;
+  std::map<NodeKey, int> index;
+  auto vertex = [&](const PatternTerm& t) {
+    auto [it, inserted] =
+        index.emplace(KeyOf(t), static_cast<int>(index.size()));
+    return it->second;
+  };
+  for (const auto& t : q.patterns) {
+    int u = vertex(t.s);
+    int v = vertex(t.o);
+    if (u == v) g.has_self_loop = true;
+    g.edges.emplace_back(u, v);
+  }
+  g.num_vertices = static_cast<int>(index.size());
+  g.incident.resize(g.num_vertices);
+  g.outgoing.resize(g.num_vertices);
+  g.in_deg.assign(g.num_vertices, 0);
+  g.out_deg.assign(g.num_vertices, 0);
+  for (size_t e = 0; e < g.edges.size(); ++e) {
+    const auto& [u, v] = g.edges[e];
+    g.incident[u].push_back(static_cast<int>(e));
+    g.incident[v].push_back(static_cast<int>(e));
+    g.outgoing[u].push_back(static_cast<int>(e));
+    ++g.out_deg[u];
+    ++g.in_deg[v];
+  }
+  return g;
+}
+
+int OtherEnd(const NodeGraph& g, int edge, int from) {
+  const auto& [u, v] = g.edges[edge];
+  return u == from ? v : u;
+}
+
+// Connectivity over the undirected view of the node graph.
+bool IsConnected(const NodeGraph& g) {
+  if (g.num_vertices == 0) return false;
+  std::vector<bool> seen(g.num_vertices, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int visited = 1;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int e : g.incident[v]) {
+      int w = OtherEnd(g, e, v);
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == g.num_vertices;
+}
+
+// Acyclic connected multigraphs have exactly |V| - 1 edges; any multi-edge
+// or cycle pushes |E| above that.
+bool IsTreeShaped(const NodeGraph& g) {
+  return IsConnected(g) &&
+         g.edges.size() == static_cast<size_t>(g.num_vertices) - 1;
+}
+
+// A single directed cycle: every node has exactly one incoming and one
+// outgoing pattern edge. (The undirected-degree-2 shape with other edge
+// orientations is a petal.)
+bool IsCycleShaped(const NodeGraph& g) {
+  if (g.edges.size() < 2 || !IsConnected(g)) return false;
+  for (int v = 0; v < g.num_vertices; ++v)
+    if (g.in_deg[v] != 1 || g.out_deg[v] != 1) return false;
+  return true;
+}
+
+bool IsCliqueShaped(const NodeGraph& g) {
+  if (g.num_vertices < 3) return false;
+  std::vector<std::vector<bool>> adjacent(
+      g.num_vertices, std::vector<bool>(g.num_vertices, false));
+  for (const auto& [u, v] : g.edges) {
+    adjacent[u][v] = true;
+    adjacent[v][u] = true;
+  }
+  for (int u = 0; u < g.num_vertices; ++u)
+    for (int v = u + 1; v < g.num_vertices; ++v)
+      if (!adjacent[u][v]) return false;
+  return true;
+}
+
+// Directed petal: a source s (in-degree 0) and target t (out-degree 0)
+// joined by m = out_deg(s) >= 2 internally node-disjoint directed paths
+// covering all edges; interior nodes have in-degree = out-degree = 1.
+bool IsPetalShaped(const NodeGraph& g) {
+  if (!IsConnected(g)) return false;
+  int source = -1;
+  int target = -1;
+  for (int v = 0; v < g.num_vertices; ++v) {
+    if (g.in_deg[v] == 0 && g.out_deg[v] >= 2) {
+      if (source != -1) return false;
+      source = v;
+    } else if (g.out_deg[v] == 0 && g.in_deg[v] >= 2) {
+      if (target != -1) return false;
+      target = v;
+    } else if (g.in_deg[v] != 1 || g.out_deg[v] != 1) {
+      return false;
+    }
+  }
+  if (source == -1 || target == -1) return false;
+  if (g.out_deg[source] != g.in_deg[target]) return false;
+  // Follow each path from the source; interiors have a unique out-edge, so
+  // the walk is deterministic. Node-disjointness = no interior revisited.
+  std::vector<bool> vertex_used(g.num_vertices, false);
+  size_t edges_walked = 0;
+  for (int first : g.outgoing[source]) {
+    int edge = first;
+    while (true) {
+      ++edges_walked;
+      int next = g.edges[edge].second;
+      if (next == target) break;
+      if (vertex_used[next]) return false;  // paths share an interior
+      vertex_used[next] = true;
+      edge = g.outgoing[next][0];
+    }
+  }
+  return edges_walked == g.edges.size();
+}
+
+// Acyclicity of the multigraph with one vertex (and its edges) removed —
+// "all cycles pass through `removed`". Union-find cycle detection.
+bool IsForestWithout(const NodeGraph& g, int removed) {
+  std::vector<int> parent(g.num_vertices);
+  for (int v = 0; v < g.num_vertices; ++v) parent[v] = v;
+  auto find = [&](int v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const auto& [u, v] : g.edges) {
+    if (u == removed || v == removed) continue;
+    int ru = find(u);
+    int rv = find(v);
+    if (ru == rv) return false;
+    parent[ru] = rv;
+  }
+  return true;
+}
+
+bool IsFlowerShaped(const NodeGraph& g) {
+  if (!IsConnected(g)) return false;
+  for (int c = 0; c < g.num_vertices; ++c)
+    if (g.Degree(c) >= 3 && IsForestWithout(g, c)) return true;
+  return false;
+}
+
+}  // namespace
+
+const char* DetailedTopologyName(DetailedTopology t) {
+  switch (t) {
+    case DetailedTopology::kSingle:
+      return "single";
+    case DetailedTopology::kStar:
+      return "star";
+    case DetailedTopology::kChain:
+      return "chain";
+    case DetailedTopology::kTree:
+      return "tree";
+    case DetailedTopology::kCycle:
+      return "cycle";
+    case DetailedTopology::kClique:
+      return "clique";
+    case DetailedTopology::kPetal:
+      return "petal";
+    case DetailedTopology::kFlower:
+      return "flower";
+    case DetailedTopology::kGraph:
+      return "graph";
+  }
+  return "?";
+}
+
+Topology ToBaseTopology(DetailedTopology t) {
+  switch (t) {
+    case DetailedTopology::kSingle:
+      return Topology::kSingle;
+    case DetailedTopology::kStar:
+      return Topology::kStar;
+    case DetailedTopology::kChain:
+      return Topology::kChain;
+    default:
+      return Topology::kComposite;
+  }
+}
+
+DetailedTopology ClassifyDetailedTopology(const Query& q) {
+  if (q.patterns.size() <= 1) return DetailedTopology::kSingle;
+  // Defer to the base classifier for the shapes the paper's pattern-bound
+  // models serve, so the two classifiers never disagree on them.
+  switch (ClassifyTopology(q)) {
+    case Topology::kSingle:
+      return DetailedTopology::kSingle;
+    case Topology::kStar:
+      return DetailedTopology::kStar;
+    case Topology::kChain:
+      return DetailedTopology::kChain;
+    case Topology::kComposite:
+      break;
+  }
+  NodeGraph g = BuildNodeGraph(q);
+  if (g.has_self_loop) return DetailedTopology::kGraph;
+  if (IsCycleShaped(g)) return DetailedTopology::kCycle;
+  if (IsTreeShaped(g)) return DetailedTopology::kTree;
+  if (IsPetalShaped(g)) return DetailedTopology::kPetal;
+  if (IsCliqueShaped(g)) return DetailedTopology::kClique;
+  if (IsFlowerShaped(g)) return DetailedTopology::kFlower;
+  return DetailedTopology::kGraph;
+}
+
+Query MakeTreeQuery(const std::vector<PatternTerm>& nodes,
+                    const std::vector<int>& parents,
+                    const std::vector<PatternTerm>& predicates) {
+  LMKG_CHECK_EQ(nodes.size(), parents.size());
+  LMKG_CHECK_EQ(predicates.size() + 1, nodes.size());
+  Query q;
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    LMKG_CHECK(parents[i] >= 0 && parents[i] < static_cast<int>(i))
+        << "tree parents must point at earlier nodes";
+    TriplePattern t;
+    t.s = nodes[parents[i]];
+    t.p = predicates[i - 1];
+    t.o = nodes[i];
+    q.patterns.push_back(t);
+  }
+  NormalizeVariables(&q);
+  return q;
+}
+
+Query MakeCycleQuery(const std::vector<PatternTerm>& nodes,
+                     const std::vector<PatternTerm>& predicates) {
+  LMKG_CHECK_GE(nodes.size(), 2u);
+  LMKG_CHECK_EQ(nodes.size(), predicates.size());
+  Query q;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    TriplePattern t;
+    t.s = nodes[i];
+    t.p = predicates[i];
+    t.o = nodes[(i + 1) % nodes.size()];
+    q.patterns.push_back(t);
+  }
+  NormalizeVariables(&q);
+  return q;
+}
+
+Query MakeCliqueQuery(const std::vector<PatternTerm>& nodes,
+                      const std::vector<PatternTerm>& predicates) {
+  LMKG_CHECK_GE(nodes.size(), 3u);
+  LMKG_CHECK_EQ(predicates.size(), nodes.size() * (nodes.size() - 1) / 2);
+  Query q;
+  size_t next = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      TriplePattern t;
+      t.s = nodes[i];
+      t.p = predicates[next++];
+      t.o = nodes[j];
+      q.patterns.push_back(t);
+    }
+  }
+  NormalizeVariables(&q);
+  return q;
+}
+
+Query MakePetalQuery(PatternTerm source, PatternTerm target,
+                     const std::vector<PetalPath>& paths) {
+  LMKG_CHECK_GE(paths.size(), 2u);
+  Query q;
+  for (const PetalPath& path : paths) {
+    LMKG_CHECK_EQ(path.predicates.size(), path.interior.size() + 1);
+    PatternTerm at = source;
+    for (size_t i = 0; i < path.predicates.size(); ++i) {
+      TriplePattern t;
+      t.s = at;
+      t.p = path.predicates[i];
+      t.o = i < path.interior.size() ? path.interior[i] : target;
+      q.patterns.push_back(t);
+      at = t.o;
+    }
+  }
+  NormalizeVariables(&q);
+  return q;
+}
+
+}  // namespace lmkg::query

@@ -1,0 +1,90 @@
+#ifndef LMKG_QUERY_TOPOLOGY_H_
+#define LMKG_QUERY_TOPOLOGY_H_
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace lmkg::query {
+
+/// The full query-shape taxonomy the paper cites (§V, after Bonifati,
+/// Martens & Timm, "An analytical study of large SPARQL query logs", VLDB
+/// 2017): chain, star, tree, cycle, clique, petal, flower, and general
+/// graph. The base `Topology` enum only separates the two shapes LMKG's
+/// pattern-bound models serve; this classifier recognizes the rest — the
+/// shapes a single SG-encoded model can additionally represent (§V-A1
+/// "the same model may later be trained on tree or clique queries").
+///
+/// Shapes are defined on the query's *node graph*: an undirected
+/// multigraph whose vertices are the distinct subject/object terms
+/// (variables or bound ids) and whose edges are the triple patterns.
+/// Predicate terms label edges and never form vertices.
+enum class DetailedTopology {
+  kSingle,  // one triple pattern
+  kStar,    // all patterns share one subject (base classifier's star)
+  kChain,   // a simple directed path (base classifier's chain)
+  kTree,    // connected + acyclic, but neither a star nor a chain
+  kCycle,   // a single directed cycle: every node has in-degree 1 and
+            // out-degree 1
+  kPetal,   // a source and a target node joined by >= 2 internally
+            // node-disjoint directed paths
+  kClique,  // >= 3 nodes, every node pair adjacent
+  kFlower,  // all cycles pass through one common node (chains/trees/petals
+            // attached to a single center)
+  kGraph,   // anything else, incl. disconnected (cartesian product) queries
+};
+
+const char* DetailedTopologyName(DetailedTopology t);
+
+/// Classifies a query into the taxonomy above. Precedence for shapes that
+/// overlap structurally:
+///
+///   single > star > chain > cycle > tree > petal > clique > flower > graph
+///
+/// e.g. a directed triangle is both a 3-cycle and a 3-clique and
+/// classifies as kCycle; a DAG triangle (two directed paths a->c) is both
+/// a petal and a 3-clique and classifies as kPetal; every cycle and petal
+/// trivially satisfies the flower criterion and classifies as the more
+/// specific shape. Queries with a self-loop pattern (subject term ==
+/// object term) of size >= 2 classify as kGraph.
+DetailedTopology ClassifyDetailedTopology(const Query& q);
+
+/// Coarsens to the base enum: kSingle/kStar/kChain map to themselves,
+/// everything else to Topology::kComposite. Consistent with
+/// ClassifyTopology for every query (tested).
+Topology ToBaseTopology(DetailedTopology t);
+
+/// Builds a tree query from a parent-pointer representation: node 0 is the
+/// root; for every i >= 1, an edge `nodes[parents[i]] --predicates[i-1]-->
+/// nodes[i]`. `parents[0]` is ignored; all other parents[i] must be < i.
+/// A tree with all parents == 0 is a star; a tree with parents[i] == i-1
+/// is a chain (the classifier reports them as such).
+Query MakeTreeQuery(const std::vector<PatternTerm>& nodes,
+                    const std::vector<int>& parents,
+                    const std::vector<PatternTerm>& predicates);
+
+/// Builds a directed cycle of k >= 2 nodes:
+/// (n_0 p_0 n_1), (n_1 p_1 n_2), ..., (n_{k-1} p_{k-1} n_0).
+Query MakeCycleQuery(const std::vector<PatternTerm>& nodes,
+                     const std::vector<PatternTerm>& predicates);
+
+/// Builds a clique over k >= 3 nodes: one edge (n_i p n_j) per pair i < j,
+/// predicates in pair order (0,1), (0,2), ..., (k-2,k-1); predicates.size()
+/// must be k*(k-1)/2.
+Query MakeCliqueQuery(const std::vector<PatternTerm>& nodes,
+                      const std::vector<PatternTerm>& predicates);
+
+/// Builds a petal: `paths` internally node-disjoint directed paths from
+/// `source` to `target`. Each path is a (possibly empty) list of interior
+/// nodes plus one predicate per edge (so predicates[i].size() ==
+/// interiors[i].size() + 1). At least two paths are required.
+struct PetalPath {
+  std::vector<PatternTerm> interior;    // nodes strictly between source/target
+  std::vector<PatternTerm> predicates;  // interior.size() + 1 edge labels
+};
+Query MakePetalQuery(PatternTerm source, PatternTerm target,
+                     const std::vector<PetalPath>& paths);
+
+}  // namespace lmkg::query
+
+#endif  // LMKG_QUERY_TOPOLOGY_H_

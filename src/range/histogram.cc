@@ -1,0 +1,111 @@
+#include "range/histogram.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lmkg::range {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<uint32_t> values,
+                                             size_t num_buckets) {
+  EquiDepthHistogram h;
+  if (values.empty()) return h;
+  LMKG_CHECK_GE(num_buckets, 1u);
+  std::sort(values.begin(), values.end());
+  h.min_ = values.front();
+  h.total_ = static_cast<double>(values.size());
+
+  const size_t depth =
+      std::max<size_t>(1, (values.size() + num_buckets - 1) / num_buckets);
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t end = std::min(i + depth, values.size());
+    // A bucket must end on a value boundary: extend while the next value
+    // equals the current bucket's upper bound (equal ids cannot straddle
+    // buckets, or EstimateCount would double count).
+    while (end < values.size() && values[end] == values[end - 1]) ++end;
+    h.upper_.push_back(values[end - 1]);
+    h.counts_.push_back(static_cast<double>(end - i));
+    i = end;
+  }
+  return h;
+}
+
+double EquiDepthHistogram::EstimateCount(uint32_t lo, uint32_t hi) const {
+  if (empty() || hi < lo) return 0.0;
+  double count = 0.0;
+  uint32_t bucket_lo = min_;  // lowest id the current bucket may hold
+  for (size_t b = 0; b < upper_.size(); ++b) {
+    uint32_t bucket_hi = upper_[b];
+    // Overlap of [lo, hi] with [bucket_lo, bucket_hi].
+    uint32_t olo = std::max(lo, bucket_lo);
+    uint32_t ohi = std::min(hi, bucket_hi);
+    if (olo <= ohi) {
+      double span = static_cast<double>(bucket_hi) - bucket_lo + 1.0;
+      double overlap = static_cast<double>(ohi) - olo + 1.0;
+      count += counts_[b] * (overlap / span);
+    }
+    if (bucket_hi >= hi) break;
+    bucket_lo = bucket_hi + 1;
+  }
+  return count;
+}
+
+double EquiDepthHistogram::Selectivity(uint32_t lo, uint32_t hi) const {
+  if (empty() || total_ <= 0.0) return 0.0;
+  return EstimateCount(lo, hi) / total_;
+}
+
+size_t EquiDepthHistogram::MemoryBytes() const {
+  return upper_.size() * sizeof(uint32_t) + counts_.size() * sizeof(double);
+}
+
+PredicateHistograms::PredicateHistograms(const rdf::Graph& graph,
+                                         size_t buckets_per_predicate)
+    : buckets_per_predicate_(buckets_per_predicate) {
+  LMKG_CHECK(graph.finalized());
+  LMKG_CHECK_GE(buckets_per_predicate, 1u);
+  per_predicate_.resize(graph.num_predicates() + 1);
+  std::vector<uint32_t> all_objects;
+  all_objects.reserve(graph.num_triples());
+  std::vector<uint32_t> objects;
+  for (rdf::TermId p = 1; p <= graph.num_predicates(); ++p) {
+    auto pairs = graph.PredicatePairs(p);
+    objects.clear();
+    objects.reserve(pairs.size());
+    for (const auto& so : pairs) {
+      objects.push_back(so.o);
+      all_objects.push_back(so.o);
+    }
+    per_predicate_[p] =
+        EquiDepthHistogram::Build(objects, buckets_per_predicate);
+  }
+  global_ =
+      EquiDepthHistogram::Build(std::move(all_objects),
+                                buckets_per_predicate * 4);
+}
+
+const EquiDepthHistogram& PredicateHistograms::histogram(
+    rdf::TermId p) const {
+  if (p == 0) return global_;
+  LMKG_CHECK_LT(p, per_predicate_.size());
+  return per_predicate_[p];
+}
+
+double PredicateHistograms::Selectivity(rdf::TermId p, uint32_t lo,
+                                        uint32_t hi) const {
+  return histogram(p).Selectivity(lo, hi);
+}
+
+double PredicateHistograms::EstimateCount(rdf::TermId p, uint32_t lo,
+                                          uint32_t hi) const {
+  return histogram(p).EstimateCount(lo, hi);
+}
+
+size_t PredicateHistograms::MemoryBytes() const {
+  size_t bytes = global_.MemoryBytes();
+  for (const auto& h : per_predicate_) bytes += h.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace lmkg::range

@@ -1,0 +1,76 @@
+#ifndef LMKG_RANGE_HISTOGRAM_H_
+#define LMKG_RANGE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace lmkg::range {
+
+/// Equi-depth histogram over a multiset of term ids. The paper's stated
+/// extension path for range queries is to "modify the input encoding with
+/// histogram selectivity values" (§IV); this histogram supplies those
+/// values. Buckets hold (approximately) equal counts, so skewed object
+/// distributions — the norm in KGs — get fine resolution where the mass
+/// is.
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Builds a histogram with at most `num_buckets` buckets. `values` need
+  /// not be sorted; duplicates are expected (one entry per triple).
+  static EquiDepthHistogram Build(std::vector<uint32_t> values,
+                                  size_t num_buckets);
+
+  /// Estimated number of values in [lo, hi] (inclusive bounds). Within a
+  /// partially covered bucket, mass is assumed uniform over the bucket's
+  /// id span. Exact when [lo, hi] aligns with bucket boundaries or covers
+  /// everything.
+  double EstimateCount(uint32_t lo, uint32_t hi) const;
+
+  /// Fraction of values in [lo, hi]; 0 for an empty histogram.
+  double Selectivity(uint32_t lo, uint32_t hi) const;
+
+  double total() const { return total_; }
+  size_t num_buckets() const { return upper_.size(); }
+  bool empty() const { return upper_.empty(); }
+  size_t MemoryBytes() const;
+
+ private:
+  // Bucket b covers ids (lower_b, upper_[b]] where lower_b is
+  // upper_[b-1] (or min_ - 1 for b == 0) and holds counts_[b] values.
+  std::vector<uint32_t> upper_;
+  std::vector<double> counts_;
+  uint32_t min_ = 0;
+  double total_ = 0.0;
+};
+
+/// Per-predicate equi-depth histograms over the *object* ids of a graph —
+/// the synopsis a range-aware estimator consults. Also keeps one global
+/// histogram over all objects for patterns with unbound predicates.
+class PredicateHistograms {
+ public:
+  /// Builds histograms for every predicate id of the finalized graph.
+  PredicateHistograms(const rdf::Graph& graph, size_t buckets_per_predicate);
+
+  /// Selectivity of object range [lo, hi] among triples with predicate p;
+  /// p == 0 (unbound) consults the global histogram.
+  double Selectivity(rdf::TermId p, uint32_t lo, uint32_t hi) const;
+
+  /// Estimated number of triples with predicate p and object in [lo, hi].
+  double EstimateCount(rdf::TermId p, uint32_t lo, uint32_t hi) const;
+
+  const EquiDepthHistogram& histogram(rdf::TermId p) const;
+  size_t buckets_per_predicate() const { return buckets_per_predicate_; }
+  size_t MemoryBytes() const;
+
+ private:
+  size_t buckets_per_predicate_;
+  std::vector<EquiDepthHistogram> per_predicate_;  // index = predicate id
+  EquiDepthHistogram global_;
+};
+
+}  // namespace lmkg::range
+
+#endif  // LMKG_RANGE_HISTOGRAM_H_

@@ -1,0 +1,66 @@
+#include "range/range_encoder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lmkg::range {
+
+RangeQueryEncoder::RangeQueryEncoder(
+    std::unique_ptr<encoding::QueryEncoder> base,
+    const PredicateHistograms* histograms, int max_patterns)
+    : base_(std::move(base)),
+      histograms_(histograms),
+      max_patterns_(max_patterns) {
+  LMKG_CHECK(base_ != nullptr);
+  LMKG_CHECK(histograms_ != nullptr);
+  LMKG_CHECK_GE(max_patterns_, 1);
+}
+
+size_t RangeQueryEncoder::width() const {
+  return base_->width() + 2 * static_cast<size_t>(max_patterns_);
+}
+
+bool RangeQueryEncoder::CanEncode(const RangeQuery& q) const {
+  return ValidRangeQuery(q) &&
+         q.base.patterns.size() <= static_cast<size_t>(max_patterns_) &&
+         base_->CanEncode(q.base);
+}
+
+void RangeQueryEncoder::Encode(const RangeQuery& q, float* out) const {
+  LMKG_CHECK(CanEncode(q)) << RangeQueryToString(q);
+  std::fill(out, out + width(), 0.0f);
+  base_->Encode(q.base, out);
+
+  // Per-pattern range slots. Multiple constraints on one pattern
+  // intersect before the histogram lookup.
+  float* slots = out + base_->width();
+  for (int i = 0; i < max_patterns_; ++i) {
+    slots[2 * i] = 0.0f;      // has_range
+    slots[2 * i + 1] = 1.0f;  // selectivity of "no constraint"
+  }
+  for (size_t i = 0; i < q.base.patterns.size(); ++i) {
+    rdf::TermId lo = 1;
+    rdf::TermId hi = UINT32_MAX;
+    bool constrained = false;
+    for (const ObjectRange& r : q.ranges) {
+      if (r.pattern_index != static_cast<int>(i)) continue;
+      lo = std::max(lo, r.lo);
+      hi = std::min(hi, r.hi);
+      constrained = true;
+    }
+    if (!constrained) continue;
+    const auto& p = q.base.patterns[i].p;
+    double selectivity =
+        hi < lo ? 0.0
+                : histograms_->Selectivity(p.bound() ? p.value : 0, lo, hi);
+    slots[2 * i] = 1.0f;
+    slots[2 * i + 1] = static_cast<float>(selectivity);
+  }
+}
+
+std::string RangeQueryEncoder::name() const {
+  return base_->name() + "+range";
+}
+
+}  // namespace lmkg::range

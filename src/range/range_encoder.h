@@ -1,0 +1,53 @@
+#ifndef LMKG_RANGE_RANGE_ENCODER_H_
+#define LMKG_RANGE_RANGE_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "encoding/query_encoder.h"
+#include "range/histogram.h"
+#include "range/range_query.h"
+
+namespace lmkg::range {
+
+/// Featurizes range queries: the base QueryEncoder's features for the
+/// graph pattern, followed by two floats per pattern slot —
+///
+///   [has_range, histogram selectivity]
+///
+/// exactly the extension the paper sketches: "one could modify the input
+/// encoding with histogram selectivity values" (§IV). Selectivity comes
+/// from the per-predicate equi-depth histograms when the pattern's
+/// predicate is bound, and the global object histogram otherwise.
+/// Unconstrained patterns encode as [0, 1] (full selectivity).
+class RangeQueryEncoder {
+ public:
+  /// `max_patterns` fixes the number of range slots; queries with more
+  /// patterns are rejected by CanEncode. `histograms` must outlive the
+  /// encoder.
+  RangeQueryEncoder(std::unique_ptr<encoding::QueryEncoder> base,
+                    const PredicateHistograms* histograms, int max_patterns);
+
+  size_t width() const;
+  bool CanEncode(const RangeQuery& q) const;
+  void Encode(const RangeQuery& q, float* out) const;
+  std::string name() const;
+
+  std::vector<float> EncodeToVector(const RangeQuery& q) const {
+    std::vector<float> out(width(), 0.0f);
+    Encode(q, out.data());
+    return out;
+  }
+
+  const encoding::QueryEncoder& base() const { return *base_; }
+
+ private:
+  std::unique_ptr<encoding::QueryEncoder> base_;
+  const PredicateHistograms* histograms_;
+  int max_patterns_;
+};
+
+}  // namespace lmkg::range
+
+#endif  // LMKG_RANGE_RANGE_ENCODER_H_

@@ -1,0 +1,205 @@
+#include "range/range_executor.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lmkg::range {
+namespace {
+
+using query::PatternTerm;
+using query::TriplePattern;
+using rdf::TermId;
+
+TermId Resolve(const PatternTerm& t, const std::vector<TermId>& binding) {
+  if (t.bound()) return t.value;
+  return binding[t.var];
+}
+
+// Whether `value` is admissible for term `t`: free variables must respect
+// their bounds; everything else was checked when it was bound.
+bool InBounds(const PatternTerm& t, TermId value,
+              const std::vector<VarBounds>& bounds) {
+  if (!t.is_var()) return true;
+  const VarBounds& b = bounds[t.var];
+  return value >= b.lo && value <= b.hi;
+}
+
+}  // namespace
+
+RangeExecutor::RangeExecutor(const rdf::Graph& graph) : graph_(graph) {
+  LMKG_CHECK(graph.finalized());
+}
+
+uint64_t RangeExecutor::EstimateCandidates(const TriplePattern& t,
+                                           const State& state) const {
+  TermId s = Resolve(t.s, state.binding);
+  TermId p = Resolve(t.p, state.binding);
+  TermId o = Resolve(t.o, state.binding);
+  if (s && p && o) return 1;
+  if (s && p) return graph_.OutEdgesWithPredicate(s, p).size();
+  if (o && p) return graph_.InEdgesWithPredicate(o, p).size();
+  if (s) return graph_.OutDegree(s);
+  if (o) return graph_.InDegree(o);
+  if (p) return graph_.PredicateCount(p);
+  return graph_.num_triples();
+}
+
+int RangeExecutor::PickNextPattern(const State& state) const {
+  int best = -1;
+  uint64_t best_cost = UINT64_MAX;
+  for (size_t i = 0; i < state.query->patterns.size(); ++i) {
+    if (state.done[i]) continue;
+    uint64_t cost = EstimateCandidates(state.query->patterns[i], state);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+template <typename Visit>
+void RangeExecutor::ForEachMatch(const TriplePattern& t, const State& state,
+                                 Visit visit) const {
+  TermId s = Resolve(t.s, state.binding);
+  TermId p = Resolve(t.p, state.binding);
+  TermId o = Resolve(t.o, state.binding);
+  bool same_so_var = t.s.is_var() && t.o.is_var() && t.s.var == t.o.var;
+  const auto& bounds = state.bounds;
+
+  if (s != rdf::kUnboundTerm) {
+    auto edges = p != rdf::kUnboundTerm ? graph_.OutEdgesWithPredicate(s, p)
+                                        : graph_.OutEdges(s);
+    for (const auto& e : edges) {
+      if (o != rdf::kUnboundTerm && e.o != o) continue;
+      if (same_so_var && e.o != s) continue;
+      if (o == rdf::kUnboundTerm && !InBounds(t.o, e.o, bounds)) continue;
+      visit(s, e.p, e.o);
+    }
+    return;
+  }
+  if (o != rdf::kUnboundTerm) {
+    auto edges = p != rdf::kUnboundTerm ? graph_.InEdgesWithPredicate(o, p)
+                                        : graph_.InEdges(o);
+    for (const auto& e : edges) {
+      if (same_so_var && e.s != o) continue;
+      if (!InBounds(t.s, e.s, bounds)) continue;
+      visit(e.s, e.p, o);
+    }
+    return;
+  }
+  if (p != rdf::kUnboundTerm) {
+    for (const auto& so : graph_.PredicatePairs(p)) {
+      if (same_so_var && so.s != so.o) continue;
+      if (!InBounds(t.s, so.s, bounds)) continue;
+      if (!InBounds(t.o, so.o, bounds)) continue;
+      visit(so.s, p, so.o);
+    }
+    return;
+  }
+  for (const auto& triple : graph_.triples()) {
+    if (same_so_var && triple.s != triple.o) continue;
+    if (!InBounds(t.s, triple.s, bounds)) continue;
+    if (!InBounds(t.o, triple.o, bounds)) continue;
+    visit(triple.s, triple.p, triple.o);
+  }
+}
+
+uint64_t RangeExecutor::CountMatches(const TriplePattern& t,
+                                     const State& state) const {
+  TermId s = Resolve(t.s, state.binding);
+  TermId p = Resolve(t.p, state.binding);
+  TermId o = Resolve(t.o, state.binding);
+  bool same_so_var = t.s.is_var() && t.o.is_var() && t.s.var == t.o.var;
+
+  if (!same_so_var) {
+    if (s && p && o) return graph_.HasTriple(s, p, o) ? 1 : 0;
+    if (s && p && !o) {
+      // Span sorted by object id: binary search the variable's bounds.
+      auto edges = graph_.OutEdgesWithPredicate(s, p);
+      const VarBounds& b = state.bounds[t.o.var];
+      auto lo = std::lower_bound(
+          edges.begin(), edges.end(), b.lo,
+          [](const rdf::PredicateObject& e, TermId v) { return e.o < v; });
+      auto hi = std::upper_bound(
+          edges.begin(), edges.end(), b.hi,
+          [](TermId v, const rdf::PredicateObject& e) { return v < e.o; });
+      return static_cast<uint64_t>(hi - lo);
+    }
+    if (!s && p && o) {
+      // Span sorted by subject id.
+      auto edges = graph_.InEdgesWithPredicate(o, p);
+      const VarBounds& b = state.bounds[t.s.var];
+      auto lo = std::lower_bound(
+          edges.begin(), edges.end(), b.lo,
+          [](const rdf::PredicateSubject& e, TermId v) { return e.s < v; });
+      auto hi = std::upper_bound(
+          edges.begin(), edges.end(), b.hi,
+          [](TermId v, const rdf::PredicateSubject& e) { return v < e.s; });
+      return static_cast<uint64_t>(hi - lo);
+    }
+  }
+  uint64_t n = 0;
+  ForEachMatch(t, state, [&](TermId, TermId, TermId) { ++n; });
+  return n;
+}
+
+void RangeExecutor::Recurse(State* state, size_t remaining) const {
+  if (state->count >= state->limit) return;
+  int idx = PickNextPattern(*state);
+  LMKG_CHECK_GE(idx, 0);
+  const TriplePattern& t = state->query->patterns[idx];
+
+  if (remaining == 1) {
+    state->count += CountMatches(t, *state);
+    return;
+  }
+
+  state->done[idx] = true;
+  ForEachMatch(t, *state, [&](TermId s, TermId p, TermId o) {
+    if (state->count >= state->limit) return;
+    int bound_vars[3];
+    int nbound = 0;
+    auto bind = [&](const PatternTerm& term, TermId value) -> bool {
+      if (!term.is_var()) return true;
+      TermId& slot = state->binding[term.var];
+      if (slot == rdf::kUnboundTerm) {
+        if (!InBounds(term, value, state->bounds)) return false;
+        slot = value;
+        bound_vars[nbound++] = term.var;
+        return true;
+      }
+      return slot == value;
+    };
+    bool ok = bind(t.s, s) && bind(t.p, p) && bind(t.o, o);
+    if (ok) Recurse(state, remaining - 1);
+    for (int i = 0; i < nbound; ++i)
+      state->binding[bound_vars[i]] = rdf::kUnboundTerm;
+  });
+  state->done[idx] = false;
+}
+
+uint64_t RangeExecutor::Count(const RangeQuery& q, uint64_t limit) const {
+  LMKG_CHECK(ValidRangeQuery(q)) << RangeQueryToString(q);
+  if (q.base.patterns.empty()) return 0;
+  State state;
+  state.query = &q.base;
+  state.bounds =
+      ComputeVarBounds(q, static_cast<TermId>(graph_.num_nodes()));
+  // Predicate variables are never range-constrained; widen them so the
+  // node-domain default cannot reject a predicate id on tiny graphs where
+  // num_predicates > num_nodes.
+  for (const auto& t : q.base.patterns)
+    if (t.p.is_var()) state.bounds[t.p.var] = {1, UINT32_MAX};
+  // A contradictory intersection (hi < lo) matches nothing.
+  for (const VarBounds& b : state.bounds)
+    if (b.hi < b.lo) return 0;
+  state.binding.assign(q.base.num_vars, rdf::kUnboundTerm);
+  state.done.assign(q.base.patterns.size(), false);
+  state.limit = limit;
+  Recurse(&state, q.base.patterns.size());
+  return state.count;
+}
+
+}  // namespace lmkg::range

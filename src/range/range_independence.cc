@@ -1,0 +1,77 @@
+#include "range/range_independence.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace lmkg::range {
+
+using query::PatternTerm;
+using query::Query;
+
+RangeIndependenceEstimator::RangeIndependenceEstimator(
+    const rdf::Graph& graph, const PredicateHistograms* histograms)
+    : graph_(graph), histograms_(histograms), single_pattern_(graph) {
+  LMKG_CHECK(histograms_ != nullptr);
+}
+
+bool RangeIndependenceEstimator::CanEstimate(const RangeQuery& q) const {
+  return ValidRangeQuery(q) && !q.base.patterns.empty();
+}
+
+double RangeIndependenceEstimator::EstimateCardinality(const RangeQuery& q) {
+  LMKG_CHECK(CanEstimate(q)) << RangeQueryToString(q);
+
+  // Per-pattern estimate: exact single-pattern count times the histogram
+  // selectivity of the pattern's intersected object range.
+  double estimate = 1.0;
+  for (size_t i = 0; i < q.base.patterns.size(); ++i) {
+    Query one;
+    one.patterns = {q.base.patterns[i]};
+    query::NormalizeVariables(&one);
+    double pattern_estimate = single_pattern_.EstimateCardinality(one);
+
+    rdf::TermId lo = 1;
+    rdf::TermId hi = UINT32_MAX;
+    bool constrained = false;
+    for (const ObjectRange& r : q.ranges) {
+      if (r.pattern_index != static_cast<int>(i)) continue;
+      lo = std::max(lo, r.lo);
+      hi = std::min(hi, r.hi);
+      constrained = true;
+    }
+    if (constrained) {
+      if (hi < lo) return 0.0;
+      const auto& p = q.base.patterns[i].p;
+      pattern_estimate *=
+          histograms_->Selectivity(p.bound() ? p.value : 0, lo, hi);
+    }
+    estimate *= pattern_estimate;
+  }
+
+  // Uniform join correction: each extra occurrence of a shared variable
+  // divides by its domain size.
+  std::map<int, int> occurrences;   // var -> #patterns containing it
+  std::map<int, bool> is_predicate;  // var -> predicate-position var
+  for (const auto& t : q.base.patterns) {
+    std::map<int, bool> seen;
+    if (t.s.is_var()) seen.emplace(t.s.var, false);
+    if (t.o.is_var()) seen.emplace(t.o.var, false);
+    if (t.p.is_var()) {
+      seen.emplace(t.p.var, true);
+      is_predicate[t.p.var] = true;
+    }
+    for (const auto& [v, pred] : seen) ++occurrences[v];
+  }
+  for (const auto& [v, count] : occurrences) {
+    if (count < 2) continue;
+    double domain = is_predicate.count(v) > 0 && is_predicate[v]
+                        ? static_cast<double>(graph_.num_predicates())
+                        : static_cast<double>(graph_.num_nodes());
+    for (int i = 1; i < count; ++i) estimate /= std::max(domain, 1.0);
+  }
+  return estimate;
+}
+
+}  // namespace lmkg::range

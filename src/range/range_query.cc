@@ -1,0 +1,44 @@
+#include "range/range_query.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace lmkg::range {
+
+bool ValidRangeQuery(const RangeQuery& q) {
+  if (!q.base.Valid()) return false;
+  for (const ObjectRange& r : q.ranges) {
+    if (r.pattern_index < 0 ||
+        r.pattern_index >= static_cast<int>(q.base.patterns.size()))
+      return false;
+    if (!q.base.patterns[r.pattern_index].o.is_var()) return false;
+    if (r.lo < 1 || r.lo > r.hi) return false;
+  }
+  return true;
+}
+
+std::vector<VarBounds> ComputeVarBounds(const RangeQuery& q,
+                                        rdf::TermId num_nodes) {
+  LMKG_CHECK(ValidRangeQuery(q)) << RangeQueryToString(q);
+  std::vector<VarBounds> bounds(q.base.num_vars, {1, num_nodes});
+  for (const ObjectRange& r : q.ranges) {
+    int v = q.base.patterns[r.pattern_index].o.var;
+    bounds[v].lo = std::max(bounds[v].lo, r.lo);
+    bounds[v].hi = std::min(bounds[v].hi, r.hi);
+  }
+  return bounds;
+}
+
+std::string RangeQueryToString(const RangeQuery& q) {
+  std::string out = query::QueryToString(q.base);
+  for (const ObjectRange& r : q.ranges) {
+    const auto& o = q.base.patterns[r.pattern_index].o;
+    out += util::StrFormat(" ?%d in [%u, %u]", o.is_var() ? o.var : -1,
+                           r.lo, r.hi);
+  }
+  return out;
+}
+
+}  // namespace lmkg::range

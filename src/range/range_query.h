@@ -1,0 +1,57 @@
+#ifndef LMKG_RANGE_RANGE_QUERY_H_
+#define LMKG_RANGE_RANGE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "rdf/triple.h"
+
+namespace lmkg::range {
+
+/// One range constraint: the *object variable* of `base.patterns
+/// [pattern_index]` is restricted to ids in [lo, hi] (inclusive). LMKG
+/// proper is "limited only on equality, i.e., presence or absence of
+/// terms" (paper §IV); this module implements the extension the paper
+/// sketches for range queries. Object ids stand in for literal values —
+/// the dataset generators assign ordered ids to literal-like objects, so
+/// an id interval corresponds to a value interval.
+struct ObjectRange {
+  int pattern_index = 0;
+  rdf::TermId lo = 1;
+  rdf::TermId hi = 1;
+
+  friend bool operator==(const ObjectRange&, const ObjectRange&) = default;
+};
+
+/// A basic graph pattern plus object-range constraints. A variable
+/// constrained in one pattern is constrained everywhere it appears
+/// (ranges attach to variables via the pattern's object position).
+/// Multiple constraints on the same variable intersect.
+struct RangeQuery {
+  query::Query base;
+  std::vector<ObjectRange> ranges;
+
+  size_t size() const { return base.size(); }
+};
+
+/// Checks structural validity: base.Valid(), every range index in bounds,
+/// every constrained object a variable, lo <= hi and lo >= 1.
+bool ValidRangeQuery(const RangeQuery& q);
+
+/// Per-variable intersected bounds implied by the constraints: result[v]
+/// = [lo, hi] over node ids (unconstrained variables get [1, num_nodes]).
+/// Predicate variables are never constrained. Requires ValidRangeQuery.
+struct VarBounds {
+  rdf::TermId lo = 1;
+  rdf::TermId hi = 0;  // hi < lo encodes an empty (contradictory) range
+};
+std::vector<VarBounds> ComputeVarBounds(const RangeQuery& q,
+                                        rdf::TermId num_nodes);
+
+/// Debug representation like "(?0 <p3> ?1) ?1 in [5, 90]".
+std::string RangeQueryToString(const RangeQuery& q);
+
+}  // namespace lmkg::range
+
+#endif  // LMKG_RANGE_RANGE_QUERY_H_

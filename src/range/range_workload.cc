@@ -1,0 +1,159 @@
+#include "range/range_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "sampling/bound_pattern.h"
+#include "sampling/population.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace lmkg::range {
+
+using query::PatternTerm;
+using query::Query;
+using query::Topology;
+
+RangeWorkloadGenerator::RangeWorkloadGenerator(const rdf::Graph& graph)
+    : graph_(graph), executor_(graph) {}
+
+std::vector<LabeledRangeQuery> RangeWorkloadGenerator::Generate(
+    const Options& options) const {
+  LMKG_CHECK(options.topology == Topology::kStar ||
+             options.topology == Topology::kChain)
+      << "range workload topology must be star or chain";
+  LMKG_CHECK_GE(options.query_size, 1);
+  LMKG_CHECK_GE(options.ranges_per_query, 1);
+  LMKG_CHECK_LE(options.ranges_per_query, options.query_size);
+  LMKG_CHECK_GT(options.min_width_fraction, 0.0);
+  LMKG_CHECK_LE(options.min_width_fraction, options.max_width_fraction);
+  util::Pcg32 rng(options.seed, /*stream=*/0x9a4ce);
+
+  std::unique_ptr<sampling::StarPopulation> star_pop;
+  std::unique_ptr<sampling::ChainPopulation> chain_pop;
+  if (options.topology == Topology::kStar)
+    star_pop = std::make_unique<sampling::StarPopulation>(
+        graph_, options.query_size);
+  else
+    chain_pop = std::make_unique<sampling::ChainPopulation>(
+        graph_, options.query_size);
+
+  const auto num_nodes = static_cast<uint32_t>(graph_.num_nodes());
+  // Width of a range centred on a witnessed object id, drawn
+  // log-uniformly in fraction space.
+  auto draw_range = [&](rdf::TermId center) {
+    double log_lo = std::log(options.min_width_fraction);
+    double log_hi = std::log(options.max_width_fraction);
+    double fraction = std::exp(rng.Uniform(log_lo, log_hi));
+    auto width = std::max<uint32_t>(
+        1, static_cast<uint32_t>(fraction * num_nodes));
+    uint32_t lo =
+        center > width / 2 ? center - width / 2 : 1;
+    uint32_t hi = std::min<uint64_t>(num_nodes,
+                                     static_cast<uint64_t>(lo) + width - 1);
+    return std::pair<uint32_t, uint32_t>(lo, hi);
+  };
+
+  const int nbuckets = options.max_bucket + 1;
+  std::vector<size_t> bucket_counts(nbuckets, 0);
+  const size_t per_bucket =
+      options.bucket_balanced
+          ? std::max<size_t>(1, options.count / nbuckets)
+          : options.count;
+
+  std::vector<LabeledRangeQuery> out;
+  std::set<std::string> seen;
+  size_t attempts = 0;
+  const size_t max_attempts =
+      options.count * std::max<size_t>(options.max_attempts_factor, 1);
+  for (int pass = 0; pass < 2 && out.size() < options.count; ++pass) {
+    bool balanced = options.bucket_balanced && pass == 0;
+    while (out.size() < options.count && attempts++ < max_attempts) {
+      // Sample the bound witness pattern and remember object values.
+      RangeQuery rq;
+      std::vector<rdf::TermId> witness_objects(options.query_size, 0);
+      if (options.topology == Topology::kStar) {
+        sampling::BoundStar star = star_pop->SampleUniform(rng);
+        int next_var = 0;
+        PatternTerm center = options.unbind_center
+                                 ? PatternTerm::Variable(next_var++)
+                                 : PatternTerm::Bound(star.center);
+        // Unbind the objects that get ranges: a uniformly chosen subset.
+        std::vector<int> order(options.query_size);
+        for (int i = 0; i < options.query_size; ++i) order[i] = i;
+        rng.Shuffle(&order);
+        std::set<int> ranged(order.begin(),
+                             order.begin() + options.ranges_per_query);
+        std::vector<std::pair<PatternTerm, PatternTerm>> pairs;
+        for (int i = 0; i < options.query_size; ++i) {
+          PatternTerm o = ranged.count(i) > 0
+                              ? PatternTerm::Variable(next_var++)
+                              : PatternTerm::Bound(star.edges[i].o);
+          witness_objects[i] = star.edges[i].o;
+          pairs.emplace_back(PatternTerm::Bound(star.edges[i].p), o);
+        }
+        rq.base = query::MakeStarQuery(center, pairs);
+        for (int i : ranged) {
+          auto [lo, hi] = draw_range(witness_objects[i]);
+          rq.ranges.push_back({i, lo, hi});
+        }
+      } else {
+        sampling::BoundChain chain = chain_pop->SampleUniform(rng);
+        // Chains: interior nodes become variables (the join structure);
+        // ranged patterns constrain their object variable.
+        std::vector<int> order(options.query_size);
+        for (int i = 0; i < options.query_size; ++i) order[i] = i;
+        rng.Shuffle(&order);
+        std::set<int> ranged(order.begin(),
+                             order.begin() + options.ranges_per_query);
+        int next_var = 0;
+        std::vector<PatternTerm> nodes;
+        for (size_t i = 0; i < chain.nodes.size(); ++i) {
+          bool interior = i > 0 && i + 1 < chain.nodes.size();
+          // Node i is the object of pattern i-1: a ranged pattern needs a
+          // variable object.
+          bool needs_var =
+              i > 0 && ranged.count(static_cast<int>(i) - 1) > 0;
+          nodes.push_back(interior || needs_var
+                              ? PatternTerm::Variable(next_var++)
+                              : PatternTerm::Bound(chain.nodes[i]));
+          if (i > 0) witness_objects[i - 1] = chain.nodes[i];
+        }
+        std::vector<PatternTerm> preds;
+        for (rdf::TermId p : chain.predicates)
+          preds.push_back(PatternTerm::Bound(p));
+        rq.base = query::MakeChainQuery(nodes, preds);
+        for (int i : ranged) {
+          auto [lo, hi] = draw_range(witness_objects[i]);
+          rq.ranges.push_back({i, lo, hi});
+        }
+      }
+      if (!ValidRangeQuery(rq)) continue;
+
+      std::string key = RangeQueryToString(rq);
+      if (seen.count(key) > 0) continue;
+
+      uint64_t card = executor_.Count(rq, options.max_cardinality + 1);
+      if (card == 0 || card > options.max_cardinality) continue;
+      int bucket =
+          std::min(util::ResultSizeBucket(static_cast<double>(card)),
+                   options.max_bucket);
+      if (balanced && bucket_counts[bucket] >= per_bucket) continue;
+
+      seen.insert(std::move(key));
+      ++bucket_counts[bucket];
+      LabeledRangeQuery labeled;
+      labeled.query = std::move(rq);
+      labeled.cardinality = static_cast<double>(card);
+      labeled.size = options.query_size;
+      out.push_back(std::move(labeled));
+    }
+    attempts = 0;  // fresh budget for the fill pass
+  }
+  return out;
+}
+
+}  // namespace lmkg::range

@@ -1,0 +1,63 @@
+#ifndef LMKG_RANGE_RANGE_WORKLOAD_H_
+#define LMKG_RANGE_RANGE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "range/range_executor.h"
+#include "range/range_query.h"
+#include "rdf/graph.h"
+
+namespace lmkg::range {
+
+/// One row of range training/test data.
+struct LabeledRangeQuery {
+  RangeQuery query;
+  double cardinality = 0.0;
+  int size = 0;  // number of triple patterns
+};
+
+/// Generates labeled range-query workloads, extending the equality
+/// workload protocol (paper §VIII): sample a bound star/chain pattern,
+/// unbind objects, and wrap each unbound object in an id interval centred
+/// on the witnessed value (so every query matches at least once); the
+/// exact RangeExecutor labels the result. Range widths are drawn
+/// log-uniformly between the configured fractions of the node domain, so
+/// the workload spans selective through broad predicates.
+class RangeWorkloadGenerator {
+ public:
+  struct Options {
+    query::Topology topology = query::Topology::kStar;  // kStar or kChain
+    int query_size = 2;
+    size_t count = 200;
+    /// Number of unbound objects that receive a range constraint.
+    int ranges_per_query = 1;
+    /// Range width as a fraction of the node-id domain, drawn
+    /// log-uniformly from [min_width_fraction, max_width_fraction].
+    double min_width_fraction = 0.002;
+    double max_width_fraction = 0.3;
+    /// Star: unbind the centre subject.
+    bool unbind_center = true;
+    uint64_t max_cardinality = 9765625;  // 5^10
+    bool bucket_balanced = true;
+    int max_bucket = 9;
+    uint64_t seed = 1;
+    size_t max_attempts_factor = 60;
+  };
+
+  explicit RangeWorkloadGenerator(const rdf::Graph& graph);
+
+  /// Generates up to options.count labeled range queries, deduplicated
+  /// and deterministic in the seed. Every query has >= 1 range constraint
+  /// and cardinality >= 1.
+  std::vector<LabeledRangeQuery> Generate(const Options& options) const;
+
+ private:
+  const rdf::Graph& graph_;
+  RangeExecutor executor_;
+};
+
+}  // namespace lmkg::range
+
+#endif  // LMKG_RANGE_RANGE_WORKLOAD_H_

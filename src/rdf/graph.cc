@@ -1,0 +1,215 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace lmkg::rdf {
+
+void Graph::AddTriple(std::string_view s, std::string_view p,
+                      std::string_view o) {
+  AddTripleIds(dict_.InternNode(s), dict_.InternPredicate(p),
+               dict_.InternNode(o));
+}
+
+void Graph::AddTripleIds(TermId s, TermId p, TermId o) {
+  LMKG_CHECK(!finalized_) << "AddTriple after Finalize";
+  LMKG_CHECK(s >= 1 && p >= 1 && o >= 1);
+  triples_.push_back(Triple{s, p, o});
+  num_nodes_ = std::max<size_t>(num_nodes_, std::max(s, o));
+  num_predicates_ = std::max<size_t>(num_predicates_, p);
+}
+
+void Graph::Finalize() {
+  LMKG_CHECK(!finalized_) << "Finalize called twice";
+  std::sort(triples_.begin(), triples_.end());
+  triples_.erase(std::unique(triples_.begin(), triples_.end()),
+                 triples_.end());
+  num_nodes_ = std::max(num_nodes_, dict_.num_nodes());
+  num_predicates_ = std::max(num_predicates_, dict_.num_predicates());
+
+  const size_t n = num_nodes_;
+  const size_t b = num_predicates_;
+  const size_t m = triples_.size();
+
+  // Out-index: triples are already sorted by (s, p, o).
+  out_offsets_.assign(n + 2, 0);
+  out_edges_.resize(m);
+  for (const Triple& t : triples_) ++out_offsets_[t.s + 1];
+  for (size_t i = 1; i < out_offsets_.size(); ++i)
+    out_offsets_[i] += out_offsets_[i - 1];
+  {
+    std::vector<uint64_t> cursor(out_offsets_.begin(),
+                                 out_offsets_.end() - 1);
+    for (const Triple& t : triples_)
+      out_edges_[cursor[t.s]++] = PredicateObject{t.p, t.o};
+  }
+
+  // In-index.
+  in_offsets_.assign(n + 2, 0);
+  in_edges_.resize(m);
+  for (const Triple& t : triples_) ++in_offsets_[t.o + 1];
+  for (size_t i = 1; i < in_offsets_.size(); ++i)
+    in_offsets_[i] += in_offsets_[i - 1];
+  {
+    std::vector<uint64_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (const Triple& t : triples_)
+      in_edges_[cursor[t.o]++] = PredicateSubject{t.p, t.s};
+    for (size_t v = 1; v <= n; ++v) {
+      auto begin = in_edges_.begin() + static_cast<int64_t>(in_offsets_[v]);
+      auto end = in_edges_.begin() + static_cast<int64_t>(in_offsets_[v + 1]);
+      std::sort(begin, end);
+    }
+  }
+
+  // Predicate index.
+  pred_offsets_.assign(b + 2, 0);
+  pred_pairs_.resize(m);
+  for (const Triple& t : triples_) ++pred_offsets_[t.p + 1];
+  for (size_t i = 1; i < pred_offsets_.size(); ++i)
+    pred_offsets_[i] += pred_offsets_[i - 1];
+  {
+    std::vector<uint64_t> cursor(pred_offsets_.begin(),
+                                 pred_offsets_.end() - 1);
+    for (const Triple& t : triples_)
+      pred_pairs_[cursor[t.p]++] = SubjectObject{t.s, t.o};
+    // Stable fill from (s,p,o)-sorted triples keeps (s,o) order per
+    // predicate; no per-predicate sort needed.
+  }
+
+  // Indexes are complete; the statistics below may use the accessors.
+  finalized_ = true;
+
+  // Distinct subject/object counts per predicate.
+  distinct_subjects_.assign(b + 1, 0);
+  distinct_objects_.assign(b + 1, 0);
+  for (TermId p = 1; p <= b; ++p) {
+    auto pairs = PredicatePairs(p);
+    TermId last_s = kUnboundTerm;
+    for (const auto& so : pairs) {
+      if (so.s != last_s) {
+        ++distinct_subjects_[p];
+        last_s = so.s;
+      }
+    }
+    std::vector<TermId> objs;
+    objs.reserve(pairs.size());
+    for (const auto& so : pairs) objs.push_back(so.o);
+    std::sort(objs.begin(), objs.end());
+    distinct_objects_[p] = static_cast<uint32_t>(
+        std::unique(objs.begin(), objs.end()) - objs.begin());
+  }
+
+  subjects_.clear();
+  objects_.clear();
+  for (TermId v = 1; v <= n; ++v) {
+    if (out_offsets_[v + 1] > out_offsets_[v]) subjects_.push_back(v);
+    if (in_offsets_[v + 1] > in_offsets_[v]) objects_.push_back(v);
+  }
+}
+
+void Graph::CheckFinalized() const {
+  LMKG_CHECK(finalized_) << "Graph accessor used before Finalize()";
+}
+
+std::span<const PredicateObject> Graph::OutEdges(TermId s) const {
+  CheckFinalized();
+  if (s < 1 || s > num_nodes_) return {};
+  return {out_edges_.data() + out_offsets_[s],
+          out_edges_.data() + out_offsets_[s + 1]};
+}
+
+std::span<const PredicateSubject> Graph::InEdges(TermId o) const {
+  CheckFinalized();
+  if (o < 1 || o > num_nodes_) return {};
+  return {in_edges_.data() + in_offsets_[o],
+          in_edges_.data() + in_offsets_[o + 1]};
+}
+
+std::span<const SubjectObject> Graph::PredicatePairs(TermId p) const {
+  CheckFinalized();
+  if (p < 1 || p > num_predicates_) return {};
+  return {pred_pairs_.data() + pred_offsets_[p],
+          pred_pairs_.data() + pred_offsets_[p + 1]};
+}
+
+std::span<const PredicateObject> Graph::OutEdgesWithPredicate(
+    TermId s, TermId p) const {
+  auto edges = OutEdges(s);
+  if (edges.empty()) return {};
+  auto lo = std::lower_bound(edges.begin(), edges.end(),
+                             PredicateObject{p, 0});
+  auto hi = std::lower_bound(lo, edges.end(), PredicateObject{p + 1, 0});
+  return edges.subspan(static_cast<size_t>(lo - edges.begin()),
+                       static_cast<size_t>(hi - lo));
+}
+
+std::span<const PredicateSubject> Graph::InEdgesWithPredicate(
+    TermId o, TermId p) const {
+  auto edges = InEdges(o);
+  if (edges.empty()) return {};
+  auto lo = std::lower_bound(edges.begin(), edges.end(),
+                             PredicateSubject{p, 0});
+  auto hi = std::lower_bound(lo, edges.end(), PredicateSubject{p + 1, 0});
+  return edges.subspan(static_cast<size_t>(lo - edges.begin()),
+                       static_cast<size_t>(hi - lo));
+}
+
+bool Graph::HasTriple(TermId s, TermId p, TermId o) const {
+  auto edges = OutEdgesWithPredicate(s, p);
+  return std::binary_search(edges.begin(), edges.end(),
+                            PredicateObject{p, o});
+}
+
+size_t Graph::OutDegree(TermId s) const {
+  CheckFinalized();
+  if (s < 1 || s > num_nodes_) return 0;
+  return out_offsets_[s + 1] - out_offsets_[s];
+}
+
+size_t Graph::InDegree(TermId o) const {
+  CheckFinalized();
+  if (o < 1 || o > num_nodes_) return 0;
+  return in_offsets_[o + 1] - in_offsets_[o];
+}
+
+size_t Graph::PredicateCount(TermId p) const {
+  CheckFinalized();
+  if (p < 1 || p > num_predicates_) return 0;
+  return pred_offsets_[p + 1] - pred_offsets_[p];
+}
+
+size_t Graph::DistinctSubjects(TermId p) const {
+  CheckFinalized();
+  if (p < 1 || p > num_predicates_) return 0;
+  return distinct_subjects_[p];
+}
+
+size_t Graph::DistinctObjects(TermId p) const {
+  CheckFinalized();
+  if (p < 1 || p > num_predicates_) return 0;
+  return distinct_objects_[p];
+}
+
+size_t Graph::MemoryBytes() const {
+  size_t bytes = triples_.capacity() * sizeof(Triple);
+  bytes += out_offsets_.capacity() * sizeof(uint64_t);
+  bytes += out_edges_.capacity() * sizeof(PredicateObject);
+  bytes += in_offsets_.capacity() * sizeof(uint64_t);
+  bytes += in_edges_.capacity() * sizeof(PredicateSubject);
+  bytes += pred_offsets_.capacity() * sizeof(uint64_t);
+  bytes += pred_pairs_.capacity() * sizeof(SubjectObject);
+  bytes += (distinct_subjects_.capacity() + distinct_objects_.capacity()) *
+           sizeof(uint32_t);
+  bytes += (subjects_.capacity() + objects_.capacity()) * sizeof(TermId);
+  return bytes + dict_.MemoryBytes();
+}
+
+std::string GraphSummary(const Graph& graph) {
+  return util::StrFormat(
+      "%zu triples, %zu nodes, %zu predicates",
+      graph.num_triples(), graph.num_nodes(), graph.num_predicates());
+}
+
+}  // namespace lmkg::rdf

@@ -1,0 +1,129 @@
+#ifndef LMKG_RDF_GRAPH_H_
+#define LMKG_RDF_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rdf/term_dictionary.h"
+#include "rdf/triple.h"
+
+namespace lmkg::rdf {
+
+/// In-memory RDF knowledge graph with three clustered indexes:
+///
+///   * SPO — out-edges per subject, sorted by (predicate, object)
+///   * OPS — in-edges per object, sorted by (predicate, subject)
+///   * PSO — triples per predicate, sorted by (subject, object)
+///
+/// The graph is built in two phases: AddTriple() during loading/generation,
+/// then a single Finalize() that deduplicates and builds the indexes. All
+/// query-side accessors require Finalize() to have been called.
+///
+/// Aggregate statistics needed by the samplers and the baseline estimators
+/// (degrees, per-predicate triple counts, distinct subject/object counts)
+/// are precomputed by Finalize() as well.
+class Graph {
+ public:
+  Graph() = default;
+
+  // Graphs are heavyweight; pass by reference, move if needed.
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// The dictionary used to intern term names. May remain empty when a
+  /// generator produces ids directly (see AddTripleIds).
+  TermDictionary& dict() { return dict_; }
+  const TermDictionary& dict() const { return dict_; }
+
+  /// Interns the three names and adds the triple.
+  void AddTriple(std::string_view s, std::string_view p, std::string_view o);
+  /// Adds a triple already in id space. Ids must be >= 1; the node/predicate
+  /// id spaces are extended as needed.
+  void AddTripleIds(TermId s, TermId p, TermId o);
+
+  /// Deduplicates triples and builds all indexes and statistics.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // --- Sizes -------------------------------------------------------------
+
+  size_t num_triples() const { return triples_.size(); }
+  /// Number of node ids in use (ids run 1..num_nodes()).
+  size_t num_nodes() const { return num_nodes_; }
+  /// Number of predicate ids in use (ids run 1..num_predicates()).
+  size_t num_predicates() const { return num_predicates_; }
+
+  /// All triples, sorted by (s, p, o). Valid after Finalize().
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  // --- Indexed access (require Finalize) ---------------------------------
+
+  /// Out-edges of subject s, sorted by (p, o).
+  std::span<const PredicateObject> OutEdges(TermId s) const;
+  /// In-edges of object o, sorted by (p, s).
+  std::span<const PredicateSubject> InEdges(TermId o) const;
+  /// The (s, o) pairs of predicate p, sorted by (s, o).
+  std::span<const SubjectObject> PredicatePairs(TermId p) const;
+
+  /// Out-edges of s with predicate p (contiguous sub-span of OutEdges).
+  std::span<const PredicateObject> OutEdgesWithPredicate(TermId s,
+                                                         TermId p) const;
+  /// In-edges of o with predicate p.
+  std::span<const PredicateSubject> InEdgesWithPredicate(TermId o,
+                                                         TermId p) const;
+
+  bool HasTriple(TermId s, TermId p, TermId o) const;
+
+  // --- Statistics ---------------------------------------------------------
+
+  size_t OutDegree(TermId s) const;
+  size_t InDegree(TermId o) const;
+  /// Number of triples with predicate p.
+  size_t PredicateCount(TermId p) const;
+  /// Number of distinct subjects appearing with predicate p.
+  size_t DistinctSubjects(TermId p) const;
+  /// Number of distinct objects appearing with predicate p.
+  size_t DistinctObjects(TermId p) const;
+
+  /// Node ids with out-degree >= 1, i.e. all subjects.
+  const std::vector<TermId>& subjects() const { return subjects_; }
+  /// Node ids with in-degree >= 1, i.e. all objects.
+  const std::vector<TermId>& objects() const { return objects_; }
+
+  /// Approximate heap usage of triples + indexes + dictionary.
+  size_t MemoryBytes() const;
+
+ private:
+  void CheckFinalized() const;
+
+  TermDictionary dict_;
+  std::vector<Triple> triples_;
+  bool finalized_ = false;
+  size_t num_nodes_ = 0;
+  size_t num_predicates_ = 0;
+
+  // CSR out-index: out_edges_[out_offsets_[s] .. out_offsets_[s+1]).
+  std::vector<uint64_t> out_offsets_;
+  std::vector<PredicateObject> out_edges_;
+  // CSR in-index.
+  std::vector<uint64_t> in_offsets_;
+  std::vector<PredicateSubject> in_edges_;
+  // CSR predicate index.
+  std::vector<uint64_t> pred_offsets_;
+  std::vector<SubjectObject> pred_pairs_;
+
+  std::vector<uint32_t> distinct_subjects_;  // per predicate id
+  std::vector<uint32_t> distinct_objects_;   // per predicate id
+  std::vector<TermId> subjects_;
+  std::vector<TermId> objects_;
+};
+
+/// Human-readable one-line summary ("250123 triples, 76442 nodes, ...").
+std::string GraphSummary(const Graph& graph);
+
+}  // namespace lmkg::rdf
+
+#endif  // LMKG_RDF_GRAPH_H_

@@ -1,0 +1,115 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace lmkg::rdf {
+namespace {
+
+// Parses one term starting at `pos`; advances pos past the term and any
+// trailing whitespace. Returns false on malformed input.
+bool ParseTerm(const std::string& line, size_t* pos, std::string* term) {
+  size_t i = *pos;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  if (i >= line.size()) return false;
+  if (line[i] == '<') {
+    size_t end = line.find('>', i + 1);
+    if (end == std::string::npos) return false;
+    *term = line.substr(i + 1, end - i - 1);
+    *pos = end + 1;
+    return true;
+  }
+  if (line[i] == '"') {
+    size_t end = i + 1;
+    while (end < line.size() && line[end] != '"') {
+      if (line[end] == '\\') ++end;
+      ++end;
+    }
+    if (end >= line.size()) return false;
+    // Keep literals quoted so they cannot collide with URIs.
+    *term = line.substr(i, end - i + 1);
+    *pos = end + 1;
+    // Skip optional datatype/lang tags up to the next whitespace.
+    while (*pos < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[*pos])))
+      ++(*pos);
+    return true;
+  }
+  // Bare token (common in simple test fixtures).
+  size_t end = i;
+  while (end < line.size() &&
+         !std::isspace(static_cast<unsigned char>(line[end])))
+    ++end;
+  *term = line.substr(i, end - i);
+  *pos = end;
+  return !term->empty() && *term != ".";
+}
+
+}  // namespace
+
+util::Status LoadNTriples(std::istream& in, Graph* graph) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    size_t pos = 0;
+    std::string s, p, o;
+    if (!ParseTerm(trimmed, &pos, &s) || !ParseTerm(trimmed, &pos, &p) ||
+        !ParseTerm(trimmed, &pos, &o)) {
+      return util::Status::Error(util::StrFormat(
+          "ntriples: malformed line %zu: %s", line_no, trimmed.c_str()));
+    }
+    std::string rest = util::Trim(trimmed.substr(pos));
+    if (rest != "." && !rest.empty()) {
+      return util::Status::Error(util::StrFormat(
+          "ntriples: trailing junk on line %zu: %s", line_no, rest.c_str()));
+    }
+    graph->AddTriple(s, p, o);
+  }
+  return util::Status::Ok();
+}
+
+util::Status LoadNTriplesFile(const std::string& path, Graph* graph) {
+  std::ifstream in(path);
+  if (!in) return util::Status::Error("ntriples: cannot open " + path);
+  return LoadNTriples(in, graph);
+}
+
+util::Status WriteNTriples(const Graph& graph, std::ostream& out) {
+  const TermDictionary& dict = graph.dict();
+  auto node_name = [&](TermId id) -> std::string {
+    if (id <= dict.num_nodes()) return dict.NodeName(id);
+    return util::StrFormat("e%u", id);
+  };
+  auto pred_name = [&](TermId id) -> std::string {
+    if (id <= dict.num_predicates()) return dict.PredicateName(id);
+    return util::StrFormat("p%u", id);
+  };
+  for (const Triple& t : graph.triples()) {
+    std::string o = node_name(t.o);
+    out << "<" << node_name(t.s) << "> <" << pred_name(t.p) << "> ";
+    if (!o.empty() && o[0] == '"')
+      out << o;  // literal, already quoted
+    else
+      out << "<" << o << ">";
+    out << " .\n";
+  }
+  out.flush();
+  if (!out) return util::Status::Error("ntriples: write failed");
+  return util::Status::Ok();
+}
+
+util::Status WriteNTriplesFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::Error("ntriples: cannot open " + path);
+  return WriteNTriples(graph, out);
+}
+
+}  // namespace lmkg::rdf

@@ -1,0 +1,30 @@
+#ifndef LMKG_RDF_NTRIPLES_H_
+#define LMKG_RDF_NTRIPLES_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace lmkg::rdf {
+
+/// Loads an N-Triples-style file into a fresh (not yet finalized) graph.
+/// Supported line grammar (a pragmatic subset of the W3C format):
+///
+///   <subject-uri> <predicate-uri> <object-uri> .
+///   <subject-uri> <predicate-uri> "literal" .
+///   # comment lines and blank lines are skipped
+///
+/// Returns an error for malformed lines. The caller finalizes the graph.
+util::Status LoadNTriples(std::istream& in, Graph* graph);
+util::Status LoadNTriplesFile(const std::string& path, Graph* graph);
+
+/// Writes the graph's triples in the same format (terms from its
+/// dictionary; graphs built from raw ids are written as <e{id}> names).
+util::Status WriteNTriples(const Graph& graph, std::ostream& out);
+util::Status WriteNTriplesFile(const Graph& graph, const std::string& path);
+
+}  // namespace lmkg::rdf
+
+#endif  // LMKG_RDF_NTRIPLES_H_

@@ -1,0 +1,58 @@
+#include "rdf/term_dictionary.h"
+
+#include "util/check.h"
+
+namespace lmkg::rdf {
+
+TermId TermDictionary::InternNode(std::string_view name) {
+  auto it = node_ids_.find(std::string(name));
+  if (it != node_ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(node_names_.size() + 1);
+  node_names_.emplace_back(name);
+  node_ids_.emplace(node_names_.back(), id);
+  return id;
+}
+
+TermId TermDictionary::InternPredicate(std::string_view name) {
+  auto it = predicate_ids_.find(std::string(name));
+  if (it != predicate_ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(predicate_names_.size() + 1);
+  predicate_names_.emplace_back(name);
+  predicate_ids_.emplace(predicate_names_.back(), id);
+  return id;
+}
+
+std::optional<TermId> TermDictionary::FindNode(std::string_view name) const {
+  auto it = node_ids_.find(std::string(name));
+  if (it == node_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TermId> TermDictionary::FindPredicate(
+    std::string_view name) const {
+  auto it = predicate_ids_.find(std::string(name));
+  if (it == predicate_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& TermDictionary::NodeName(TermId id) const {
+  LMKG_CHECK(id >= 1 && id <= node_names_.size()) << "bad node id " << id;
+  return node_names_[id - 1];
+}
+
+const std::string& TermDictionary::PredicateName(TermId id) const {
+  LMKG_CHECK(id >= 1 && id <= predicate_names_.size())
+      << "bad predicate id " << id;
+  return predicate_names_[id - 1];
+}
+
+size_t TermDictionary::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& n : node_names_) bytes += n.capacity() + sizeof(n);
+  for (const auto& n : predicate_names_) bytes += n.capacity() + sizeof(n);
+  // Hash maps store the strings again plus bucket overhead; estimate 2x.
+  return bytes * 2 + (node_ids_.size() + predicate_ids_.size()) *
+                         (sizeof(void*) * 2 + sizeof(TermId));
+}
+
+}  // namespace lmkg::rdf

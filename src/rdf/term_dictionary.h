@@ -1,0 +1,53 @@
+#ifndef LMKG_RDF_TERM_DICTIONARY_H_
+#define LMKG_RDF_TERM_DICTIONARY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace lmkg::rdf {
+
+/// Bidirectional mapping between RDF term strings (URIs/literals) and dense
+/// integer ids (paper §V: "we convert the triple terms into numerical
+/// values, each having an identifier in the range of 1 to the maximal number
+/// of nodes or predicates").
+///
+/// Nodes (subjects and objects) share one id space; predicates get their
+/// own. Ids start at 1; 0 means "unbound".
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// Returns the id of the node term, interning it if new.
+  TermId InternNode(std::string_view name);
+  /// Returns the id of the predicate term, interning it if new.
+  TermId InternPredicate(std::string_view name);
+
+  std::optional<TermId> FindNode(std::string_view name) const;
+  std::optional<TermId> FindPredicate(std::string_view name) const;
+
+  /// Name lookup. Requires a valid (interned) id.
+  const std::string& NodeName(TermId id) const;
+  const std::string& PredicateName(TermId id) const;
+
+  /// Number of distinct node / predicate terms (ids run 1..count).
+  size_t num_nodes() const { return node_names_.size(); }
+  size_t num_predicates() const { return predicate_names_.size(); }
+
+  /// Approximate heap usage, for the Table II memory accounting.
+  size_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<std::string, TermId> node_ids_;
+  std::unordered_map<std::string, TermId> predicate_ids_;
+  std::vector<std::string> node_names_;       // index = id - 1
+  std::vector<std::string> predicate_names_;  // index = id - 1
+};
+
+}  // namespace lmkg::rdf
+
+#endif  // LMKG_RDF_TERM_DICTIONARY_H_

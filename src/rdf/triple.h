@@ -1,0 +1,65 @@
+#ifndef LMKG_RDF_TRIPLE_H_
+#define LMKG_RDF_TRIPLE_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace lmkg::rdf {
+
+/// Integer id of a term. Node ids (subjects and objects share one id space,
+/// as required for chain queries where an object of one triple is the
+/// subject of the next — paper §V-A1) and predicate ids live in separate
+/// spaces. Valid ids start at 1; id 0 is reserved for "unbound / absent",
+/// matching the encoding convention of the paper (an absent term is encoded
+/// as all zeros).
+using TermId = uint32_t;
+
+inline constexpr TermId kUnboundTerm = 0;
+
+/// One RDF triple (subject, predicate, object) in id space.
+struct Triple {
+  TermId s = kUnboundTerm;
+  TermId p = kUnboundTerm;
+  TermId o = kUnboundTerm;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+  friend std::strong_ordering operator<=>(const Triple&,
+                                          const Triple&) = default;
+};
+
+/// A (predicate, object) pair — an out-edge of a subject.
+struct PredicateObject {
+  TermId p = kUnboundTerm;
+  TermId o = kUnboundTerm;
+
+  friend bool operator==(const PredicateObject&,
+                         const PredicateObject&) = default;
+  friend std::strong_ordering operator<=>(const PredicateObject&,
+                                          const PredicateObject&) = default;
+};
+
+/// A (predicate, subject) pair — an in-edge of an object.
+struct PredicateSubject {
+  TermId p = kUnboundTerm;
+  TermId s = kUnboundTerm;
+
+  friend bool operator==(const PredicateSubject&,
+                         const PredicateSubject&) = default;
+  friend std::strong_ordering operator<=>(const PredicateSubject&,
+                                          const PredicateSubject&) = default;
+};
+
+/// A (subject, object) pair — one triple of a fixed predicate.
+struct SubjectObject {
+  TermId s = kUnboundTerm;
+  TermId o = kUnboundTerm;
+
+  friend bool operator==(const SubjectObject&,
+                         const SubjectObject&) = default;
+  friend std::strong_ordering operator<=>(const SubjectObject&,
+                                          const SubjectObject&) = default;
+};
+
+}  // namespace lmkg::rdf
+
+#endif  // LMKG_RDF_TRIPLE_H_

@@ -1,0 +1,86 @@
+#ifndef LMKG_SAMPLING_BOUND_PATTERN_H_
+#define LMKG_SAMPLING_BOUND_PATTERN_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "rdf/triple.h"
+
+namespace lmkg::sampling {
+
+/// A fully bound star pattern: a subject plus an *ordered* list of k
+/// out-edges (repetition allowed). This is one element of the star-k tuple
+/// population the unsupervised model learns — see population.h for why the
+/// space is ordered-with-repetition.
+struct BoundStar {
+  rdf::TermId center = rdf::kUnboundTerm;
+  std::vector<rdf::PredicateObject> edges;
+
+  size_t size() const { return edges.size(); }
+  friend bool operator==(const BoundStar&, const BoundStar&) = default;
+};
+
+/// A fully bound chain pattern: a length-k walk through the graph.
+struct BoundChain {
+  std::vector<rdf::TermId> nodes;       // k+1
+  std::vector<rdf::TermId> predicates;  // k
+
+  size_t size() const { return predicates.size(); }
+  friend bool operator==(const BoundChain&, const BoundChain&) = default;
+};
+
+/// Converts a bound pattern into a fully bound Query.
+inline query::Query ToQuery(const BoundStar& star) {
+  std::vector<std::pair<query::PatternTerm, query::PatternTerm>> pairs;
+  pairs.reserve(star.edges.size());
+  for (const auto& e : star.edges)
+    pairs.emplace_back(query::PatternTerm::Bound(e.p),
+                       query::PatternTerm::Bound(e.o));
+  return query::MakeStarQuery(query::PatternTerm::Bound(star.center), pairs);
+}
+
+inline query::Query ToQuery(const BoundChain& chain) {
+  std::vector<query::PatternTerm> nodes;
+  std::vector<query::PatternTerm> preds;
+  for (rdf::TermId n : chain.nodes)
+    nodes.push_back(query::PatternTerm::Bound(n));
+  for (rdf::TermId p : chain.predicates)
+    preds.push_back(query::PatternTerm::Bound(p));
+  return query::MakeChainQuery(nodes, preds);
+}
+
+/// True if position `pos` of a star-k / chain-k term sequence holds a
+/// predicate id (as opposed to a node id).
+inline bool StarPositionIsPredicate(size_t pos) {
+  return pos != 0 && (pos % 2) == 1;
+}
+inline bool ChainPositionIsPredicate(size_t pos) { return (pos % 2) == 1; }
+
+/// Flattens a pattern into the autoregressive term sequence of the paper
+/// (§VI-B): star-k -> [s, p1, o1, ..., pk, ok]; chain-k ->
+/// [n1, p1, n2, ..., pk, nk+1].
+inline std::vector<rdf::TermId> ToTermSequence(const BoundStar& star) {
+  std::vector<rdf::TermId> seq;
+  seq.reserve(1 + 2 * star.edges.size());
+  seq.push_back(star.center);
+  for (const auto& e : star.edges) {
+    seq.push_back(e.p);
+    seq.push_back(e.o);
+  }
+  return seq;
+}
+
+inline std::vector<rdf::TermId> ToTermSequence(const BoundChain& chain) {
+  std::vector<rdf::TermId> seq;
+  seq.reserve(chain.nodes.size() + chain.predicates.size());
+  for (size_t i = 0; i < chain.predicates.size(); ++i) {
+    seq.push_back(chain.nodes[i]);
+    seq.push_back(chain.predicates[i]);
+  }
+  seq.push_back(chain.nodes.back());
+  return seq;
+}
+
+}  // namespace lmkg::sampling
+
+#endif  // LMKG_SAMPLING_BOUND_PATTERN_H_

@@ -1,0 +1,102 @@
+#include "sampling/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lmkg::sampling {
+
+using rdf::TermId;
+
+StarPopulation::StarPopulation(const rdf::Graph& graph, int k)
+    : graph_(graph), k_(k), total_(0.0) {
+  LMKG_CHECK_GE(k, 1);
+  LMKG_CHECK(graph.finalized());
+  const auto& subjects = graph.subjects();
+  subject_cdf_.resize(subjects.size());
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    double deg = static_cast<double>(graph.OutDegree(subjects[i]));
+    total_ += std::pow(deg, k);
+    subject_cdf_[i] = total_;
+  }
+  LMKG_CHECK_GT(total_, 0.0) << "graph has no subjects";
+}
+
+BoundStar StarPopulation::SampleUniform(util::Pcg32& rng) const {
+  double u = rng.NextDouble() * total_;
+  auto it = std::upper_bound(subject_cdf_.begin(), subject_cdf_.end(), u);
+  if (it == subject_cdf_.end()) --it;
+  TermId s = graph_.subjects()[static_cast<size_t>(
+      it - subject_cdf_.begin())];
+  auto edges = graph_.OutEdges(s);
+  BoundStar star;
+  star.center = s;
+  star.edges.reserve(k_);
+  for (int i = 0; i < k_; ++i)
+    star.edges.push_back(
+        edges[rng.UniformInt(static_cast<uint32_t>(edges.size()))]);
+  return star;
+}
+
+ChainPopulation::ChainPopulation(const rdf::Graph& graph, int k)
+    : graph_(graph), k_(k), total_(0.0) {
+  LMKG_CHECK_GE(k, 1);
+  LMKG_CHECK(graph.finalized());
+  const size_t n = graph.num_nodes();
+  walk_counts_.assign(k + 1, std::vector<double>(n + 1, 0.0));
+  for (size_t v = 1; v <= n; ++v) walk_counts_[0][v] = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    for (size_t v = 1; v <= n; ++v) {
+      double sum = 0.0;
+      for (const auto& e : graph.OutEdges(static_cast<TermId>(v)))
+        sum += walk_counts_[j - 1][e.o];
+      walk_counts_[j][v] = sum;
+    }
+  }
+  start_cdf_.resize(n + 1, 0.0);
+  for (size_t v = 1; v <= n; ++v) {
+    total_ += walk_counts_[k][v];
+    start_cdf_[v] = total_;
+  }
+  LMKG_CHECK_GT(total_, 0.0) << "graph has no length-" << k << " walks";
+}
+
+double ChainPopulation::WalkCount(TermId v, int len) const {
+  LMKG_CHECK(len >= 0 && len <= k_);
+  LMKG_CHECK(v >= 1 && v <= graph_.num_nodes());
+  return walk_counts_[len][v];
+}
+
+BoundChain ChainPopulation::SampleUniform(util::Pcg32& rng) const {
+  // Start node v with probability walks_k(v) / N, then at each step take
+  // edge (p, u) with probability walks_{remaining-1}(u) / walks_rem(v):
+  // the product telescopes to 1/N, i.e. the walk is uniform.
+  double u0 = rng.NextDouble() * total_;
+  auto it = std::upper_bound(start_cdf_.begin() + 1, start_cdf_.end(), u0);
+  if (it == start_cdf_.end()) --it;
+  TermId v = static_cast<TermId>(it - start_cdf_.begin());
+
+  BoundChain chain;
+  chain.nodes.push_back(v);
+  for (int remaining = k_; remaining >= 1; --remaining) {
+    auto edges = graph_.OutEdges(v);
+    LMKG_CHECK(!edges.empty());
+    double target = rng.NextDouble() * walk_counts_[remaining][v];
+    double acc = 0.0;
+    const rdf::PredicateObject* chosen = &edges.back();
+    for (const auto& e : edges) {
+      acc += walk_counts_[remaining - 1][e.o];
+      if (acc > target) {
+        chosen = &e;
+        break;
+      }
+    }
+    chain.predicates.push_back(chosen->p);
+    chain.nodes.push_back(chosen->o);
+    v = chosen->o;
+  }
+  return chain;
+}
+
+}  // namespace lmkg::sampling

@@ -1,0 +1,72 @@
+#ifndef LMKG_SAMPLING_POPULATION_H_
+#define LMKG_SAMPLING_POPULATION_H_
+
+#include <vector>
+
+#include "rdf/graph.h"
+#include "sampling/bound_pattern.h"
+#include "util/random.h"
+
+namespace lmkg::sampling {
+
+/// The star-k tuple population: all tuples (s, e_1, ..., e_k) where each
+/// e_i is *any* out-edge of s, independently (ordered, repetition allowed).
+///
+/// Why this space: under SPARQL/BGP counting semantics the result rows of a
+/// star query with k triple patterns are exactly the assignments of one
+/// out-edge of a common subject to each pattern — two patterns may match
+/// the same triple, and patterns are an ordered list. Hence
+///
+///   card(query) = #matching tuples,   N = Σ_s outdeg(s)^k,
+///
+/// and the unsupervised estimator's `P(pattern) · N` is consistent with the
+/// executor's exact counts (which the tests verify). The paper itself
+/// trains on "bound graph patterns" without pinning the space down; this is
+/// the choice that makes its estimator well-defined.
+class StarPopulation {
+ public:
+  StarPopulation(const rdf::Graph& graph, int k);
+
+  /// N = Σ_s outdeg(s)^k (as double; can exceed 2^64 on big graphs).
+  double size() const { return total_; }
+  int k() const { return k_; }
+
+  /// Draws a tuple uniformly from the population.
+  BoundStar SampleUniform(util::Pcg32& rng) const;
+
+ private:
+  const rdf::Graph& graph_;
+  int k_;
+  double total_;
+  // CDF over subjects weighted by outdeg^k, aligned with graph.subjects().
+  std::vector<double> subject_cdf_;
+};
+
+/// The chain-k tuple population: all walks (n_1, p_1, n_2, ..., p_k,
+/// n_{k+1}) with every step a triple of the graph. N = #walks of length k,
+/// computed by dynamic programming over walk counts; result rows of a chain
+/// query are exactly walks, so the same consistency argument applies.
+class ChainPopulation {
+ public:
+  ChainPopulation(const rdf::Graph& graph, int k);
+
+  double size() const { return total_; }
+  int k() const { return k_; }
+
+  BoundChain SampleUniform(util::Pcg32& rng) const;
+
+  /// Number of walks of length `len` starting at node v (len <= k).
+  double WalkCount(rdf::TermId v, int len) const;
+
+ private:
+  const rdf::Graph& graph_;
+  int k_;
+  double total_;
+  // walk_counts_[j][v] = number of walks of length j starting at v.
+  std::vector<std::vector<double>> walk_counts_;
+  std::vector<double> start_cdf_;  // over nodes 1..n weighted by walks_k
+};
+
+}  // namespace lmkg::sampling
+
+#endif  // LMKG_SAMPLING_POPULATION_H_

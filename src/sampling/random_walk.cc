@@ -1,0 +1,49 @@
+#include "sampling/random_walk.h"
+
+#include "util/check.h"
+
+namespace lmkg::sampling {
+
+RandomWalkSampler::RandomWalkSampler(const rdf::Graph& graph)
+    : graph_(graph) {
+  LMKG_CHECK(graph.finalized());
+}
+
+std::optional<BoundStar> RandomWalkSampler::SampleStar(
+    int k, util::Pcg32& rng) const {
+  LMKG_CHECK_GE(k, 1);
+  const auto& subjects = graph_.subjects();
+  if (subjects.empty()) return std::nullopt;
+  rdf::TermId s = rng.Choice(subjects);
+  auto edges = graph_.OutEdges(s);
+  if (edges.empty()) return std::nullopt;
+  BoundStar star;
+  star.center = s;
+  star.edges.reserve(k);
+  for (int i = 0; i < k; ++i)
+    star.edges.push_back(
+        edges[rng.UniformInt(static_cast<uint32_t>(edges.size()))]);
+  return star;
+}
+
+std::optional<BoundChain> RandomWalkSampler::SampleChain(
+    int k, util::Pcg32& rng) const {
+  LMKG_CHECK_GE(k, 1);
+  const auto& subjects = graph_.subjects();
+  if (subjects.empty()) return std::nullopt;
+  BoundChain chain;
+  rdf::TermId v = rng.Choice(subjects);
+  chain.nodes.push_back(v);
+  for (int i = 0; i < k; ++i) {
+    auto edges = graph_.OutEdges(v);
+    if (edges.empty()) return std::nullopt;  // dead end, caller retries
+    const auto& e =
+        edges[rng.UniformInt(static_cast<uint32_t>(edges.size()))];
+    chain.predicates.push_back(e.p);
+    chain.nodes.push_back(e.o);
+    v = e.o;
+  }
+  return chain;
+}
+
+}  // namespace lmkg::sampling

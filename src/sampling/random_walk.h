@@ -1,0 +1,42 @@
+#ifndef LMKG_SAMPLING_RANDOM_WALK_H_
+#define LMKG_SAMPLING_RANDOM_WALK_H_
+
+#include <optional>
+
+#include "rdf/graph.h"
+#include "sampling/bound_pattern.h"
+#include "util/random.h"
+
+namespace lmkg::sampling {
+
+/// The paper's training-data sampler (§VII-A): random-walk sampling after
+/// Leskovec & Faloutsos (KDD 2006), "biased towards highly connected
+/// nodes".
+///
+///   * Star-k: pick a random starting node, then simulate a random step k
+///     times from it (k out-edges drawn uniformly, with repetition).
+///   * Chain-k: start a walk at a random node and take uniform random
+///     steps until the required size is reached.
+///
+/// Unlike population.h's exact samplers these are biased; the paper itself
+/// identifies sample quality as LMKG-U's main accuracy limiter, which
+/// bench_ablation_lmkgu measures by swapping the two samplers.
+class RandomWalkSampler {
+ public:
+  explicit RandomWalkSampler(const rdf::Graph& graph);
+
+  /// Samples a star-k pattern; nullopt when the chosen start node has no
+  /// out-edges (caller retries).
+  std::optional<BoundStar> SampleStar(int k, util::Pcg32& rng) const;
+
+  /// Samples a chain-k pattern; nullopt when the walk dead-ends before
+  /// reaching length k (caller retries).
+  std::optional<BoundChain> SampleChain(int k, util::Pcg32& rng) const;
+
+ private:
+  const rdf::Graph& graph_;
+};
+
+}  // namespace lmkg::sampling
+
+#endif  // LMKG_SAMPLING_RANDOM_WALK_H_

@@ -1,0 +1,72 @@
+#ifndef LMKG_UTIL_CHECK_H_
+#define LMKG_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <ostream>
+
+// Fatal invariant checking. The project does not use C++ exceptions; broken
+// invariants print a diagnostic and abort. Intended for programming errors,
+// not for recoverable conditions (use util::Status for those).
+//
+// Usage:
+//   LMKG_CHECK(ptr != nullptr) << "extra context";
+//   LMKG_CHECK_EQ(a, b);
+//
+// Note: LMKG_CHECK_* comparison macros evaluate their arguments twice (once
+// for the comparison, once for the failure message); keep arguments
+// side-effect free.
+
+namespace lmkg::util::internal {
+
+// Streams the failure header on construction and aborts on destruction, so
+// callers can append context with operator<< in between.
+class CheckFailer {
+ public:
+  CheckFailer(const char* file, int line, const char* expr) {
+    std::cerr << "\nLMKG_CHECK failed at " << file << ":" << line << ": "
+              << expr << " ";
+  }
+  CheckFailer(const CheckFailer&) = delete;
+  CheckFailer& operator=(const CheckFailer&) = delete;
+  ~CheckFailer() {
+    std::cerr << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return std::cerr; }
+};
+
+// Lets the macro below produce a void expression in the success branch.
+struct Voidifier {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace lmkg::util::internal
+
+#define LMKG_CHECK(cond)                                 \
+  (cond) ? (void)0                                       \
+         : ::lmkg::util::internal::Voidifier() &         \
+               ::lmkg::util::internal::CheckFailer(      \
+                   __FILE__, __LINE__, #cond)            \
+                   .stream()
+
+#define LMKG_CHECK_EQ(a, b) \
+  LMKG_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LMKG_CHECK_NE(a, b) \
+  LMKG_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LMKG_CHECK_LT(a, b) \
+  LMKG_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LMKG_CHECK_LE(a, b) \
+  LMKG_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LMKG_CHECK_GT(a, b) \
+  LMKG_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define LMKG_CHECK_GE(a, b) \
+  LMKG_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define LMKG_DCHECK(cond) LMKG_CHECK(true || (cond))
+#else
+#define LMKG_DCHECK(cond) LMKG_CHECK(cond)
+#endif
+
+#endif  // LMKG_UTIL_CHECK_H_

@@ -1,0 +1,34 @@
+#ifndef LMKG_UTIL_FLAGS_H_
+#define LMKG_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lmkg::util {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+/// Accepts "--name=value" and "--name value"; bare "--name" is boolean true.
+/// Unknown positional arguments are collected in positional().
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_FLAGS_H_

@@ -1,0 +1,106 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lmkg::util {
+
+double QError(double estimate, double truth) {
+  double e = std::max(estimate, 1.0);
+  double t = std::max(truth, 1.0);
+  return std::max(e / t, t / e);
+}
+
+int Log2Ceil(uint64_t x) {
+  LMKG_CHECK_GE(x, 1u);
+  int bits = 0;
+  uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+int BinaryEncodingBits(uint64_t domain_size) {
+  if (domain_size <= 1) return 1;
+  return Log2Ceil(domain_size) + 1;
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  LMKG_CHECK(!sorted.empty());
+  LMKG_CHECK(q >= 0.0 && q <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+QErrorStats QErrorStats::Compute(std::vector<double> qerrors) {
+  QErrorStats stats;
+  if (qerrors.empty()) return stats;
+  std::sort(qerrors.begin(), qerrors.end());
+  stats.count = qerrors.size();
+  double sum = 0.0;
+  double log_sum = 0.0;
+  for (double q : qerrors) {
+    sum += q;
+    log_sum += std::log(std::max(q, 1e-300));
+  }
+  stats.mean = sum / static_cast<double>(qerrors.size());
+  stats.geometric_mean =
+      std::exp(log_sum / static_cast<double>(qerrors.size()));
+  stats.median = Percentile(qerrors, 50.0);
+  stats.p90 = Percentile(qerrors, 90.0);
+  stats.p95 = Percentile(qerrors, 95.0);
+  stats.p99 = Percentile(qerrors, 99.0);
+  stats.max = qerrors.back();
+  return stats;
+}
+
+void LogMinMaxScaler::Fit(const std::vector<double>& cardinalities) {
+  LMKG_CHECK(!cardinalities.empty());
+  double lo = 1e300;
+  double hi = -1e300;
+  for (double c : cardinalities) {
+    double l = std::log(std::max(c, 1.0));
+    lo = std::min(lo, l);
+    hi = std::max(hi, l);
+  }
+  log_min_ = lo;
+  log_max_ = hi;
+  if (log_max_ - log_min_ < 1e-9) log_max_ = log_min_ + 1.0;
+  fitted_ = true;
+}
+
+double LogMinMaxScaler::Scale(double cardinality) const {
+  LMKG_CHECK(fitted_);
+  double l = std::log(std::max(cardinality, 1.0));
+  double y = (l - log_min_) / (log_max_ - log_min_);
+  return std::clamp(y, 0.0, 1.0);
+}
+
+double LogMinMaxScaler::Unscale(double y) const {
+  LMKG_CHECK(fitted_);
+  double yc = std::clamp(y, 0.0, 1.0);
+  return std::exp(yc * (log_max_ - log_min_) + log_min_);
+}
+
+int ResultSizeBucket(double cardinality) {
+  if (cardinality < 1.0) return 0;
+  int bucket = static_cast<int>(std::log(cardinality) / std::log(5.0));
+  // Guard against floating point rounding at bucket boundaries.
+  while (BucketLowerBound(bucket + 1) <= cardinality) ++bucket;
+  while (bucket > 0 && BucketLowerBound(bucket) > cardinality) --bucket;
+  return bucket;
+}
+
+double BucketLowerBound(int bucket) {
+  return std::pow(5.0, static_cast<double>(bucket));
+}
+
+}  // namespace lmkg::util

@@ -1,0 +1,83 @@
+#ifndef LMKG_UTIL_MATH_H_
+#define LMKG_UTIL_MATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lmkg::util {
+
+/// q-error between an estimate and the true cardinality:
+///   max(est/true, true/est)
+/// Both sides are floored at 1 first (the convention used by the paper and
+/// by G-CARE) so that empty results and sub-1 estimates do not divide by 0.
+/// A perfect estimate has q-error 1.
+double QError(double estimate, double truth);
+
+/// Number of bits of the paper's binary term encoding for a domain of
+/// `domain_size` distinct values: ceil(log2(domain_size)) + 1. The +1 keeps
+/// the all-zero word reserved for "unbound / absent" while ids start at 1.
+int BinaryEncodingBits(uint64_t domain_size);
+
+/// ceil(log2(x)) for x >= 1 (0 for x == 1).
+int Log2Ceil(uint64_t x);
+
+/// Aggregate statistics over a set of q-errors.
+struct QErrorStats {
+  double mean = 0.0;
+  double geometric_mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+
+  /// Computes stats; the input vector is copied and sorted internally.
+  static QErrorStats Compute(std::vector<double> qerrors);
+};
+
+/// q-th percentile (q in [0,100]) of a sorted vector, linear interpolation.
+double Percentile(const std::vector<double>& sorted, double q);
+
+/// Maps cardinalities to [0,1] with y = (ln c - ln min) / (ln max - ln min),
+/// the label transform LMKG-S and MSCN train against (paper §VI-A). Values
+/// are clamped into the fitted range on both Scale and Unscale.
+class LogMinMaxScaler {
+ public:
+  LogMinMaxScaler() = default;
+
+  /// Fits the scaler on true cardinalities (must be non-empty; values < 1
+  /// are floored at 1).
+  void Fit(const std::vector<double>& cardinalities);
+
+  double Scale(double cardinality) const;
+  double Unscale(double y) const;
+
+  bool fitted() const { return fitted_; }
+  double log_min() const { return log_min_; }
+  double log_max() const { return log_max_; }
+
+  /// Restores a previously fitted state (model deserialization).
+  void Restore(double log_min, double log_max) {
+    log_min_ = log_min;
+    log_max_ = log_max;
+    fitted_ = true;
+  }
+
+ private:
+  double log_min_ = 0.0;
+  double log_max_ = 1.0;
+  bool fitted_ = false;
+};
+
+/// The log-base-5 result-size bucket of a cardinality, i.e. the index i such
+/// that card is in [5^i, 5^(i+1)). Cardinalities < 1 map to bucket 0.
+int ResultSizeBucket(double cardinality);
+
+/// Lower bound 5^bucket of a result-size bucket.
+double BucketLowerBound(int bucket);
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_MATH_H_

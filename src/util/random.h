@@ -1,0 +1,92 @@
+#ifndef LMKG_UTIL_RANDOM_H_
+#define LMKG_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lmkg::util {
+
+/// PCG32 pseudo-random generator (O'Neill, pcg-random.org). Deterministic,
+/// fast, and seedable — every stochastic component in LMKG takes one of
+/// these so experiments are reproducible.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32 random bits.
+  uint32_t Next();
+  /// Uniform 64 random bits.
+  uint64_t Next64();
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint32_t UniformInt(uint32_t bound);
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt64(int64_t lo, int64_t hi);
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    LMKG_CHECK(!v.empty());
+    return v[UniformInt(static_cast<uint32_t>(v.size()))];
+  }
+
+  /// Fisher-Yates in-place shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformInt(static_cast<uint32_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_gaussian_ = false;
+  double next_gaussian_ = 0.0;
+};
+
+/// Zipf distribution over ranks {0, ..., n-1}: P(k) ∝ 1/(k+1)^s.
+/// Used by the synthetic dataset generators to produce the skewed degree
+/// and predicate distributions real knowledge graphs exhibit.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  size_t Sample(Pcg32& rng) const;
+  size_t size() const { return cdf_.size(); }
+  /// Probability mass of rank k.
+  double Pmf(size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// General discrete distribution given unnormalized non-negative weights.
+/// Sampling is O(log n) by binary search over the cumulative sums.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  size_t Sample(Pcg32& rng) const;
+  size_t size() const { return cdf_.size(); }
+  double total_weight() const { return total_; }
+
+ private:
+  std::vector<double> cdf_;
+  double total_;
+};
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_RANDOM_H_

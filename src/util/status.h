@@ -1,0 +1,62 @@
+#ifndef LMKG_UTIL_STATUS_H_
+#define LMKG_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace lmkg::util {
+
+/// Lightweight success/error carrier for recoverable failures (the project
+/// does not use exceptions). Errors carry a human-readable message.
+class Status {
+ public:
+  Status() : ok_(true) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_;
+  std::string message_;
+};
+
+/// Minimal value-or-error wrapper used by parsers and loaders.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)), ok_(true) {}
+  /* implicit */ Result(Status status)
+      : status_(std::move(status)), ok_(false) {
+    LMKG_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return ok_; }
+  const Status& status() const { return status_; }
+  const T& value() const {
+    LMKG_CHECK(ok_) << "Result::value() on error: " << status_.message();
+    return value_;
+  }
+  T& value() {
+    LMKG_CHECK(ok_) << "Result::value() on error: " << status_.message();
+    return value_;
+  }
+
+ private:
+  T value_{};
+  Status status_;
+  bool ok_;
+};
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_STATUS_H_

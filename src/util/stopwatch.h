@@ -1,0 +1,29 @@
+#ifndef LMKG_UTIL_STOPWATCH_H_
+#define LMKG_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lmkg::util {
+
+/// Monotonic wall-clock stopwatch used for the estimation-time experiments
+/// (Fig. 11) and for training-time reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_STOPWATCH_H_

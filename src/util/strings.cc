@@ -1,0 +1,96 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace lmkg::util {
+
+std::vector<std::string> Split(std::string_view text, char delim,
+                               bool skip_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) pos = text.size();
+    std::string_view piece = text.substr(start, pos - start);
+    if (!piece.empty() || !skip_empty) out.emplace_back(piece);
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(size_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return StrFormat("%.1f %s", value, units[unit]);
+}
+
+}  // namespace lmkg::util

@@ -1,0 +1,36 @@
+#ifndef LMKG_UTIL_STRINGS_H_
+#define LMKG_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmkg::util {
+
+/// Splits on a single-character delimiter. Empty pieces are kept unless
+/// skip_empty is true.
+std::vector<std::string> Split(std::string_view text, char delim,
+                               bool skip_empty = false);
+
+/// Splits on arbitrary whitespace runs, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strips leading/trailing whitespace.
+std::string Trim(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("4.0 MB", "816.7 KB").
+std::string HumanBytes(size_t bytes);
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_STRINGS_H_

@@ -1,0 +1,82 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace lmkg::util {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatValue(v));
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> widths(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "  ";
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size())
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 2;
+    for (size_t w : widths) total += w + 2;
+    os << "  " << std::string(total > 4 ? total - 4 : 1, '-') << "\n";
+  }
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+std::string FormatValue(double v) {
+  if (!std::isfinite(v)) return "inf";
+  double a = std::fabs(v);
+  if (a != 0.0 && (a >= 1e6 || a < 1e-3)) return StrFormat("%.2e", v);
+  if (a >= 100.0 || v == std::floor(v)) return StrFormat("%.0f", v);
+  return StrFormat("%.3f", v);
+}
+
+}  // namespace lmkg::util

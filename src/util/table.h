@@ -1,0 +1,39 @@
+#ifndef LMKG_UTIL_TABLE_H_
+#define LMKG_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lmkg::util {
+
+/// Console table with aligned columns, used by the benchmark harnesses to
+/// print the rows/series corresponding to the paper's tables and figures.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "");
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: formats doubles with %.3g.
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  void Print(std::ostream& os) const;
+  /// Comma-separated dump (for piping into plotting scripts).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like the paper's figures: compact scientific notation
+/// for big numbers, fixed precision otherwise.
+std::string FormatValue(double v);
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_TABLE_H_

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/lubm_generator.h"
+#include "data/swdf_generator.h"
+#include "data/yago_generator.h"
+#include "sampling/population.h"
+
+namespace lmkg::data {
+namespace {
+
+TEST(DatasetTest, PaperProfilesMatchTableOne) {
+  const auto& profiles = PaperProfiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].name, "swdf");
+  EXPECT_EQ(profiles[0].predicates, 171u);
+  EXPECT_EQ(profiles[1].name, "lubm");
+  EXPECT_EQ(profiles[1].predicates, 19u);
+  EXPECT_EQ(profiles[2].name, "yago");
+  EXPECT_EQ(profiles[2].predicates, 91u);
+}
+
+TEST(DatasetDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(MakeDataset("nope", 1.0, 1), "unknown dataset");
+}
+
+TEST(DatasetTest, DeterministicInSeed) {
+  rdf::Graph a = MakeDataset("swdf", 0.01, 7);
+  rdf::Graph b = MakeDataset("swdf", 0.01, 7);
+  ASSERT_EQ(a.num_triples(), b.num_triples());
+  EXPECT_EQ(a.triples(), b.triples());
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  rdf::Graph a = MakeDataset("swdf", 0.01, 7);
+  rdf::Graph b = MakeDataset("swdf", 0.01, 8);
+  EXPECT_NE(a.triples(), b.triples());
+}
+
+class DatasetScaleTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetScaleTest, ScaleGrowsTheGraph) {
+  std::string name = GetParam();
+  rdf::Graph small = MakeDataset(name, 0.005, 3);
+  rdf::Graph large = MakeDataset(name, 0.02, 3);
+  EXPECT_GT(large.num_triples(), small.num_triples());
+  EXPECT_GT(large.num_nodes(), small.num_nodes());
+}
+
+TEST_P(DatasetScaleTest, SupportsStarAndChainSampling) {
+  rdf::Graph graph = MakeDataset(GetParam(), 0.01, 5);
+  // Stars of size 8 and chains of size 8 must exist — the evaluation
+  // needs both up to k=8.
+  sampling::StarPopulation stars(graph, 8);
+  EXPECT_GT(stars.size(), 0.0);
+  sampling::ChainPopulation chains(graph, 8);
+  EXPECT_GT(chains.size(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetScaleTest,
+                         ::testing::Values("swdf", "lubm", "yago"));
+
+TEST(SwdfTest, MatchesPaperShape) {
+  rdf::Graph graph = SwdfGenerator(0.05, 11).Generate();
+  // 171 predicates regardless of scale (20 core + 151 misc).
+  EXPECT_EQ(graph.num_predicates(), 171u);
+  // Scaled triple count within a loose factor of 0.05 * 250K.
+  EXPECT_GT(graph.num_triples(), 6000u);
+  EXPECT_LT(graph.num_triples(), 25000u);
+}
+
+TEST(SwdfTest, FullScaleTripleAndEntityCounts) {
+  // Scale 1.0 must approximate Table I: ~250K triples, ~76K entities.
+  rdf::Graph graph = SwdfGenerator(1.0, 1).Generate();
+  EXPECT_GT(graph.num_triples(), 180000u);
+  EXPECT_LT(graph.num_triples(), 330000u);
+  EXPECT_GT(graph.num_nodes(), 50000u);
+  EXPECT_LT(graph.num_nodes(), 110000u);
+}
+
+TEST(SwdfTest, DegreeDistributionIsSkewed) {
+  rdf::Graph graph = SwdfGenerator(0.05, 11).Generate();
+  // Max in-degree should dwarf the average: hubs exist.
+  size_t max_in = 0;
+  double total_in = 0;
+  for (rdf::TermId v = 1; v <= graph.num_nodes(); ++v) {
+    max_in = std::max(max_in, graph.InDegree(v));
+    total_in += static_cast<double>(graph.InDegree(v));
+  }
+  double avg_in = total_in / static_cast<double>(graph.num_nodes());
+  EXPECT_GT(static_cast<double>(max_in), 20.0 * avg_in);
+}
+
+TEST(LubmTest, HasUnivBenchPredicates) {
+  rdf::Graph graph = LubmGenerator(1, 3, 0.2).Generate();
+  EXPECT_EQ(graph.num_predicates(), 19u);  // Table I: LUBM has 19
+  ASSERT_TRUE(graph.dict().FindPredicate("ub:advisor").has_value());
+  ASSERT_TRUE(graph.dict().FindPredicate("ub:takesCourse").has_value());
+  ASSERT_TRUE(graph.dict().FindPredicate("rdf:type").has_value());
+}
+
+TEST(LubmTest, UniversityCountScalesTriples) {
+  rdf::Graph one = LubmGenerator(1, 3, 0.3).Generate();
+  rdf::Graph two = LubmGenerator(2, 3, 0.3).Generate();
+  EXPECT_GT(two.num_triples(), one.num_triples() * 1.5);
+}
+
+TEST(LubmTest, EveryStudentTakesCourses) {
+  rdf::Graph graph = LubmGenerator(1, 3, 0.1).Generate();
+  auto takes = graph.dict().FindPredicate("ub:takesCourse");
+  ASSERT_TRUE(takes.has_value());
+  EXPECT_GT(graph.PredicateCount(*takes), 100u);
+}
+
+TEST(YagoTest, EntityToTripleRatioIsHigh) {
+  rdf::Graph graph = YagoGenerator(0.001, 5).Generate();
+  EXPECT_EQ(graph.num_predicates(), 91u);  // Table I: YAGO has 91
+  // YAGO's signature: entities ~ 0.8 x triples (huge sparse vocabulary).
+  double ratio = static_cast<double>(graph.dict().num_nodes()) /
+                 static_cast<double>(graph.num_triples());
+  EXPECT_GT(ratio, 0.3);
+}
+
+TEST(YagoTest, HubObjectsExist) {
+  rdf::Graph graph = YagoGenerator(0.001, 5).Generate();
+  size_t max_in = 0;
+  for (rdf::TermId v = 1; v <= graph.num_nodes(); ++v)
+    max_in = std::max(max_in, graph.InDegree(v));
+  EXPECT_GT(max_in, 100u);
+}
+
+}  // namespace
+}  // namespace lmkg::data

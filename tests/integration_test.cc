@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cset.h"
+#include "baselines/wander_join.h"
+#include "core/lmkg.h"
+#include "data/dataset.h"
+#include "eval/harness.h"
+#include "eval/suite.h"
+#include "query/executor.h"
+#include "query/sparql_parser.h"
+#include "util/math.h"
+
+// End-to-end tests over a real (scaled-down) synthetic dataset: the whole
+// pipeline from dataset generation through workload creation, model
+// training, and evaluation harness.
+
+namespace lmkg {
+namespace {
+
+using query::Topology;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new rdf::Graph(data::MakeDataset("swdf", 0.004, 77));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    graph_ = nullptr;
+  }
+
+  static rdf::Graph* graph_;
+};
+
+rdf::Graph* IntegrationTest::graph_ = nullptr;
+
+TEST_F(IntegrationTest, DatasetIsUsable) {
+  EXPECT_GT(graph_->num_triples(), 500u);
+  EXPECT_EQ(graph_->num_predicates(), 171u);
+}
+
+TEST_F(IntegrationTest, SparqlToExactCardinality) {
+  // Papers by a concrete frequent author (person/0 is the Zipf head).
+  auto parsed = query::ParseSparql(
+      "SELECT ?paper WHERE { ?paper <foaf:maker> <person/0> . }",
+      *graph_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  query::Executor executor(*graph_);
+  EXPECT_GT(executor.Count(parsed.value()), 0u);
+}
+
+TEST_F(IntegrationTest, WorkloadsCoverBothTopologies) {
+  eval::SuiteOptions options;
+  options.query_sizes = {2, 3};
+  options.test_queries_per_combo = 30;
+  options.seed = 5;
+  eval::WorkloadSet set = eval::BuildTestWorkloads(*graph_, options);
+  ASSERT_EQ(set.combos.size(), 4u);
+  EXPECT_GT(set.ByTopology(Topology::kStar).size(), 20u);
+  EXPECT_GT(set.ByTopology(Topology::kChain).size(), 20u);
+  EXPECT_GT(set.BySize(2).size(), 20u);
+  EXPECT_EQ(set.All().size(),
+            set.ByTopology(Topology::kStar).size() +
+                set.ByTopology(Topology::kChain).size());
+}
+
+TEST_F(IntegrationTest, LmkgSBeatsSamplingFreeBaselineOnStars) {
+  eval::SuiteOptions options;
+  options.query_sizes = {2};
+  options.test_queries_per_combo = 40;
+  options.train_queries_per_combo = 300;
+  options.s_epochs = 40;
+  options.s_hidden_dim = 64;
+  options.seed = 6;
+
+  auto lmkg_s = eval::BuildLmkgS(*graph_, options);
+  eval::WorkloadSet test = eval::BuildTestWorkloads(*graph_, options);
+  auto stars = test.ByTopology(Topology::kStar);
+  ASSERT_GT(stars.size(), 15u);
+
+  eval::EvalResult s_result = eval::Evaluate(lmkg_s.get(), stars);
+  EXPECT_EQ(s_result.estimator, "LMKG-S");
+  EXPECT_GT(s_result.queries, 0u);
+  EXPECT_LT(s_result.qerror.median, 8.0);
+}
+
+TEST_F(IntegrationTest, EvaluateHarnessMeasuresTime) {
+  baselines::CsetEstimator cset(*graph_);
+  eval::SuiteOptions options;
+  options.query_sizes = {2};
+  options.test_queries_per_combo = 20;
+  options.seed = 7;
+  eval::WorkloadSet test = eval::BuildTestWorkloads(*graph_, options);
+  eval::EvalResult result =
+      eval::Evaluate(&cset, test.ByTopology(Topology::kStar));
+  EXPECT_GT(result.queries, 0u);
+  EXPECT_GE(result.avg_estimation_ms, 0.0);
+  EXPECT_GE(result.qerror.median, 1.0);
+}
+
+TEST_F(IntegrationTest, BucketFiltersPartitionWorkload) {
+  eval::SuiteOptions options;
+  options.query_sizes = {2};
+  options.test_queries_per_combo = 60;
+  options.seed = 8;
+  eval::WorkloadSet test = eval::BuildTestWorkloads(*graph_, options);
+  auto all = test.All();
+  size_t covered = 0;
+  for (const auto& bucket : eval::PaperBuckets())
+    covered += eval::FilterByBucketRange(all, bucket.lo, bucket.hi).size();
+  EXPECT_EQ(covered, all.size());
+}
+
+TEST_F(IntegrationTest, ComputeQErrorsAlignsWithWorkload) {
+  baselines::WanderJoinEstimator::Options wj_opts;
+  wj_opts.num_walks = 100;
+  baselines::WanderJoinEstimator wj(*graph_, wj_opts);
+  eval::SuiteOptions options;
+  options.query_sizes = {2};
+  options.test_queries_per_combo = 15;
+  options.seed = 9;
+  eval::WorkloadSet test = eval::BuildTestWorkloads(*graph_, options);
+  auto stars = test.ByTopology(Topology::kStar);
+  auto qerrors = eval::ComputeQErrors(&wj, stars);
+  ASSERT_EQ(qerrors.size(), stars.size());
+  for (double q : qerrors) {
+    EXPECT_FALSE(std::isnan(q));
+    EXPECT_GE(q, 1.0);
+  }
+}
+
+TEST(SuiteOptionsTest, FlagsOverrideDefaults) {
+  const char* argv[] = {"bench", "--scale=0.5", "--queries=77",
+                        "--s_epochs=3"};
+  eval::SuiteOptions options =
+      eval::SuiteOptionsFromFlags(4, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(options.dataset_scale, 0.5);
+  EXPECT_EQ(options.test_queries_per_combo, 77u);
+  EXPECT_EQ(options.s_epochs, 3);
+}
+
+TEST(SuiteOptionsTest, PaperFlagRaisesScale) {
+  const char* argv[] = {"bench", "--paper"};
+  eval::SuiteOptions options =
+      eval::SuiteOptionsFromFlags(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(options.dataset_scale, 1.0);
+  EXPECT_EQ(options.test_queries_per_combo, 600u);
+  EXPECT_EQ(options.s_epochs, 200);
+}
+
+}  // namespace
+}  // namespace lmkg

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "nn/adam.h"
+#include "nn/gradcheck.h"
+#include "nn/loss.h"
+#include "nn/made.h"
+#include "util/random.h"
+
+namespace lmkg::nn {
+namespace {
+
+ResMadeConfig TinyConfig() {
+  ResMadeConfig config;
+  config.domain_sizes = {4, 3, 4};  // node, predicate, node
+  config.embedding_dim = 6;
+  config.hidden_dim = 16;
+  config.num_blocks = 1;
+  config.seed = 5;
+  return config;
+}
+
+std::vector<uint32_t> RandomBatch(const ResMadeConfig& config, size_t rows,
+                                  util::Pcg32& rng) {
+  std::vector<uint32_t> batch;
+  batch.reserve(rows * config.domain_sizes.size());
+  for (size_t r = 0; r < rows; ++r)
+    for (uint32_t domain : config.domain_sizes)
+      batch.push_back(1 + rng.UniformInt(domain));
+  return batch;
+}
+
+TEST(ResMadeTest, ConditionalsSumToOne) {
+  ResMadeConfig config = TinyConfig();
+  ResMade model(config);
+  util::Pcg32 rng(1);
+  auto batch = RandomBatch(config, 5, rng);
+  Matrix probs;
+  for (size_t t = 0; t < config.domain_sizes.size(); ++t) {
+    model.ConditionalProbs(batch, 5, t, &probs);
+    ASSERT_EQ(probs.rows(), 5u);
+    ASSERT_EQ(probs.cols(), config.domain_sizes[t]);
+    for (size_t r = 0; r < 5; ++r) {
+      float sum = 0;
+      for (size_t c = 0; c < probs.cols(); ++c) {
+        EXPECT_GE(probs.at(r, c), 0.0f);
+        sum += probs.at(r, c);
+      }
+      EXPECT_NEAR(sum, 1.0f, 1e-4);
+    }
+  }
+}
+
+TEST(ResMadeTest, AutoregressivePropertyHolds) {
+  // P(x_t | x_<t) must not depend on positions >= t.
+  ResMadeConfig config = TinyConfig();
+  ResMade model(config);
+  util::Pcg32 rng(2);
+  const size_t T = config.domain_sizes.size();
+  auto batch = RandomBatch(config, 1, rng);
+  Matrix before, after;
+  for (size_t t = 0; t < T; ++t) {
+    model.ConditionalProbs(batch, 1, t, &before);
+    auto mutated = batch;
+    // Scramble every position >= t.
+    for (size_t u = t; u < T; ++u)
+      mutated[u] = 1 + (batch[u] % config.domain_sizes[u]);
+    for (size_t u = t; u < T; ++u)
+      mutated[u] = 1 + rng.UniformInt(config.domain_sizes[u]);
+    model.ConditionalProbs(mutated, 1, t, &after);
+    for (size_t c = 0; c < before.cols(); ++c)
+      EXPECT_FLOAT_EQ(before.at(0, c), after.at(0, c))
+          << "position " << t << " depends on later input";
+  }
+}
+
+TEST(ResMadeTest, FirstConditionalIsInputIndependent) {
+  ResMadeConfig config = TinyConfig();
+  ResMade model(config);
+  util::Pcg32 rng(3);
+  auto a = RandomBatch(config, 1, rng);
+  auto b = RandomBatch(config, 1, rng);
+  Matrix pa, pb;
+  model.ConditionalProbs(a, 1, 0, &pa);
+  model.ConditionalProbs(b, 1, 0, &pb);
+  for (size_t c = 0; c < pa.cols(); ++c)
+    EXPECT_FLOAT_EQ(pa.at(0, c), pb.at(0, c));
+}
+
+TEST(ResMadeTest, GradientsMatchFiniteDifferences) {
+  ResMadeConfig config = TinyConfig();
+  config.hidden_dim = 8;
+  ResMade model(config);
+  util::Pcg32 rng(4);
+  auto batch = RandomBatch(config, 3, rng);
+  auto eval = [&](bool with_grad) {
+    if (with_grad) {
+      model.ZeroGrad();
+      return model.ForwardBackward(batch, 3);
+    }
+    return model.Evaluate(batch, 3);
+  };
+  GradCheckResult result =
+      CheckGradients(eval, model.Params(), 5e-4, 12);
+  EXPECT_GT(result.entries_checked, 0u);
+  EXPECT_EQ(result.violations, 0u)
+      << "max_abs " << result.max_abs_diff << " max_rel "
+      << result.max_rel_diff;
+}
+
+TEST(ResMadeTest, TrainingRecoversASkewedDistribution) {
+  // Data: x1 in {1,2} with P(1)=0.8; x2 deterministic given x1;
+  // x3 uniform. The model must recover the joint closely.
+  ResMadeConfig config;
+  config.domain_sizes = {2, 2, 2};
+  config.embedding_dim = 4;
+  config.hidden_dim = 16;
+  config.num_blocks = 1;
+  config.seed = 6;
+  ResMade model(config);
+  Adam adam(model.Params(), 5e-3f);
+  util::Pcg32 rng(7);
+
+  auto sample_row = [&](std::vector<uint32_t>* row) {
+    uint32_t x1 = rng.Bernoulli(0.8) ? 1 : 2;
+    uint32_t x2 = x1;                     // perfectly correlated
+    uint32_t x3 = rng.Bernoulli(0.5) ? 1 : 2;
+    row->push_back(x1);
+    row->push_back(x2);
+    row->push_back(x3);
+  };
+  const size_t batch_size = 64;
+  std::vector<uint32_t> batch;
+  for (int step = 0; step < 400; ++step) {
+    batch.clear();
+    for (size_t r = 0; r < batch_size; ++r) sample_row(&batch);
+    model.ZeroGrad();
+    model.ForwardBackward(batch, batch_size);
+    adam.Step();
+  }
+
+  // P(x1): bias-only head must match the marginal.
+  std::vector<uint32_t> probe = {1, 1, 1};
+  Matrix probs;
+  model.ConditionalProbs(probe, 1, 0, &probs);
+  EXPECT_NEAR(probs.at(0, 0), 0.8f, 0.05f);
+  // P(x2 | x1): near-deterministic.
+  model.ConditionalProbs(probe, 1, 1, &probs);
+  EXPECT_GT(probs.at(0, 0), 0.9f);
+  probe[0] = 2;
+  model.ConditionalProbs(probe, 1, 1, &probs);
+  EXPECT_GT(probs.at(0, 1), 0.9f);
+  // P(x3): roughly uniform.
+  model.ConditionalProbs(probe, 1, 2, &probs);
+  EXPECT_NEAR(probs.at(0, 0), 0.5f, 0.1f);
+}
+
+TEST(ResMadeTest, TrainingReducesNll) {
+  ResMadeConfig config = TinyConfig();
+  ResMade model(config);
+  Adam adam(model.Params(), 1e-2f);
+  util::Pcg32 rng(8);
+  // Fixed dataset with structure (x3 == x1).
+  std::vector<uint32_t> data;
+  const size_t rows = 128;
+  for (size_t r = 0; r < rows; ++r) {
+    uint32_t x1 = 1 + rng.UniformInt(4);
+    data.push_back(x1);
+    data.push_back(1 + rng.UniformInt(3));
+    data.push_back(x1);
+  }
+  double first = model.Evaluate(data, rows);
+  for (int step = 0; step < 150; ++step) {
+    model.ZeroGrad();
+    model.ForwardBackward(data, rows);
+    adam.Step();
+  }
+  double last = model.Evaluate(data, rows);
+  EXPECT_LT(last, first * 0.7);
+}
+
+TEST(ResMadeTest, SharedEmbeddingTablesAcrossEqualDomains) {
+  // Two positions with domain 4 share one table; the model with shared
+  // tables has fewer parameters than positions * table size.
+  ResMadeConfig config = TinyConfig();
+  ResMade model(config);
+  // Tables: domain 4 -> (5 x 6), domain 3 -> (4 x 6). If they were
+  // per-position there would be a third table of (5 x 6).
+  size_t expected_embed = (4 + 1) * 6 + (3 + 1) * 6;
+  size_t total = model.ParamCount();
+  ResMadeConfig bigger = config;
+  bigger.domain_sizes = {4, 3, 4, 4};  // one more shared-domain position
+  ResMade model2(bigger);
+  // Extra position adds input-layer + head params but no new embedding
+  // table; check indirectly via a lower bound.
+  EXPECT_GT(model2.ParamCount(), total);
+  EXPECT_GT(total, expected_embed);
+}
+
+TEST(ResMadeTest, EvaluateMatchesConditionalProduct) {
+  // Mean total NLL from Evaluate must equal the sum of -log of the
+  // per-position conditionals.
+  ResMadeConfig config = TinyConfig();
+  ResMade model(config);
+  util::Pcg32 rng(9);
+  auto batch = RandomBatch(config, 1, rng);
+  double nll = model.Evaluate(batch, 1);
+  double manual = 0.0;
+  Matrix probs;
+  for (size_t t = 0; t < config.domain_sizes.size(); ++t) {
+    model.ConditionalProbs(batch, 1, t, &probs);
+    manual -= std::log(probs.at(0, batch[t] - 1));
+  }
+  EXPECT_NEAR(nll, manual, 1e-4);
+}
+
+TEST(ResMadeDeathTest, ValueOutOfDomainAborts) {
+  ResMadeConfig config = TinyConfig();
+  ResMade model(config);
+  std::vector<uint32_t> batch = {5, 1, 1};  // 5 > domain 4
+  EXPECT_DEATH(model.Evaluate(batch, 1), "LMKG_CHECK");
+}
+
+}  // namespace
+}  // namespace lmkg::nn

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.h"
+#include "nn/gradcheck.h"
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/tensor.h"
+#include "util/random.h"
+
+namespace lmkg::nn {
+namespace {
+
+// --- tensor ops ------------------------------------------------------------
+
+TEST(TensorTest, MatMulAgainstHandComputed) {
+  Matrix a(2, 3), b(3, 2), out;
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  MatMul(a, b, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 154);
+}
+
+TEST(TensorTest, TransposedMatMulsAgree) {
+  util::Pcg32 rng(1);
+  Matrix a(4, 3), b(4, 5);
+  FillGaussian(&a, 1.0f, rng);
+  FillGaussian(&b, 1.0f, rng);
+  // aᵀ b via MatMulTransA must equal manual transpose + MatMul.
+  Matrix at(3, 4);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  Matrix expected, got;
+  MatMul(at, b, &expected);
+  MatMulTransA(a, b, &got);
+  for (size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(expected.data()[i], got.data()[i], 1e-5);
+}
+
+TEST(TensorTest, MatMulTransB) {
+  util::Pcg32 rng(2);
+  Matrix a(2, 3), b(4, 3);
+  FillGaussian(&a, 1.0f, rng);
+  FillGaussian(&b, 1.0f, rng);
+  Matrix bt(3, 4);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  Matrix expected, got;
+  MatMul(a, bt, &expected);
+  MatMulTransB(a, b, &got);
+  for (size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(expected.data()[i], got.data()[i], 1e-5);
+}
+
+TEST(TensorTest, RowOpsAndHadamard) {
+  Matrix m(2, 2);
+  m.Fill(1.0f);
+  Matrix bias(1, 2);
+  bias.at(0, 0) = 5;
+  bias.at(0, 1) = -1;
+  AddRowVector(&m, bias);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 6);
+  EXPECT_FLOAT_EQ(m.at(1, 1), 0);
+  Matrix sums(1, 2);
+  sums.SetZero();
+  SumRowsAccum(m, &sums);
+  EXPECT_FLOAT_EQ(sums.at(0, 0), 12);
+  EXPECT_FLOAT_EQ(sums.at(0, 1), 0);
+  Matrix mask(2, 2);
+  mask.SetZero();
+  mask.at(0, 0) = 1.0f;
+  HadamardInPlace(&m, mask);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 6);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 0);
+}
+
+TEST(TensorDeathTest, ShapeMismatchAborts) {
+  Matrix a(2, 3), b(2, 2), out;
+  EXPECT_DEATH(MatMul(a, b, &out), "LMKG_CHECK");
+}
+
+// --- layers ------------------------------------------------------------------
+
+TEST(LayerTest, DenseForwardShapeAndBias) {
+  util::Pcg32 rng(3);
+  Dense dense(3, 2, rng);
+  dense.weights().SetZero();
+  dense.bias().at(0, 0) = 1.5f;
+  dense.bias().at(0, 1) = -2.0f;
+  Matrix in(4, 3), out;
+  in.Fill(1.0f);
+  dense.Forward(in, &out, false);
+  ASSERT_EQ(out.rows(), 4u);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(out.at(3, 1), -2.0f);
+}
+
+TEST(LayerTest, ReluForwardBackward) {
+  Relu relu;
+  Matrix in(1, 4), out, dout(1, 4), din;
+  float xs[] = {-1, 0, 2, -3};
+  std::copy(xs, xs + 4, in.data());
+  relu.Forward(in, &out, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(out.at(0, 2), 2);
+  dout.Fill(1.0f);
+  relu.Backward(in, out, dout, &din);
+  EXPECT_FLOAT_EQ(din.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(din.at(0, 2), 1);
+}
+
+TEST(LayerTest, SigmoidRangeAndGradient) {
+  Sigmoid sigmoid;
+  Matrix in(1, 3), out;
+  in.at(0, 0) = -100;
+  in.at(0, 1) = 0;
+  in.at(0, 2) = 100;
+  sigmoid.Forward(in, &out, false);
+  EXPECT_NEAR(out.at(0, 0), 0.0, 1e-6);
+  EXPECT_NEAR(out.at(0, 1), 0.5, 1e-6);
+  EXPECT_NEAR(out.at(0, 2), 1.0, 1e-6);
+}
+
+TEST(LayerTest, DropoutTrainVsEval) {
+  Dropout dropout(0.5, 42);
+  Matrix in(1, 1000), out;
+  in.Fill(1.0f);
+  dropout.Forward(in, &out, /*training=*/false);
+  for (size_t i = 0; i < out.size(); ++i)
+    EXPECT_FLOAT_EQ(out.data()[i], 1.0f);
+  dropout.Forward(in, &out, /*training=*/true);
+  int zeros = 0;
+  double sum = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] == 0.0f) ++zeros;
+    sum += out.data()[i];
+  }
+  EXPECT_GT(zeros, 400);
+  EXPECT_LT(zeros, 600);
+  // Inverted dropout keeps the expectation.
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.1);
+}
+
+TEST(LayerTest, MaskedDenseRespectsMaskThroughTraining) {
+  util::Pcg32 rng(4);
+  MaskedDense layer(2, 2, rng);
+  Matrix mask(2, 2);
+  mask.Fill(1.0f);
+  mask.at(0, 1) = 0.0f;  // kill connection input0 -> output1
+  layer.SetMask(std::move(mask));
+
+  Matrix in(1, 2), out;
+  in.at(0, 0) = 123.0f;
+  in.at(0, 1) = 0.0f;
+  layer.Forward(in, &out, true);
+  float before = out.at(0, 1);  // only bias contributes
+  EXPECT_FLOAT_EQ(before, layer.bias().at(0, 1));
+
+  // A gradient step must not revive the masked weight.
+  std::vector<ParamRef> params;
+  layer.CollectParams(&params);
+  Matrix dout(1, 2);
+  dout.Fill(1.0f);
+  Matrix din;
+  for (ParamRef p : params) p.grad->SetZero();
+  layer.Backward(in, out, dout, &din);
+  EXPECT_FLOAT_EQ(params[0].grad->at(0, 1), 0.0f);  // masked grad is zero
+  Adam adam(params, 0.1f);
+  adam.Step();
+  layer.Forward(in, &out, true);
+  EXPECT_FLOAT_EQ(out.at(0, 1) - layer.bias().at(0, 1), 0.0f);
+}
+
+// --- losses ------------------------------------------------------------------
+
+TEST(LossTest, MseLossValueAndGradient) {
+  Matrix pred(2, 1), dpred;
+  pred.at(0, 0) = 1.0f;
+  pred.at(1, 0) = 0.0f;
+  double loss = MseLoss(pred, {0.0f, 0.0f}, &dpred);
+  EXPECT_NEAR(loss, 0.5, 1e-6);
+  EXPECT_NEAR(dpred.at(0, 0), 1.0, 1e-6);  // 2*(1-0)/2
+  EXPECT_NEAR(dpred.at(1, 0), 0.0, 1e-6);
+}
+
+TEST(LossTest, QErrorLossPerfectPredictionIsOne) {
+  Matrix pred(1, 1), dpred;
+  pred.at(0, 0) = 0.4f;
+  double loss = QErrorLoss(pred, {0.4f}, std::log(1000.0), &dpred);
+  EXPECT_NEAR(loss, 1.0, 1e-5);
+}
+
+TEST(LossTest, QErrorLossMatchesQError) {
+  // log_range chosen so a scaled diff of 0.5 is a q-error of e^(0.5*lr).
+  double log_range = std::log(100.0);
+  Matrix pred(1, 1), dpred;
+  pred.at(0, 0) = 0.75f;
+  double loss = QErrorLoss(pred, {0.25f}, log_range, &dpred);
+  EXPECT_NEAR(loss, std::exp(0.5 * log_range), 1e-3);
+  EXPECT_GT(dpred.at(0, 0), 0.0f);  // overestimate pushes down
+}
+
+TEST(LossTest, QErrorGradientIsClipped) {
+  Matrix pred(1, 1), dpred;
+  pred.at(0, 0) = 1.0f;
+  QErrorLoss(pred, {0.0f}, std::log(1e6), &dpred, /*clip=*/10.0);
+  EXPECT_LE(std::fabs(dpred.at(0, 0)), 10.0f + 1e-6);
+}
+
+TEST(LossTest, SoftmaxRowsSumToOne) {
+  Matrix logits(2, 4), probs;
+  util::Pcg32 rng(5);
+  FillGaussian(&logits, 3.0f, rng);
+  Softmax(logits, &probs);
+  for (size_t r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_GE(probs.at(r, c), 0.0f);
+      sum += probs.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(LossTest, SoftmaxCrossEntropyGradientChecks) {
+  util::Pcg32 rng(6);
+  Matrix logits(3, 5);
+  FillGaussian(&logits, 1.0f, rng);
+  std::vector<uint32_t> targets = {1, 4, 0};
+  Matrix dlogits;
+  double base = SoftmaxCrossEntropy(logits, targets, &dlogits);
+  const double eps = 1e-3;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      float original = logits.at(r, c);
+      logits.at(r, c) = original + static_cast<float>(eps);
+      Matrix scratch;
+      double plus = SoftmaxCrossEntropy(logits, targets, &scratch);
+      logits.at(r, c) = original - static_cast<float>(eps);
+      double minus = SoftmaxCrossEntropy(logits, targets, &scratch);
+      logits.at(r, c) = original;
+      double numeric = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(dlogits.at(r, c), numeric, 1e-3);
+    }
+  }
+  EXPECT_GT(base, 0.0);
+}
+
+// --- Sequential + gradcheck ------------------------------------------------------
+
+TEST(SequentialTest, MlpGradientsMatchFiniteDifferences) {
+  util::Pcg32 rng(7);
+  Sequential net;
+  net.Add(std::make_unique<Dense>(4, 8, rng));
+  net.Add(std::make_unique<Relu>());
+  net.Add(std::make_unique<Dense>(8, 1, rng));
+  net.Add(std::make_unique<Sigmoid>());
+
+  Matrix x(6, 4);
+  FillGaussian(&x, 1.0f, rng);
+  std::vector<float> y = {0.1f, 0.9f, 0.4f, 0.6f, 0.2f, 0.8f};
+  Matrix dpred;
+  auto eval = [&](bool with_grad) {
+    const Matrix& pred = net.Forward(x, false);
+    double loss = MseLoss(pred, y, &dpred);
+    if (with_grad) {
+      net.ZeroGrad();
+      net.Backward(dpred);
+    }
+    return loss;
+  };
+  GradCheckResult result = CheckGradients(eval, net.Params(), 1e-2, 20);
+  EXPECT_GT(result.entries_checked, 0u);
+  EXPECT_LT(result.max_rel_diff, 0.05) << "abs " << result.max_abs_diff;
+}
+
+TEST(SequentialTest, QErrorLossGradientsMatchFiniteDifferences) {
+  util::Pcg32 rng(8);
+  Sequential net;
+  net.Add(std::make_unique<Dense>(3, 6, rng));
+  net.Add(std::make_unique<Relu>());
+  net.Add(std::make_unique<Dense>(6, 1, rng));
+  net.Add(std::make_unique<Sigmoid>());
+  Matrix x(4, 3);
+  FillGaussian(&x, 1.0f, rng);
+  std::vector<float> y = {0.3f, 0.5f, 0.7f, 0.2f};
+  Matrix dpred;
+  const double log_range = std::log(50.0);
+  auto eval = [&](bool with_grad) {
+    const Matrix& pred = net.Forward(x, false);
+    double loss = QErrorLoss(pred, y, log_range, &dpred, 1e9);
+    if (with_grad) {
+      net.ZeroGrad();
+      net.Backward(dpred);
+    }
+    return loss;
+  };
+  GradCheckResult result = CheckGradients(eval, net.Params(), 1e-2, 16);
+  EXPECT_LT(result.max_rel_diff, 0.05) << "abs " << result.max_abs_diff;
+}
+
+TEST(SequentialTest, InputGradientIsExposed) {
+  util::Pcg32 rng(9);
+  Sequential net;
+  net.Add(std::make_unique<Dense>(2, 1, rng));
+  Matrix x(1, 2);
+  x.at(0, 0) = 1.0f;
+  x.at(0, 1) = 2.0f;
+  net.Forward(x, false);
+  Matrix dout(1, 1);
+  dout.at(0, 0) = 1.0f;
+  net.ZeroGrad();
+  net.Backward(dout);
+  // d out / d x = W.
+  auto params = net.Params();
+  EXPECT_FLOAT_EQ(net.input_grad().at(0, 0), params[0].value->at(0, 0));
+  EXPECT_FLOAT_EQ(net.input_grad().at(0, 1), params[0].value->at(1, 0));
+}
+
+TEST(SequentialTest, ParamAccounting) {
+  util::Pcg32 rng(10);
+  Sequential net;
+  net.Add(std::make_unique<Dense>(10, 20, rng));
+  net.Add(std::make_unique<Relu>());
+  net.Add(std::make_unique<Dense>(20, 1, rng));
+  EXPECT_EQ(net.ParamCount(), 10u * 20 + 20 + 20 + 1);
+  EXPECT_EQ(net.ParamBytes(), net.ParamCount() * 4);
+}
+
+// --- Adam ------------------------------------------------------------------
+
+TEST(AdamTest, ConvergesOnLeastSquares) {
+  // Fit y = 2x - 1 with a single Dense layer.
+  util::Pcg32 rng(11);
+  Sequential net;
+  net.Add(std::make_unique<Dense>(1, 1, rng));
+  Adam adam(net.Params(), 0.05f);
+  Matrix x(16, 1), dpred;
+  std::vector<float> y(16);
+  for (int i = 0; i < 16; ++i) {
+    x.at(i, 0) = static_cast<float>(i) / 8.0f - 1.0f;
+    y[i] = 2.0f * x.at(i, 0) - 1.0f;
+  }
+  double loss = 0;
+  for (int step = 0; step < 500; ++step) {
+    const Matrix& pred = net.Forward(x, true);
+    loss = MseLoss(pred, y, &dpred);
+    net.ZeroGrad();
+    net.Backward(dpred);
+    adam.Step();
+  }
+  EXPECT_LT(loss, 1e-4);
+  EXPECT_EQ(adam.steps(), 500);
+}
+
+TEST(AdamTest, ClipGradientNorm) {
+  Matrix w(1, 2), g(1, 2);
+  g.at(0, 0) = 3.0f;
+  g.at(0, 1) = 4.0f;  // norm 5
+  std::vector<ParamRef> params = {{&w, &g}};
+  double norm = ClipGradientNorm(params, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(g.at(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(g.at(0, 1), 0.8f, 1e-6);
+  // Below the bound: untouched.
+  norm = ClipGradientNorm(params, 10.0);
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+  EXPECT_NEAR(g.at(0, 0), 0.6f, 1e-6);
+}
+
+}  // namespace
+}  // namespace lmkg::nn

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+#include "query/sparql_parser.h"
+#include "test_util.h"
+
+namespace lmkg::query {
+namespace {
+
+PatternTerm B(rdf::TermId id) { return PatternTerm::Bound(id); }
+PatternTerm V(int v) { return PatternTerm::Variable(v); }
+
+// --- builders and validity ---------------------------------------------------
+
+TEST(QueryTest, MakeStarQuery) {
+  Query q = MakeStarQuery(V(0), {{B(1), B(2)}, {B(3), V(1)}});
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.num_vars, 2);
+  EXPECT_TRUE(q.Valid());
+  EXPECT_EQ(q.patterns[0].s, V(0));
+  EXPECT_EQ(q.patterns[1].s, V(0));
+  EXPECT_FALSE(q.fully_bound());
+}
+
+TEST(QueryTest, MakeChainQuery) {
+  Query q = MakeChainQuery({V(0), V(1), B(5)}, {B(1), B(2)});
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.Valid());
+  // o of pattern 0 is s of pattern 1.
+  EXPECT_EQ(q.patterns[0].o, q.patterns[1].s);
+}
+
+TEST(QueryTest, FullyBound) {
+  Query q = MakeStarQuery(B(1), {{B(1), B(2)}});
+  EXPECT_TRUE(q.fully_bound());
+  EXPECT_EQ(q.num_vars, 0);
+}
+
+TEST(QueryTest, NormalizeVariablesRenumbersDensely) {
+  Query q;
+  TriplePattern t;
+  t.s = V(7);
+  t.p = B(1);
+  t.o = V(3);
+  q.patterns.push_back(t);
+  NormalizeVariables(&q);
+  EXPECT_EQ(q.num_vars, 2);
+  EXPECT_EQ(q.patterns[0].s.var, 0);
+  EXPECT_EQ(q.patterns[0].o.var, 1);
+  EXPECT_TRUE(q.Valid());
+}
+
+TEST(QueryTest, ValidRejectsMixedVarSpaces) {
+  // Variable 0 used both as node and as predicate.
+  Query q;
+  TriplePattern t;
+  t.s = V(0);
+  t.p = V(0);
+  t.o = B(1);
+  q.patterns.push_back(t);
+  q.num_vars = 1;
+  EXPECT_FALSE(q.Valid());
+}
+
+TEST(QueryTest, ValidRejectsUnusedVar) {
+  Query q = MakeStarQuery(V(0), {{B(1), B(2)}});
+  q.num_vars = 2;  // var 1 never appears
+  EXPECT_FALSE(q.Valid());
+}
+
+// --- topology classification ---------------------------------------------------
+
+TEST(TopologyTest, SinglePattern) {
+  Query q = MakeStarQuery(V(0), {{B(1), B(2)}});
+  EXPECT_EQ(ClassifyTopology(q), Topology::kSingle);
+}
+
+TEST(TopologyTest, Star) {
+  Query q = MakeStarQuery(V(0), {{B(1), B(2)}, {B(2), V(1)}, {B(3), V(2)}});
+  EXPECT_EQ(ClassifyTopology(q), Topology::kStar);
+  auto star = AsStar(q);
+  ASSERT_TRUE(star.has_value());
+  EXPECT_EQ(star->pairs.size(), 3u);
+}
+
+TEST(TopologyTest, Chain) {
+  Query q = MakeChainQuery({V(0), V(1), V(2)}, {B(1), B(2)});
+  EXPECT_EQ(ClassifyTopology(q), Topology::kChain);
+  auto chain = AsChain(q);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->predicates.size(), 2u);
+}
+
+TEST(TopologyTest, ChainDetectedWithShuffledPatternOrder) {
+  Query q = MakeChainQuery({V(0), V(1), V(2), V(3)}, {B(1), B(2), B(3)});
+  std::swap(q.patterns[0], q.patterns[2]);
+  EXPECT_EQ(ClassifyTopology(q), Topology::kChain);
+  auto chain = AsChain(q);
+  ASSERT_TRUE(chain.has_value());
+  // Walk order restored.
+  EXPECT_EQ(chain->predicates[0], B(1));
+  EXPECT_EQ(chain->predicates[1], B(2));
+  EXPECT_EQ(chain->predicates[2], B(3));
+}
+
+TEST(TopologyTest, CompositeStarPlusChain) {
+  // ?x p ?y . ?x q ?z . ?z r ?w  — star at ?x with a chain tail.
+  Query q;
+  TriplePattern t1{V(0), B(1), V(1)};
+  TriplePattern t2{V(0), B(2), V(2)};
+  TriplePattern t3{V(2), B(3), V(3)};
+  q.patterns = {t1, t2, t3};
+  NormalizeVariables(&q);
+  EXPECT_EQ(ClassifyTopology(q), Topology::kComposite);
+  EXPECT_FALSE(AsStar(q).has_value());
+  EXPECT_FALSE(AsChain(q).has_value());
+}
+
+TEST(TopologyTest, CycleIsNotChain) {
+  // ?x p ?y . ?y p ?x
+  Query q;
+  TriplePattern t1{V(0), B(1), V(1)};
+  TriplePattern t2{V(1), B(1), V(0)};
+  q.patterns = {t1, t2};
+  NormalizeVariables(&q);
+  EXPECT_FALSE(AsChain(q).has_value());
+  EXPECT_EQ(ClassifyTopology(q), Topology::kComposite);
+}
+
+TEST(TopologyTest, SameSubjectBoundIdIsStar) {
+  Query q;
+  TriplePattern t1{B(5), B(1), V(0)};
+  TriplePattern t2{B(5), B(2), V(1)};
+  q.patterns = {t1, t2};
+  NormalizeVariables(&q);
+  EXPECT_EQ(ClassifyTopology(q), Topology::kStar);
+}
+
+TEST(TopologyTest, TopologyNames) {
+  EXPECT_STREQ(TopologyName(Topology::kStar), "star");
+  EXPECT_STREQ(TopologyName(Topology::kChain), "chain");
+  EXPECT_STREQ(TopologyName(Topology::kSingle), "single");
+  EXPECT_STREQ(TopologyName(Topology::kComposite), "composite");
+}
+
+TEST(QueryTest, ToStringShowsVarsAndIds) {
+  Query q = MakeStarQuery(V(0), {{B(3), B(7)}});
+  EXPECT_EQ(QueryToString(q), "(?0 3 7)");
+}
+
+// --- SPARQL parser --------------------------------------------------------------
+
+class SparqlTest : public ::testing::Test {
+ protected:
+  SparqlTest() : graph_(lmkg::testing::MakePaperExampleGraph()) {}
+  rdf::Graph graph_;
+};
+
+TEST_F(SparqlTest, ParsesPaperStarExample) {
+  // The motivating query of the paper (§V).
+  auto result = ParseSparql(
+      "SELECT ?x WHERE { ?x <hasAuthor> <StephenKing> ; "
+      "<genre> <Horror> . }",
+      graph_);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const Query& q = result.value();
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(ClassifyTopology(q), Topology::kStar);
+  EXPECT_EQ(q.num_vars, 1);
+  EXPECT_EQ(q.var_names[0], "x");
+}
+
+TEST_F(SparqlTest, ParsesPaperChainExample) {
+  auto result = ParseSparql(
+      "SELECT ?x ?y WHERE { ?x <hasAuthor> ?y . ?y <bornIn> <USA> . }",
+      graph_);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const Query& q = result.value();
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(ClassifyTopology(q), Topology::kChain);
+}
+
+TEST_F(SparqlTest, BareWordsAndStarProjection) {
+  auto result = ParseSparql(
+      "SELECT * WHERE { ?b hasAuthor StephenKing . }", graph_);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value().size(), 1u);
+}
+
+TEST_F(SparqlTest, UnknownTermIsError) {
+  auto result =
+      ParseSparql("SELECT ?x WHERE { ?x <hasAuthor> <Nobody> . }", graph_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("Nobody"), std::string::npos);
+}
+
+TEST_F(SparqlTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseSparql("WHERE { ?x <p> ?y . }", graph_).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x { ?x <p> ?y . }", graph_).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { }", graph_).ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { ?x <hasAuthor> . }", graph_).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x <hasAuthor> ?y ",
+                           graph_)
+                   .ok());
+}
+
+TEST_F(SparqlTest, VariableReuseSharesIds) {
+  auto result = ParseSparql(
+      "SELECT ?x WHERE { ?x <hasAuthor> ?a . ?x <genre> <Horror> . }",
+      graph_);
+  ASSERT_TRUE(result.ok());
+  const Query& q = result.value();
+  EXPECT_EQ(q.num_vars, 2);
+  EXPECT_EQ(q.patterns[0].s.var, q.patterns[1].s.var);
+}
+
+TEST_F(SparqlTest, PredicateVariableAllowed) {
+  auto result =
+      ParseSparql("SELECT ?p WHERE { <IT> ?p <Horror> . }", graph_);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_TRUE(result.value().patterns[0].p.is_var());
+}
+
+TEST_F(SparqlTest, MixedVarSpacesRejected) {
+  auto result = ParseSparql(
+      "SELECT ?x WHERE { ?x ?x <Horror> . }", graph_);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace lmkg::query

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "rdf/term_dictionary.h"
+#include "test_util.h"
+
+namespace lmkg::rdf {
+namespace {
+
+// --- TermDictionary ----------------------------------------------------------
+
+TEST(TermDictionaryTest, InternAssignsDenseIdsFromOne) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.InternNode("a"), 1u);
+  EXPECT_EQ(dict.InternNode("b"), 2u);
+  EXPECT_EQ(dict.InternNode("a"), 1u);  // idempotent
+  EXPECT_EQ(dict.InternPredicate("p"), 1u);  // separate id space
+  EXPECT_EQ(dict.num_nodes(), 2u);
+  EXPECT_EQ(dict.num_predicates(), 1u);
+}
+
+TEST(TermDictionaryTest, FindAndNameRoundTrip) {
+  TermDictionary dict;
+  TermId a = dict.InternNode("node/a");
+  TermId p = dict.InternPredicate("pred/p");
+  EXPECT_EQ(dict.FindNode("node/a"), std::optional<TermId>(a));
+  EXPECT_EQ(dict.FindPredicate("pred/p"), std::optional<TermId>(p));
+  EXPECT_EQ(dict.FindNode("missing"), std::nullopt);
+  EXPECT_EQ(dict.NodeName(a), "node/a");
+  EXPECT_EQ(dict.PredicateName(p), "pred/p");
+}
+
+TEST(TermDictionaryDeathTest, BadIdAborts) {
+  TermDictionary dict;
+  dict.InternNode("a");
+  EXPECT_DEATH(dict.NodeName(0), "bad node id");
+  EXPECT_DEATH(dict.NodeName(2), "bad node id");
+}
+
+TEST(TermDictionaryTest, MemoryGrowsWithContent) {
+  TermDictionary dict;
+  size_t empty = dict.MemoryBytes();
+  for (int i = 0; i < 100; ++i)
+    dict.InternNode("some/fairly/long/node/name/" + std::to_string(i));
+  EXPECT_GT(dict.MemoryBytes(), empty + 100 * 20);
+}
+
+// --- Graph -------------------------------------------------------------------
+
+TEST(GraphTest, DeduplicatesTriples) {
+  Graph graph;
+  graph.AddTripleIds(1, 1, 2);
+  graph.AddTripleIds(1, 1, 2);
+  graph.AddTripleIds(1, 1, 3);
+  graph.Finalize();
+  EXPECT_EQ(graph.num_triples(), 2u);
+}
+
+TEST(GraphTest, TriplesSortedAfterFinalize) {
+  Graph graph;
+  graph.AddTripleIds(3, 1, 1);
+  graph.AddTripleIds(1, 2, 2);
+  graph.AddTripleIds(1, 1, 5);
+  graph.Finalize();
+  ASSERT_EQ(graph.num_triples(), 3u);
+  EXPECT_EQ(graph.triples()[0], (Triple{1, 1, 5}));
+  EXPECT_EQ(graph.triples()[1], (Triple{1, 2, 2}));
+  EXPECT_EQ(graph.triples()[2], (Triple{3, 1, 1}));
+}
+
+TEST(GraphDeathTest, AccessBeforeFinalizeAborts) {
+  Graph graph;
+  graph.AddTripleIds(1, 1, 2);
+  EXPECT_DEATH(graph.OutEdges(1), "before Finalize");
+}
+
+TEST(GraphDeathTest, AddAfterFinalizeAborts) {
+  Graph graph;
+  graph.AddTripleIds(1, 1, 2);
+  graph.Finalize();
+  EXPECT_DEATH(graph.AddTripleIds(1, 1, 3), "AddTriple after Finalize");
+}
+
+TEST(GraphTest, OutEdgesSortedAndComplete) {
+  Graph graph;
+  graph.AddTripleIds(1, 2, 3);
+  graph.AddTripleIds(1, 1, 4);
+  graph.AddTripleIds(1, 1, 2);
+  graph.AddTripleIds(2, 1, 1);
+  graph.Finalize();
+  auto edges = graph.OutEdges(1);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (PredicateObject{1, 2}));
+  EXPECT_EQ(edges[1], (PredicateObject{1, 4}));
+  EXPECT_EQ(edges[2], (PredicateObject{2, 3}));
+  EXPECT_TRUE(graph.OutEdges(3).empty());
+  EXPECT_TRUE(graph.OutEdges(999).empty());  // out of range is safe
+}
+
+TEST(GraphTest, InEdgesSortedAndComplete) {
+  Graph graph;
+  graph.AddTripleIds(3, 2, 1);
+  graph.AddTripleIds(2, 1, 1);
+  graph.AddTripleIds(4, 1, 1);
+  graph.Finalize();
+  auto edges = graph.InEdges(1);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (PredicateSubject{1, 2}));
+  EXPECT_EQ(edges[1], (PredicateSubject{1, 4}));
+  EXPECT_EQ(edges[2], (PredicateSubject{2, 3}));
+}
+
+TEST(GraphTest, PredicatePairs) {
+  Graph graph;
+  graph.AddTripleIds(2, 1, 3);
+  graph.AddTripleIds(1, 1, 2);
+  graph.AddTripleIds(1, 2, 2);
+  graph.Finalize();
+  auto pairs = graph.PredicatePairs(1);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (SubjectObject{1, 2}));
+  EXPECT_EQ(pairs[1], (SubjectObject{2, 3}));
+  EXPECT_EQ(graph.PredicatePairs(2).size(), 1u);
+  EXPECT_TRUE(graph.PredicatePairs(3).empty());
+}
+
+TEST(GraphTest, EdgeRangeLookupsAndHasTriple) {
+  Graph graph;
+  graph.AddTripleIds(1, 1, 2);
+  graph.AddTripleIds(1, 1, 3);
+  graph.AddTripleIds(1, 2, 2);
+  graph.Finalize();
+  EXPECT_EQ(graph.OutEdgesWithPredicate(1, 1).size(), 2u);
+  EXPECT_EQ(graph.OutEdgesWithPredicate(1, 2).size(), 1u);
+  EXPECT_TRUE(graph.OutEdgesWithPredicate(1, 3).empty());
+  EXPECT_EQ(graph.InEdgesWithPredicate(2, 1).size(), 1u);
+  EXPECT_TRUE(graph.HasTriple(1, 1, 3));
+  EXPECT_FALSE(graph.HasTriple(1, 2, 3));
+  EXPECT_FALSE(graph.HasTriple(2, 1, 1));
+}
+
+TEST(GraphTest, DegreesAndCounts) {
+  Graph graph;
+  graph.AddTripleIds(1, 1, 2);
+  graph.AddTripleIds(1, 2, 2);
+  graph.AddTripleIds(3, 1, 2);
+  graph.Finalize();
+  EXPECT_EQ(graph.OutDegree(1), 2u);
+  EXPECT_EQ(graph.OutDegree(2), 0u);
+  EXPECT_EQ(graph.InDegree(2), 3u);
+  EXPECT_EQ(graph.PredicateCount(1), 2u);
+  EXPECT_EQ(graph.DistinctSubjects(1), 2u);
+  EXPECT_EQ(graph.DistinctObjects(1), 1u);
+  EXPECT_EQ(graph.subjects(), (std::vector<TermId>{1, 3}));
+  EXPECT_EQ(graph.objects(), (std::vector<TermId>{2}));
+}
+
+// Property test: indexes agree with a brute-force reconstruction on
+// random graphs of varying shapes.
+class GraphPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(GraphPropertyTest, IndexesMatchBruteForce) {
+  auto [nodes, preds, triples, seed] = GetParam();
+  Graph graph = testing::MakeRandomGraph(nodes, preds, triples, seed);
+
+  std::map<TermId, std::set<std::pair<TermId, TermId>>> out, in;
+  std::map<TermId, std::set<std::pair<TermId, TermId>>> by_pred;
+  for (const Triple& t : graph.triples()) {
+    out[t.s].insert({t.p, t.o});
+    in[t.o].insert({t.p, t.s});
+    by_pred[t.p].insert({t.s, t.o});
+  }
+  for (TermId v = 1; v <= graph.num_nodes(); ++v) {
+    EXPECT_EQ(graph.OutDegree(v), out[v].size());
+    EXPECT_EQ(graph.InDegree(v), in[v].size());
+    auto edges = graph.OutEdges(v);
+    std::set<std::pair<TermId, TermId>> got;
+    for (const auto& e : edges) got.insert({e.p, e.o});
+    EXPECT_EQ(got, out[v]);
+    auto iedges = graph.InEdges(v);
+    got.clear();
+    for (const auto& e : iedges) got.insert({e.p, e.s});
+    EXPECT_EQ(got, in[v]);
+  }
+  for (TermId p = 1; p <= graph.num_predicates(); ++p) {
+    EXPECT_EQ(graph.PredicateCount(p), by_pred[p].size());
+    std::set<TermId> subjects, objects;
+    for (const auto& [s, o] : by_pred[p]) {
+      subjects.insert(s);
+      objects.insert(o);
+    }
+    EXPECT_EQ(graph.DistinctSubjects(p), subjects.size());
+    EXPECT_EQ(graph.DistinctObjects(p), objects.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GraphPropertyTest,
+    ::testing::Values(std::tuple(5, 2, 10, 1), std::tuple(20, 3, 100, 2),
+                      std::tuple(50, 10, 400, 3),
+                      std::tuple(10, 1, 80, 4),
+                      std::tuple(100, 20, 1000, 5)));
+
+TEST(GraphTest, MemoryBytesScalesWithTriples) {
+  Graph small = testing::MakeRandomGraph(50, 5, 100, 1);
+  Graph large = testing::MakeRandomGraph(50, 5, 1000, 1);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(GraphTest, SummaryString) {
+  Graph graph = testing::MakePaperExampleGraph();
+  std::string summary = GraphSummary(graph);
+  EXPECT_NE(summary.find("11 triples"), std::string::npos);
+}
+
+// --- N-Triples IO -------------------------------------------------------------
+
+TEST(NTriplesTest, LoadBasic) {
+  std::istringstream in(
+      "<a> <p> <b> .\n"
+      "# comment\n"
+      "\n"
+      "<a> <q> \"literal value\" .\n");
+  Graph graph;
+  auto status = LoadNTriples(in, &graph);
+  ASSERT_TRUE(status.ok()) << status.message();
+  graph.Finalize();
+  EXPECT_EQ(graph.num_triples(), 2u);
+  EXPECT_TRUE(graph.dict().FindNode("a").has_value());
+  EXPECT_TRUE(graph.dict().FindNode("\"literal value\"").has_value());
+  EXPECT_TRUE(graph.dict().FindPredicate("q").has_value());
+}
+
+TEST(NTriplesTest, MalformedLineIsError) {
+  std::istringstream in("<a> <p> .\n");
+  Graph graph;
+  auto status = LoadNTriples(in, &graph);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 1"), std::string::npos);
+}
+
+TEST(NTriplesTest, TrailingJunkIsError) {
+  std::istringstream in("<a> <p> <b> . extra\n");
+  Graph graph;
+  auto status = LoadNTriples(in, &graph);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(NTriplesTest, WriteLoadRoundTrip) {
+  Graph original = testing::MakePaperExampleGraph();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteNTriples(original, out).ok());
+
+  std::istringstream in(out.str());
+  Graph reloaded;
+  ASSERT_TRUE(LoadNTriples(in, &reloaded).ok());
+  reloaded.Finalize();
+  EXPECT_EQ(reloaded.num_triples(), original.num_triples());
+  EXPECT_EQ(reloaded.num_predicates(), original.num_predicates());
+  // Same named triples must exist.
+  auto s = reloaded.dict().FindNode("TheShining");
+  auto p = reloaded.dict().FindPredicate("hasAuthor");
+  auto o = reloaded.dict().FindNode("StephenKing");
+  ASSERT_TRUE(s && p && o);
+  EXPECT_TRUE(reloaded.HasTriple(*s, *p, *o));
+}
+
+TEST(NTriplesTest, MissingFileIsError) {
+  Graph graph;
+  EXPECT_FALSE(LoadNTriplesFile("/nonexistent/file.nt", &graph).ok());
+}
+
+}  // namespace
+}  // namespace lmkg::rdf

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "query/executor.h"
+#include "sampling/bound_pattern.h"
+#include "sampling/population.h"
+#include "sampling/random_walk.h"
+#include "sampling/workload.h"
+#include "test_util.h"
+#include "util/math.h"
+
+namespace lmkg::sampling {
+namespace {
+
+using query::Topology;
+
+// --- term sequences ------------------------------------------------------------
+
+TEST(BoundPatternTest, StarTermSequenceLayout) {
+  BoundStar star;
+  star.center = 7;
+  star.edges = {{1, 2}, {3, 4}};
+  auto seq = ToTermSequence(star);
+  EXPECT_EQ(seq, (std::vector<rdf::TermId>{7, 1, 2, 3, 4}));
+  EXPECT_FALSE(StarPositionIsPredicate(0));
+  EXPECT_TRUE(StarPositionIsPredicate(1));
+  EXPECT_FALSE(StarPositionIsPredicate(2));
+  EXPECT_TRUE(StarPositionIsPredicate(3));
+}
+
+TEST(BoundPatternTest, ChainTermSequenceLayout) {
+  BoundChain chain;
+  chain.nodes = {5, 6, 7};
+  chain.predicates = {1, 2};
+  auto seq = ToTermSequence(chain);
+  EXPECT_EQ(seq, (std::vector<rdf::TermId>{5, 1, 6, 2, 7}));
+  EXPECT_FALSE(ChainPositionIsPredicate(0));
+  EXPECT_TRUE(ChainPositionIsPredicate(1));
+}
+
+TEST(BoundPatternTest, ToQueryIsFullyBound) {
+  BoundStar star;
+  star.center = 1;
+  star.edges = {{1, 2}};
+  query::Query q = ToQuery(star);
+  EXPECT_TRUE(q.fully_bound());
+  EXPECT_EQ(query::ClassifyTopology(q), Topology::kSingle);
+  BoundChain chain;
+  chain.nodes = {1, 2, 3};
+  chain.predicates = {1, 1};
+  query::Query cq = ToQuery(chain);
+  EXPECT_TRUE(cq.fully_bound());
+}
+
+// --- populations ------------------------------------------------------------------
+
+TEST(StarPopulationTest, SizeIsSumOfDegreePowers) {
+  rdf::Graph graph = lmkg::testing::MakeRandomGraph(10, 3, 40, 3);
+  for (int k : {1, 2, 3}) {
+    StarPopulation pop(graph, k);
+    double expected = 0.0;
+    for (rdf::TermId s : graph.subjects())
+      expected +=
+          std::pow(static_cast<double>(graph.OutDegree(s)), k);
+    EXPECT_DOUBLE_EQ(pop.size(), expected);
+  }
+}
+
+TEST(StarPopulationTest, SamplesAreValidPatterns) {
+  rdf::Graph graph = lmkg::testing::MakeRandomGraph(10, 3, 40, 4);
+  StarPopulation pop(graph, 3);
+  util::Pcg32 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    BoundStar star = pop.SampleUniform(rng);
+    EXPECT_EQ(star.edges.size(), 3u);
+    for (const auto& e : star.edges)
+      EXPECT_TRUE(graph.HasTriple(star.center, e.p, e.o));
+  }
+}
+
+TEST(StarPopulationTest, UniformOverTuples) {
+  // Tiny graph where the tuple space is enumerable: subject 1 has 2
+  // out-edges, subject 2 has 1. Star-2 tuples: 1 contributes 4, 2
+  // contributes 1 => N = 5; each specific tuple has probability 1/5.
+  rdf::Graph graph;
+  graph.AddTripleIds(1, 1, 3);
+  graph.AddTripleIds(1, 2, 4);
+  graph.AddTripleIds(2, 1, 3);
+  graph.Finalize();
+  StarPopulation pop(graph, 2);
+  EXPECT_DOUBLE_EQ(pop.size(), 5.0);
+  util::Pcg32 rng(9);
+  std::map<std::vector<rdf::TermId>, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    ++counts[ToTermSequence(pop.SampleUniform(rng))];
+  ASSERT_EQ(counts.size(), 5u);
+  for (const auto& [seq, c] : counts)
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.01);
+}
+
+TEST(ChainPopulationTest, WalkCountsMatchBruteForce) {
+  rdf::Graph graph = lmkg::testing::MakeRandomGraph(8, 2, 25, 5);
+  ChainPopulation pop(graph, 2);
+  // Brute force: count all 2-step walks.
+  double walks = 0;
+  for (const auto& t : graph.triples())
+    walks += static_cast<double>(graph.OutDegree(t.o));
+  EXPECT_DOUBLE_EQ(pop.size(), walks);
+}
+
+TEST(ChainPopulationTest, SamplesAreRealWalks) {
+  rdf::Graph graph = lmkg::testing::MakeRandomGraph(10, 3, 60, 6);
+  ChainPopulation pop(graph, 3);
+  util::Pcg32 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    BoundChain chain = pop.SampleUniform(rng);
+    ASSERT_EQ(chain.nodes.size(), 4u);
+    for (size_t j = 0; j < 3; ++j)
+      EXPECT_TRUE(graph.HasTriple(chain.nodes[j], chain.predicates[j],
+                                  chain.nodes[j + 1]));
+  }
+}
+
+TEST(ChainPopulationTest, UniformOverWalks) {
+  // Path graph 1->2->3 and 1->4->5: exactly two 2-walks.
+  rdf::Graph graph;
+  graph.AddTripleIds(1, 1, 2);
+  graph.AddTripleIds(2, 1, 3);
+  graph.AddTripleIds(1, 2, 4);
+  graph.AddTripleIds(4, 1, 5);
+  graph.Finalize();
+  ChainPopulation pop(graph, 2);
+  EXPECT_DOUBLE_EQ(pop.size(), 2.0);
+  util::Pcg32 rng(3);
+  int first = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (pop.SampleUniform(rng).nodes[1] == 2) ++first;
+  EXPECT_NEAR(static_cast<double>(first) / n, 0.5, 0.02);
+}
+
+// --- random walk sampler ------------------------------------------------------------
+
+TEST(RandomWalkTest, StarSamplesAreValid) {
+  rdf::Graph graph = lmkg::testing::MakeRandomGraph(10, 3, 50, 7);
+  RandomWalkSampler sampler(graph);
+  util::Pcg32 rng(4);
+  int successes = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto star = sampler.SampleStar(2, rng);
+    if (!star.has_value()) continue;
+    ++successes;
+    for (const auto& e : star->edges)
+      EXPECT_TRUE(graph.HasTriple(star->center, e.p, e.o));
+  }
+  EXPECT_GT(successes, 50);
+}
+
+TEST(RandomWalkTest, ChainSamplesAreValidOrNull) {
+  rdf::Graph graph = lmkg::testing::MakeRandomGraph(10, 3, 50, 8);
+  RandomWalkSampler sampler(graph);
+  util::Pcg32 rng(5);
+  int successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto chain = sampler.SampleChain(3, rng);
+    if (!chain.has_value()) continue;
+    ++successes;
+    for (size_t j = 0; j < 3; ++j)
+      EXPECT_TRUE(graph.HasTriple(chain->nodes[j], chain->predicates[j],
+                                  chain->nodes[j + 1]));
+  }
+  EXPECT_GT(successes, 20);
+}
+
+// --- workload generator ------------------------------------------------------------
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : graph_(lmkg::testing::MakeRandomGraph(30, 4, 300, 9)) {}
+  rdf::Graph graph_;
+};
+
+TEST_F(WorkloadTest, GeneratesRequestedStarWorkload) {
+  WorkloadGenerator generator(graph_);
+  WorkloadGenerator::Options options;
+  options.topology = Topology::kStar;
+  options.query_size = 2;
+  options.count = 50;
+  options.seed = 1;
+  auto queries = generator.Generate(options);
+  EXPECT_GT(queries.size(), 30u);
+  query::Executor executor(graph_);
+  for (const auto& lq : queries) {
+    EXPECT_EQ(lq.topology, Topology::kStar);
+    EXPECT_EQ(lq.size, 2);
+    EXPECT_EQ(lq.query.size(), 2u);
+    EXPECT_GE(lq.query.num_vars, 1);  // at least one unbound variable
+    // Predicates bound by default (competitor limitation, §VIII).
+    for (const auto& t : lq.query.patterns) EXPECT_TRUE(t.p.bound());
+    // Label matches the exact executor.
+    EXPECT_EQ(lq.cardinality, executor.Cardinality(lq.query));
+    EXPECT_GE(lq.cardinality, 1.0);
+  }
+}
+
+TEST_F(WorkloadTest, GeneratesChainWorkload) {
+  WorkloadGenerator generator(graph_);
+  WorkloadGenerator::Options options;
+  options.topology = Topology::kChain;
+  options.query_size = 3;
+  options.count = 40;
+  options.seed = 2;
+  auto queries = generator.Generate(options);
+  EXPECT_GT(queries.size(), 20u);
+  for (const auto& lq : queries) {
+    EXPECT_EQ(lq.query.size(), 3u);
+    EXPECT_TRUE(query::AsChain(lq.query).has_value());
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicInSeed) {
+  WorkloadGenerator generator(graph_);
+  WorkloadGenerator::Options options;
+  options.count = 20;
+  options.seed = 3;
+  auto a = generator.Generate(options);
+  auto b = generator.Generate(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(query::QueryToString(a[i].query),
+              query::QueryToString(b[i].query));
+    EXPECT_EQ(a[i].cardinality, b[i].cardinality);
+  }
+}
+
+TEST_F(WorkloadTest, NoDuplicateQueries) {
+  WorkloadGenerator generator(graph_);
+  WorkloadGenerator::Options options;
+  options.count = 60;
+  options.seed = 4;
+  auto queries = generator.Generate(options);
+  std::set<std::string> keys;
+  for (const auto& lq : queries)
+    EXPECT_TRUE(keys.insert(query::QueryToString(lq.query)).second);
+}
+
+TEST_F(WorkloadTest, RespectsMaxCardinality) {
+  WorkloadGenerator generator(graph_);
+  WorkloadGenerator::Options options;
+  options.count = 40;
+  options.max_cardinality = 25;
+  options.seed = 5;
+  auto queries = generator.Generate(options);
+  for (const auto& lq : queries) EXPECT_LE(lq.cardinality, 25.0);
+}
+
+TEST_F(WorkloadTest, RandomWalkModeWorks) {
+  WorkloadGenerator generator(graph_);
+  WorkloadGenerator::Options options;
+  options.count = 30;
+  options.use_random_walk = true;
+  options.seed = 6;
+  auto queries = generator.Generate(options);
+  EXPECT_GT(queries.size(), 10u);
+}
+
+TEST_F(WorkloadTest, UnboundPredicatesWhenAllowed) {
+  WorkloadGenerator generator(graph_);
+  WorkloadGenerator::Options options;
+  options.count = 60;
+  options.allow_unbound_predicates = true;
+  options.unbind_predicate_prob = 0.9;
+  options.seed = 7;
+  auto queries = generator.Generate(options);
+  bool saw_unbound_predicate = false;
+  for (const auto& lq : queries)
+    for (const auto& t : lq.query.patterns)
+      if (t.p.is_var()) saw_unbound_predicate = true;
+  EXPECT_TRUE(saw_unbound_predicate);
+}
+
+TEST_F(WorkloadTest, BucketBalancedSpreadsResultSizes) {
+  WorkloadGenerator generator(graph_);
+  WorkloadGenerator::Options options;
+  options.count = 80;
+  options.bucket_balanced = true;
+  options.seed = 8;
+  auto queries = generator.Generate(options);
+  std::map<int, int> buckets;
+  for (const auto& lq : queries)
+    ++buckets[util::ResultSizeBucket(lq.cardinality)];
+  // More than one bucket must be populated.
+  EXPECT_GE(buckets.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lmkg::sampling

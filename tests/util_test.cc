@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+#include "util/flags.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace lmkg::util {
+namespace {
+
+// --- check ------------------------------------------------------------------
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  LMKG_CHECK(true) << "never printed";
+  LMKG_CHECK_EQ(1, 1);
+  LMKG_CHECK_LT(1, 2);
+  LMKG_CHECK_GE(2, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(LMKG_CHECK(false) << "boom", "LMKG_CHECK failed");
+  EXPECT_DEATH(LMKG_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+// --- random -----------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Pcg32 a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformIntBounds) {
+  Pcg32 rng(7);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit in 1000 draws
+}
+
+TEST(RandomTest, UniformIntIsRoughlyUniform) {
+  Pcg32 rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 8 * 0.9);
+    EXPECT_LT(c, n / 8 * 1.1);
+  }
+}
+
+TEST(RandomTest, UniformInt64Range) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Pcg32 rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Pcg32 rng(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.Bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Pcg32 rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfTest, PmfSumsToOneAndDecreases) {
+  ZipfDistribution zipf(100, 1.1);
+  double sum = 0.0;
+  for (size_t k = 0; k < 100; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(50));
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  ZipfDistribution zipf(10, 1.0);
+  Pcg32 rng(23);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (size_t k = 0; k < 10; ++k)
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.Pmf(k), 0.01);
+}
+
+TEST(DiscreteDistributionTest, RespectsWeights) {
+  DiscreteDistribution dist({1.0, 0.0, 3.0});
+  Pcg32 rng(29);
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(DiscreteDistributionDeathTest, AllZeroWeightsAbort) {
+  EXPECT_DEATH(DiscreteDistribution({0.0, 0.0}), "all weights zero");
+}
+
+// --- math -------------------------------------------------------------------
+
+TEST(MathTest, QErrorBasics) {
+  EXPECT_DOUBLE_EQ(QError(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(QError(20, 10), 2.0);
+  EXPECT_DOUBLE_EQ(QError(10, 20), 2.0);
+  // Floored at 1 on both sides (empty results do not divide by zero).
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0.5, 5), 5.0);
+}
+
+TEST(MathTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+  EXPECT_EQ(Log2Ceil(1024), 10);
+  EXPECT_EQ(Log2Ceil(1025), 11);
+}
+
+class BinaryBitsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BinaryBitsTest, EncodingFitsAllIdsAndReservesZero) {
+  uint64_t domain = GetParam();
+  int bits = BinaryEncodingBits(domain);
+  // Every id in [1, domain] must fit.
+  EXPECT_LT(domain, (1ULL << bits));
+  // The paper's formula: ceil(log2 d) + 1.
+  if (domain > 1) {
+    EXPECT_EQ(bits, Log2Ceil(domain) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, BinaryBitsTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 15, 16, 100,
+                                           171, 1000, 76000, 12000000));
+
+TEST(MathTest, Percentile) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+}
+
+TEST(MathTest, QErrorStats) {
+  QErrorStats stats = QErrorStats::Compute({1, 2, 4, 8});
+  EXPECT_DOUBLE_EQ(stats.mean, 3.75);
+  EXPECT_DOUBLE_EQ(stats.max, 8.0);
+  EXPECT_DOUBLE_EQ(stats.median, 3.0);
+  EXPECT_NEAR(stats.geometric_mean, std::pow(64.0, 0.25), 1e-9);
+  EXPECT_EQ(stats.count, 4u);
+}
+
+TEST(MathTest, QErrorStatsEmpty) {
+  QErrorStats stats = QErrorStats::Compute({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(MathTest, ScalerRoundTrip) {
+  LogMinMaxScaler scaler;
+  scaler.Fit({1, 10, 100, 1000});
+  for (double c : {1.0, 5.0, 42.0, 999.0, 1000.0}) {
+    double y = scaler.Scale(c);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+    EXPECT_NEAR(scaler.Unscale(y), c, c * 1e-6);
+  }
+}
+
+TEST(MathTest, ScalerClampsOutOfRange) {
+  LogMinMaxScaler scaler;
+  scaler.Fit({10, 100});
+  EXPECT_DOUBLE_EQ(scaler.Scale(1), 0.0);
+  EXPECT_DOUBLE_EQ(scaler.Scale(100000), 1.0);
+  EXPECT_NEAR(scaler.Unscale(0.0), 10.0, 1e-6);
+  EXPECT_NEAR(scaler.Unscale(1.0), 100.0, 1e-4);
+}
+
+class BucketTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BucketTest, BoundariesAreExact) {
+  int bucket = GetParam();
+  double lo = BucketLowerBound(bucket);
+  EXPECT_EQ(ResultSizeBucket(lo), bucket);
+  EXPECT_EQ(ResultSizeBucket(lo * 4.999), bucket);
+  if (bucket > 0) {
+    EXPECT_EQ(ResultSizeBucket(lo - 0.5), bucket - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, BucketTest, ::testing::Range(0, 10));
+
+// --- strings ----------------------------------------------------------------
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("a,,c", ',', /*skip_empty=*/true),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, JoinTrimPrefixes) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(4 << 20), "4.0 MB");
+}
+
+// --- table ------------------------------------------------------------------
+
+TEST(TableTest, PrintsAlignedRows) {
+  TablePrinter table("t");
+  table.SetHeader({"a", "bbb"});
+  table.AddRow({"1", "2"});
+  table.AddRow("row", {1.0, 2.5});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("== t =="), std::string::npos);
+  EXPECT_NE(out.find("bbb"), std::string::npos);
+  EXPECT_NE(out.find("row"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, Csv) {
+  TablePrinter table;
+  table.SetHeader({"x", "y"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TableTest, FormatValue) {
+  EXPECT_EQ(FormatValue(1.0), "1");
+  EXPECT_EQ(FormatValue(2.5), "2.500");
+  EXPECT_EQ(FormatValue(1e7), "1.00e+07");
+}
+
+// --- flags ------------------------------------------------------------------
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog", "--a=1", "--b", "2",
+                        "pos",  "--c",   "--d=x y"};
+  Flags flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("a", 0), 1);
+  EXPECT_EQ(flags.GetInt("b", 0), 2);
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_EQ(flags.GetString("d", ""), "x y");
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos");
+}
+
+TEST(FlagsTest, DoubleAndDefaults) {
+  const char* argv[] = {"prog", "--x=2.5"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 0), 2.5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("y", 1.5), 1.5);
+  EXPECT_FALSE(flags.Has("y"));
+}
+
+}  // namespace
+}  // namespace lmkg::util
