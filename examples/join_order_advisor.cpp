@@ -37,7 +37,11 @@ double OrderCost(const query::Query& q, const std::vector<size_t>& order,
 
 std::string OrderToString(const std::vector<size_t>& order) {
   std::string s;
-  for (size_t idx : order) s += "t" + std::to_string(idx) + " ";
+  for (size_t idx : order) {
+    s += 't';
+    s += std::to_string(idx);
+    s += ' ';
+  }
   return s;
 }
 

@@ -52,7 +52,6 @@ double Lmkg::BuildModels(
     const std::vector<sampling::LabeledQuery>& sample_workload) {
   LMKG_CHECK(!built_) << "BuildModels called twice";
   util::Stopwatch timer;
-  const int max_size = config_.query_sizes.back();
 
   if (config_.kind == ModelKind::kUnsupervised) {
     // LMKG-U uses pattern-bound encodings, hence query size and type

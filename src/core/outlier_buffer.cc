@@ -44,8 +44,13 @@ std::string OutlierBuffer::CanonicalKey(const query::Query& q) {
   };
   std::string key;
   for (const Entry& e : entries) {
-    key += "(" + term_key(e.pattern->s) + " " + term_key(e.pattern->p) +
-           " " + term_key(e.pattern->o) + ")";
+    key += '(';
+    key += term_key(e.pattern->s);
+    key += ' ';
+    key += term_key(e.pattern->p);
+    key += ' ';
+    key += term_key(e.pattern->o);
+    key += ')';
   }
   return key;
 }

@@ -17,6 +17,13 @@ using TermId = uint32_t;
 inline constexpr TermId kUnboundTerm = 0;
 
 /// One RDF triple (subject, predicate, object) in id space.
+///
+/// The defaulted `operator<=>` here (and on the pair structs below) is why
+/// the whole tree requires C++20: it gives every index key type
+/// lexicographic ordering for free, which the sorted adjacency indexes in
+/// rdf::Graph depend on. The root CMakeLists.txt pins CMAKE_CXX_STANDARD 20
+/// with CXX_STANDARD_REQUIRED ON so an older toolchain fails with a clear
+/// message instead of a wall of template errors.
 struct Triple {
   TermId s = kUnboundTerm;
   TermId p = kUnboundTerm;

@@ -236,7 +236,9 @@ TEST(RangeExecutorTest, LimitStopsEarly) {
   q.base = query::MakeStarQuery(V(0), {{B(1), V(1)}});
   q.ranges = {{0, 1, 15}};
   uint64_t full = executor.Count(q);
-  if (full > 2) EXPECT_GE(executor.Count(q, 2), 2u);
+  if (full > 2) {
+    EXPECT_GE(executor.Count(q, 2), 2u);
+  }
 }
 
 // Parameterized brute-force verification over random graphs, topologies,
