@@ -101,8 +101,7 @@ const nn::Matrix& MscnEstimator::ForwardBatch(
 
   const nn::Matrix& embedded = set_net_.Forward(elements_, training);
   // Mean-pool the element embeddings per query.
-  pooled_.Resize(queries.size(), config_.hidden_dim);
-  pooled_.SetZero();
+  pooled_.ResizeZeroed(queries.size(), config_.hidden_dim);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     size_t begin = query_offsets_[qi], end = query_offsets_[qi + 1];
     float inv = 1.0f / static_cast<float>(std::max<size_t>(end - begin, 1));
@@ -190,10 +189,22 @@ MscnEstimator::TrainStats MscnEstimator::Train(
 }
 
 double MscnEstimator::EstimateCardinality(const Query& q) {
+  double estimate = 0.0;
+  EstimateCardinalityBatch({&q, 1}, {&estimate, 1});
+  return estimate;
+}
+
+void MscnEstimator::EstimateCardinalityBatch(
+    std::span<const Query> queries, std::span<double> out) {
+  LMKG_CHECK_EQ(queries.size(), out.size());
+  if (queries.empty()) return;
   LMKG_CHECK(trained_) << "MSCN estimate before Train";
-  std::vector<const Query*> queries = {&q};
-  const nn::Matrix& pred = ForwardBatch(queries, false);
-  return scaler_.Unscale(pred.at(0, 0));
+  std::vector<const Query*> pointers;
+  pointers.reserve(queries.size());
+  for (const Query& q : queries) pointers.push_back(&q);
+  const nn::Matrix& pred = ForwardBatch(pointers, /*training=*/false);
+  for (size_t i = 0; i < queries.size(); ++i)
+    out[i] = scaler_.Unscale(pred.at(i, 0));
 }
 
 bool MscnEstimator::CanEstimate(const Query& q) const {

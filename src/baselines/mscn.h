@@ -48,6 +48,11 @@ class MscnEstimator : public core::CardinalityEstimator {
   TrainStats Train(const std::vector<sampling::LabeledQuery>& data);
 
   double EstimateCardinality(const query::Query& q) override;
+  /// One set-network forward over the concatenated pattern elements of
+  /// the whole batch (ForwardBatch is batch-native; the per-query call is
+  /// the B = 1 special case).
+  void EstimateCardinalityBatch(std::span<const query::Query> queries,
+                                std::span<double> out) override;
   bool CanEstimate(const query::Query& q) const override;
   std::string name() const override;
   size_t MemoryBytes() const override;

@@ -104,21 +104,55 @@ double AdaptiveLmkg::IndependenceFallback(const Query& q) const {
   return estimate;
 }
 
+LmkgS* AdaptiveLmkg::SelectModel(const Query& q) {
+  Combo combo{query::ClassifyTopology(q), static_cast<int>(q.size())};
+  if (auto it = models_.find(combo); it != models_.end() &&
+                                     it->second->CanEstimate(q))
+    return it->second.get();
+  // No exact combo model: any model whose encoder fits the query (e.g. a
+  // larger SG model) still beats the independence fallback.
+  for (auto& [key, model] : models_)
+    if (model->CanEstimate(q)) return model.get();
+  return nullptr;
+}
+
 double AdaptiveLmkg::EstimateCardinality(const Query& q) {
   LMKG_CHECK(CanEstimate(q)) << query::QueryToString(q);
   monitor_.Observe(q);
   if (q.patterns.size() == 1)
     return single_pattern_.EstimateCardinality(q);
-
-  Combo combo{query::ClassifyTopology(q), static_cast<int>(q.size())};
-  if (auto it = models_.find(combo); it != models_.end() &&
-                                     it->second->CanEstimate(q))
-    return it->second->EstimateCardinality(q);
-  // No exact combo model: any model whose encoder fits the query (e.g. a
-  // larger SG model) still beats the independence fallback.
-  for (auto& [key, model] : models_)
-    if (model->CanEstimate(q)) return model->EstimateCardinality(q);
+  if (LmkgS* model = SelectModel(q); model != nullptr)
+    return model->EstimateCardinality(q);
   return IndependenceFallback(q);
+}
+
+void AdaptiveLmkg::EstimateCardinalityBatch(
+    std::span<const Query> queries, std::span<double> out) {
+  LMKG_CHECK_EQ(queries.size(), out.size());
+
+  std::vector<size_t> single_pattern_indices;
+  std::vector<std::pair<LmkgS*, std::vector<size_t>>> groups;
+  std::map<LmkgS*, size_t> group_of;
+  std::vector<size_t> fallback_indices;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    LMKG_CHECK(CanEstimate(q)) << query::QueryToString(q);
+    monitor_.Observe(q);
+    if (q.patterns.size() == 1) {
+      single_pattern_indices.push_back(i);
+    } else if (LmkgS* model = SelectModel(q); model != nullptr) {
+      auto [it, inserted] = group_of.emplace(model, groups.size());
+      if (inserted) groups.emplace_back(model, std::vector<size_t>{});
+      groups[it->second].second.push_back(i);
+    } else {
+      fallback_indices.push_back(i);
+    }
+  }
+
+  single_pattern_.EstimateIndexedBatch(queries, single_pattern_indices, out);
+  for (auto& [model, indices] : groups)
+    model->EstimateIndexedBatch(queries, indices, out);
+  for (size_t i : fallback_indices) out[i] = IndependenceFallback(queries[i]);
 }
 
 bool AdaptiveLmkg::CanEstimate(const Query& q) const {

@@ -59,6 +59,14 @@ class AdaptiveLmkg : public CardinalityEstimator {
   AdaptiveLmkg(const rdf::Graph& graph, const AdaptiveLmkgConfig& config);
 
   double EstimateCardinality(const query::Query& q) override;
+  /// Observes every query in the monitor, then dispatches in grouped
+  /// waves exactly like core::Lmkg: size-1 to the exact estimator,
+  /// model-served queries per specialized model (one batched forward
+  /// each), the rest to the independence fallback. The model pool only
+  /// changes in Adapt(), so grouping cannot change which model serves a
+  /// query.
+  void EstimateCardinalityBatch(std::span<const query::Query> queries,
+                                std::span<double> out) override;
   bool CanEstimate(const query::Query& q) const override;
   std::string name() const override { return "LMKG-adaptive"; }
   size_t MemoryBytes() const override;
@@ -80,6 +88,11 @@ class AdaptiveLmkg : public CardinalityEstimator {
 
  private:
   std::unique_ptr<LmkgS> TrainSpecialized(const Combo& combo);
+  // The model serving q: its exact (topology, size) combo if trained,
+  // otherwise any model whose encoder fits (e.g. a larger SG model);
+  // nullptr means the independence fallback. Shared by the per-query and
+  // batched paths so their dispatch can never drift apart.
+  LmkgS* SelectModel(const query::Query& q);
   double IndependenceFallback(const query::Query& q) const;
 
   const rdf::Graph& graph_;

@@ -1,9 +1,12 @@
 #ifndef LMKG_CORE_ESTIMATOR_H_
 #define LMKG_CORE_ESTIMATOR_H_
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "query/query.h"
+#include "util/check.h"
 
 namespace lmkg::core {
 
@@ -19,12 +22,53 @@ class CardinalityEstimator {
   /// may be stateful (RNG advance), hence non-const.
   virtual double EstimateCardinality(const query::Query& q) = 0;
 
+  /// Estimates a batch of queries at once, writing out[i] for queries[i].
+  /// `out` must have exactly queries.size() elements and every query must
+  /// satisfy CanEstimate — the serving shape of a query optimizer pricing
+  /// many candidate plans per query.
+  ///
+  /// The contract is estimate-equivalence: out[i] equals what a fresh
+  /// per-query EstimateCardinality(queries[i]) sequence would produce
+  /// (stateful estimators consume their RNG in query order). The base
+  /// implementation is that loop; NN-backed estimators override it to run
+  /// one multi-row forward pass instead.
+  virtual void EstimateCardinalityBatch(std::span<const query::Query> queries,
+                                        std::span<double> out) {
+    LMKG_CHECK_EQ(queries.size(), out.size());
+    for (size_t i = 0; i < queries.size(); ++i)
+      out[i] = EstimateCardinality(queries[i]);
+  }
+
   /// Whether this estimator can handle the query's shape at all (topology
   /// and size capacity). EstimateCardinality requires CanEstimate.
   virtual bool CanEstimate(const query::Query& q) const = 0;
 
   /// Display name ("LMKG-S", "wj", ...), used in result tables.
   virtual std::string name() const = 0;
+
+  /// Gathers queries[indices] into one contiguous batch, estimates it
+  /// with this estimator, and scatters the results into out[indices] —
+  /// the shared group-dispatch step of the facade estimators (Lmkg,
+  /// AdaptiveLmkg), which partition a mixed batch into per-model groups.
+  void EstimateIndexedBatch(std::span<const query::Query> queries,
+                            const std::vector<size_t>& indices,
+                            std::span<double> out) {
+    if (indices.empty()) return;
+    // Homogeneous batches (one group owning every query — the common
+    // optimizer workload) skip the gather/scatter copies entirely.
+    if (indices.size() == queries.size() && indices.front() == 0 &&
+        indices.back() == queries.size() - 1) {
+      EstimateCardinalityBatch(queries, out);
+      return;
+    }
+    std::vector<query::Query> gathered;
+    gathered.reserve(indices.size());
+    for (size_t i : indices) gathered.push_back(queries[i]);
+    std::vector<double> estimates(indices.size(), 0.0);
+    EstimateCardinalityBatch(gathered, estimates);
+    for (size_t j = 0; j < indices.size(); ++j)
+      out[indices[j]] = estimates[j];
+  }
 
   /// Approximate size of the estimator's state (model parameters or
   /// summaries) — Table II's "memory consumption".

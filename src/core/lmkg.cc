@@ -234,6 +234,48 @@ double Lmkg::EstimateCardinality(const Query& q) {
   return EstimateByDecomposition(q);
 }
 
+void Lmkg::EstimateCardinalityBatch(std::span<const Query> queries,
+                                    std::span<double> out) {
+  LMKG_CHECK_EQ(queries.size(), out.size());
+  LMKG_CHECK(built_) << "EstimateCardinalityBatch before BuildModels";
+
+  // Partition the batch by dispatch target. Groups keep first-appearance
+  // order and their index lists keep input order.
+  std::vector<size_t> single_pattern_indices;
+  std::vector<std::pair<CardinalityEstimator*, std::vector<size_t>>> groups;
+  std::map<CardinalityEstimator*, size_t> group_of;
+  std::vector<size_t> decomposed_indices;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    if (q.patterns.size() == 1) {
+      single_pattern_indices.push_back(i);
+    } else if (CardinalityEstimator* model = SelectModel(q);
+               model != nullptr) {
+      auto [it, inserted] = group_of.emplace(model, groups.size());
+      if (inserted) groups.emplace_back(model, std::vector<size_t>{});
+      groups[it->second].second.push_back(i);
+    } else {
+      decomposed_indices.push_back(i);
+    }
+  }
+
+  // LMKG-U models advance a sampling RNG per estimate; running the model
+  // waves before the decompositions (whose sub-queries hit the same
+  // models) would reorder the draws relative to the per-query path. The
+  // strict loop keeps the estimate-equivalence contract for that case.
+  if (config_.kind == ModelKind::kUnsupervised &&
+      !decomposed_indices.empty()) {
+    CardinalityEstimator::EstimateCardinalityBatch(queries, out);
+    return;
+  }
+
+  single_pattern_.EstimateIndexedBatch(queries, single_pattern_indices, out);
+  for (auto& [model, indices] : groups)
+    model->EstimateIndexedBatch(queries, indices, out);
+  for (size_t i : decomposed_indices)
+    out[i] = EstimateByDecomposition(queries[i]);
+}
+
 bool Lmkg::CanEstimate(const Query& q) const { return !q.patterns.empty(); }
 
 std::vector<Query> Lmkg::Decompose(const Query& q) const {

@@ -86,6 +86,17 @@ class Lmkg : public CardinalityEstimator {
 
   /// Execution phase.
   double EstimateCardinality(const query::Query& q) override;
+  /// Routes the batch in three grouped waves: size-1 queries to the exact
+  /// single-pattern estimator, model-served queries grouped per selected
+  /// model (each group one batched forward), and the decomposition
+  /// leftovers per query. Every model receives its queries in input
+  /// order. Unsupervised frameworks whose batch contains decomposed
+  /// queries fall back to the strict per-query loop (decomposition
+  /// sub-queries hit the same stateful LMKG-U models, and running them
+  /// out of input order would reorder the sampling RNG draws), so the
+  /// estimate-equivalence contract holds unconditionally.
+  void EstimateCardinalityBatch(std::span<const query::Query> queries,
+                                std::span<double> out) override;
   bool CanEstimate(const query::Query& q) const override;
   std::string name() const override;
   size_t MemoryBytes() const override;

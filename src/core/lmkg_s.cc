@@ -109,12 +109,20 @@ LmkgS::TrainStats LmkgS::Train(
 }
 
 double LmkgS::EstimateCardinality(const query::Query& q) {
+  double estimate = 0.0;
+  EstimateCardinalityBatch({&q, 1}, {&estimate, 1});
+  return estimate;
+}
+
+void LmkgS::EstimateCardinalityBatch(std::span<const query::Query> queries,
+                                     std::span<double> out) {
+  LMKG_CHECK_EQ(queries.size(), out.size());
+  if (queries.empty()) return;
   LMKG_CHECK(trained_) << "LMKG-S estimate before Train";
-  LMKG_CHECK(CanEstimate(q)) << query::QueryToString(q);
-  input_buffer_.Resize(1, encoder_->width());
-  encoder_->Encode(q, input_buffer_.row(0));
-  const nn::Matrix& out = net_.Forward(input_buffer_, /*training=*/false);
-  return scaler_.Unscale(out.at(0, 0));
+  encoder_->EncodeBatch(queries, &input_buffer_);
+  const nn::Matrix& pred = net_.Forward(input_buffer_, /*training=*/false);
+  for (size_t i = 0; i < queries.size(); ++i)
+    out[i] = scaler_.Unscale(pred.at(i, 0));
 }
 
 bool LmkgS::CanEstimate(const query::Query& q) const {

@@ -61,6 +61,10 @@ class LmkgS : public CardinalityEstimator {
                    const EpochCallback& callback = nullptr);
 
   double EstimateCardinality(const query::Query& q) override;
+  /// One encoder pass + one B-row network forward — the whole batch flows
+  /// as a single matrix. Per-query calls delegate here with B = 1.
+  void EstimateCardinalityBatch(std::span<const query::Query> queries,
+                                std::span<double> out) override;
   bool CanEstimate(const query::Query& q) const override;
   std::string name() const override;
   size_t MemoryBytes() const override;

@@ -226,6 +226,26 @@ double LmkgU::EstimateCardinality(const query::Query& q) {
   LMKG_CHECK(QueryToSequence(q, &values, &bound))
       << "query does not match this LMKG-U group: "
       << query::QueryToString(q);
+  return EstimateFromSequence(values, bound);
+}
+
+void LmkgU::EstimateCardinalityBatch(std::span<const query::Query> queries,
+                                     std::span<double> out) {
+  LMKG_CHECK_EQ(queries.size(), out.size());
+  if (queries.empty()) return;
+  LMKG_CHECK(trained_) << "LMKG-U estimate before Train";
+  std::vector<uint32_t> values;
+  std::vector<bool> bound;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    LMKG_CHECK(QueryToSequence(queries[i], &values, &bound))
+        << "query does not match this LMKG-U group: "
+        << query::QueryToString(queries[i]);
+    out[i] = EstimateFromSequence(values, bound);
+  }
+}
+
+double LmkgU::EstimateFromSequence(const std::vector<uint32_t>& values,
+                                   const std::vector<bool>& bound) {
   const size_t T = model_->sequence_length();
 
   // Positions after the last bound term only multiply the weight by 1
@@ -245,22 +265,22 @@ double LmkgU::EstimateCardinality(const query::Query& q) {
   // multiply in their conditional probability; unbound positions are
   // sampled and conditioned on.
   const size_t S = std::max<size_t>(config_.sample_count, 1);
-  std::vector<uint32_t> batch(S * T, 0);
-  std::vector<double> weights(S, 1.0);
+  particles_.assign(S * T, 0);
+  weights_.assign(S, 1.0);
   for (size_t r = 0; r < S; ++r)
-    for (size_t t = 0; t < T; ++t) batch[r * T + t] = values[t];
+    for (size_t t = 0; t < T; ++t) particles_[r * T + t] = values[t];
 
   for (size_t t = 0; t <= last_bound; ++t) {
-    model_->ConditionalProbs(batch, S, t, &probs_);
+    model_->ConditionalProbs(particles_, S, t, &probs_);
     const uint32_t domain = model_->domain_size(t);
     if (bound[t]) {
       uint32_t v = values[t];
       LMKG_CHECK(v >= 1 && v <= domain);
       for (size_t r = 0; r < S; ++r)
-        weights[r] *= static_cast<double>(probs_.at(r, v - 1));
+        weights_[r] *= static_cast<double>(probs_.at(r, v - 1));
     } else {
       for (size_t r = 0; r < S; ++r) {
-        if (weights[r] == 0.0) continue;
+        if (weights_[r] == 0.0) continue;
         double u = rng_.NextDouble();
         double acc = 0.0;
         uint32_t chosen = domain;
@@ -273,12 +293,12 @@ double LmkgU::EstimateCardinality(const query::Query& q) {
           }
         }
         if (chosen > domain) chosen = domain;
-        batch[r * T + t] = chosen;
+        particles_[r * T + t] = chosen;
       }
     }
   }
   double mean_weight = 0.0;
-  for (double w : weights) mean_weight += w;
+  for (double w : weights_) mean_weight += w;
   mean_weight /= static_cast<double>(S);
   return mean_weight * population;
 }

@@ -67,6 +67,15 @@ class LmkgU : public CardinalityEstimator {
   TrainStats Train(const EpochCallback& callback = nullptr);
 
   double EstimateCardinality(const query::Query& q) override;
+  /// Reuses the sampling scratch buffers across the batch's queries
+  /// (each query is validated as it is reached). Queries are processed
+  /// in order:
+  /// progressive sampling draws from the shared RNG stream per query, so
+  /// coalescing positions across queries would reorder the draws and
+  /// break estimate-equivalence with the per-query path (the S-particle
+  /// inner loop is already one matrix forward per position).
+  void EstimateCardinalityBatch(std::span<const query::Query> queries,
+                                std::span<double> out) override;
   bool CanEstimate(const query::Query& q) const override;
   std::string name() const override;
   size_t MemoryBytes() const override;
@@ -87,6 +96,10 @@ class LmkgU : public CardinalityEstimator {
   bool QueryToSequence(const query::Query& q,
                        std::vector<uint32_t>* values,
                        std::vector<bool>* bound) const;
+  // Likelihood-weighted progressive sampling over one prepared sequence
+  // (the shared core of the per-query and batched paths).
+  double EstimateFromSequence(const std::vector<uint32_t>& values,
+                              const std::vector<bool>& bound);
 
   const rdf::Graph& graph_;
   query::Topology topology_;
@@ -101,6 +114,8 @@ class LmkgU : public CardinalityEstimator {
   bool trained_ = false;
   // Reused buffers for progressive sampling.
   nn::Matrix probs_;
+  std::vector<uint32_t> particles_;
+  std::vector<double> weights_;
 };
 
 }  // namespace lmkg::core

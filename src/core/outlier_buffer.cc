@@ -77,6 +77,27 @@ double OutlierBuffer::EstimateCardinality(const query::Query& q) {
   return inner_->EstimateCardinality(q);
 }
 
+void OutlierBuffer::EstimateCardinalityBatch(
+    std::span<const query::Query> queries, std::span<double> out) {
+  LMKG_CHECK_EQ(queries.size(), out.size());
+  std::vector<query::Query> misses;
+  std::vector<size_t> miss_indices;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto it = buffer_.find(CanonicalKey(queries[i]));
+    if (it != buffer_.end()) {
+      out[i] = it->second;
+    } else {
+      misses.push_back(queries[i]);
+      miss_indices.push_back(i);
+    }
+  }
+  if (misses.empty()) return;
+  std::vector<double> miss_estimates(misses.size(), 0.0);
+  inner_->EstimateCardinalityBatch(misses, miss_estimates);
+  for (size_t j = 0; j < misses.size(); ++j)
+    out[miss_indices[j]] = miss_estimates[j];
+}
+
 bool OutlierBuffer::CanEstimate(const query::Query& q) const {
   return inner_->CanEstimate(q);
 }

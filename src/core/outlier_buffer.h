@@ -26,6 +26,11 @@ class OutlierBuffer : public CardinalityEstimator {
   void Populate(const std::vector<sampling::LabeledQuery>& data);
 
   double EstimateCardinality(const query::Query& q) override;
+  /// Looks every query up in the buffer first and forwards only the
+  /// misses to the wrapped estimator — as one batch, so a mostly-hit
+  /// workload costs hash lookups plus a single small forward pass.
+  void EstimateCardinalityBatch(std::span<const query::Query> queries,
+                                std::span<double> out) override;
   bool CanEstimate(const query::Query& q) const override;
   std::string name() const override;
   size_t MemoryBytes() const override;

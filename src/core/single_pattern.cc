@@ -16,4 +16,13 @@ double SinglePatternEstimator::EstimateCardinality(const query::Query& q) {
   return executor_.Cardinality(q);
 }
 
+void SinglePatternEstimator::EstimateCardinalityBatch(
+    std::span<const query::Query> queries, std::span<double> out) {
+  LMKG_CHECK_EQ(queries.size(), out.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    LMKG_CHECK(CanEstimate(queries[i]));
+    out[i] = executor_.Cardinality(queries[i]);
+  }
+}
+
 }  // namespace lmkg::core

@@ -17,6 +17,10 @@ class SinglePatternEstimator : public CardinalityEstimator {
   explicit SinglePatternEstimator(const rdf::Graph& graph);
 
   double EstimateCardinality(const query::Query& q) override;
+  /// Index lookups need no batching per se; the override skips the
+  /// per-query virtual dispatch of the base fallback.
+  void EstimateCardinalityBatch(std::span<const query::Query> queries,
+                                std::span<double> out) override;
   bool CanEstimate(const query::Query& q) const override;
   std::string name() const override { return "single-pattern"; }
   /// The statistics live in the graph's indexes; the estimator itself

@@ -162,16 +162,49 @@ class SgEncoderImpl final : public QueryEncoder {
     return fp.nodes <= max_nodes_ && fp.edges <= max_edges_;
   }
 
+  // Reusable canonicalization buffers: one query's worth of pattern and
+  // node-index scratch, shared across a batch so only the first query of
+  // an EncodeBatch pays the allocations.
+  struct Scratch {
+    std::vector<query::TriplePattern> patterns;
+    // Flat first-occurrence node index (a handful of nodes per query —
+    // linear scan beats a std::map and allocates nothing once warm).
+    std::vector<std::pair<NodeKey, int>> nodes;
+  };
+
   void Encode(const Query& q, float* out) const override {
-    LMKG_CHECK(CanEncode(q)) << "query exceeds SG capacity: "
-                             << QueryToString(q);
+    Scratch scratch;
+    EncodeWithScratch(q, out, &scratch);
+  }
+
+  void EncodeBatch(std::span<const Query> queries,
+                   nn::Matrix* out) const override {
+    out->Resize(queries.size(), width());
+    Scratch scratch;
+    for (size_t i = 0; i < queries.size(); ++i)
+      EncodeWithScratch(queries[i], out->row(i), &scratch);
+  }
+
+  void EncodeWithScratch(const Query& q, float* out,
+                         Scratch* scratch) const {
+    LMKG_CHECK(!q.patterns.empty());
     std::fill(out, out + width(), 0.0f);
 
     // Determine the canonical node and edge orderings (paper Fig. 2 step
     // 2.2): star -> centre first, then pairs in canonical order; chain ->
-    // walk order; otherwise first occurrence.
-    std::vector<query::TriplePattern> patterns = q.patterns;
-    if (auto star = query::AsStar(q); star.has_value()) {
+    // walk order; otherwise first occurrence. Star detection is a cheap
+    // all-subjects-equal scan (AsStar would allocate a view per query).
+    std::vector<query::TriplePattern>& patterns = scratch->patterns;
+    patterns.assign(q.patterns.begin(), q.patterns.end());
+    bool is_star = true;
+    const NodeKey center = MakeNodeKey(q.patterns[0].s);
+    for (const auto& t : q.patterns) {
+      if (MakeNodeKey(t.s) != center) {
+        is_star = false;
+        break;
+      }
+    }
+    if (is_star) {
       std::sort(patterns.begin(), patterns.end(),
                 [](const query::TriplePattern& a,
                    const query::TriplePattern& b) {
@@ -189,12 +222,21 @@ class SgEncoderImpl final : public QueryEncoder {
       }
     }
 
-    std::map<NodeKey, int> node_index;
+    // The footprint check happens inline against the flat node index (the
+    // public CanEncode goes through ComputeSgFootprint, whose std::map
+    // would cost an allocation per node on this hot path).
+    LMKG_CHECK_LE(patterns.size(), static_cast<size_t>(max_edges_))
+        << "query exceeds SG edge capacity: " << QueryToString(q);
+    std::vector<std::pair<NodeKey, int>>& nodes = scratch->nodes;
+    nodes.clear();
     auto node_of = [&](const PatternTerm& t) {
-      auto [it, inserted] =
-          node_index.emplace(MakeNodeKey(t),
-                             static_cast<int>(node_index.size()));
-      return it->second;
+      NodeKey key = MakeNodeKey(t);
+      for (const auto& [existing, idx] : nodes)
+        if (existing == key) return idx;
+      LMKG_CHECK_LT(nodes.size(), static_cast<size_t>(max_nodes_))
+          << "query exceeds SG node capacity: " << QueryToString(q);
+      nodes.emplace_back(key, static_cast<int>(nodes.size()));
+      return nodes.back().second;
     };
 
     float* a = out;
@@ -209,7 +251,7 @@ class SgEncoderImpl final : public QueryEncoder {
       pred_enc_.Encode(t.p.bound() ? t.p.value : 0,
                        e + l * pred_enc_.width());
     }
-    for (const auto& [key, idx] : node_index) {
+    for (const auto& [key, idx] : nodes) {
       rdf::TermId value =
           key.first ? rdf::kUnboundTerm
                     : static_cast<rdf::TermId>(key.second);
@@ -241,6 +283,18 @@ class SgEncoderImpl final : public QueryEncoder {
 };
 
 }  // namespace
+
+void QueryEncoder::EncodeBatch(std::span<const query::Query> queries,
+                               nn::Matrix* out) const {
+  // Encode overwrites its whole row (every encoder zero-fills first), so
+  // a plain Resize suffices.
+  out->Resize(queries.size(), width());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    LMKG_CHECK(CanEncode(queries[i]))
+        << "batch query not encodable: " << QueryToString(queries[i]);
+    Encode(queries[i], out->row(i));
+  }
+}
 
 SgFootprint ComputeSgFootprint(const query::Query& q) {
   std::map<NodeKey, int> nodes;

@@ -2,10 +2,12 @@
 #define LMKG_ENCODING_QUERY_ENCODER_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "encoding/term_encoder.h"
+#include "nn/tensor.h"
 #include "query/query.h"
 #include "rdf/graph.h"
 
@@ -42,6 +44,15 @@ class QueryEncoder {
     Encode(q, out.data());
     return out;
   }
+
+  /// Encodes a batch of queries as one feature matrix: `out` is resized
+  /// to (queries.size(), width()) and row i receives the encoding of
+  /// queries[i] — the input-assembly step of batched inference. Requires
+  /// CanEncode for every query. Rows are identical to per-query Encode
+  /// output; encoders override this to reuse canonicalization scratch
+  /// across the batch instead of reallocating it per query.
+  virtual void EncodeBatch(std::span<const query::Query> queries,
+                           nn::Matrix* out) const;
 };
 
 /// Pattern-bound star encoder: [subject | p1 o1 | ... | pk ok], pairs in

@@ -4,8 +4,8 @@
 #include <iostream>
 #include <limits>
 
+#include "eval/harness.h"
 #include "util/math.h"
-#include "util/stopwatch.h"
 
 namespace lmkg::eval {
 
@@ -51,21 +51,18 @@ ComparisonResult RunComparison(const rdf::Graph& graph,
     result.estimator_names.push_back(estimator->name());
     std::vector<ComparisonCell> row;
     for (const auto& workload : result.test.workloads) {
+      // Estimate the whole workload through the batch API; batch time is
+      // attributed evenly across the batch's queries.
+      EstimateRun run = RunEstimates(estimator, workload);
       ComparisonCell cell;
       cell.qerrors.reserve(workload.size());
-      cell.times_ms.reserve(workload.size());
-      for (const auto& lq : workload) {
-        if (!estimator->CanEstimate(lq.query)) {
-          cell.qerrors.push_back(
-              std::numeric_limits<double>::quiet_NaN());
-          cell.times_ms.push_back(
-              std::numeric_limits<double>::quiet_NaN());
-          continue;
-        }
-        util::Stopwatch timer;
-        double estimate = estimator->EstimateCardinality(lq.query);
-        cell.times_ms.push_back(timer.ElapsedMillis());
-        cell.qerrors.push_back(util::QError(estimate, lq.cardinality));
+      cell.times_ms = std::move(run.times_ms);
+      for (size_t i = 0; i < workload.size(); ++i) {
+        cell.qerrors.push_back(
+            std::isnan(cell.times_ms[i])
+                ? std::numeric_limits<double>::quiet_NaN()
+                : util::QError(run.estimates[i],
+                               workload[i].cardinality));
       }
       row.push_back(std::move(cell));
     }

@@ -1,45 +1,88 @@
 #include "eval/harness.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "util/stopwatch.h"
 
 namespace lmkg::eval {
 
+EstimateRun RunEstimates(core::CardinalityEstimator* estimator,
+                         const std::vector<sampling::LabeledQuery>& queries,
+                         size_t batch_size) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EstimateRun run;
+  run.estimates.assign(queries.size(), nan);
+  run.times_ms.assign(queries.size(), nan);
+
+  // Gather the estimable queries, remembering their workload positions.
+  std::vector<query::Query> batch;
+  std::vector<size_t> indices;
+  batch.reserve(queries.size());
+  indices.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!estimator->CanEstimate(queries[i].query)) continue;
+    batch.push_back(queries[i].query);
+    indices.push_back(i);
+  }
+  run.estimated = batch.size();
+  if (batch.empty()) return run;
+
+  batch_size = std::max<size_t>(batch_size, 1);
+  std::vector<double> estimates(batch.size(), 0.0);
+  for (size_t start = 0; start < batch.size(); start += batch_size) {
+    const size_t count = std::min(batch_size, batch.size() - start);
+    util::Stopwatch timer;
+    estimator->EstimateCardinalityBatch(
+        std::span<const query::Query>(batch).subspan(start, count),
+        std::span<double>(estimates).subspan(start, count));
+    const double batch_ms = timer.ElapsedMillis();
+    const double per_query_ms = batch_ms / static_cast<double>(count);
+    run.total_ms += batch_ms;
+    for (size_t j = start; j < start + count; ++j)
+      run.times_ms[indices[j]] = per_query_ms;
+  }
+  for (size_t j = 0; j < batch.size(); ++j)
+    run.estimates[indices[j]] = estimates[j];
+  return run;
+}
+
 EvalResult Evaluate(core::CardinalityEstimator* estimator,
                     const std::vector<sampling::LabeledQuery>& queries) {
   EvalResult result;
   result.estimator = estimator->name();
+  EstimateRun run = RunEstimates(estimator, queries);
   std::vector<double> qerrors;
-  double total_ms = 0.0;
-  for (const auto& lq : queries) {
-    if (!estimator->CanEstimate(lq.query)) continue;
-    util::Stopwatch timer;
-    double estimate = estimator->EstimateCardinality(lq.query);
-    total_ms += timer.ElapsedMillis();
-    qerrors.push_back(util::QError(estimate, lq.cardinality));
+  qerrors.reserve(run.estimated);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // times_ms is NaN exactly for the skipped queries (an estimate itself
+    // could be a legitimate non-finite value on overflow).
+    if (std::isnan(run.times_ms[i])) continue;
+    qerrors.push_back(util::QError(run.estimates[i],
+                                   queries[i].cardinality));
   }
   result.queries = qerrors.size();
   result.qerror = util::QErrorStats::Compute(std::move(qerrors));
   result.avg_estimation_ms =
-      result.queries > 0 ? total_ms / static_cast<double>(result.queries)
-                         : 0.0;
+      result.queries > 0
+          ? run.total_ms / static_cast<double>(result.queries)
+          : 0.0;
   return result;
 }
 
 std::vector<double> ComputeQErrors(
     core::CardinalityEstimator* estimator,
     const std::vector<sampling::LabeledQuery>& queries) {
+  EstimateRun run = RunEstimates(estimator, queries);
   std::vector<double> qerrors;
   qerrors.reserve(queries.size());
-  for (const auto& lq : queries) {
-    if (!estimator->CanEstimate(lq.query)) {
-      qerrors.push_back(std::numeric_limits<double>::quiet_NaN());
-      continue;
-    }
-    double estimate = estimator->EstimateCardinality(lq.query);
-    qerrors.push_back(util::QError(estimate, lq.cardinality));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    qerrors.push_back(
+        std::isnan(run.times_ms[i])
+            ? std::numeric_limits<double>::quiet_NaN()
+            : util::QError(run.estimates[i], queries[i].cardinality));
   }
   return qerrors;
 }

@@ -18,10 +18,32 @@ struct EvalResult {
   size_t queries = 0;
 };
 
+/// Queries per EstimateCardinalityBatch call in the harness — large
+/// enough to amortize the forward-pass setup, small enough that sampling
+/// estimators report meaningful per-batch latencies.
+inline constexpr size_t kEvalBatchSize = 64;
+
+/// One pass of an estimator over a workload through the batch API — the
+/// shared core of Evaluate, ComputeQErrors, and RunComparison. Queries
+/// the estimator cannot handle are skipped; the rest are estimated in
+/// chunks of `batch_size`, with each batch's wall time attributed evenly
+/// to its queries.
+struct EstimateRun {
+  /// Aligned with the input workload; NaN where !CanEstimate.
+  std::vector<double> estimates;
+  /// Amortized per-query estimation time, aligned; NaN where skipped.
+  std::vector<double> times_ms;
+  double total_ms = 0.0;
+  size_t estimated = 0;
+};
+EstimateRun RunEstimates(core::CardinalityEstimator* estimator,
+                         const std::vector<sampling::LabeledQuery>& queries,
+                         size_t batch_size = kEvalBatchSize);
+
 /// Runs the estimator over every query it can estimate, measuring q-error
-/// against the workload's exact cardinalities and the per-query estimation
-/// wall time (the paper's Fig. 11 metric; sampling estimators do their
-/// whole walk budget inside one call).
+/// against the workload's exact cardinalities and the amortized per-query
+/// estimation wall time (the paper's Fig. 11 metric; sampling estimators
+/// do their whole walk budget inside one call).
 EvalResult Evaluate(core::CardinalityEstimator* estimator,
                     const std::vector<sampling::LabeledQuery>& queries);
 

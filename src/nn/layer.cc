@@ -153,9 +153,8 @@ void Sequential::Add(std::unique_ptr<Layer> layer) {
 
 const Matrix& Sequential::Forward(const Matrix& in, bool training) {
   LMKG_CHECK(!layers_.empty());
-  input_.Resize(in.rows(), in.cols());
-  std::copy(in.data(), in.data() + in.size(), input_.data());
-  const Matrix* current = &input_;
+  input_ = &in;
+  const Matrix* current = &in;
   for (size_t i = 0; i < layers_.size(); ++i) {
     layers_[i]->Forward(*current, &activations_[i], training);
     current = &activations_[i];
@@ -165,9 +164,10 @@ const Matrix& Sequential::Forward(const Matrix& in, bool training) {
 
 void Sequential::Backward(const Matrix& dout) {
   LMKG_CHECK(!layers_.empty());
+  LMKG_CHECK(input_ != nullptr) << "Backward before Forward";
   const Matrix* current_grad = &dout;
   for (size_t i = layers_.size(); i-- > 0;) {
-    const Matrix& in = i == 0 ? input_ : activations_[i - 1];
+    const Matrix& in = i == 0 ? *input_ : activations_[i - 1];
     Matrix* din = i == 0 ? &input_grad_ : &grad_buffers_[i - 1];
     layers_[i]->Backward(in, activations_[i], *current_grad, din);
     current_grad = din;

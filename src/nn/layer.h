@@ -120,6 +120,10 @@ class Dropout : public Layer {
 ///   const Matrix& out = net.Forward(in, true);
 ///   ... compute dL/dout ...
 ///   net.ZeroGrad(); net.Backward(dout);  then optimizer.Step().
+/// Forward keeps a reference to `in` (no copy — the input matrix is often
+/// a large batch): the caller must keep `in` alive and unmodified until
+/// the matching Backward, or until the next Forward for inference-only
+/// use.
 class Sequential {
  public:
   Sequential() = default;
@@ -145,7 +149,7 @@ class Sequential {
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<Matrix> activations_;  // activations_[i] = output of layer i
-  Matrix input_;                     // copy of last forward input
+  const Matrix* input_ = nullptr;    // last forward input (caller-owned)
   Matrix input_grad_;
   std::vector<Matrix> grad_buffers_;
 };

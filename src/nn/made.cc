@@ -94,8 +94,7 @@ void ResMade::EmbedBatch(const std::vector<uint32_t>& batch,
                          size_t batch_size, size_t limit, Matrix* x) const {
   const size_t T = domains_.size();
   LMKG_CHECK_EQ(batch.size(), batch_size * T);
-  x->Resize(batch_size, T * embedding_dim_);
-  x->SetZero();
+  x->ResizeZeroed(batch_size, T * embedding_dim_);
   for (size_t r = 0; r < batch_size; ++r) {
     float* row = x->row(r);
     for (size_t t = 0; t < std::min(limit, T); ++t) {
@@ -153,8 +152,7 @@ double ResMade::ForwardBackward(const std::vector<uint32_t>& batch,
   EmbedBatch(batch, batch_size, T, &embedded_);
   HiddenForward(embedded_, /*training=*/true);
 
-  dhidden_.Resize(batch_size, hidden_dim_);
-  dhidden_.SetZero();
+  dhidden_.ResizeZeroed(batch_size, hidden_dim_);
   double total_nll = 0.0;
   std::vector<uint32_t> targets(batch_size);
   for (size_t t = 0; t < T; ++t) {

@@ -1,53 +1,154 @@
 #include "nn/tensor.h"
 
-namespace lmkg::nn {
+#include "util/thread_pool.h"
 
-void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
-  LMKG_CHECK_EQ(a.cols(), b.rows());
-  out->Resize(a.rows(), b.cols());
-  out->SetZero();
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
+namespace lmkg::nn {
+namespace {
+
+// Rows of A processed together by the blocked kernels: each pass over a
+// B-row serves kRowBlock output rows, cutting memory traffic on the
+// (usually larger) right-hand operand by the same factor.
+constexpr size_t kRowBlock = 4;
+
+// Products below this many multiply-adds are not worth fanning out to the
+// thread pool (hand-off latency would dominate).
+constexpr size_t kParallelFlopThreshold = 1u << 20;
+
+// Minimum rows a worker should own when a product is parallelized.
+constexpr size_t kParallelRowGrain = 8;
+
+// Below this fraction of nonzero entries in the left operand, the
+// zero-skipping single-row kernel beats the register-blocked one (the
+// block kernel can only skip a column when all kRowBlock rows are zero
+// there, which almost never happens across distinct sparse encodings).
+constexpr double kSparseDensityCutoff = 0.35;
+
+// Nonzero fraction of m, estimated from an evenly strided sample.
+double SampleDensity(const Matrix& m) {
+  const size_t total = m.size();
+  if (total == 0) return 1.0;
+  const size_t samples = std::min<size_t>(total, 4096);
+  const size_t stride = total / samples;
+  const float* d = m.data();
+  size_t nonzero = 0;
+  for (size_t s = 0; s < samples; ++s)
+    nonzero += d[s * stride] != 0.0f ? 1 : 0;
+  return static_cast<double>(nonzero) / static_cast<double>(samples);
+}
+
+// out rows [row_begin, row_end) of a * b, single-row SAXPY form with the
+// per-row zero skip — the fast path for sparse 0/1 query encodings.
+void MatMulRowsSparse(const Matrix& a, const Matrix& b, Matrix* out,
+                      size_t row_begin, size_t row_end) {
+  const size_t k = a.cols(), n = b.cols();
+  for (size_t i = row_begin; i < row_end; ++i) {
     const float* arow = a.row(i);
     float* orow = out->row(i);
     for (size_t l = 0; l < k; ++l) {
-      float av = arow[l];
-      if (av == 0.0f) continue;  // sparse 0/1 encodings are common inputs
+      const float av = arow[l];
+      if (av == 0.0f) continue;
       const float* brow = b.row(l);
       for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
     }
   }
 }
 
-void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
-  LMKG_CHECK_EQ(a.rows(), b.rows());
-  out->Resize(a.cols(), b.cols());
-  out->SetZero();
-  MatMulTransAAccum(a, b, out);
-}
+// Column-tile width of the register-tiled dense kernel: kRowBlock x
+// kColTile accumulators live in registers across the whole l sweep, so
+// the inner loop does no output loads or stores at all (the classic GEMM
+// micro-kernel shape; 4 x 16 floats = 8 YMM accumulators under AVX2).
+constexpr size_t kColTile = 16;
 
-void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* out) {
-  LMKG_CHECK_EQ(a.rows(), b.rows());
-  LMKG_CHECK_EQ(out->rows(), a.cols());
-  LMKG_CHECK_EQ(out->cols(), b.cols());
-  const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (size_t l = 0; l < k; ++l) {
-    const float* arow = a.row(l);
-    const float* brow = b.row(l);
-    for (size_t i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out->row(i);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+// out rows [row_begin, row_end) of a * b, register-tiled. Each output
+// element is accumulated in ascending-l order independently of the
+// tiling (adding an exact zero never changes an accumulator), so the
+// result for a row never depends on which rows it is grouped with or
+// which kernel handles it — the bit-for-bit batch == per-query guarantee
+// of the estimators rests here.
+void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out,
+                size_t row_begin, size_t row_end) {
+  const size_t k = a.cols(), n = b.cols();
+  size_t i = row_begin;
+  for (; i + kRowBlock <= row_end; i += kRowBlock) {
+    const float* a0 = a.row(i);
+    const float* a1 = a.row(i + 1);
+    const float* a2 = a.row(i + 2);
+    const float* a3 = a.row(i + 3);
+    size_t j0 = 0;
+    for (; j0 + kColTile <= n; j0 += kColTile) {
+      float acc0[kColTile] = {0};
+      float acc1[kColTile] = {0};
+      float acc2[kColTile] = {0};
+      float acc3[kColTile] = {0};
+      for (size_t l = 0; l < k; ++l) {
+        const float v0 = a0[l], v1 = a1[l], v2 = a2[l], v3 = a3[l];
+        const float* brow = b.row(l) + j0;
+        for (size_t jj = 0; jj < kColTile; ++jj) {
+          const float bj = brow[jj];
+          acc0[jj] += v0 * bj;
+          acc1[jj] += v1 * bj;
+          acc2[jj] += v2 * bj;
+          acc3[jj] += v3 * bj;
+        }
+      }
+      for (size_t jj = 0; jj < kColTile; ++jj) {
+        out->row(i)[j0 + jj] = acc0[jj];
+        out->row(i + 1)[j0 + jj] = acc1[jj];
+        out->row(i + 2)[j0 + jj] = acc2[jj];
+        out->row(i + 3)[j0 + jj] = acc3[jj];
+      }
+    }
+    // Column remainder of the 4-row group: SAXPY over the tail columns.
+    if (j0 < n) {
+      for (size_t l = 0; l < k; ++l) {
+        const float v0 = a0[l], v1 = a1[l], v2 = a2[l], v3 = a3[l];
+        if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
+        const float* brow = b.row(l);
+        for (size_t j = j0; j < n; ++j) {
+          const float bj = brow[j];
+          out->row(i)[j] += v0 * bj;
+          out->row(i + 1)[j] += v1 * bj;
+          out->row(i + 2)[j] += v2 * bj;
+          out->row(i + 3)[j] += v3 * bj;
+        }
+      }
     }
   }
+  MatMulRowsSparse(a, b, out, i, row_end);
 }
 
-void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
-  LMKG_CHECK_EQ(a.cols(), b.cols());
-  out->Resize(a.rows(), b.rows());
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
+// out rows [row_begin, row_end) of a * bᵀ, dot-product form with the same
+// per-row ascending-l accumulation independent of blocking.
+void MatMulTransBRows(const Matrix& a, const Matrix& b, Matrix* out,
+                      size_t row_begin, size_t row_end) {
+  const size_t k = a.cols(), n = b.rows();
+  size_t i = row_begin;
+  for (; i + kRowBlock <= row_end; i += kRowBlock) {
+    const float* a0 = a.row(i);
+    const float* a1 = a.row(i + 1);
+    const float* a2 = a.row(i + 2);
+    const float* a3 = a.row(i + 3);
+    float* o0 = out->row(i);
+    float* o1 = out->row(i + 1);
+    float* o2 = out->row(i + 2);
+    float* o3 = out->row(i + 3);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (size_t l = 0; l < k; ++l) {
+        const float bl = brow[l];
+        s0 += a0[l] * bl;
+        s1 += a1[l] * bl;
+        s2 += a2[l] * bl;
+        s3 += a3[l] * bl;
+      }
+      o0[j] = s0;
+      o1[j] = s1;
+      o2[j] = s2;
+      o3[j] = s3;
+    }
+  }
+  for (; i < row_end; ++i) {
     const float* arow = a.row(i);
     float* orow = out->row(i);
     for (size_t j = 0; j < n; ++j) {
@@ -57,6 +158,76 @@ void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
       orow[j] = sum;
     }
   }
+}
+
+// Splits the row range over the global pool when the product is big
+// enough; output rows are disjoint per chunk, so the parallel result is
+// identical to the serial one.
+template <typename RowKernel>
+void DispatchRows(size_t m, size_t flops_per_row, RowKernel&& kernel) {
+  if (m * flops_per_row >= kParallelFlopThreshold &&
+      m >= 2 * kParallelRowGrain) {
+    util::ThreadPool::Global().ParallelFor(m, kParallelRowGrain, kernel);
+  } else {
+    kernel(0, m);
+  }
+}
+
+}  // namespace
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  LMKG_CHECK_EQ(a.cols(), b.rows());
+  out->ResizeZeroed(a.rows(), b.cols());
+  // Sparse left operands (one-hot/binary query encodings, post-ReLU
+  // activations) skip whole columns per row; dense ones amortize B-row
+  // loads over a register block. Both kernels produce bit-identical rows.
+  const bool sparse = SampleDensity(a) < kSparseDensityCutoff;
+  DispatchRows(a.rows(), a.cols() * b.cols(),
+               [&](size_t begin, size_t end) {
+                 if (sparse) {
+                   MatMulRowsSparse(a, b, out, begin, end);
+                 } else {
+                   MatMulRows(a, b, out, begin, end);
+                 }
+               });
+}
+
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  LMKG_CHECK_EQ(a.rows(), b.rows());
+  out->ResizeZeroed(a.cols(), b.cols());
+  MatMulTransAAccum(a, b, out);
+}
+
+void MatMulTransAAccum(const Matrix& a, const Matrix& b, Matrix* out) {
+  LMKG_CHECK_EQ(a.rows(), b.rows());
+  LMKG_CHECK_EQ(out->rows(), a.cols());
+  LMKG_CHECK_EQ(out->cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  // Tile the output rows so the out block stays cache-resident across the
+  // whole l sweep (out rows are revisited k times).
+  constexpr size_t kOutRowTile = 32;
+  for (size_t ib = 0; ib < m; ib += kOutRowTile) {
+    const size_t ie = std::min(ib + kOutRowTile, m);
+    for (size_t l = 0; l < k; ++l) {
+      const float* arow = a.row(l);
+      const float* brow = b.row(l);
+      for (size_t i = ib; i < ie; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* orow = out->row(i);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  LMKG_CHECK_EQ(a.cols(), b.cols());
+  out->Resize(a.rows(), b.rows());
+  DispatchRows(a.rows(), a.cols() * b.rows(),
+               [&](size_t begin, size_t end) {
+                 MatMulTransBRows(a, b, out, begin, end);
+               });
 }
 
 void AddRowVector(Matrix* m, const Matrix& bias) {

@@ -41,11 +41,21 @@ class Matrix {
 
   void SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
   void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
-  /// Reshapes to (rows, cols), reallocating if needed; contents undefined.
+  /// Reshapes to (rows, cols), reallocating if needed. Contents are
+  /// UNSPECIFIED afterwards: depending on the old shape callers observe a
+  /// mix of stale values and zeros (std::vector::resize zero-fills growth
+  /// but keeps the prefix, and the row boundaries shift when cols
+  /// changes). Callers that need a defined state must either overwrite
+  /// every element or use ResizeZeroed.
   void Resize(size_t rows, size_t cols) {
     rows_ = rows;
     cols_ = cols;
     data_.resize(rows * cols);
+  }
+  /// Resize followed by a zero fill — every element is 0.0f afterwards.
+  void ResizeZeroed(size_t rows, size_t cols) {
+    Resize(rows, cols);
+    SetZero();
   }
 
  private:
@@ -55,6 +65,12 @@ class Matrix {
 };
 
 /// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). out is resized.
+///
+/// The kernel is row-blocked and, for large products, row-parallel over
+/// the global util::ThreadPool — but every output row is always the
+/// ascending-k SAXPY sum of that row alone, so row i of a B-row product
+/// equals the 1-row product of row i (the batched inference path depends
+/// on this to match the per-query path).
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
 /// out = aᵀ * b. Shapes: (k x m)ᵀ * (k x n) -> (m x n).
 void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out);

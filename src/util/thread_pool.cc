@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace lmkg::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i)
+    threads_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_generation = 0;
+  while (true) {
+    work_ready_.wait(lock, [&] {
+      return shutdown_ || (!chunks_.empty() && generation_ != seen_generation);
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    while (!chunks_.empty()) {
+      Chunk chunk = chunks_.back();
+      chunks_.pop_back();
+      ++in_flight_;
+      lock.unlock();
+      (*body_)(chunk.begin, chunk.end);
+      lock.lock();
+      --in_flight_;
+    }
+    if (in_flight_ == 0) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  min_chunk = std::max<size_t>(min_chunk, 1);
+  const size_t max_chunks = threads_.empty() ? 1 : threads_.size() + 1;
+  const size_t num_chunks =
+      std::min(max_chunks, (n + min_chunk - 1) / min_chunk);
+  if (num_chunks <= 1 || threads_.empty()) {
+    body(0, n);
+    return;
+  }
+
+  // One job at a time: a second submitter must not clobber body_/chunks_
+  // while the first job is in flight.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+  std::unique_lock<std::mutex> lock(mu_);
+  body_ = &body;
+  chunks_.clear();
+  for (size_t begin = 0; begin < n; begin += chunk_size)
+    chunks_.push_back({begin, std::min(begin + chunk_size, n)});
+  ++generation_;
+  lock.unlock();
+  work_ready_.notify_all();
+
+  // The caller participates instead of idling.
+  lock.lock();
+  while (!chunks_.empty()) {
+    Chunk chunk = chunks_.back();
+    chunks_.pop_back();
+    ++in_flight_;
+    lock.unlock();
+    body(chunk.begin, chunk.end);
+    lock.lock();
+    --in_flight_;
+  }
+  work_done_.wait(lock, [&] { return chunks_.empty() && in_flight_ == 0; });
+  body_ = nullptr;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    size_t n = std::min<size_t>(
+        std::max<unsigned>(std::thread::hardware_concurrency(), 1), 8);
+    if (const char* env = std::getenv("LMKG_THREADS")) {
+      long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1) n = static_cast<size_t>(parsed);
+    }
+    // n counts total lanes; the submitting thread is one of them.
+    return new ThreadPool(n - 1);
+  }();
+  return *pool;
+}
+
+}  // namespace lmkg::util

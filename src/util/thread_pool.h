@@ -1,0 +1,72 @@
+#ifndef LMKG_UTIL_THREAD_POOL_H_
+#define LMKG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lmkg::util {
+
+/// A small fixed-size worker pool for data-parallel loops on the inference
+/// hot path (batched NN forward passes). Work is submitted as half-open
+/// index ranges; ParallelFor carves [0, n) into contiguous chunks, hands
+/// them to the workers, and joins in on the remaining chunks itself, so
+/// the call returns only when every index has been processed.
+///
+/// Determinism: chunks partition the range disjointly, so as long as the
+/// body writes only to locations owned by its indices (e.g. distinct
+/// matrix rows), results are identical to the serial loop regardless of
+/// scheduling.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 means run everything inline).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs body(begin, end) over a partition of [0, n). `min_chunk` bounds
+  /// the smallest range a worker receives, so tiny loops stay serial
+  /// instead of paying the hand-off latency. Blocks until done.
+  /// Concurrent submitters are serialized (the pool runs one job at a
+  /// time), so e.g. two threads computing large MatMuls stay correct.
+  /// Not reentrant: do not call ParallelFor from inside a body.
+  void ParallelFor(size_t n, size_t min_chunk,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// Process-wide pool, created on first use. Size is
+  /// min(hardware_concurrency, 8), overridable with the LMKG_THREADS
+  /// environment variable (LMKG_THREADS=1 forces serial execution).
+  static ThreadPool& Global();
+
+ private:
+  struct Chunk {
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  void WorkerLoop();
+  // Runs pending chunks of the current ParallelFor until none remain.
+  void DrainChunks();
+
+  std::vector<std::thread> threads_;
+  std::mutex submit_mu_;  // serializes ParallelFor callers
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(size_t, size_t)>* body_ = nullptr;  // active job
+  std::vector<Chunk> chunks_;   // unclaimed chunks of the active job
+  size_t in_flight_ = 0;        // claimed but unfinished chunks
+  uint64_t generation_ = 0;     // bumps per job; wakes idle workers
+  bool shutdown_ = false;
+};
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_THREAD_POOL_H_

@@ -85,6 +85,124 @@ TEST(TensorDeathTest, ShapeMismatchAborts) {
   EXPECT_DEATH(MatMul(a, b, &out), "LMKG_CHECK");
 }
 
+// --- tiled kernels vs naive reference ---------------------------------------
+
+// Textbook i-j-l product, the reference the tiled/blocked kernels and
+// their sparse/dense dispatch must reproduce.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < b.cols(); ++j) {
+      float sum = 0.0f;
+      for (size_t l = 0; l < a.cols(); ++l)
+        sum += a.at(i, l) * b.at(l, j);
+      out.at(i, j) = sum;
+    }
+  return out;
+}
+
+// Random shape in [1, 70] per dimension; `sparsity` is the fraction of
+// entries zeroed (exercises the sparse/dense kernel dispatch and the
+// row-block + column-tile remainders).
+Matrix RandomMatrix(size_t rows, size_t cols, double sparsity,
+                    util::Pcg32& rng) {
+  Matrix m(rows, cols);
+  FillGaussian(&m, 1.0f, rng);
+  for (size_t i = 0; i < m.size(); ++i)
+    if (rng.NextDouble() < sparsity) m.data()[i] = 0.0f;
+  return m;
+}
+
+TEST(TensorPropertyTest, TiledMatMulMatchesNaiveOverRandomShapes) {
+  util::Pcg32 rng(77);
+  for (int round = 0; round < 60; ++round) {
+    const size_t m = 1 + rng.UniformInt(70);
+    const size_t k = 1 + rng.UniformInt(70);
+    const size_t n = 1 + rng.UniformInt(70);
+    const double sparsity = rng.NextDouble();  // 0 = dense, →1 = sparse
+    Matrix a = RandomMatrix(m, k, sparsity, rng);
+    Matrix b = RandomMatrix(k, n, 0.0, rng);
+    Matrix expected = NaiveMatMul(a, b);
+    Matrix got;
+    MatMul(a, b, &got);
+    ASSERT_EQ(got.rows(), m);
+    ASSERT_EQ(got.cols(), n);
+    for (size_t i = 0; i < expected.size(); ++i)
+      ASSERT_NEAR(expected.data()[i], got.data()[i], 1e-4)
+          << "shape " << m << "x" << k << "x" << n << " round " << round;
+  }
+}
+
+TEST(TensorPropertyTest, MatMulTransAMatchesNaiveOverRandomShapes) {
+  util::Pcg32 rng(78);
+  for (int round = 0; round < 40; ++round) {
+    const size_t k = 1 + rng.UniformInt(70);
+    const size_t m = 1 + rng.UniformInt(70);
+    const size_t n = 1 + rng.UniformInt(70);
+    Matrix a = RandomMatrix(k, m, rng.NextDouble(), rng);
+    Matrix b = RandomMatrix(k, n, 0.0, rng);
+    Matrix at(m, k);
+    for (size_t i = 0; i < k; ++i)
+      for (size_t j = 0; j < m; ++j) at.at(j, i) = a.at(i, j);
+    Matrix expected = NaiveMatMul(at, b);
+    Matrix got;
+    MatMulTransA(a, b, &got);
+    for (size_t i = 0; i < expected.size(); ++i)
+      ASSERT_NEAR(expected.data()[i], got.data()[i], 1e-4)
+          << "shape " << k << "x" << m << "x" << n << " round " << round;
+  }
+}
+
+TEST(TensorPropertyTest, MatMulTransBMatchesNaiveOverRandomShapes) {
+  util::Pcg32 rng(79);
+  for (int round = 0; round < 40; ++round) {
+    const size_t m = 1 + rng.UniformInt(70);
+    const size_t k = 1 + rng.UniformInt(70);
+    const size_t n = 1 + rng.UniformInt(70);
+    Matrix a = RandomMatrix(m, k, rng.NextDouble(), rng);
+    Matrix b = RandomMatrix(n, k, 0.0, rng);
+    Matrix bt(k, n);
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < k; ++j) bt.at(j, i) = b.at(i, j);
+    Matrix expected = NaiveMatMul(a, bt);
+    Matrix got;
+    MatMulTransB(a, b, &got);
+    for (size_t i = 0; i < expected.size(); ++i)
+      ASSERT_NEAR(expected.data()[i], got.data()[i], 1e-4)
+          << "shape " << m << "x" << k << "x" << n << " round " << round;
+  }
+}
+
+// A row's result must not depend on the batch it is computed in — the
+// foundation of the batch == per-query estimator guarantee.
+TEST(TensorPropertyTest, RowResultsIndependentOfBatchSize) {
+  util::Pcg32 rng(80);
+  for (double sparsity : {0.0, 0.5, 0.95}) {
+    Matrix a = RandomMatrix(37, 53, sparsity, rng);
+    Matrix b = RandomMatrix(53, 29, 0.0, rng);
+    Matrix full;
+    MatMul(a, b, &full);
+    for (size_t i = 0; i < a.rows(); ++i) {
+      Matrix row(1, a.cols());
+      std::copy(a.row(i), a.row(i) + a.cols(), row.data());
+      Matrix single;
+      MatMul(row, b, &single);
+      for (size_t j = 0; j < b.cols(); ++j)
+        ASSERT_EQ(full.at(i, j), single.at(0, j))
+            << "row " << i << " col " << j << " sparsity " << sparsity;
+    }
+  }
+}
+
+TEST(TensorTest, ResizeZeroedClearsEveryElement) {
+  Matrix m(3, 5);
+  m.Fill(7.0f);
+  m.ResizeZeroed(5, 3);
+  ASSERT_EQ(m.rows(), 5u);
+  ASSERT_EQ(m.cols(), 3u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
 // --- layers ------------------------------------------------------------------
 
 TEST(LayerTest, DenseForwardShapeAndBias) {
