@@ -6,6 +6,13 @@
 // throughputs as BENCH_batch_inference.json so successive commits can
 // track the serving baseline.
 //
+// Beyond raw queries/sec, an instrumented sweep splits each batch size
+// into per-stage timings (encode vs forward, LmkgS::StageStats) and
+// counts heap allocations per query via a global operator-new hook — the
+// two quantities the allocation-free + SIMD hot-path work optimizes, so
+// regressions in either are visible in the JSON, not just in the
+// aggregate.
+//
 // Flags: the common suite flags (--scale, --seed, ...) plus
 //   --rounds=N   full passes over the workload per timing (default 3)
 //   --repeats=N  independent timings per batch size; the best is
@@ -16,6 +23,12 @@
 #include <iostream>
 #include <span>
 #include <vector>
+
+// Global operator new/delete replacements counting every heap allocation
+// made by this binary (all forms the library uses, including the
+// align_val_t overloads behind nn::Matrix's cache-aligned storage).
+#define LMKG_ENABLE_ALLOC_COUNT_HOOKS
+#include "util/alloc_hooks.h"
 
 #include "core/lmkg_s.h"
 #include "data/dataset.h"
@@ -59,6 +72,38 @@ double MeasurePerQuery(core::LmkgS* model,
       (*out)[i] = model->EstimateCardinality(queries[i]);
   const double seconds = timer.ElapsedSeconds();
   return static_cast<double>(queries.size()) * rounds / seconds;
+}
+
+// Per-stage timings and allocation counts of one instrumented sweep at
+// `batch_size` (separate from the throughput timings so the stopwatch
+// reads don't pollute those).
+struct StageProfile {
+  double encode_us_per_query = 0.0;
+  double forward_us_per_query = 0.0;
+  double allocs_per_query = 0.0;
+};
+
+StageProfile ProfileBatched(core::LmkgS* model,
+                            const std::vector<query::Query>& queries,
+                            std::vector<double>* out, size_t batch_size,
+                            int rounds) {
+  model->ResetStageStats();
+  model->set_collect_stage_stats(true);
+  const size_t allocs_before =
+      util::AllocationCount();
+  MeasureBatched(model, queries, out, batch_size, rounds);
+  const size_t allocs =
+      util::AllocationCount() - allocs_before;
+  model->set_collect_stage_stats(false);
+  const core::LmkgS::StageStats& stats = model->stage_stats();
+  StageProfile profile;
+  const double queries_timed =
+      static_cast<double>(std::max<size_t>(stats.queries, 1));
+  profile.encode_us_per_query = stats.encode_seconds * 1e6 / queries_timed;
+  profile.forward_us_per_query =
+      stats.forward_seconds * 1e6 / queries_timed;
+  profile.allocs_per_query = static_cast<double>(allocs) / queries_timed;
+  return profile;
 }
 
 }  // namespace
@@ -136,12 +181,24 @@ int main(int argc, char** argv) {
           MeasureBatched(&model, workload, &estimates, batch_sizes[i],
                          rounds));
 
-  util::TablePrinter table("LMKG-S serving throughput (queries/sec)");
-  table.SetHeader({"path", "qps", "speedup vs per-query"});
-  table.AddRow("per-query", {per_query_qps, 1.0});
+  // Instrumented sweep: encode/forward split + allocations per query.
+  std::vector<StageProfile> profiles(batch_sizes.size());
+  for (size_t i = 0; i < batch_sizes.size(); ++i)
+    profiles[i] = ProfileBatched(&model, workload, &estimates,
+                                 batch_sizes[i], rounds);
+
+  util::TablePrinter table(util::StrFormat(
+      "LMKG-S serving throughput (queries/sec, simd=%s)",
+      nn::SimdIsaName()));
+  table.SetHeader({"path", "qps", "speedup vs per-query", "encode us/q",
+                   "forward us/q", "allocs/q"});
+  table.AddRow("per-query", {per_query_qps, 1.0, 0.0, 0.0, 0.0});
   for (size_t i = 0; i < batch_sizes.size(); ++i) {
     table.AddRow(util::StrFormat("batch-%zu", batch_sizes[i]),
-                 {batched_qps[i], batched_qps[i] / per_query_qps});
+                 {batched_qps[i], batched_qps[i] / per_query_qps,
+                  profiles[i].encode_us_per_query,
+                  profiles[i].forward_us_per_query,
+                  profiles[i].allocs_per_query});
   }
   table.Print(std::cout);
 
@@ -150,6 +207,7 @@ int main(int argc, char** argv) {
        << "  \"bench\": \"batch_inference\",\n"
        << "  \"estimator\": \"LMKG-S\",\n"
        << "  \"dataset\": \"swdf\",\n"
+       << "  \"simd_isa\": \"" << nn::SimdIsaName() << "\",\n"
        << "  \"scale\": " << options.dataset_scale << ",\n"
        << "  \"queries\": " << workload.size() << ",\n"
        << "  \"rounds\": " << rounds << ",\n"
@@ -157,8 +215,13 @@ int main(int argc, char** argv) {
        << "  \"batched\": [\n";
   for (size_t i = 0; i < batch_sizes.size(); ++i) {
     json << "    {\"batch_size\": " << batch_sizes[i]
-         << ", \"qps\": " << batched_qps[i] << "}"
-         << (i + 1 < batch_sizes.size() ? ",\n" : "\n");
+         << ", \"qps\": " << batched_qps[i]
+         << ", \"encode_us_per_query\": "
+         << profiles[i].encode_us_per_query
+         << ", \"forward_us_per_query\": "
+         << profiles[i].forward_us_per_query
+         << ", \"allocs_per_query\": " << profiles[i].allocs_per_query
+         << "}" << (i + 1 < batch_sizes.size() ? ",\n" : "\n");
   }
   auto qps_at = [&](size_t batch_size) {
     for (size_t i = 0; i < batch_sizes.size(); ++i)

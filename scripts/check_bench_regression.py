@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the batched-inference benchmark.
+
+Compares a fresh BENCH_batch_inference.json (written by
+bench_throughput_batch) against the committed baseline at
+bench/baselines/batch_inference_baseline.json and FAILS (exit 1) if
+batch-64 queries/sec drops more than --threshold (default 20%) below the
+baseline. The gate runs on the gcc Release CI leg; the 20% margin
+absorbs shared-runner noise while still catching real regressions like a
+de-vectorized kernel or a reintroduced per-query allocation.
+
+Refreshing the baseline
+-----------------------
+The committed baseline should track the class of machine CI runs on.
+After a deliberate perf change (or a runner upgrade) lands on main:
+
+  1. Download the BENCH_batch_inference artifact from a green main run
+     (Actions -> CI -> gcc-Release -> artifacts), or run locally:
+       ./build/bench/bench_throughput_batch \
+           --scale=0.01 --queries=40 --rounds=3 \
+           --out=BENCH_batch_inference.json
+  2. Refresh and commit:
+       python3 scripts/check_bench_regression.py \
+           --update-baseline BENCH_batch_inference.json
+       git add bench/baselines/batch_inference_baseline.json
+
+Never refresh to paper over an unexplained drop — the gate exists to
+make that conversation happen on the PR.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "bench" / "baselines" / "batch_inference_baseline.json"
+GATED_BATCH_SIZE = 64
+
+
+def qps_at(report: dict, batch_size: int) -> float:
+    for entry in report.get("batched", []):
+        if entry.get("batch_size") == batch_size:
+            return float(entry["qps"])
+    raise KeyError(f"no batched entry with batch_size={batch_size}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("result", nargs="?",
+                        default="BENCH_batch_inference.json",
+                        help="fresh benchmark JSON (default: %(default)s)")
+    parser.add_argument("--baseline", default=str(BASELINE),
+                        help="committed baseline JSON (default: %(default)s)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max allowed fractional drop at batch-%d "
+                             "(default: %%(default)s)" % GATED_BATCH_SIZE)
+    parser.add_argument("--update-baseline", metavar="RESULT_JSON",
+                        help="copy RESULT_JSON over the baseline and exit")
+    args = parser.parse_args()
+
+    if args.update_baseline:
+        src = Path(args.update_baseline)
+        json.loads(src.read_text())  # refuse to commit malformed JSON
+        Path(args.baseline).parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(src, args.baseline)
+        print(f"baseline refreshed from {src} -> {args.baseline}")
+        return 0
+
+    result = json.loads(Path(args.result).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    # Absolute qps is only comparable on the same machine class; the SIMD
+    # ISA the kernels resolved to is the best proxy the JSON carries. On a
+    # mismatch (e.g. a baseline recorded on an AVX-512 dev box vs an
+    # AVX2-pinned CI runner) the hard gate would only measure the hardware
+    # delta — warn and ask for a refresh instead of failing spuriously.
+    base_isa = baseline.get("simd_isa", "unknown")
+    cur_isa = result.get("simd_isa", "unknown")
+    if base_isa != cur_isa:
+        print(f"WARNING: baseline simd_isa={base_isa!r} does not match "
+              f"this run's simd_isa={cur_isa!r}; skipping the regression "
+              f"gate — refresh the baseline from a run on this machine "
+              f"class (see the header of this script).")
+        return 0
+
+    print(f"{'batch':>8} {'baseline qps':>14} {'current qps':>14} "
+          f"{'ratio':>7}")
+    for entry in baseline.get("batched", []):
+        size = entry["batch_size"]
+        base = float(entry["qps"])
+        try:
+            cur = qps_at(result, size)
+        except KeyError:
+            print(f"{size:>8} {base:>14.0f} {'missing':>14} {'-':>7}")
+            continue
+        print(f"{size:>8} {base:>14.0f} {cur:>14.0f} {cur / base:>7.2f}")
+
+    gated_base = qps_at(baseline, GATED_BATCH_SIZE)
+    gated_cur = qps_at(result, GATED_BATCH_SIZE)
+    floor = gated_base * (1.0 - args.threshold)
+    if gated_cur < floor:
+        print(f"\nFAIL: batch-{GATED_BATCH_SIZE} throughput "
+              f"{gated_cur:.0f} q/s is below the regression floor "
+              f"{floor:.0f} q/s ({gated_base:.0f} baseline - "
+              f"{args.threshold:.0%}).", file=sys.stderr)
+        print("If this drop is intended, refresh the baseline (see the "
+              "header of this script).", file=sys.stderr)
+        return 1
+    print(f"\nOK: batch-{GATED_BATCH_SIZE} throughput {gated_cur:.0f} q/s "
+          f">= floor {floor:.0f} q/s "
+          f"(baseline {gated_base:.0f}, threshold {args.threshold:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,7 +45,10 @@ bool CsetEstimator::CanEstimate(const Query& q) const {
   // Requires bound predicates (the synopsis is keyed by predicate).
   for (const auto& t : q.patterns)
     if (!t.p.bound()) return false;
-  return query::AsStar(q).has_value() || query::AsChain(q).has_value();
+  query::StarView star;
+  if (query::AsStar(q, &star)) return true;
+  query::ChainView chain;
+  return query::AsChain(q, &chain_scratch_, &chain);
 }
 
 double CsetEstimator::BoundObjectSelectivity(TermId p) const {
@@ -53,15 +56,14 @@ double CsetEstimator::BoundObjectSelectivity(TermId p) const {
   return distinct == 0 ? 0.0 : 1.0 / static_cast<double>(distinct);
 }
 
-double CsetEstimator::EstimateStar(const Query& q) const {
-  auto star = query::AsStar(q);
-  LMKG_CHECK(star.has_value());
-
+double CsetEstimator::EstimateStar(const query::StarView& star) const {
   // Query predicates with multiplicities (repeated predicates in a star
   // multiply the per-subject occurrence count once per use).
   std::vector<TermId> preds;
   double object_selectivity = 1.0;
-  for (const auto& [p, o] : star->pairs) {
+  for (size_t i = 0; i < star.size(); ++i) {
+    const query::PatternTerm p = star.predicate(i);
+    const query::PatternTerm o = star.object(i);
     preds.push_back(p.value);
     if (o.bound()) object_selectivity *= BoundObjectSelectivity(p.value);
   }
@@ -90,38 +92,34 @@ double CsetEstimator::EstimateStar(const Query& q) const {
   total *= object_selectivity;
 
   // A bound centre selects one subject of the Σ; uniformity over subjects.
-  if (star->center.bound() && !graph_.subjects().empty())
+  if (star.center().bound() && !graph_.subjects().empty())
     total /= static_cast<double>(graph_.subjects().size());
   return total;
 }
 
-double CsetEstimator::EstimateChain(const Query& q) const {
-  auto chain = query::AsChain(q);
-  LMKG_CHECK(chain.has_value());
-  const auto& preds = chain->predicates;
+double CsetEstimator::EstimateChain(const query::ChainView& chain) const {
+  auto pred = [&](size_t i) { return chain.predicate(i).value; };
   double estimate =
-      static_cast<double>(graph_.PredicateCount(preds[0].value));
-  for (size_t i = 1; i < preds.size(); ++i) {
-    double left_distinct = static_cast<double>(
-        graph_.DistinctObjects(preds[i - 1].value));
+      static_cast<double>(graph_.PredicateCount(pred(0)));
+  for (size_t i = 1; i < chain.size(); ++i) {
+    double left_distinct =
+        static_cast<double>(graph_.DistinctObjects(pred(i - 1)));
     double right_count =
-        static_cast<double>(graph_.PredicateCount(preds[i].value));
-    double right_distinct = static_cast<double>(
-        graph_.DistinctSubjects(preds[i].value));
+        static_cast<double>(graph_.PredicateCount(pred(i)));
+    double right_distinct =
+        static_cast<double>(graph_.DistinctSubjects(pred(i)));
     double denom = std::max(left_distinct, right_distinct);
     if (denom <= 0.0) return 0.0;
     estimate *= right_count / denom;
   }
   // Bound nodes: uniformity over the joined predicate's distinct terms.
-  for (size_t i = 0; i < chain->nodes.size(); ++i) {
-    if (!chain->nodes[i].bound()) continue;
+  for (size_t i = 0; i < chain.num_nodes(); ++i) {
+    if (!chain.node(i).bound()) continue;
     double distinct;
     if (i == 0)
-      distinct = static_cast<double>(
-          graph_.DistinctSubjects(preds[0].value));
+      distinct = static_cast<double>(graph_.DistinctSubjects(pred(0)));
     else
-      distinct = static_cast<double>(
-          graph_.DistinctObjects(preds[i - 1].value));
+      distinct = static_cast<double>(graph_.DistinctObjects(pred(i - 1)));
     if (distinct > 0.0) estimate /= distinct;
   }
   return estimate;
@@ -129,8 +127,11 @@ double CsetEstimator::EstimateChain(const Query& q) const {
 
 double CsetEstimator::EstimateCardinality(const Query& q) {
   LMKG_CHECK(CanEstimate(q));
-  if (query::AsStar(q).has_value()) return EstimateStar(q);
-  return EstimateChain(q);
+  query::StarView star;
+  if (query::AsStar(q, &star)) return EstimateStar(star);
+  query::ChainView chain;
+  LMKG_CHECK(query::AsChain(q, &chain_scratch_, &chain));
+  return EstimateChain(chain);
 }
 
 size_t CsetEstimator::MemoryBytes() const {

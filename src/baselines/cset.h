@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/estimator.h"
+#include "query/query.h"
 #include "rdf/graph.h"
 
 namespace lmkg::baselines {
@@ -46,13 +47,16 @@ class CsetEstimator : public core::CardinalityEstimator {
     std::vector<uint64_t> occurrences;
   };
 
-  double EstimateStar(const query::Query& q) const;
-  double EstimateChain(const query::Query& q) const;
+  double EstimateStar(const query::StarView& star) const;
+  double EstimateChain(const query::ChainView& chain) const;
   // Estimated selectivity of binding the object of predicate p.
   double BoundObjectSelectivity(rdf::TermId p) const;
 
   const rdf::Graph& graph_;
   std::vector<CharacteristicSet> sets_;
+  // Chain-canonicalization scratch reused across queries (mutable: the
+  // CanEstimate contract is const but reuses the warm buffers).
+  mutable query::ChainScratch chain_scratch_;
 };
 
 }  // namespace lmkg::baselines

@@ -78,6 +78,21 @@ class LmkgS : public CardinalityEstimator {
   const encoding::QueryEncoder& encoder() const { return *encoder_; }
   const util::LogMinMaxScaler& scaler() const { return scaler_; }
 
+  /// Cumulative per-stage timings of EstimateCardinalityBatch, split into
+  /// the encoder pass (input assembly) and the network forward. Disabled
+  /// by default: the two steady_clock reads per batch are noise at batch
+  /// 64 but measurable at batch 1. bench_throughput_batch flips this on
+  /// for its instrumented sweep.
+  struct StageStats {
+    double encode_seconds = 0.0;
+    double forward_seconds = 0.0;
+    size_t batches = 0;
+    size_t queries = 0;
+  };
+  void set_collect_stage_stats(bool on) { collect_stage_stats_ = on; }
+  const StageStats& stage_stats() const { return stage_stats_; }
+  void ResetStageStats() { stage_stats_ = StageStats{}; }
+
  private:
   void BuildNetwork();
 
@@ -89,6 +104,9 @@ class LmkgS : public CardinalityEstimator {
   bool trained_ = false;
   // Reused per-estimate buffers.
   nn::Matrix input_buffer_;
+  nn::SparseRows sparse_input_buffer_;
+  bool collect_stage_stats_ = false;
+  StageStats stage_stats_;
 };
 
 }  // namespace lmkg::core

@@ -16,25 +16,6 @@ namespace {
 using query::PatternTerm;
 using query::Topology;
 
-// Canonical pair order for star queries at estimation time. Training
-// tuples are i.i.d.-ordered (the true tuple distribution is exchangeable),
-// so any fixed evaluation order is unbiased; sorting makes estimates
-// deterministic for equivalent queries.
-std::vector<std::pair<PatternTerm, PatternTerm>> CanonicalStarPairs(
-    const query::StarView& star) {
-  auto pairs = star.pairs;
-  auto key = [](const PatternTerm& t) {
-    return t.bound() ? std::pair<int, uint64_t>(0, t.value)
-                     : std::pair<int, uint64_t>(1, t.var);
-  };
-  std::sort(pairs.begin(), pairs.end(),
-            [&](const auto& a, const auto& b) {
-              return std::pair(key(a.first), key(a.second)) <
-                     std::pair(key(b.first), key(b.second));
-            });
-  return pairs;
-}
-
 }  // namespace
 
 LmkgU::LmkgU(const rdf::Graph& graph, Topology topology, int k,
@@ -189,27 +170,31 @@ bool LmkgU::QueryToSequence(const query::Query& q,
     }
   };
   if (topology_ == Topology::kStar) {
-    auto star = query::AsStar(q);
-    if (!star.has_value() ||
-        star->pairs.size() != static_cast<size_t>(k_))
+    query::StarView star;
+    if (!query::AsStar(q, &star) ||
+        star.size() != static_cast<size_t>(k_))
       return false;
-    auto pairs = CanonicalStarPairs(*star);
-    put(0, star->center);
-    for (size_t i = 0; i < pairs.size(); ++i) {
-      put(1 + 2 * i, pairs[i].first);
-      put(2 + 2 * i, pairs[i].second);
+    // Canonical pair order at estimation time: training tuples are
+    // i.i.d.-ordered (the true tuple distribution is exchangeable), so
+    // any fixed evaluation order is unbiased; the shared canonical sort
+    // makes estimates deterministic for equivalent queries.
+    query::CanonicalStarOrder(star, &star_order_);
+    put(0, star.center());
+    for (size_t i = 0; i < star.size(); ++i) {
+      put(1 + 2 * i, star.predicate(star_order_[i]));
+      put(2 + 2 * i, star.object(star_order_[i]));
     }
     return true;
   }
-  auto chain = query::AsChain(q);
-  if (!chain.has_value() ||
-      chain->predicates.size() != static_cast<size_t>(k_))
+  query::ChainView chain;
+  if (!query::AsChain(q, &chain_scratch_, &chain) ||
+      chain.size() != static_cast<size_t>(k_))
     return false;
-  for (size_t i = 0; i < chain->predicates.size(); ++i) {
-    put(2 * i, chain->nodes[i]);
-    put(2 * i + 1, chain->predicates[i]);
+  for (size_t i = 0; i < chain.size(); ++i) {
+    put(2 * i, chain.node(i));
+    put(2 * i + 1, chain.predicate(i));
   }
-  put(T - 1, chain->nodes.back());
+  put(T - 1, chain.node(chain.size()));
   return true;
 }
 

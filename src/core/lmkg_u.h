@@ -116,6 +116,12 @@ class LmkgU : public CardinalityEstimator {
   nn::Matrix probs_;
   std::vector<uint32_t> particles_;
   std::vector<double> weights_;
+  // Canonicalization scratch reused across queries (QueryToSequence is
+  // allocation-free once these are warm; mutable because CanEstimate is
+  // const). Makes concurrent estimates on one instance unsafe — which
+  // already held via the sampling buffers above.
+  mutable query::ChainScratch chain_scratch_;
+  mutable std::vector<int> star_order_;
 };
 
 }  // namespace lmkg::core

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <tuple>
 
 #include "util/check.h"
 #include "util/strings.h"
@@ -13,12 +12,8 @@ namespace {
 using query::PatternTerm;
 using query::Query;
 
-// Sort key giving queries a canonical pattern order: bound terms by id,
-// variables after all bound terms (by variable number for determinism).
-std::tuple<uint64_t, uint64_t> TermKey(const PatternTerm& t) {
-  if (t.bound()) return {0, t.value};
-  return {1, static_cast<uint64_t>(t.var)};
-}
+// Canonical pattern order (bound terms by id, then variables) comes from
+// query::CanonicalStarOrder so encoders and LMKG-U stay in lockstep.
 
 // Identity of a query node: same bound id or same variable -> same node.
 using NodeKey = std::pair<bool, uint64_t>;  // (is_var, id-or-var)
@@ -46,26 +41,24 @@ class StarEncoder final : public QueryEncoder {
   }
 
   bool CanEncode(const Query& q) const override {
-    auto star = query::AsStar(q);
-    return star.has_value() &&
-           star->pairs.size() <= static_cast<size_t>(max_size_);
+    query::StarView star;
+    return query::AsStar(q, &star) &&
+           star.size() <= static_cast<size_t>(max_size_);
   }
 
   void Encode(const Query& q, float* out) const override {
-    auto star = query::AsStar(q);
-    LMKG_CHECK(star.has_value()) << "not a star: " << QueryToString(q);
-    LMKG_CHECK_LE(star->pairs.size(), static_cast<size_t>(max_size_));
-    auto pairs = star->pairs;
-    std::sort(pairs.begin(), pairs.end(),
-              [](const auto& a, const auto& b) {
-                return std::tuple(TermKey(a.first), TermKey(a.second)) <
-                       std::tuple(TermKey(b.first), TermKey(b.second));
-              });
+    query::StarView star;
+    LMKG_CHECK(query::AsStar(q, &star)) << "not a star: " << QueryToString(q);
+    LMKG_CHECK_LE(star.size(), static_cast<size_t>(max_size_));
+    query::CanonicalStarOrder(star, &order_);
     std::fill(out, out + width(), 0.0f);
     float* cursor = out;
-    node_enc_.Encode(star->center.bound() ? star->center.value : 0, cursor);
+    node_enc_.Encode(star.center().bound() ? star.center().value : 0,
+                     cursor);
     cursor += node_enc_.width();
-    for (const auto& [p, o] : pairs) {
+    for (int idx : order_) {
+      const query::PatternTerm p = star.predicate(idx);
+      const query::PatternTerm o = star.object(idx);
       pred_enc_.Encode(p.bound() ? p.value : 0, cursor);
       cursor += pred_enc_.width();
       node_enc_.Encode(o.bound() ? o.value : 0, cursor);
@@ -82,6 +75,7 @@ class StarEncoder final : public QueryEncoder {
   int max_size_;
   TermEncoder node_enc_;
   TermEncoder pred_enc_;
+  mutable std::vector<int> order_;  // canonicalization scratch
 };
 
 // --- Pattern-bound chain ----------------------------------------------------
@@ -102,26 +96,25 @@ class ChainEncoder final : public QueryEncoder {
   }
 
   bool CanEncode(const Query& q) const override {
-    auto chain = query::AsChain(q);
-    return chain.has_value() &&
-           chain->predicates.size() <= static_cast<size_t>(max_size_);
+    query::ChainView chain;
+    return query::AsChain(q, &chain_scratch_, &chain) &&
+           chain.size() <= static_cast<size_t>(max_size_);
   }
 
   void Encode(const Query& q, float* out) const override {
-    auto chain = query::AsChain(q);
-    LMKG_CHECK(chain.has_value()) << "not a chain: " << QueryToString(q);
-    LMKG_CHECK_LE(chain->predicates.size(),
-                  static_cast<size_t>(max_size_));
+    query::ChainView chain;
+    LMKG_CHECK(query::AsChain(q, &chain_scratch_, &chain))
+        << "not a chain: " << QueryToString(q);
+    LMKG_CHECK_LE(chain.size(), static_cast<size_t>(max_size_));
     std::fill(out, out + width(), 0.0f);
     float* cursor = out;
-    for (size_t i = 0; i < chain->nodes.size(); ++i) {
-      node_enc_.Encode(
-          chain->nodes[i].bound() ? chain->nodes[i].value : 0, cursor);
+    for (size_t i = 0; i < chain.num_nodes(); ++i) {
+      const query::PatternTerm n = chain.node(i);
+      node_enc_.Encode(n.bound() ? n.value : 0, cursor);
       cursor += node_enc_.width();
-      if (i < chain->predicates.size()) {
-        pred_enc_.Encode(
-            chain->predicates[i].bound() ? chain->predicates[i].value : 0,
-            cursor);
+      if (i < chain.size()) {
+        const query::PatternTerm p = chain.predicate(i);
+        pred_enc_.Encode(p.bound() ? p.value : 0, cursor);
         cursor += pred_enc_.width();
       }
     }
@@ -136,6 +129,7 @@ class ChainEncoder final : public QueryEncoder {
   int max_size_;
   TermEncoder node_enc_;
   TermEncoder pred_enc_;
+  mutable query::ChainScratch chain_scratch_;  // canonicalization scratch
 };
 
 // --- SG-Encoding ------------------------------------------------------------
@@ -162,40 +156,51 @@ class SgEncoderImpl final : public QueryEncoder {
     return fp.nodes <= max_nodes_ && fp.edges <= max_edges_;
   }
 
-  // Reusable canonicalization buffers: one query's worth of pattern and
-  // node-index scratch, shared across a batch so only the first query of
-  // an EncodeBatch pays the allocations.
+  // Reusable canonicalization buffers: one query's worth of pattern-order
+  // and node-index scratch. Held as a mutable member so every Encode /
+  // EncodeBatch call after the first is allocation-free (the zero-allocs-
+  // per-query pin in tests/alloc_test.cc rests on this).
   struct Scratch {
-    std::vector<query::TriplePattern> patterns;
+    std::vector<int> order;  // pattern visit order (star/composite)
+    query::ChainScratch chain;
     // Flat first-occurrence node index (a handful of nodes per query —
     // linear scan beats a std::map and allocates nothing once warm).
     std::vector<std::pair<NodeKey, int>> nodes;
+    std::vector<uint32_t> cols;  // sparse-path column staging (one query)
   };
 
   void Encode(const Query& q, float* out) const override {
-    Scratch scratch;
-    EncodeWithScratch(q, out, &scratch);
+    EncodeWithScratch(q, out, &scratch_);
   }
 
   void EncodeBatch(std::span<const Query> queries,
                    nn::Matrix* out) const override {
     out->Resize(queries.size(), width());
-    Scratch scratch;
     for (size_t i = 0; i < queries.size(); ++i)
-      EncodeWithScratch(queries[i], out->row(i), &scratch);
+      EncodeWithScratch(queries[i], out->row(i), &scratch_);
   }
 
-  void EncodeWithScratch(const Query& q, float* out,
-                         Scratch* scratch) const {
-    LMKG_CHECK(!q.patterns.empty());
-    std::fill(out, out + width(), 0.0f);
+  bool EncodeBatchSparse(std::span<const Query> queries,
+                         nn::SparseRows* out) const override {
+    out->Clear(width());
+    for (const Query& q : queries) {
+      EmitSparseColumns(q, &out->col, &scratch_);
+      out->row_begin.push_back(out->col.size());
+    }
+    return true;
+  }
 
-    // Determine the canonical node and edge orderings (paper Fig. 2 step
-    // 2.2): star -> centre first, then pairs in canonical order; chain ->
-    // walk order; otherwise first occurrence. Star detection is a cheap
-    // all-subjects-equal scan (AsStar would allocate a view per query).
-    std::vector<query::TriplePattern>& patterns = scratch->patterns;
-    patterns.assign(q.patterns.begin(), q.patterns.end());
+  // Canonical edge ordering (paper Fig. 2 step 2.2) as a pattern
+  // permutation: star -> centre first, then pairs in canonical order;
+  // chain -> walk order; otherwise first occurrence. Star detection is a
+  // cheap all-subjects-equal scan. Also validates the edge-capacity
+  // bound (the public CanEncode goes through ComputeSgFootprint, whose
+  // std::map would cost an allocation per node on this hot path).
+  const int* CanonicalOrder(const Query& q, Scratch* scratch) const {
+    LMKG_CHECK(!q.patterns.empty());
+    const size_t num_patterns = q.patterns.size();
+    LMKG_CHECK_LE(num_patterns, static_cast<size_t>(max_edges_))
+        << "query exceeds SG edge capacity: " << QueryToString(q);
     bool is_star = true;
     const NodeKey center = MakeNodeKey(q.patterns[0].s);
     for (const auto& t : q.patterns) {
@@ -205,47 +210,47 @@ class SgEncoderImpl final : public QueryEncoder {
       }
     }
     if (is_star) {
-      std::sort(patterns.begin(), patterns.end(),
-                [](const query::TriplePattern& a,
-                   const query::TriplePattern& b) {
-                  return std::tuple(TermKey(a.p), TermKey(a.o)) <
-                         std::tuple(TermKey(b.p), TermKey(b.o));
-                });
-    } else if (auto chain = query::AsChain(q); chain.has_value()) {
-      patterns.clear();
-      for (size_t i = 0; i < chain->predicates.size(); ++i) {
-        query::TriplePattern t;
-        t.s = chain->nodes[i];
-        t.p = chain->predicates[i];
-        t.o = chain->nodes[i + 1];
-        patterns.push_back(t);
-      }
+      query::StarView star;
+      LMKG_CHECK(query::AsStar(q, &star));
+      query::CanonicalStarOrder(star, &scratch->order);
+      return scratch->order.data();
     }
+    if (query::ChainView chain;
+        query::AsChain(q, &scratch->chain, &chain)) {
+      return scratch->chain.order.data();
+    }
+    scratch->order.resize(num_patterns);
+    for (size_t l = 0; l < num_patterns; ++l)
+      scratch->order[l] = static_cast<int>(l);
+    return scratch->order.data();
+  }
 
-    // The footprint check happens inline against the flat node index (the
-    // public CanEncode goes through ComputeSgFootprint, whose std::map
-    // would cost an allocation per node on this hot path).
-    LMKG_CHECK_LE(patterns.size(), static_cast<size_t>(max_edges_))
-        << "query exceeds SG edge capacity: " << QueryToString(q);
+  // First-occurrence node index over the canonical order, shared by the
+  // dense and sparse emitters.
+  int NodeOf(const PatternTerm& t, const Query& q,
+             std::vector<std::pair<NodeKey, int>>* nodes) const {
+    NodeKey key = MakeNodeKey(t);
+    for (const auto& [existing, idx] : *nodes)
+      if (existing == key) return idx;
+    LMKG_CHECK_LT(nodes->size(), static_cast<size_t>(max_nodes_))
+        << "query exceeds SG node capacity: " << QueryToString(q);
+    nodes->emplace_back(key, static_cast<int>(nodes->size()));
+    return nodes->back().second;
+  }
+
+  void EncodeWithScratch(const Query& q, float* out,
+                         Scratch* scratch) const {
+    const int* order = CanonicalOrder(q, scratch);
+    std::fill(out, out + width(), 0.0f);
     std::vector<std::pair<NodeKey, int>>& nodes = scratch->nodes;
     nodes.clear();
-    auto node_of = [&](const PatternTerm& t) {
-      NodeKey key = MakeNodeKey(t);
-      for (const auto& [existing, idx] : nodes)
-        if (existing == key) return idx;
-      LMKG_CHECK_LT(nodes.size(), static_cast<size_t>(max_nodes_))
-          << "query exceeds SG node capacity: " << QueryToString(q);
-      nodes.emplace_back(key, static_cast<int>(nodes.size()));
-      return nodes.back().second;
-    };
-
     float* a = out;
     float* x = out + a_size();
     float* e = x + x_size();
-    for (size_t l = 0; l < patterns.size(); ++l) {
-      const auto& t = patterns[l];
-      int i = node_of(t.s);
-      int j = node_of(t.o);
+    for (size_t l = 0; l < q.patterns.size(); ++l) {
+      const auto& t = q.patterns[order[l]];
+      int i = NodeOf(t.s, q, &nodes);
+      int j = NodeOf(t.o, q, &nodes);
       // A_ijl = 1: edge l from node i to node j.
       a[(static_cast<size_t>(i) * max_nodes_ + j) * max_edges_ + l] = 1.0f;
       pred_enc_.Encode(t.p.bound() ? t.p.value : 0,
@@ -257,6 +262,55 @@ class SgEncoderImpl final : public QueryEncoder {
                     : static_cast<rdf::TermId>(key.second);
       node_enc_.Encode(value, x + static_cast<size_t>(idx) *
                                       node_enc_.width());
+    }
+  }
+
+  // Sparse mirror of EncodeWithScratch: appends the nonzero columns of
+  // one query's row to *cols in ascending order — the dense kernels'
+  // column sweep order, which the bit-compatibility contract of
+  // nn::SparseRows requires. Ascending order comes cheap: the A, X, and
+  // E regions are emitted in region order, X and E are ascending by
+  // construction (node slots / edge slots visited in index order, bits
+  // ascending within a term), and only the <= max_edges_ A cells need an
+  // insertion sort. No cell is emitted twice: A cells differ in the edge
+  // coordinate l, X/E cells in node/edge slot.
+  void EmitSparseColumns(const Query& q, std::vector<uint32_t>* cols,
+                         Scratch* scratch) const {
+    const int* order = CanonicalOrder(q, scratch);
+    std::vector<std::pair<NodeKey, int>>& nodes = scratch->nodes;
+    nodes.clear();
+    std::vector<uint32_t>& a_cols = scratch->cols;
+    a_cols.clear();
+    const uint32_t x_base = static_cast<uint32_t>(a_size());
+    const uint32_t e_base = static_cast<uint32_t>(a_size() + x_size());
+    for (size_t l = 0; l < q.patterns.size(); ++l) {
+      const auto& t = q.patterns[order[l]];
+      int i = NodeOf(t.s, q, &nodes);
+      int j = NodeOf(t.o, q, &nodes);
+      const uint32_t a_col = static_cast<uint32_t>(
+          (static_cast<size_t>(i) * max_nodes_ + j) * max_edges_ + l);
+      // Insertion into the sorted prefix (a handful of edges per query).
+      size_t pos = a_cols.size();
+      a_cols.push_back(a_col);
+      while (pos > 0 && a_cols[pos - 1] > a_col) {
+        a_cols[pos] = a_cols[pos - 1];
+        a_cols[--pos] = a_col;
+      }
+    }
+    cols->insert(cols->end(), a_cols.begin(), a_cols.end());
+    for (const auto& [key, idx] : nodes) {
+      rdf::TermId value =
+          key.first ? rdf::kUnboundTerm
+                    : static_cast<rdf::TermId>(key.second);
+      node_enc_.EncodeSparse(
+          value,
+          x_base + static_cast<uint32_t>(idx * node_enc_.width()), cols);
+    }
+    for (size_t l = 0; l < q.patterns.size(); ++l) {
+      const auto& t = q.patterns[order[l]];
+      pred_enc_.EncodeSparse(
+          t.p.bound() ? t.p.value : 0,
+          e_base + static_cast<uint32_t>(l * pred_enc_.width()), cols);
     }
   }
 
@@ -280,6 +334,7 @@ class SgEncoderImpl final : public QueryEncoder {
   int max_edges_;
   TermEncoder node_enc_;
   TermEncoder pred_enc_;
+  mutable Scratch scratch_;  // reused across Encode/EncodeBatch calls
 };
 
 }  // namespace

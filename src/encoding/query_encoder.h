@@ -26,6 +26,12 @@ namespace lmkg::encoding {
 /// Queries smaller than the encoder's capacity are padded with zeros
 /// (absent terms), which is what lets one size-k model answer size-<k
 /// queries (paper Table II discussion).
+///
+/// Thread safety: encoders keep internal canonicalization scratch that is
+/// reused across Encode/EncodeBatch calls so the per-query hot path is
+/// allocation-free once warm (pinned by tests/alloc_test.cc). As a
+/// consequence, concurrent Encode calls on the SAME encoder instance are
+/// not safe; use one encoder per thread.
 class QueryEncoder {
  public:
   virtual ~QueryEncoder() = default;
@@ -53,6 +59,19 @@ class QueryEncoder {
   /// across the batch instead of reallocating it per query.
   virtual void EncodeBatch(std::span<const query::Query> queries,
                            nn::Matrix* out) const;
+
+  /// Sparse variant of EncodeBatch: row i of `out` lists the ascending
+  /// column indices Encode would set to 1.0 (all encodings here are
+  /// 0/1-valued). Returns false if this encoder has no sparse path, in
+  /// which case `out` is untouched and the caller falls back to
+  /// EncodeBatch. The estimation hot path prefers this form — no dense
+  /// zero-fill, and the first network layer consumes the indices
+  /// directly (nn::Sequential::ForwardSparseInput) with bit-identical
+  /// results.
+  virtual bool EncodeBatchSparse(std::span<const query::Query> /*queries*/,
+                                 nn::SparseRows* /*out*/) const {
+    return false;
+  }
 };
 
 /// Pattern-bound star encoder: [subject | p1 o1 | ... | pk ok], pairs in

@@ -38,6 +38,19 @@ void TermEncoder::Encode(rdf::TermId id, float* out) const {
   }
 }
 
+void TermEncoder::EncodeSparse(rdf::TermId id, uint32_t base_col,
+                               std::vector<uint32_t>* cols) const {
+  LMKG_CHECK_LE(static_cast<size_t>(id), domain_size_);
+  if (id == rdf::kUnboundTerm) return;
+  if (encoding_ == TermEncoding::kOneHot) {
+    cols->push_back(base_col + static_cast<uint32_t>(id - 1));
+    return;
+  }
+  rdf::TermId v = id;
+  for (uint32_t bit = 0; v != 0; ++bit, v >>= 1u)
+    if (v & 1u) cols->push_back(base_col + bit);
+}
+
 rdf::TermId TermEncoder::Decode(const float* in) const {
   if (encoding_ == TermEncoding::kOneHot) {
     for (size_t i = 0; i < width_; ++i)

@@ -2,7 +2,9 @@
 #define LMKG_ENCODING_TERM_ENCODER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "rdf/triple.h"
 
@@ -37,6 +39,14 @@ class TermEncoder {
   /// Writes the encoding of `id` into out[0..width()). id 0 (unbound)
   /// writes all zeros. Requires id <= domain_size.
   void Encode(rdf::TermId id, float* out) const;
+
+  /// Sparse mirror of Encode: appends base_col + offset for every
+  /// position Encode would set to 1.0 (both encodings are 0/1-valued;
+  /// unbound terms append nothing). Offsets are appended in ascending
+  /// order. The allocation-free estimation hot path consumes these
+  /// through nn::SparseRows instead of a dense buffer.
+  void EncodeSparse(rdf::TermId id, uint32_t base_col,
+                    std::vector<uint32_t>* cols) const;
 
   /// Inverse of Encode for well-formed inputs (used by tests to verify the
   /// encodings are lossless). Returns 0 for the all-zero vector.

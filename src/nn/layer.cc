@@ -26,6 +26,12 @@ void Dense::Forward(const Matrix& in, Matrix* out, bool) {
   AddRowVector(out, b_);
 }
 
+bool Dense::ForwardSparse(const SparseRows& in, Matrix* out) {
+  MatMulSparseUnit(in, w_, out);
+  AddRowVector(out, b_);
+  return true;
+}
+
 void Dense::Backward(const Matrix& in, const Matrix&, const Matrix& dout,
                      Matrix* din) {
   MatMulTransAAccum(in, dout, &dw_);   // dW += inᵀ * dout
@@ -157,6 +163,20 @@ const Matrix& Sequential::Forward(const Matrix& in, bool training) {
   const Matrix* current = &in;
   for (size_t i = 0; i < layers_.size(); ++i) {
     layers_[i]->Forward(*current, &activations_[i], training);
+    current = &activations_[i];
+  }
+  return activations_.back();
+}
+
+const Matrix& Sequential::ForwardSparseInput(const SparseRows& in) {
+  LMKG_CHECK(!layers_.empty());
+  input_ = nullptr;  // Backward after a sparse forward is invalid
+  LMKG_CHECK(layers_[0]->ForwardSparse(in, &activations_[0]))
+      << "first layer (" << layers_[0]->name()
+      << ") does not support sparse input";
+  const Matrix* current = &activations_[0];
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    layers_[i]->Forward(*current, &activations_[i], /*training=*/false);
     current = &activations_[i];
   }
   return activations_.back();

@@ -31,6 +31,15 @@ class Layer {
   virtual void Backward(const Matrix& in, const Matrix& out,
                         const Matrix& dout, Matrix* din) = 0;
 
+  /// Inference-only forward from a unit-valued sparse input (the native
+  /// form of the 0/1 query encodings). Returns false if the layer cannot
+  /// consume sparse input; layers that can must produce output
+  /// bit-identical to Forward on the equivalent dense matrix. No
+  /// activations are cached — Backward must not follow.
+  virtual bool ForwardSparse(const SparseRows& /*in*/, Matrix* /*out*/) {
+    return false;
+  }
+
   virtual void CollectParams(std::vector<ParamRef>* /*params*/) {}
   virtual size_t ParamCount() const { return 0; }
   virtual std::string name() const = 0;
@@ -45,6 +54,7 @@ class Dense : public Layer {
   void Forward(const Matrix& in, Matrix* out, bool training) override;
   void Backward(const Matrix& in, const Matrix& out, const Matrix& dout,
                 Matrix* din) override;
+  bool ForwardSparse(const SparseRows& in, Matrix* out) override;
   void CollectParams(std::vector<ParamRef>* params) override;
   size_t ParamCount() const override { return w_.size() + b_.size(); }
   std::string name() const override { return "dense"; }
@@ -133,6 +143,12 @@ class Sequential {
   void Add(std::unique_ptr<Layer> layer);
 
   const Matrix& Forward(const Matrix& in, bool training);
+  /// Inference-only forward whose input arrives as unit-valued sparse
+  /// rows consumed directly by the first layer (which must support
+  /// ForwardSparse — Dense does). Output is bit-identical to Forward on
+  /// the equivalent dense matrix. Invalidates Backward until the next
+  /// dense Forward.
+  const Matrix& ForwardSparseInput(const SparseRows& in);
   /// Backpropagates dL/d(last output); requires a preceding Forward.
   /// Also computes dL/d(input), available from input_grad() — needed when
   /// stacks are chained through non-layer glue (e.g. MSCN's set pooling).

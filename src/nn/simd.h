@@ -1,0 +1,152 @@
+#ifndef LMKG_NN_SIMD_H_
+#define LMKG_NN_SIMD_H_
+
+#include <cstddef>
+
+// Portability shim over the widest float SIMD ISA the build targets: one
+// vector type + a handful of ops, selected at compile time from the
+// compiler's target macros (so `-march=native` / LMKG_NATIVE_ARCH decides
+// the ISA — see the "Performance & CI gates" section of the README):
+//
+//   * AVX-512F    -> 16 lanes (__m512, _mm512_fmadd_ps)
+//   * AVX2 + FMA  -> 8 lanes (__m256, _mm256_fmadd_ps)
+//   * NEON        -> 4 lanes (float32x4_t; fused on AArch64)
+//   * anything else -> 1 lane scalar fallback, so every kernel written
+//     against the shim compiles and runs unvectorized on baseline ISAs.
+//
+// The kernels in tensor.cc build their bit-compatibility guarantee on two
+// properties of this shim: (1) kLanes is a build-time constant, so the
+// vector/tail column split of a row depends only on the column count, and
+// (2) MulAdd is one fixed op per build (fused or not), so an element
+// accumulated over the same operand sequence gives the same bits no
+// matter which kernel touched it.
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#define LMKG_SIMD_AVX512 1
+#elif defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define LMKG_SIMD_AVX2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define LMKG_SIMD_NEON 1
+#else
+#define LMKG_SIMD_SCALAR 1
+#endif
+
+namespace lmkg::nn::simd {
+
+#if defined(LMKG_SIMD_AVX512)
+
+inline constexpr size_t kLanes = 16;
+inline constexpr const char* kIsaName = "avx512f";
+using Vec = __m512;
+
+inline Vec Zero() { return _mm512_setzero_ps(); }
+inline Vec Broadcast(float v) { return _mm512_set1_ps(v); }
+inline Vec Load(const float* p) { return _mm512_loadu_ps(p); }
+inline void Store(float* p, Vec v) { _mm512_storeu_ps(p, v); }
+inline Vec Add(Vec a, Vec b) { return _mm512_add_ps(a, b); }
+inline Vec Mul(Vec a, Vec b) { return _mm512_mul_ps(a, b); }
+/// a * b + c, fused.
+inline Vec MulAdd(Vec a, Vec b, Vec c) { return _mm512_fmadd_ps(a, b, c); }
+/// Horizontal sum; fixed reduction tree (halves, then pairwise).
+/// GCC 12 note: every 512-bit half-extraction intrinsic
+/// (_mm512_castps512_ps256, _mm512_shuffle_f32x4, _mm512_reduce_add_ps)
+/// is implemented in avx512fintrin.h via _mm512_undefined_ps(), which
+/// -Wmaybe-uninitialized flags through inlining (GCC PR 105593). TUs
+/// that call ReduceAdd compile with -Wno-maybe-uninitialized under GCC
+/// (see src/nn/CMakeLists.txt) — the pragma route cannot suppress it
+/// because the diagnostic is attributed to the system header.
+inline float ReduceAdd(Vec v) {
+  const __m256 lo = _mm512_castps512_ps256(v);
+  const __m256 hi =
+      _mm512_castps512_ps256(_mm512_shuffle_f32x4(v, v, 0x4e));
+  const __m256 s = _mm256_add_ps(lo, hi);
+  __m128 lo4 = _mm256_castps256_ps128(s);
+  const __m128 hi4 = _mm256_extractf128_ps(s, 1);
+  lo4 = _mm_add_ps(lo4, hi4);
+  __m128 shuf = _mm_movehdup_ps(lo4);
+  __m128 sums = _mm_add_ps(lo4, shuf);
+  shuf = _mm_movehl_ps(shuf, sums);
+  sums = _mm_add_ss(sums, shuf);
+  return _mm_cvtss_f32(sums);
+}
+
+#elif defined(LMKG_SIMD_AVX2)
+
+inline constexpr size_t kLanes = 8;
+inline constexpr const char* kIsaName = "avx2+fma";
+using Vec = __m256;
+
+inline Vec Zero() { return _mm256_setzero_ps(); }
+inline Vec Broadcast(float v) { return _mm256_set1_ps(v); }
+inline Vec Load(const float* p) { return _mm256_loadu_ps(p); }
+inline void Store(float* p, Vec v) { _mm256_storeu_ps(p, v); }
+inline Vec Add(Vec a, Vec b) { return _mm256_add_ps(a, b); }
+inline Vec Mul(Vec a, Vec b) { return _mm256_mul_ps(a, b); }
+/// a * b + c, fused.
+inline Vec MulAdd(Vec a, Vec b, Vec c) { return _mm256_fmadd_ps(a, b, c); }
+/// Horizontal sum; fixed reduction tree (lo+hi halves, then pairwise).
+inline float ReduceAdd(Vec v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  __m128 shuf = _mm_movehdup_ps(lo);
+  __m128 sums = _mm_add_ps(lo, shuf);
+  shuf = _mm_movehl_ps(shuf, sums);
+  sums = _mm_add_ss(sums, shuf);
+  return _mm_cvtss_f32(sums);
+}
+
+#elif defined(LMKG_SIMD_NEON)
+
+inline constexpr size_t kLanes = 4;
+inline constexpr const char* kIsaName = "neon";
+using Vec = float32x4_t;
+
+inline Vec Zero() { return vdupq_n_f32(0.0f); }
+inline Vec Broadcast(float v) { return vdupq_n_f32(v); }
+inline Vec Load(const float* p) { return vld1q_f32(p); }
+inline void Store(float* p, Vec v) { vst1q_f32(p, v); }
+inline Vec Add(Vec a, Vec b) { return vaddq_f32(a, b); }
+inline Vec Mul(Vec a, Vec b) { return vmulq_f32(a, b); }
+/// a * b + c (fused on AArch64; ARMv7 NEON has no IEEE FMA — vmla is a
+/// chained multiply-add there).
+inline Vec MulAdd(Vec a, Vec b, Vec c) {
+#if defined(__aarch64__)
+  return vfmaq_f32(c, a, b);
+#else
+  return vmlaq_f32(c, a, b);
+#endif
+}
+inline float ReduceAdd(Vec v) {
+#if defined(__aarch64__)
+  return vaddvq_f32(v);
+#else
+  float32x2_t s = vpadd_f32(vget_low_f32(v), vget_high_f32(v));
+  s = vpadd_f32(s, s);
+  return vget_lane_f32(s, 0);
+#endif
+}
+
+#else  // scalar fallback
+
+inline constexpr size_t kLanes = 1;
+inline constexpr const char* kIsaName = "scalar";
+using Vec = float;
+
+inline Vec Zero() { return 0.0f; }
+inline Vec Broadcast(float v) { return v; }
+inline Vec Load(const float* p) { return *p; }
+inline void Store(float* p, Vec v) { *p = v; }
+inline Vec Add(Vec a, Vec b) { return a + b; }
+inline Vec Mul(Vec a, Vec b) { return a * b; }
+inline Vec MulAdd(Vec a, Vec b, Vec c) { return a * b + c; }
+inline float ReduceAdd(Vec v) { return v; }
+
+#endif
+
+}  // namespace lmkg::nn::simd
+
+#endif  // LMKG_NN_SIMD_H_

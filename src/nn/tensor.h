@@ -3,12 +3,39 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <new>
 #include <vector>
 
 #include "util/check.h"
 #include "util/random.h"
 
 namespace lmkg::nn {
+
+/// Minimal cache-line-aligning allocator for Matrix storage: the SIMD
+/// kernels issue full-width unaligned loads/stores, which run at aligned
+/// speed only when they don't straddle a cache line — a 64-byte base
+/// (plus the power-of-two row widths of the models) keeps them aligned
+/// in practice without per-kernel peeling.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{64};
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, size_t) { ::operator delete(p, kAlign); }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const {
+    return true;
+  }
+};
 
 /// Dense row-major float matrix — the only tensor type the NN substrate
 /// needs (vectors are 1 x n matrices). Sized for the models LMKG trains
@@ -61,16 +88,48 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<float> data_;
+  std::vector<float, CacheAlignedAllocator<float>> data_;
 };
+
+/// A batch of unit-valued sparse rows in CSR-without-values form: row i
+/// holds 1.0f at columns col[row_begin[i] .. row_begin[i+1]) and 0.0f
+/// elsewhere. This is the native shape of the 0/1 query encodings
+/// (one-hot / binary / SG adjacency), letting the estimation hot path
+/// skip both the dense zero-fill and the per-row zero scan. Column
+/// indices must be strictly ascending within a row — MatMulSparseUnit
+/// accumulates in index order, which is what keeps its per-row results
+/// bit-identical to the dense kernels' ascending-column zero-skip sweep
+/// (fma with a 1.0 multiplier is exact addition).
+struct SparseRows {
+  size_t cols = 0;                 // logical row width
+  std::vector<uint32_t> col;       // concatenated per-row column indices
+  std::vector<size_t> row_begin;   // size rows()+1; row_begin[0] == 0
+  size_t rows() const {
+    return row_begin.empty() ? 0 : row_begin.size() - 1;
+  }
+  void Clear(size_t logical_cols) {
+    cols = logical_cols;
+    col.clear();
+    row_begin.clear();
+    row_begin.push_back(0);
+  }
+};
+
+/// out = a * b with a given as unit-valued sparse rows. Shapes:
+/// (m x k sparse) * (k x n) -> (m x n). out is resized. Row i of the
+/// result is bit-identical to MatMul of the equivalent dense row (see
+/// SparseRows).
+void MatMulSparseUnit(const SparseRows& a, const Matrix& b, Matrix* out);
 
 /// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). out is resized.
 ///
-/// The kernel is row-blocked and, for large products, row-parallel over
-/// the global util::ThreadPool — but every output row is always the
-/// ascending-k SAXPY sum of that row alone, so row i of a B-row product
-/// equals the 1-row product of row i (the batched inference path depends
-/// on this to match the per-query path).
+/// The kernel is row-blocked, explicitly vectorized through nn/simd.h
+/// (AVX2/NEON with a scalar fallback) and, for large products,
+/// row-parallel over the global util::ThreadPool — but every output row
+/// is always the ascending-k axpy sum of that row alone with a fixed
+/// column partition, so row i of a B-row product is bit-equal to the
+/// 1-row product of row i (the batched inference path depends on this to
+/// match the per-query path; see the contract comment in tensor.cc).
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
 /// out = aᵀ * b. Shapes: (k x m)ᵀ * (k x n) -> (m x n).
 void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out);
@@ -91,6 +150,12 @@ void HadamardInPlace(Matrix* dst, const Matrix& src);
 
 /// Fills with N(0, stddev) — weight initialization.
 void FillGaussian(Matrix* m, float stddev, util::Pcg32& rng);
+
+/// Name of the SIMD ISA the library's kernels were compiled against
+/// ("avx512f", "avx2+fma", "neon", or "scalar"). Defined in tensor.cc so
+/// it reports the lmkg library's flags (LMKG_NATIVE_ARCH) — a TU that
+/// inspected nn/simd.h under its own flags could see a different answer.
+const char* SimdIsaName();
 
 }  // namespace lmkg::nn
 

@@ -118,76 +118,209 @@ bool SameTerm(const PatternTerm& a, const PatternTerm& b) {
   return a.is_var() ? a.var == b.var : a.value == b.value;
 }
 
-}  // namespace
-
-std::optional<StarView> AsStar(const Query& q) {
-  if (q.patterns.empty()) return std::nullopt;
-  StarView view;
-  view.center = q.patterns[0].s;
-  for (const auto& t : q.patterns) {
-    if (!SameTerm(t.s, view.center)) return std::nullopt;
-    view.pairs.emplace_back(t.p, t.o);
-  }
-  return view;
+// Injective 64-bit encoding of a pattern term's node identity: two terms
+// have equal fingerprints iff SameTerm holds. Bit 63 separates the
+// variable and bound-id spaces.
+uint64_t Fingerprint(const PatternTerm& t) {
+  return t.is_var()
+             ? (uint64_t{1} << 63) |
+                   static_cast<uint64_t>(static_cast<uint32_t>(t.var))
+             : static_cast<uint64_t>(t.value);
 }
 
-std::optional<ChainView> AsChain(const Query& q) {
-  if (q.patterns.empty()) return std::nullopt;
-  const size_t k = q.patterns.size();
-  if (k == 1) {
-    ChainView view;
-    view.nodes = {q.patterns[0].s, q.patterns[0].o};
-    view.predicates = {q.patterns[0].p};
-    return view;
+// splitmix64 finalizer — fingerprints are near-sequential ids, so they
+// need real mixing before masking to a power-of-two table.
+uint64_t MixFingerprint(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Open-addressing fingerprint -> payload map over ChainScratch storage.
+// Clear() is O(1) (generation bump); the table never rehashes mid-pass
+// because Reserve sizes it to 2x the element count up front.
+class TermTable {
+ public:
+  TermTable(ChainScratch* scratch, size_t max_entries)
+      : scratch_(*scratch) {
+    size_t capacity = 16;
+    while (capacity < 2 * max_entries) capacity *= 2;
+    if (scratch_.slot_fp.size() < capacity) {
+      scratch_.slot_fp.resize(capacity);
+      scratch_.slot_payload.resize(capacity);
+      scratch_.slot_generation.assign(capacity, 0);
+      scratch_.generation = 0;
+    }
+    mask_ = scratch_.slot_fp.size() - 1;
+    Clear();
   }
-  // Find the head: a pattern whose subject is no other pattern's object.
-  std::vector<bool> used(k, false);
+
+  void Clear() {
+    // A wrapped generation counter would make slots stamped 2^32 clears
+    // ago read as live again (a long-lived server clears ~3x per
+    // AsChain, so this is hours, not forever) — rewind by wiping the
+    // stamps once per wrap.
+    if (++scratch_.generation == 0) {
+      std::fill(scratch_.slot_generation.begin(),
+                scratch_.slot_generation.end(), 0u);
+      scratch_.generation = 1;
+    }
+  }
+
+  // Returns the slot for `fp`, inserting it with `initial` payload if
+  // absent. `inserted` reports which happened.
+  int64_t* FindOrInsert(uint64_t fp, int64_t initial, bool* inserted) {
+    size_t slot = MixFingerprint(fp) & mask_;
+    while (true) {
+      if (scratch_.slot_generation[slot] != scratch_.generation) {
+        scratch_.slot_generation[slot] = scratch_.generation;
+        scratch_.slot_fp[slot] = fp;
+        scratch_.slot_payload[slot] = initial;
+        *inserted = true;
+        return &scratch_.slot_payload[slot];
+      }
+      if (scratch_.slot_fp[slot] == fp) {
+        *inserted = false;
+        return &scratch_.slot_payload[slot];
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  // Returns the payload slot for `fp`, or nullptr if absent.
+  int64_t* Find(uint64_t fp) {
+    size_t slot = MixFingerprint(fp) & mask_;
+    while (scratch_.slot_generation[slot] == scratch_.generation) {
+      if (scratch_.slot_fp[slot] == fp)
+        return &scratch_.slot_payload[slot];
+      slot = (slot + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+ private:
+  ChainScratch& scratch_;
+  size_t mask_;
+};
+
+}  // namespace
+
+bool AsStar(const Query& q, StarView* view) {
+  if (q.patterns.empty()) return false;
+  const PatternTerm& center = q.patterns[0].s;
+  for (const auto& t : q.patterns)
+    if (!SameTerm(t.s, center)) return false;
+  view->q_ = &q;
+  return true;
+}
+
+void CanonicalStarOrder(const StarView& star, std::vector<int>* order) {
+  order->resize(star.size());
+  for (size_t i = 0; i < star.size(); ++i)
+    (*order)[i] = static_cast<int>(i);
+  // Sort key: bound terms by id first, then variables by number.
+  auto key = [](const PatternTerm& t) {
+    return t.bound() ? std::pair<uint64_t, uint64_t>(0, t.value)
+                     : std::pair<uint64_t, uint64_t>(
+                           1, static_cast<uint64_t>(t.var));
+  };
+  std::sort(order->begin(), order->end(), [&](int a, int b) {
+    return std::pair(key(star.predicate(a)), key(star.object(a))) <
+           std::pair(key(star.predicate(b)), key(star.object(b)));
+  });
+}
+
+bool AsChain(const Query& q, ChainScratch* scratch, ChainView* view) {
+  const size_t k = q.patterns.size();
+  if (k == 0) return false;
+  scratch->order.resize(k);
+  view->q_ = &q;
+  view->order_ = scratch->order.data();
+  view->k_ = k;
+  if (k == 1) {
+    scratch->order[0] = 0;
+    return true;
+  }
+
+  TermTable table(scratch, k + 1);
+
+  // Head detection in O(k): hash the object terms, then scan subjects.
+  // The head is the unique pattern whose subject is no OTHER pattern's
+  // object (a pattern's own object does not disqualify its subject —
+  // payload packs occurrence count and one owner index to preserve that).
+  for (size_t j = 0; j < k; ++j) {
+    bool inserted;
+    int64_t* payload = table.FindOrInsert(
+        Fingerprint(q.patterns[j].o),
+        (int64_t{1} << 32) | static_cast<int64_t>(j), &inserted);
+    if (!inserted)
+      *payload += int64_t{1} << 32;  // count++, owner stays the first
+  }
   int head = -1;
   for (size_t i = 0; i < k; ++i) {
-    bool is_object = false;
-    for (size_t j = 0; j < k; ++j)
-      if (i != j && SameTerm(q.patterns[i].s, q.patterns[j].o))
-        is_object = true;
+    const int64_t* payload = table.Find(Fingerprint(q.patterns[i].s));
+    const bool is_object =
+        payload != nullptr &&
+        ((*payload >> 32) >= 2 ||
+         static_cast<size_t>(*payload & 0xffffffff) != i);
     if (!is_object) {
       if (head != -1) {
-        // Two heads: not a single chain unless one of them links forward;
-        // bail out — composite shapes go through decomposition.
-        return std::nullopt;
+        // Two heads: not a single chain — composite shapes go through
+        // decomposition.
+        return false;
       }
       head = static_cast<int>(i);
     }
   }
-  if (head == -1) return std::nullopt;  // cyclic
-  ChainView view;
-  view.nodes.push_back(q.patterns[head].s);
-  PatternTerm current = q.patterns[head].s;
-  for (size_t step = 0; step < k; ++step) {
-    int next = -1;
-    for (size_t j = 0; j < k; ++j) {
-      if (!used[j] && SameTerm(q.patterns[j].s, current)) {
-        if (next != -1) return std::nullopt;  // branching: star-ish
-        next = static_cast<int>(j);
-      }
-    }
-    if (next == -1) return std::nullopt;  // disconnected
-    used[next] = true;
-    view.predicates.push_back(q.patterns[next].p);
-    view.nodes.push_back(q.patterns[next].o);
-    current = q.patterns[next].o;
+  if (head == -1) return false;  // cyclic
+
+  // Subject -> pattern index map. A duplicate subject is branching: the
+  // walk below consumes every pattern, so it would reach the shared
+  // subject with two candidate continuations and fail anyway.
+  table.Clear();
+  for (size_t j = 0; j < k; ++j) {
+    bool inserted;
+    table.FindOrInsert(Fingerprint(q.patterns[j].s),
+                       static_cast<int64_t>(j), &inserted);
+    if (!inserted) return false;
   }
-  // All nodes along the chain must be distinct query terms, otherwise the
-  // shape is a cycle/petal.
-  for (size_t i = 0; i < view.nodes.size(); ++i)
-    for (size_t j = i + 1; j < view.nodes.size(); ++j)
-      if (SameTerm(view.nodes[i], view.nodes[j])) return std::nullopt;
-  return view;
+
+  // Walk from the head, marking consumed patterns with bit 32.
+  uint64_t current = Fingerprint(q.patterns[head].s);
+  for (size_t step = 0; step < k; ++step) {
+    int64_t* payload = table.Find(current);
+    if (payload == nullptr) return false;            // disconnected
+    if (*payload & (int64_t{1} << 32)) return false;  // revisit: cycle
+    const int next = static_cast<int>(*payload & 0xffffffff);
+    *payload |= int64_t{1} << 32;
+    scratch->order[step] = next;
+    current = Fingerprint(q.patterns[next].o);
+  }
+
+  // All k+1 nodes along the chain must be distinct query terms, otherwise
+  // the shape is a cycle/petal.
+  table.Clear();
+  for (size_t i = 0; i <= k; ++i) {
+    bool inserted;
+    table.FindOrInsert(Fingerprint(view->node(i)), 0, &inserted);
+    if (!inserted) return false;
+  }
+  return true;
+}
+
+Topology ClassifyTopology(const Query& q, ChainScratch* scratch) {
+  if (q.patterns.size() <= 1) return Topology::kSingle;
+  StarView star;
+  if (AsStar(q, &star)) return Topology::kStar;
+  ChainView chain;
+  if (AsChain(q, scratch, &chain)) return Topology::kChain;
+  return Topology::kComposite;
 }
 
 Topology ClassifyTopology(const Query& q) {
-  if (q.patterns.size() <= 1) return Topology::kSingle;
-  if (AsStar(q).has_value()) return Topology::kStar;
-  if (AsChain(q).has_value()) return Topology::kChain;
-  return Topology::kComposite;
+  ChainScratch scratch;
+  return ClassifyTopology(q, &scratch);
 }
 
 std::string QueryToString(const Query& q) {

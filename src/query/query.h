@@ -1,7 +1,7 @@
 #ifndef LMKG_QUERY_QUERY_H_
 #define LMKG_QUERY_QUERY_H_
 
-#include <optional>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -86,23 +86,95 @@ Query MakeStarQuery(PatternTerm center,
 Query MakeChainQuery(const std::vector<PatternTerm>& nodes,
                      const std::vector<PatternTerm>& predicates);
 
+/// Non-owning star view: center + (p, o) pairs, indexing straight into
+/// `q.patterns` (pair i is pattern i). Valid only while the viewed Query
+/// is alive and unmodified. Building one allocates nothing.
+class StarView {
+ public:
+  StarView() = default;
+
+  PatternTerm center() const { return q_->patterns[0].s; }
+  /// Number of (p, o) pairs (== number of patterns).
+  size_t size() const { return q_->patterns.size(); }
+  PatternTerm predicate(size_t i) const { return q_->patterns[i].p; }
+  PatternTerm object(size_t i) const { return q_->patterns[i].o; }
+
+ private:
+  friend bool AsStar(const Query& q, StarView* view);
+  const Query* q_ = nullptr;
+};
+
+/// Fills `*view` and returns true iff the query is star-shaped (all
+/// subjects are the same term; single patterns qualify as stars of
+/// size 1). Allocation-free.
+bool AsStar(const Query& q, StarView* view);
+
+/// Writes the canonical (p, o) pair order of a star into *order as a
+/// sorted index permutation (bound terms by id before variables by
+/// number) — the one ordering every consumer (encoders, LMKG-U term
+/// sequences) must share so equivalent queries encode and estimate
+/// identically. Reuses the caller's buffer; allocation-free once warm.
+void CanonicalStarOrder(const StarView& star, std::vector<int>* order);
+
+/// Reusable scratch for AsChain: the walk-order output plus an
+/// open-addressing fingerprint table used for O(k) head detection, walk
+/// lookup, and node-distinctness checking. A warm scratch (capacity >=
+/// the largest query seen) makes AsChain allocation-free; hot paths hold
+/// one per encoder/estimator and reuse it across queries.
+struct ChainScratch {
+  std::vector<int> order;  // pattern indices in walk order (the output)
+  // Internal hash-table storage (managed by AsChain): slot fingerprints,
+  // packed payloads, and a generation stamp per slot so clearing between
+  // passes is O(1) instead of O(capacity).
+  std::vector<uint64_t> slot_fp;
+  std::vector<int64_t> slot_payload;
+  std::vector<uint32_t> slot_generation;
+  uint32_t generation = 0;
+};
+
+/// Non-owning chain view: nodes/predicates in walk order, realized as a
+/// pattern permutation over `q.patterns`. Valid only while both the
+/// viewed Query and the ChainScratch passed to AsChain are alive and
+/// untouched (the view aliases scratch->order; the next AsChain call on
+/// the same scratch invalidates it).
+class ChainView {
+ public:
+  ChainView() = default;
+
+  /// Number of edges/predicates k (nodes are k+1).
+  size_t size() const { return k_; }
+  size_t num_nodes() const { return k_ + 1; }
+  /// Node i in walk order, i in [0, k].
+  PatternTerm node(size_t i) const {
+    return i < k_ ? pattern(i).s : pattern(k_ - 1).o;
+  }
+  /// Predicate i in walk order, i in [0, k).
+  PatternTerm predicate(size_t i) const { return pattern(i).p; }
+  /// Index into q.patterns of the i-th edge in walk order.
+  int pattern_index(size_t i) const { return order_[i]; }
+
+ private:
+  friend bool AsChain(const Query& q, ChainScratch* scratch,
+                      ChainView* view);
+  const TriplePattern& pattern(size_t i) const {
+    return q_->patterns[order_[i]];
+  }
+  const Query* q_ = nullptr;
+  const int* order_ = nullptr;
+  size_t k_ = 0;
+};
+
+/// Fills `*view` and returns true iff the query is chain-shaped
+/// (o_i joins s_{i+1} after reordering; no branching, cycles, or repeated
+/// nodes). O(k) via fingerprint hashing; allocation-free once `scratch`
+/// is warm.
+bool AsChain(const Query& q, ChainScratch* scratch, ChainView* view);
+
 /// Classifies the topology; chain detection reorders patterns if needed.
+/// The scratch overload is allocation-free once warm; the plain overload
+/// allocates a throwaway scratch per call (fine off the hot path).
+Topology ClassifyTopology(const Query& q, ChainScratch* scratch);
 Topology ClassifyTopology(const Query& q);
-
-/// Star view of a query (center + (p, o) pairs), if it is star-shaped
-/// (single patterns qualify as stars of size 1).
-struct StarView {
-  PatternTerm center;
-  std::vector<std::pair<PatternTerm, PatternTerm>> pairs;
-};
-std::optional<StarView> AsStar(const Query& q);
-
-/// Chain view (node/predicate sequences in walk order), if chain-shaped.
-struct ChainView {
-  std::vector<PatternTerm> nodes;       // k+1
-  std::vector<PatternTerm> predicates;  // k
-};
-std::optional<ChainView> AsChain(const Query& q);
 
 /// Renumbers variables densely and fills num_vars; call after hand-building
 /// queries from pattern lists.

@@ -101,6 +101,7 @@ std::vector<LabeledQuery> WorkloadGenerator::Generate(
 
   std::vector<LabeledQuery> out;
   std::set<std::string> seen;
+  query::ChainScratch chain_scratch;  // reused across candidate queries
   size_t attempts = 0;
   const size_t max_attempts =
       options.count * std::max<size_t>(options.max_attempts_factor, 1);
@@ -137,12 +138,14 @@ std::vector<LabeledQuery> WorkloadGenerator::Generate(
       // Walks may revisit nodes (self-loops, cycles); after unbinding,
       // such patterns are no longer classifiable as the requested
       // topology, and the paper's workloads are pure stars/chains.
-      if (options.topology == Topology::kStar &&
-          !query::AsStar(q).has_value())
-        continue;
-      if (options.topology == Topology::kChain &&
-          !query::AsChain(q).has_value())
-        continue;
+      if (options.topology == Topology::kStar) {
+        query::StarView star;
+        if (!query::AsStar(q, &star)) continue;
+      }
+      if (options.topology == Topology::kChain) {
+        query::ChainView chain;
+        if (!query::AsChain(q, &chain_scratch, &chain)) continue;
+      }
 
       std::string key = query::QueryToString(q);
       if (seen.count(key) > 0) continue;

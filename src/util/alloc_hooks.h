@@ -1,0 +1,84 @@
+#ifndef LMKG_UTIL_ALLOC_HOOKS_H_
+#define LMKG_UTIL_ALLOC_HOOKS_H_
+
+// Opt-in global operator new/delete replacements that count every heap
+// allocation in the including binary — the measurement behind the
+// zero-allocations-per-query pins (tests/alloc_test.cc) and the
+// allocs/query column of bench_throughput_batch.
+//
+// Usage: define LMKG_ENABLE_ALLOC_COUNT_HOOKS before including this
+// header from EXACTLY ONE translation unit of the final binary (the
+// replacements are program-global; defining them twice is an ODR
+// violation), then read util::AllocationCount(). Without the macro this
+// header declares nothing but the (unusable) counter accessor, so it
+// must only be included by TUs that define the macro.
+//
+// The hooks route through malloc/posix_memalign, so they compose with
+// sanitizers: under ASan the underlying malloc is still intercepted and
+// every new/delete pairs as malloc/free.
+
+#ifdef LMKG_ENABLE_ALLOC_COUNT_HOOKS
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace lmkg::util {
+
+inline std::atomic<size_t> g_allocation_count{0};
+
+/// Total operator-new calls (all replaceable forms) since process start.
+inline size_t AllocationCount() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+namespace alloc_hooks_internal {
+inline void* CountedAlloc(size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+inline void* CountedAlignedAlloc(size_t size, std::align_val_t align) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  size_t alignment = static_cast<size_t>(align);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size == 0 ? alignment : size) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+}  // namespace alloc_hooks_internal
+
+}  // namespace lmkg::util
+
+void* operator new(size_t size) {
+  return lmkg::util::alloc_hooks_internal::CountedAlloc(size);
+}
+void* operator new[](size_t size) {
+  return lmkg::util::alloc_hooks_internal::CountedAlloc(size);
+}
+void* operator new(size_t size, std::align_val_t align) {
+  return lmkg::util::alloc_hooks_internal::CountedAlignedAlloc(size, align);
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return lmkg::util::alloc_hooks_internal::CountedAlignedAlloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // LMKG_ENABLE_ALLOC_COUNT_HOOKS
+
+#endif  // LMKG_UTIL_ALLOC_HOOKS_H_

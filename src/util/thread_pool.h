@@ -52,8 +52,6 @@ class ThreadPool {
   };
 
   void WorkerLoop();
-  // Runs pending chunks of the current ParallelFor until none remain.
-  void DrainChunks();
 
   std::vector<std::thread> threads_;
   std::mutex submit_mu_;  // serializes ParallelFor callers

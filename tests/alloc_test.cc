@@ -1,0 +1,137 @@
+// Pins the allocation-free property of the estimation hot path: once an
+// encoder's (or estimator's) internal scratch is warm, pushing a batch
+// of queries through it must perform ZERO heap allocations — the
+// canonicalization views (query::AsStar/AsChain), the encoder scratch,
+// and the sparse input buffers are all reused, so steady-state serving
+// never touches the allocator. A global operator-new hook (see
+// test_util.h) counts every allocation in the binary; the assertions
+// snapshot the counter tightly around the calls under test.
+#define LMKG_TEST_COUNT_ALLOCATIONS
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "core/lmkg_s.h"
+#include "encoding/query_encoder.h"
+#include "nn/tensor.h"
+#include "query/query.h"
+#include "sampling/workload.h"
+#include "test_util.h"
+
+namespace lmkg::encoding {
+namespace {
+
+using query::Query;
+using query::Topology;
+
+std::vector<Query> MakeWorkload(const rdf::Graph& graph,
+                                Topology topology, int size, size_t count,
+                                uint64_t seed) {
+  sampling::WorkloadGenerator generator(graph);
+  sampling::WorkloadGenerator::Options options;
+  options.topology = topology;
+  options.query_size = size;
+  options.count = count;
+  options.seed = seed;
+  std::vector<Query> queries;
+  for (auto& lq : generator.Generate(options))
+    queries.push_back(std::move(lq.query));
+  return queries;
+}
+
+class AllocationTest : public ::testing::Test {
+ protected:
+  AllocationTest()
+      : graph_(lmkg::testing::MakeRandomGraph(60, 6, 700, 11)),
+        stars_(MakeWorkload(graph_, Topology::kStar, 3, 24, 5)),
+        chains_(MakeWorkload(graph_, Topology::kChain, 3, 24, 6)) {
+    mixed_ = stars_;
+    mixed_.insert(mixed_.end(), chains_.begin(), chains_.end());
+  }
+
+  // Allocations performed by one EncodeBatch call after a warm-up call
+  // with the same inputs and output buffer.
+  size_t WarmedEncodeBatchAllocs(const QueryEncoder& encoder,
+                                 const std::vector<Query>& queries,
+                                 nn::Matrix* out) {
+    encoder.EncodeBatch(queries, out);  // warm-up: scratch + out sizing
+    const size_t before = lmkg::testing::AllocationCount();
+    encoder.EncodeBatch(queries, out);
+    return lmkg::testing::AllocationCount() - before;
+  }
+
+  rdf::Graph graph_;
+  std::vector<Query> stars_;
+  std::vector<Query> chains_;
+  std::vector<Query> mixed_;
+};
+
+TEST_F(AllocationTest, SgEncodeBatchIsAllocationFreeWhenWarm) {
+  auto encoder = MakeSgEncoder(graph_, 5, 4, TermEncoding::kBinary);
+  nn::Matrix out;
+  EXPECT_EQ(WarmedEncodeBatchAllocs(*encoder, stars_, &out), 0u);
+  EXPECT_EQ(WarmedEncodeBatchAllocs(*encoder, chains_, &out), 0u);
+  EXPECT_EQ(WarmedEncodeBatchAllocs(*encoder, mixed_, &out), 0u);
+}
+
+TEST_F(AllocationTest, SgEncodeBatchSparseIsAllocationFreeWhenWarm) {
+  auto encoder = MakeSgEncoder(graph_, 5, 4, TermEncoding::kBinary);
+  nn::SparseRows rows;
+  ASSERT_TRUE(encoder->EncodeBatchSparse(mixed_, &rows));  // warm-up
+  const size_t before = lmkg::testing::AllocationCount();
+  ASSERT_TRUE(encoder->EncodeBatchSparse(mixed_, &rows));
+  EXPECT_EQ(lmkg::testing::AllocationCount() - before, 0u);
+}
+
+TEST_F(AllocationTest, StarEncoderBatchIsAllocationFreeWhenWarm) {
+  auto encoder = MakeStarEncoder(graph_, 4, TermEncoding::kBinary);
+  nn::Matrix out;
+  EXPECT_EQ(WarmedEncodeBatchAllocs(*encoder, stars_, &out), 0u);
+}
+
+TEST_F(AllocationTest, ChainEncoderBatchIsAllocationFreeWhenWarm) {
+  auto encoder = MakeChainEncoder(graph_, 4, TermEncoding::kBinary);
+  nn::Matrix out;
+  EXPECT_EQ(WarmedEncodeBatchAllocs(*encoder, chains_, &out), 0u);
+}
+
+TEST_F(AllocationTest, AsChainIsAllocationFreeWithWarmScratch) {
+  query::ChainScratch scratch;
+  query::ChainView view;
+  ASSERT_TRUE(query::AsChain(chains_[0], &scratch, &view));  // warm-up
+  const size_t before = lmkg::testing::AllocationCount();
+  for (const Query& q : chains_) {
+    ASSERT_TRUE(query::AsChain(q, &scratch, &view));
+    ASSERT_EQ(view.size(), q.size());
+  }
+  EXPECT_EQ(lmkg::testing::AllocationCount() - before, 0u);
+}
+
+// End-to-end: a trained LMKG-S serving a warm batch allocates nothing —
+// encoder scratch, sparse input buffer, and every activation matrix in
+// the network are reused across batches.
+TEST_F(AllocationTest, LmkgSEstimateBatchIsAllocationFreeWhenWarm) {
+  core::LmkgSConfig config;
+  config.hidden_dim = 16;
+  config.epochs = 1;
+  config.dropout = 0.0;
+  core::LmkgS model(MakeSgEncoder(graph_, 5, 4, TermEncoding::kBinary),
+                    config);
+  sampling::WorkloadGenerator generator(graph_);
+  sampling::WorkloadGenerator::Options options;
+  options.topology = Topology::kStar;
+  options.query_size = 3;
+  options.count = 30;
+  options.seed = 9;
+  model.Train(generator.Generate(options));
+
+  std::vector<double> estimates(mixed_.size(), 0.0);
+  model.EstimateCardinalityBatch(mixed_, estimates);  // warm-up
+  const size_t before = lmkg::testing::AllocationCount();
+  model.EstimateCardinalityBatch(mixed_, estimates);
+  EXPECT_EQ(lmkg::testing::AllocationCount() - before, 0u);
+}
+
+}  // namespace
+}  // namespace lmkg::encoding

@@ -194,6 +194,90 @@ TEST(TensorPropertyTest, RowResultsIndependentOfBatchSize) {
   }
 }
 
+// SIMD-vs-scalar equivalence at the lane boundaries: the explicit
+// kernels (nn/simd.h — AVX-512/AVX2/NEON, scalar fallback) split every
+// row into a vector region and a scalar tail; these widths straddle
+// every split point (8/16-lane multiples ±1), so the vector body, the
+// narrower tiles, and the scalar tail all get exercised against the
+// naive reference.
+TEST(TensorPropertyTest, SimdKernelsMatchScalarAtLaneBoundaries) {
+  util::Pcg32 rng(81);
+  for (size_t n : {1u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u, 63u, 64u,
+                   65u, 127u, 128u, 129u}) {
+    for (double sparsity : {0.0, 0.9}) {
+      Matrix a = RandomMatrix(6, 40, sparsity, rng);
+      Matrix b = RandomMatrix(40, n, 0.0, rng);
+      Matrix expected = NaiveMatMul(a, b);
+      Matrix got;
+      MatMul(a, b, &got);
+      for (size_t i = 0; i < expected.size(); ++i)
+        ASSERT_NEAR(expected.data()[i], got.data()[i], 1e-4)
+            << "n=" << n << " sparsity=" << sparsity;
+    }
+  }
+}
+
+// The unit-valued sparse input path (estimation hot path) must be
+// bit-identical to the dense product of the equivalent 0/1 matrix —
+// add(w, acc) == fma(1.0, w, acc) exactly, and the ascending column
+// indices replay the dense kernels' accumulation order.
+TEST(TensorPropertyTest, MatMulSparseUnitBitEqualsDense) {
+  util::Pcg32 rng(82);
+  for (size_t n : {1u, 17u, 64u, 128u, 130u}) {
+    const size_t m = 9, k = 75;
+    Matrix dense(m, k);
+    SparseRows sparse;
+    sparse.Clear(k);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t l = 0; l < k; ++l) {
+        if (rng.NextDouble() < 0.12) {
+          dense.at(i, l) = 1.0f;
+          sparse.col.push_back(static_cast<uint32_t>(l));
+        }
+      }
+      sparse.row_begin.push_back(sparse.col.size());
+    }
+    Matrix b = RandomMatrix(k, n, 0.0, rng);
+    Matrix expected, got;
+    MatMul(dense, b, &expected);
+    MatMulSparseUnit(sparse, b, &got);
+    ASSERT_EQ(got.rows(), m);
+    ASSERT_EQ(got.cols(), n);
+    for (size_t i = 0; i < expected.size(); ++i)
+      ASSERT_EQ(expected.data()[i], got.data()[i]) << "n=" << n;
+  }
+}
+
+// Whole-network sparse-input forward == dense forward, bit for bit.
+TEST(LayerTest, SequentialForwardSparseInputBitEqualsDense) {
+  util::Pcg32 rng(83);
+  Sequential net;
+  net.Add(std::make_unique<Dense>(50, 24, rng));
+  net.Add(std::make_unique<Relu>());
+  net.Add(std::make_unique<Dense>(24, 1, rng));
+  net.Add(std::make_unique<Sigmoid>());
+
+  const size_t batch = 13;
+  Matrix dense(batch, 50);
+  SparseRows sparse;
+  sparse.Clear(50);
+  for (size_t i = 0; i < batch; ++i) {
+    for (size_t l = 0; l < 50; ++l) {
+      if (rng.NextDouble() < 0.15) {
+        dense.at(i, l) = 1.0f;
+        sparse.col.push_back(static_cast<uint32_t>(l));
+      }
+    }
+    sparse.row_begin.push_back(sparse.col.size());
+  }
+  Matrix expected = net.Forward(dense, /*training=*/false);  // copy
+  const Matrix& got = net.ForwardSparseInput(sparse);
+  ASSERT_EQ(got.rows(), batch);
+  ASSERT_EQ(got.cols(), 1u);
+  for (size_t i = 0; i < expected.size(); ++i)
+    ASSERT_EQ(expected.data()[i], got.data()[i]) << "row " << i;
+}
+
 TEST(TensorTest, ResizeZeroedClearsEveryElement) {
   Matrix m(3, 5);
   m.Fill(7.0f);

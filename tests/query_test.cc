@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "query/query.h"
 #include "query/sparql_parser.h"
 #include "test_util.h"
+#include "util/random.h"
 
 namespace lmkg::query {
 namespace {
@@ -78,29 +81,63 @@ TEST(TopologyTest, SinglePattern) {
 TEST(TopologyTest, Star) {
   Query q = MakeStarQuery(V(0), {{B(1), B(2)}, {B(2), V(1)}, {B(3), V(2)}});
   EXPECT_EQ(ClassifyTopology(q), Topology::kStar);
-  auto star = AsStar(q);
-  ASSERT_TRUE(star.has_value());
-  EXPECT_EQ(star->pairs.size(), 3u);
+  StarView star;
+  ASSERT_TRUE(AsStar(q, &star));
+  EXPECT_EQ(star.size(), 3u);
+  EXPECT_EQ(star.center(), V(0));
+  EXPECT_EQ(star.predicate(2), B(3));
+  EXPECT_EQ(star.object(1), V(1));
 }
 
 TEST(TopologyTest, Chain) {
   Query q = MakeChainQuery({V(0), V(1), V(2)}, {B(1), B(2)});
   EXPECT_EQ(ClassifyTopology(q), Topology::kChain);
-  auto chain = AsChain(q);
-  ASSERT_TRUE(chain.has_value());
-  EXPECT_EQ(chain->predicates.size(), 2u);
+  ChainScratch scratch;
+  ChainView chain;
+  ASSERT_TRUE(AsChain(q, &scratch, &chain));
+  EXPECT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain.num_nodes(), 3u);
 }
 
 TEST(TopologyTest, ChainDetectedWithShuffledPatternOrder) {
   Query q = MakeChainQuery({V(0), V(1), V(2), V(3)}, {B(1), B(2), B(3)});
   std::swap(q.patterns[0], q.patterns[2]);
   EXPECT_EQ(ClassifyTopology(q), Topology::kChain);
-  auto chain = AsChain(q);
-  ASSERT_TRUE(chain.has_value());
+  ChainScratch scratch;
+  ChainView chain;
+  ASSERT_TRUE(AsChain(q, &scratch, &chain));
   // Walk order restored.
-  EXPECT_EQ(chain->predicates[0], B(1));
-  EXPECT_EQ(chain->predicates[1], B(2));
-  EXPECT_EQ(chain->predicates[2], B(3));
+  EXPECT_EQ(chain.predicate(0), B(1));
+  EXPECT_EQ(chain.predicate(1), B(2));
+  EXPECT_EQ(chain.predicate(2), B(3));
+  EXPECT_EQ(chain.node(0), V(0));
+  EXPECT_EQ(chain.node(3), V(3));
+}
+
+TEST(TopologyTest, LongShuffledChainCanonicalizesIdentically) {
+  // A 300-pattern chain in a deterministic shuffled order: the O(k) hash
+  // head-detection must restore exactly the construction walk order (the
+  // pre-hash O(k^2) scan's answer) — both node and predicate sequences.
+  constexpr int kEdges = 300;
+  std::vector<PatternTerm> nodes, preds;
+  for (int i = 0; i <= kEdges; ++i) nodes.push_back(V(i));
+  for (int i = 0; i < kEdges; ++i)
+    preds.push_back(B(static_cast<rdf::TermId>(i + 1)));
+  Query q = MakeChainQuery(nodes, preds);
+  util::Pcg32 rng(99, /*stream=*/0xc4a1);
+  for (size_t i = q.patterns.size() - 1; i > 0; --i)
+    std::swap(q.patterns[i], q.patterns[rng.UniformInt(
+                                 static_cast<uint32_t>(i + 1))]);
+  ChainScratch scratch;
+  ChainView chain;
+  ASSERT_TRUE(AsChain(q, &scratch, &chain));
+  ASSERT_EQ(chain.size(), static_cast<size_t>(kEdges));
+  for (int i = 0; i < kEdges; ++i) {
+    EXPECT_EQ(chain.predicate(i), B(static_cast<rdf::TermId>(i + 1)))
+        << "predicate " << i;
+    EXPECT_EQ(chain.node(i), V(i)) << "node " << i;
+  }
+  EXPECT_EQ(chain.node(kEdges), V(kEdges));
 }
 
 TEST(TopologyTest, CompositeStarPlusChain) {
@@ -112,8 +149,11 @@ TEST(TopologyTest, CompositeStarPlusChain) {
   q.patterns = {t1, t2, t3};
   NormalizeVariables(&q);
   EXPECT_EQ(ClassifyTopology(q), Topology::kComposite);
-  EXPECT_FALSE(AsStar(q).has_value());
-  EXPECT_FALSE(AsChain(q).has_value());
+  StarView star;
+  EXPECT_FALSE(AsStar(q, &star));
+  ChainScratch scratch;
+  ChainView chain;
+  EXPECT_FALSE(AsChain(q, &scratch, &chain));
 }
 
 TEST(TopologyTest, CycleIsNotChain) {
@@ -123,7 +163,9 @@ TEST(TopologyTest, CycleIsNotChain) {
   TriplePattern t2{V(1), B(1), V(0)};
   q.patterns = {t1, t2};
   NormalizeVariables(&q);
-  EXPECT_FALSE(AsChain(q).has_value());
+  ChainScratch scratch;
+  ChainView chain;
+  EXPECT_FALSE(AsChain(q, &scratch, &chain));
   EXPECT_EQ(ClassifyTopology(q), Topology::kComposite);
 }
 

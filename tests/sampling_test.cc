@@ -216,9 +216,11 @@ TEST_F(WorkloadTest, GeneratesChainWorkload) {
   options.seed = 2;
   auto queries = generator.Generate(options);
   EXPECT_GT(queries.size(), 20u);
+  query::ChainScratch scratch;
   for (const auto& lq : queries) {
     EXPECT_EQ(lq.query.size(), 3u);
-    EXPECT_TRUE(query::AsChain(lq.query).has_value());
+    query::ChainView chain;
+    EXPECT_TRUE(query::AsChain(lq.query, &scratch, &chain));
   }
 }
 

@@ -8,6 +8,21 @@
 #include "rdf/graph.h"
 #include "util/random.h"
 
+// --- allocation counting (opt-in) -------------------------------------------
+// Define LMKG_TEST_COUNT_ALLOCATIONS before including this header (from
+// exactly ONE translation unit of the test binary — the replacements are
+// global) to install the counting operator new/delete hooks of
+// util/alloc_hooks.h. Used by tests/alloc_test.cc to pin the
+// zero-allocations-per-query property of the estimation hot path.
+#ifdef LMKG_TEST_COUNT_ALLOCATIONS
+#define LMKG_ENABLE_ALLOC_COUNT_HOOKS
+#include "util/alloc_hooks.h"
+
+namespace lmkg::testing {
+using lmkg::util::AllocationCount;
+}  // namespace lmkg::testing
+#endif  // LMKG_TEST_COUNT_ALLOCATIONS
+
 namespace lmkg::testing {
 
 /// A random directed multigraph-free graph with roughly `num_triples`
