@@ -1,28 +1,37 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate for the batched-inference benchmark.
+"""CI perf-regression gate for the serving-path benchmarks.
 
-Compares a fresh BENCH_batch_inference.json (written by
-bench_throughput_batch) against the committed baseline at
-bench/baselines/batch_inference_baseline.json and FAILS (exit 1) if
-batch-64 queries/sec drops more than --threshold (default 20%) below the
-baseline. The gate runs on the gcc Release CI leg; the 20% margin
-absorbs shared-runner noise while still catching real regressions like a
-de-vectorized kernel or a reintroduced per-query allocation.
+Two benchmark kinds are gated, auto-detected from the "bench" field of
+the result JSON:
 
-Refreshing the baseline
------------------------
-The committed baseline should track the class of machine CI runs on.
+  * batch_inference (bench_throughput_batch): batch-64 queries/sec
+    against bench/baselines/batch_inference_baseline.json
+  * serving (bench_serving): closed-loop 16-client qps of the gated
+    batcher config against bench/baselines/serving_baseline.json
+
+Either gate FAILS (exit 1) if the gated metric drops more than
+--threshold (default 20%) below its committed baseline. The gates run on
+the gcc Release CI leg; the 20% margin absorbs shared-runner noise while
+still catching real regressions like a de-vectorized kernel, a
+reintroduced per-query allocation, or a serving-layer lock added to the
+hot path.
+
+Refreshing a baseline
+---------------------
+The committed baselines should track the class of machine CI runs on.
 After a deliberate perf change (or a runner upgrade) lands on main:
 
-  1. Download the BENCH_batch_inference artifact from a green main run
+  1. Download the benchmark artifact from a green main run
      (Actions -> CI -> gcc-Release -> artifacts), or run locally:
        ./build/bench/bench_throughput_batch \
            --scale=0.01 --queries=40 --rounds=3 \
            --out=BENCH_batch_inference.json
-  2. Refresh and commit:
+       ./build/bench/bench_serving --smoke --out=BENCH_serving.json
+  2. Refresh and commit (the baseline path is picked from the JSON's
+     "bench" field):
        python3 scripts/check_bench_regression.py \
-           --update-baseline BENCH_batch_inference.json
-       git add bench/baselines/batch_inference_baseline.json
+           --update-baseline BENCH_serving.json
+       git add bench/baselines/
 
 Never refresh to paper over an unexplained drop — the gate exists to
 make that conversation happen on the PR.
@@ -35,7 +44,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BASELINE = REPO_ROOT / "bench" / "baselines" / "batch_inference_baseline.json"
+BASELINE_DIR = REPO_ROOT / "bench" / "baselines"
 GATED_BATCH_SIZE = 64
 
 
@@ -46,30 +55,110 @@ def qps_at(report: dict, batch_size: int) -> float:
     raise KeyError(f"no batched entry with batch_size={batch_size}")
 
 
+class BatchInferenceGate:
+    baseline_path = BASELINE_DIR / "batch_inference_baseline.json"
+    name = f"batch-{GATED_BATCH_SIZE} throughput"
+
+    @staticmethod
+    def gated_metric(report: dict) -> float:
+        return qps_at(report, GATED_BATCH_SIZE)
+
+    @staticmethod
+    def print_comparison(baseline: dict, result: dict) -> None:
+        print(f"{'batch':>8} {'baseline qps':>14} {'current qps':>14} "
+              f"{'ratio':>7}")
+        for entry in baseline.get("batched", []):
+            size = entry["batch_size"]
+            base = float(entry["qps"])
+            try:
+                cur = qps_at(result, size)
+            except KeyError:
+                print(f"{size:>8} {base:>14.0f} {'missing':>14} {'-':>7}")
+                continue
+            print(f"{size:>8} {base:>14.0f} {cur:>14.0f} "
+                  f"{cur / base:>7.2f}")
+
+
+class ServingGate:
+    baseline_path = BASELINE_DIR / "serving_baseline.json"
+    name = "closed-loop 16-client serving throughput"
+
+    @staticmethod
+    def gated_metric(report: dict) -> float:
+        return float(report["closed_loop_16_qps"])
+
+    @staticmethod
+    def print_comparison(baseline: dict, result: dict) -> None:
+        print(f"{'config/clients':>20} {'baseline qps':>14} "
+              f"{'current qps':>14} {'ratio':>7}")
+        current = {(e["config"], e["clients"]): float(e["qps"])
+                   for e in result.get("closed_loop", [])}
+        for entry in baseline.get("closed_loop", []):
+            key = (entry["config"], entry["clients"])
+            base = float(entry["qps"])
+            label = f"{key[0]}/{key[1]}"
+            cur = current.get(key)
+            if cur is None:
+                print(f"{label:>20} {base:>14.0f} {'missing':>14} "
+                      f"{'-':>7}")
+                continue
+            print(f"{label:>20} {base:>14.0f} {cur:>14.0f} "
+                  f"{cur / base:>7.2f}")
+        base_serial = baseline.get("serial_qps")
+        cur_serial = result.get("serial_qps")
+        if base_serial and cur_serial:
+            print(f"{'serial':>20} {base_serial:>14.0f} "
+                  f"{cur_serial:>14.0f} "
+                  f"{cur_serial / base_serial:>7.2f}")
+
+
+GATES = {
+    "batch_inference": BatchInferenceGate,
+    "serving": ServingGate,
+}
+
+
+def gate_for(report: dict, path: Path):
+    kind = report.get("bench")
+    if kind not in GATES:
+        print(f"ERROR: {path} has unknown bench kind {kind!r} "
+              f"(expected one of {sorted(GATES)})", file=sys.stderr)
+        sys.exit(2)
+    return GATES[kind]
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("result", nargs="?",
                         default="BENCH_batch_inference.json",
                         help="fresh benchmark JSON (default: %(default)s)")
-    parser.add_argument("--baseline", default=str(BASELINE),
-                        help="committed baseline JSON (default: %(default)s)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline JSON (default: picked "
+                             "from the result's bench kind)")
     parser.add_argument("--threshold", type=float, default=0.20,
-                        help="max allowed fractional drop at batch-%d "
-                             "(default: %%(default)s)" % GATED_BATCH_SIZE)
+                        help="max allowed fractional drop of the gated "
+                             "metric (default: %(default)s)")
     parser.add_argument("--update-baseline", metavar="RESULT_JSON",
-                        help="copy RESULT_JSON over the baseline and exit")
+                        help="copy RESULT_JSON over its kind's baseline "
+                             "and exit")
     args = parser.parse_args()
 
     if args.update_baseline:
         src = Path(args.update_baseline)
-        json.loads(src.read_text())  # refuse to commit malformed JSON
-        Path(args.baseline).parent.mkdir(parents=True, exist_ok=True)
-        shutil.copyfile(src, args.baseline)
-        print(f"baseline refreshed from {src} -> {args.baseline}")
+        report = json.loads(src.read_text())  # refuse malformed JSON
+        dest = Path(args.baseline) if args.baseline else gate_for(
+            report, src).baseline_path
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(src, dest)
+        print(f"baseline refreshed from {src} -> {dest}")
         return 0
 
-    result = json.loads(Path(args.result).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
+    result_path = Path(args.result)
+    result = json.loads(result_path.read_text())
+    gate = gate_for(result, result_path)
+    baseline_path = Path(args.baseline) if args.baseline \
+        else gate.baseline_path
+    baseline = json.loads(baseline_path.read_text())
 
     # Absolute qps is only comparable on the same machine class; the SIMD
     # ISA the kernels resolved to is the best proxy the JSON carries. On a
@@ -85,32 +174,21 @@ def main() -> int:
               f"class (see the header of this script).")
         return 0
 
-    print(f"{'batch':>8} {'baseline qps':>14} {'current qps':>14} "
-          f"{'ratio':>7}")
-    for entry in baseline.get("batched", []):
-        size = entry["batch_size"]
-        base = float(entry["qps"])
-        try:
-            cur = qps_at(result, size)
-        except KeyError:
-            print(f"{size:>8} {base:>14.0f} {'missing':>14} {'-':>7}")
-            continue
-        print(f"{size:>8} {base:>14.0f} {cur:>14.0f} {cur / base:>7.2f}")
+    gate.print_comparison(baseline, result)
 
-    gated_base = qps_at(baseline, GATED_BATCH_SIZE)
-    gated_cur = qps_at(result, GATED_BATCH_SIZE)
+    gated_base = gate.gated_metric(baseline)
+    gated_cur = gate.gated_metric(result)
     floor = gated_base * (1.0 - args.threshold)
     if gated_cur < floor:
-        print(f"\nFAIL: batch-{GATED_BATCH_SIZE} throughput "
-              f"{gated_cur:.0f} q/s is below the regression floor "
-              f"{floor:.0f} q/s ({gated_base:.0f} baseline - "
-              f"{args.threshold:.0%}).", file=sys.stderr)
+        print(f"\nFAIL: {gate.name} {gated_cur:.0f} q/s is below the "
+              f"regression floor {floor:.0f} q/s ({gated_base:.0f} "
+              f"baseline - {args.threshold:.0%}).", file=sys.stderr)
         print("If this drop is intended, refresh the baseline (see the "
               "header of this script).", file=sys.stderr)
         return 1
-    print(f"\nOK: batch-{GATED_BATCH_SIZE} throughput {gated_cur:.0f} q/s "
-          f">= floor {floor:.0f} q/s "
-          f"(baseline {gated_base:.0f}, threshold {args.threshold:.0%}).")
+    print(f"\nOK: {gate.name} {gated_cur:.0f} q/s >= floor {floor:.0f} "
+          f"q/s (baseline {gated_base:.0f}, threshold "
+          f"{args.threshold:.0%}).")
     return 0
 
 

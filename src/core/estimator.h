@@ -13,6 +13,13 @@ namespace lmkg::core {
 /// Common interface of every cardinality estimator in the repository —
 /// the two LMKG models, the framework facade, and all competitors
 /// (characteristic sets, SUMRDF, WanderJoin, JSUB, IMPR, MSCN).
+///
+/// Thread compatibility: estimators are NOT thread-safe — the estimation
+/// hot path reuses internal scratch (encoder buffers, network
+/// activations, sampling particles), so concurrent calls on one instance
+/// race. Concurrent serving goes through serving::EstimatorService,
+/// which owns one or more interchangeable replicas (train once,
+/// Save/Load into each) and serializes access per replica.
 class CardinalityEstimator {
  public:
   virtual ~CardinalityEstimator() = default;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/simd.h"
 #include "util/check.h"
 
 namespace lmkg::nn {
@@ -46,20 +47,51 @@ double QErrorLoss(const Matrix& pred, const std::vector<float>& target,
 }
 
 void Softmax(const Matrix& logits, Matrix* out) {
+  // Explicitly vectorized through nn/simd.h: this is the inner loop of
+  // LMKG-U's progressive sampling (ResMade::ConditionalProbs runs one
+  // softmax over the full term domain per sequence position per batch),
+  // where the exp/normalize sweep dominates the estimation profile. The
+  // max scan, exp+sum, and normalize passes all run kLanes wide;
+  // simd::Exp carries a pinned <= 1e-6 relative-error bound vs std::exp
+  // (see nn_test), and tail columns use simd::ExpScalar (same algorithm)
+  // so accuracy is uniform across a row.
   out->Resize(logits.rows(), logits.cols());
+  const size_t cols = logits.cols();
+  const size_t vec_cols = cols - cols % simd::kLanes;
   for (size_t i = 0; i < logits.rows(); ++i) {
     const float* x = logits.row(i);
     float* y = out->row(i);
-    float max_logit = x[0];
-    for (size_t j = 1; j < logits.cols(); ++j)
-      max_logit = std::max(max_logit, x[j]);
-    float sum = 0.0f;
-    for (size_t j = 0; j < logits.cols(); ++j) {
-      y[j] = std::exp(x[j] - max_logit);
+    float max_logit;
+    size_t j = 0;
+    if (vec_cols != 0) {
+      simd::Vec vmax = simd::Load(x);
+      for (j = simd::kLanes; j < vec_cols; j += simd::kLanes)
+        vmax = simd::Max(vmax, simd::Load(x + j));
+      max_logit = simd::ReduceMax(vmax);
+    } else {
+      max_logit = x[0];
+      j = 1;
+    }
+    for (; j < cols; ++j) max_logit = std::max(max_logit, x[j]);
+
+    const simd::Vec vshift = simd::Broadcast(max_logit);
+    simd::Vec vsum = simd::Zero();
+    for (j = 0; j < vec_cols; j += simd::kLanes) {
+      const simd::Vec e = simd::Exp(simd::Sub(simd::Load(x + j), vshift));
+      simd::Store(y + j, e);
+      vsum = simd::Add(vsum, e);
+    }
+    float sum = simd::ReduceAdd(vsum);
+    for (; j < cols; ++j) {
+      y[j] = simd::ExpScalar(x[j] - max_logit);
       sum += y[j];
     }
-    float inv = 1.0f / sum;
-    for (size_t j = 0; j < logits.cols(); ++j) y[j] *= inv;
+
+    const float inv = 1.0f / sum;
+    const simd::Vec vinv = simd::Broadcast(inv);
+    for (j = 0; j < vec_cols; j += simd::kLanes)
+      simd::Store(y + j, simd::Mul(simd::Load(y + j), vinv));
+    for (; j < cols; ++j) y[j] *= inv;
   }
 }
 

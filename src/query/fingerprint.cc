@@ -1,0 +1,144 @@
+#include "query/fingerprint.h"
+
+#include <algorithm>
+#include <array>
+
+namespace lmkg::query {
+
+namespace {
+
+// splitmix64 finalizer — the absorbed tokens are near-sequential term
+// ids, so each lane needs real avalanche mixing between tokens.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Two independently-mixed 64-bit lanes absorbed token by token. Order
+// matters (state chains through the mix), so the canonical emission order
+// is part of the fingerprint.
+class Hash128 {
+ public:
+  void Absorb(uint64_t token) {
+    hi_ = Mix64(hi_ ^ (token * 0x9e3779b97f4a7c15ull));
+    lo_ = Mix64(lo_ ^ (token * 0xc2b2ae3d27d4eb4full));
+  }
+  Fingerprint Done() const { return Fingerprint{hi_, lo_}; }
+
+ private:
+  uint64_t hi_ = 0x6a09e667f3bcc908ull;
+  uint64_t lo_ = 0xbb67ae8584caa73bull;
+};
+
+// Shape tags keep the three canonical branches in disjoint token spaces.
+enum : uint64_t { kTagStar = 1, kTagChain = 2, kTagOther = 3 };
+
+// Token of one pattern term under canonical variable renumbering:
+// variables get dense ids in order of first appearance in the emission
+// order (bit 62 separates the spaces), so isomorphic renamings tokenize
+// identically while distinct sharing structures stay distinct.
+uint64_t TermToken(const PatternTerm& t, std::vector<int>* var_map,
+                   int* next_var) {
+  if (!t.is_var()) return static_cast<uint64_t>(t.value);
+  int& mapped = (*var_map)[t.var];
+  if (mapped < 0) mapped = (*next_var)++;
+  return (uint64_t{1} << 62) |
+         static_cast<uint64_t>(static_cast<uint32_t>(mapped));
+}
+
+// Variable-independent structural sort key for the composite fallback:
+// bound terms order by id, every variable ties at the same key. Ties
+// (patterns differing only in variable ids) keep their original order —
+// best-effort, as documented in the header.
+std::array<uint64_t, 6> StructuralKey(const TriplePattern& t) {
+  auto part = [](const PatternTerm& term) -> std::array<uint64_t, 2> {
+    return term.is_var()
+               ? std::array<uint64_t, 2>{1, 0}
+               : std::array<uint64_t, 2>{0,
+                                         static_cast<uint64_t>(term.value)};
+  };
+  const auto s = part(t.s), p = part(t.p), o = part(t.o);
+  return {s[0], s[1], p[0], p[1], o[0], o[1]};
+}
+
+}  // namespace
+
+Fingerprint ComputeFingerprint(const Query& q,
+                               FingerprintScratch* scratch) {
+  Hash128 hash;
+  scratch->var_map.assign(static_cast<size_t>(std::max(q.num_vars, 0)),
+                          -1);
+  int next_var = 0;
+
+  StarView star;
+  if (AsStar(q, &star)) {
+    hash.Absorb(kTagStar);
+    hash.Absorb(star.size());
+    // Canonical (p, o) pair order — the exact ordering the encoders and
+    // LMKG-U term sequences use, so cache equivalence classes match the
+    // estimators' (equal fingerprint => identical encoder input =>
+    // identical estimate).
+    CanonicalStarOrder(star, &scratch->order);
+    hash.Absorb(TermToken(star.center(), &scratch->var_map, &next_var));
+    for (size_t i = 0; i < star.size(); ++i) {
+      const int pair = scratch->order[i];
+      hash.Absorb(
+          TermToken(star.predicate(pair), &scratch->var_map, &next_var));
+      hash.Absorb(
+          TermToken(star.object(pair), &scratch->var_map, &next_var));
+    }
+    return hash.Done();
+  }
+
+  ChainView chain;
+  if (AsChain(q, &scratch->chain, &chain)) {
+    hash.Absorb(kTagChain);
+    hash.Absorb(chain.size());
+    // Walk order is unique (single head), so any pattern shuffle and any
+    // variable renaming of the same chain emits the same token stream.
+    for (size_t i = 0; i < chain.size(); ++i) {
+      hash.Absorb(TermToken(chain.node(i), &scratch->var_map, &next_var));
+      hash.Absorb(
+          TermToken(chain.predicate(i), &scratch->var_map, &next_var));
+    }
+    hash.Absorb(
+        TermToken(chain.node(chain.size()), &scratch->var_map, &next_var));
+    return hash.Done();
+  }
+
+  // Composite fallback: patterns sorted by a variable-independent
+  // structural key, variables renumbered in that emission order. Sound
+  // (different queries emit different streams) but only best-effort
+  // canonical — see the header.
+  hash.Absorb(kTagOther);
+  hash.Absorb(q.patterns.size());
+  scratch->order.resize(q.patterns.size());
+  for (size_t i = 0; i < q.patterns.size(); ++i)
+    scratch->order[i] = static_cast<int>(i);
+  // std::sort with the original index as tie-break reproduces
+  // stable_sort's order without its temporary-buffer allocation (the
+  // "allocation-free once warm" contract covers every shape).
+  std::sort(scratch->order.begin(), scratch->order.end(),
+            [&](int a, int b) {
+              const auto key_a = StructuralKey(q.patterns[a]);
+              const auto key_b = StructuralKey(q.patterns[b]);
+              if (key_a != key_b) return key_a < key_b;
+              return a < b;
+            });
+  for (int index : scratch->order) {
+    const TriplePattern& t = q.patterns[index];
+    hash.Absorb(TermToken(t.s, &scratch->var_map, &next_var));
+    hash.Absorb(TermToken(t.p, &scratch->var_map, &next_var));
+    hash.Absorb(TermToken(t.o, &scratch->var_map, &next_var));
+  }
+  return hash.Done();
+}
+
+Fingerprint ComputeFingerprint(const Query& q) {
+  FingerprintScratch scratch;
+  return ComputeFingerprint(q, &scratch);
+}
+
+}  // namespace lmkg::query

@@ -1,0 +1,68 @@
+#ifndef LMKG_QUERY_FINGERPRINT_H_
+#define LMKG_QUERY_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+
+namespace lmkg::query {
+
+/// 128-bit canonical fingerprint of a query: two queries that are equal
+/// up to pattern order and variable renaming (for the star/chain shapes
+/// the estimators canonicalize) produce the SAME fingerprint; semantically
+/// different queries produce different fingerprints except for 128-bit
+/// hash collisions (~2^-64 birthday bound at any realistic cache size) —
+/// the serving result cache keys on this, so equality must imply
+/// same-estimate.
+///
+/// Canonicalization reuses the shared star/chain canonical forms of
+/// query.h (the exact orderings the encoders and LMKG-U sequences use, so
+/// the cache's equivalence classes match the estimators'):
+///   * stars hash center + (p, o) pairs in CanonicalStarOrder,
+///   * chains hash nodes/predicates in AsChain walk order,
+///   * everything else hashes patterns sorted by a variable-independent
+///     structural key (best-effort: shuffled composite queries with
+///     renamed variables may MISS — never falsely collide — and
+///     composites only reach the estimators through decomposition
+///     anyway).
+/// Variables are renumbered by first appearance in the canonical emission
+/// order, so isomorphic renamings hash identically; var_names never
+/// contribute.
+struct Fingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Hash functor for unordered containers: the fingerprint IS already a
+/// high-quality hash, so a lane of it is the bucket index.
+struct FingerprintHasher {
+  size_t operator()(const Fingerprint& fp) const {
+    return static_cast<size_t>(fp.lo);
+  }
+};
+
+/// Reusable scratch for ComputeFingerprint: chain detection storage plus
+/// the canonical-order and variable-renaming buffers. A warm scratch
+/// (capacity >= the largest query seen) makes fingerprinting
+/// allocation-free; hot paths hold one per thread and reuse it.
+struct FingerprintScratch {
+  ChainScratch chain;
+  std::vector<int> order;    // canonical pattern/pair order
+  std::vector<int> var_map;  // var id -> canonical id (-1 = unassigned)
+};
+
+/// Computes the canonical fingerprint of `q`. Allocation-free once
+/// `scratch` is warm.
+Fingerprint ComputeFingerprint(const Query& q, FingerprintScratch* scratch);
+
+/// Convenience overload with a throwaway scratch (allocates; fine off the
+/// hot path).
+Fingerprint ComputeFingerprint(const Query& q);
+
+}  // namespace lmkg::query
+
+#endif  // LMKG_QUERY_FINGERPRINT_H_

@@ -1,0 +1,193 @@
+#include "serving/estimator_service.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lmkg::serving {
+
+namespace {
+
+ServiceConfig Sanitize(ServiceConfig config) {
+  config.max_batch_size = std::max<size_t>(config.max_batch_size, 1);
+  return config;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::micro>(now - start).count();
+}
+
+}  // namespace
+
+EstimatorService::EstimatorService(
+    std::vector<std::unique_ptr<core::CardinalityEstimator>> replicas,
+    const ServiceConfig& config)
+    : config_(Sanitize(config)),
+      replicas_(std::move(replicas)),
+      // From config_ (declared before cache_), so Sanitize clamps apply.
+      cache_(
+          QueryCacheConfig{config_.cache_capacity, config_.cache_shards}) {
+  LMKG_CHECK(!replicas_.empty()) << "EstimatorService needs >= 1 replica";
+  replica_mus_.reserve(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i)
+    replica_mus_.push_back(std::make_unique<std::mutex>());
+  const size_t num_workers =
+      config_.num_workers > 0 ? config_.num_workers : replicas_.size();
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i)
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+EstimatorService::~EstimatorService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool EstimatorService::TryCache(const query::Query& q, Request* request,
+                                double* estimate) {
+  if (!cache_.enabled()) return false;
+  // Per-thread scratch keeps fingerprinting allocation-free once warm
+  // without a lock; the scratch holds no cross-call state.
+  thread_local query::FingerprintScratch scratch;
+  request->fp = query::ComputeFingerprint(q, &scratch);
+  request->cacheable = true;
+  if (cache_.Lookup(request->fp, estimate)) {
+    stats_.RecordCacheHit();
+    stats_.RecordRequest(MicrosSince(request->enqueue_time,
+                                     std::chrono::steady_clock::now()));
+    return true;
+  }
+  stats_.RecordCacheMiss();
+  return false;
+}
+
+double EstimatorService::Estimate(const query::Query& q) {
+  Request request;
+  request.enqueue_time = std::chrono::steady_clock::now();
+  double estimate = 0.0;
+  if (TryCache(q, &request, &estimate)) return estimate;
+  request.query = &q;  // the caller blocks here, so no copy is needed
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    LMKG_CHECK(!stop_) << "Estimate on a shut-down EstimatorService";
+    queue_.push_back(&request);
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [&] {
+    return request.done.load(std::memory_order_acquire);
+  });
+  return request.result;
+}
+
+std::future<double> EstimatorService::EstimateAsync(const query::Query& q) {
+  auto* request = new Request;
+  request->enqueue_time = std::chrono::steady_clock::now();
+  request->promise.emplace();
+  std::future<double> future = request->promise->get_future();
+  double estimate = 0.0;
+  if (TryCache(q, request, &estimate)) {
+    request->promise->set_value(estimate);
+    delete request;
+    return future;
+  }
+  request->owned_query = q;  // the caller may return before completion
+  request->query = &request->owned_query;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    LMKG_CHECK(!stop_) << "EstimateAsync on a shut-down EstimatorService";
+    queue_.push_back(request);
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void EstimatorService::Complete(
+    Request* request, double value,
+    std::chrono::steady_clock::time_point now) {
+  if (request->cacheable) cache_.Insert(request->fp, value);
+  stats_.RecordRequest(MicrosSince(request->enqueue_time, now));
+  if (request->promise.has_value()) {
+    request->promise->set_value(value);
+    delete request;  // async requests are service-owned
+  } else {
+    request->result = value;
+    request->done.store(true, std::memory_order_release);
+  }
+}
+
+void EstimatorService::WorkerLoop(size_t worker_index) {
+  core::CardinalityEstimator* replica =
+      replicas_[worker_index % replicas_.size()].get();
+  std::mutex& replica_mu = *replica_mus_[worker_index % replicas_.size()];
+  const auto delay = std::chrono::microseconds(config_.max_queue_delay_us);
+
+  // Reused batch buffers: Query assignment recycles pattern capacity, so
+  // steady-state assembly cost is a few memcpys per request.
+  std::vector<Request*> batch;
+  std::vector<query::Query> queries;
+  std::vector<double> results;
+
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      if (config_.max_queue_delay_us > 0 && !stop_ &&
+          queue_.size() < config_.max_batch_size) {
+        // Micro-batch coalescing window: hold the batch open until it
+        // fills or the oldest pending request hits its delay budget —
+        // whichever comes first. Shutdown dispatches immediately.
+        const auto deadline = queue_.front()->enqueue_time + delay;
+        queue_cv_.wait_until(lock, deadline, [&] {
+          return stop_ || queue_.empty() ||
+                 queue_.size() >= config_.max_batch_size;
+        });
+        if (queue_.empty()) continue;  // another worker claimed them
+      }
+      const size_t n = std::min(queue_.size(), config_.max_batch_size);
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(queue_.front());
+        queue_.pop_front();
+      }
+      // Leftover requests can start filling another worker's batch now.
+      if (!queue_.empty()) queue_cv_.notify_one();
+    }
+
+    queries.resize(batch.size());
+    results.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+      queries[i] = *batch[i]->query;
+    {
+      // Estimators are not thread-safe (reused encode/forward scratch);
+      // workers sharing a replica serialize here.
+      std::lock_guard<std::mutex> model_lock(replica_mu);
+      replica->EstimateCardinalityBatch(queries, results);
+    }
+    stats_.RecordBatch(batch.size());
+
+    const auto now = std::chrono::steady_clock::now();
+    bool any_blocking = false;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      any_blocking |= !batch[i]->promise.has_value();
+      Complete(batch[i], results[i], now);
+    }
+    if (any_blocking) {
+      // The empty critical section pairs with the waiter's predicate
+      // check under done_mu_, closing the store-then-sleep race; one
+      // notify_all wakes every caller the batch carried.
+      { std::lock_guard<std::mutex> wake(done_mu_); }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lmkg::serving

@@ -1,0 +1,146 @@
+#ifndef LMKG_SERVING_ESTIMATOR_SERVICE_H_
+#define LMKG_SERVING_ESTIMATOR_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/estimator.h"
+#include "query/fingerprint.h"
+#include "query/query.h"
+#include "serving/query_cache.h"
+#include "serving/serving_stats.h"
+
+namespace lmkg::serving {
+
+/// Tuning knobs of the serving layer. The defaults suit a closed-loop
+/// optimizer workload (tens of concurrent plan-pricing clients, repeated
+/// candidate queries); see the README "Serving" section for how the knobs
+/// trade latency against batch fill.
+struct ServiceConfig {
+  /// A batch dispatches as soon as this many requests are pending...
+  size_t max_batch_size = 64;
+  /// ...or once the oldest pending request has waited this long,
+  /// whichever comes first. 0 = dispatch immediately with whatever is
+  /// queued ("greedy"): under concurrent load batches still fill
+  /// naturally with the requests that arrived while the previous batch
+  /// was computing, without the idle-window latency tax.
+  size_t max_queue_delay_us = 0;
+  /// Worker threads draining the request queue. 0 = one per replica.
+  /// Workers map to replicas round-robin; workers sharing a replica
+  /// serialize on its mutex (estimators are not thread-safe), so extra
+  /// workers only help when they have their own replica or the batch
+  /// assembly overlaps usefully.
+  size_t num_workers = 0;
+  /// Result-cache entries across all shards; 0 disables the cache.
+  size_t cache_capacity = 0;
+  size_t cache_shards = 8;
+};
+
+/// Thread-safe serving front for any core::CardinalityEstimator:
+/// concurrent callers submit single queries (blocking Estimate or
+/// future-based EstimateAsync); a dynamic micro-batcher coalesces pending
+/// requests into batches; worker threads drain them through the
+/// estimator's EstimateCardinalityBatch fast path, optionally across
+/// multiple model replicas for shard parallelism. A sharded
+/// query-fingerprint LRU cache in front of the batcher short-circuits
+/// repeated queries, and a ServingStats collector tracks end-to-end
+/// latency percentiles, achieved qps, batch fill, and cache hit rate.
+///
+/// The micro-batcher is cooperative: there is no dedicated batcher
+/// thread. An idle worker claims the queue, holds it open until
+/// max_batch_size requests are pending or the oldest has waited
+/// max_queue_delay_us (whichever first, per ServiceConfig), then drains
+/// up to max_batch_size requests as one EstimateCardinalityBatch call.
+///
+/// Determinism: with a deterministic estimator (LMKG-S — batch results
+/// are pinned bit-identical to per-query results), every response equals
+/// the serial per-query path regardless of batching, scheduling, or
+/// cache hits; tests/serving_test.cc pins this under a K-thread stress.
+/// Sampling estimators (LMKG-U, WanderJoin) consume their RNG in
+/// dispatch order, so concurrent serving reorders their draws and a
+/// cache hit replays the first estimate — sampling-noise-level effects;
+/// disable the cache if replay matters.
+///
+/// Ownership: the service owns its replicas and must outlive every
+/// outstanding future. Destruction drains the queue (all futures
+/// complete) before joining the workers.
+class EstimatorService {
+ public:
+  /// `replicas` are interchangeable models of the SAME estimator (e.g.
+  /// one trained LmkgS serialized and loaded R times); at least one.
+  EstimatorService(
+      std::vector<std::unique_ptr<core::CardinalityEstimator>> replicas,
+      const ServiceConfig& config);
+  ~EstimatorService();
+
+  EstimatorService(const EstimatorService&) = delete;
+  EstimatorService& operator=(const EstimatorService&) = delete;
+
+  /// Blocking single-query estimate: enqueues, waits for the batch that
+  /// carries it, returns the estimate. Safe from any number of threads.
+  /// The request rides the caller's stack — no allocation beyond the
+  /// batch assembly copy.
+  double Estimate(const query::Query& q);
+
+  /// Future-based variant: copies `q`, returns immediately. The future
+  /// resolves when the carrying batch completes (or on shutdown drain).
+  std::future<double> EstimateAsync(const query::Query& q);
+
+  /// Counters + latency percentiles since construction or ResetStats.
+  ServingStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  /// Not safe against concurrent Estimate calls; quiesce first.
+  void ResetStats() { stats_.Reset(); }
+
+  size_t num_workers() const { return workers_.size(); }
+  size_t num_replicas() const { return replicas_.size(); }
+
+ private:
+  struct Request {
+    const query::Query* query = nullptr;  // caller-owned or &owned_query
+    query::Query owned_query;             // async path keeps its own copy
+    query::Fingerprint fp;
+    bool cacheable = false;
+    std::chrono::steady_clock::time_point enqueue_time;
+    // Exactly one completion channel: async requests carry a promise
+    // (service-owned, deleted after fulfillment); blocking requests live
+    // on the caller's stack and wait on done_cv_ for `done`.
+    std::optional<std::promise<double>> promise;
+    std::atomic<bool> done{false};
+    double result = 0.0;
+  };
+
+  // True and fills *estimate on a cache hit (records stats).
+  bool TryCache(const query::Query& q, Request* request, double* estimate);
+  void WorkerLoop(size_t worker_index);
+  // Fulfills one request with `value` (cache insert + latency stats).
+  void Complete(Request* request, double value,
+                std::chrono::steady_clock::time_point now);
+
+  const ServiceConfig config_;
+  std::vector<std::unique_ptr<core::CardinalityEstimator>> replicas_;
+  std::vector<std::unique_ptr<std::mutex>> replica_mus_;
+  QueryCache cache_;
+  ServingStats stats_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;   // workers wait for requests
+  std::deque<Request*> queue_;
+  bool stop_ = false;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;    // blocking callers wait here
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lmkg::serving
+
+#endif  // LMKG_SERVING_ESTIMATOR_SERVICE_H_

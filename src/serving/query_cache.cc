@@ -1,0 +1,65 @@
+#include "serving/query_cache.h"
+
+#include <algorithm>
+
+namespace lmkg::serving {
+
+QueryCache::QueryCache(const QueryCacheConfig& config) {
+  if (config.capacity == 0) return;
+  size_t num_shards = 1;
+  while (num_shards < std::max<size_t>(config.shards, 1)) num_shards *= 2;
+  // Every shard must hold at least one entry or Insert could evict the
+  // entry it just added.
+  per_shard_capacity_ =
+      std::max<size_t>(1, (config.capacity + num_shards - 1) / num_shards);
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+bool QueryCache::Lookup(const query::Fingerprint& fp, double* value) {
+  if (!enabled()) return false;
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(fp);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *value = it->second->value;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void QueryCache::Insert(const query::Fingerprint& fp, double value) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(fp);
+  if (it != shard.index.end()) {
+    // Concurrent in-flight duplicates both insert; keep the newest value
+    // (identical for deterministic estimators) and refresh recency.
+    it->second->value = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().fp);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Entry{fp, value});
+  shard.index.emplace(fp, shard.lru.begin());
+}
+
+size_t QueryCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace lmkg::serving

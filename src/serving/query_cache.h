@@ -1,0 +1,85 @@
+#ifndef LMKG_SERVING_QUERY_CACHE_H_
+#define LMKG_SERVING_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "query/fingerprint.h"
+
+namespace lmkg::serving {
+
+struct QueryCacheConfig {
+  /// Total entries across all shards; 0 disables the cache.
+  size_t capacity = 4096;
+  /// Number of independently-locked shards (rounded up to a power of
+  /// two). More shards = less lock contention between client threads.
+  size_t shards = 8;
+};
+
+/// Sharded LRU cache from canonical query fingerprint to cardinality
+/// estimate — the short-circuit in front of the micro-batcher for
+/// repeated workload queries. A fingerprint's lanes pick the shard and
+/// the bucket, so two lookups of distinct queries rarely touch the same
+/// mutex; within a shard, a std::list holds LRU order and an
+/// unordered_map points into it.
+///
+/// Correctness leans on query::Fingerprint's contract: equal fingerprints
+/// imply estimator-identical queries (up to the 128-bit collision bound),
+/// so a hit may be served without re-checking the full query. Entries are
+/// estimates, which for deterministic estimators (LMKG-S) exactly equal a
+/// fresh computation; for sampling estimators a hit replays the first
+/// computed estimate.
+class QueryCache {
+ public:
+  explicit QueryCache(const QueryCacheConfig& config);
+
+  bool enabled() const { return !shards_.empty(); }
+
+  /// True and fills *value if present (the entry becomes most recent).
+  bool Lookup(const query::Fingerprint& fp, double* value);
+
+  /// Inserts or refreshes fp -> value, evicting the shard's LRU entry at
+  /// capacity.
+  void Insert(const query::Fingerprint& fp, double value);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  size_t size() const;
+
+ private:
+  struct Entry {
+    query::Fingerprint fp;
+    double value;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<query::Fingerprint, std::list<Entry>::iterator,
+                       query::FingerprintHasher>
+        index;
+  };
+
+  Shard& ShardFor(const query::Fingerprint& fp) {
+    // lo feeds the in-shard buckets (FingerprintHasher); hi picks the
+    // shard so the two decisions stay independent.
+    return *shards_[fp.hi & shard_mask_];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
+  size_t per_shard_capacity_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace lmkg::serving
+
+#endif  // LMKG_SERVING_QUERY_CACHE_H_

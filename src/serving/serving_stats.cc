@@ -1,0 +1,44 @@
+#include "serving/serving_stats.h"
+
+namespace lmkg::serving {
+
+ServingStatsSnapshot ServingStats::Snapshot() const {
+  ServingStatsSnapshot snap;
+  snap.requests = requests_.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.batched_requests =
+      batched_requests_.load(std::memory_order_relaxed);
+  snap.window_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    window_start_)
+          .count();
+  if (snap.window_seconds > 0.0)
+    snap.qps = static_cast<double>(snap.requests) / snap.window_seconds;
+  if (snap.batches > 0)
+    snap.mean_batch_fill = static_cast<double>(snap.batched_requests) /
+                           static_cast<double>(snap.batches);
+  const uint64_t looked_up = snap.cache_hits + snap.cache_misses;
+  if (looked_up > 0)
+    snap.cache_hit_rate = static_cast<double>(snap.cache_hits) /
+                          static_cast<double>(looked_up);
+  snap.p50_us = latency_.PercentileUs(0.50);
+  snap.p95_us = latency_.PercentileUs(0.95);
+  snap.p99_us = latency_.PercentileUs(0.99);
+  snap.mean_us = latency_.MeanUs();
+  snap.max_us = latency_.MaxUs();
+  return snap;
+}
+
+void ServingStats::Reset() {
+  latency_.Reset();
+  requests_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  batched_requests_.store(0, std::memory_order_relaxed);
+  window_start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace lmkg::serving

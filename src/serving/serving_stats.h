@@ -1,0 +1,75 @@
+#ifndef LMKG_SERVING_SERVING_STATS_H_
+#define LMKG_SERVING_SERVING_STATS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/histogram.h"
+
+namespace lmkg::serving {
+
+/// One consistent-enough view of a ServingStats collector: counters,
+/// derived rates, and latency percentiles over the observation window
+/// (construction or the last Reset to the Snapshot call).
+struct ServingStatsSnapshot {
+  uint64_t requests = 0;         // completed requests (hits + batched)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;     // requests that went through the batcher
+  uint64_t batches = 0;          // batches dispatched to an estimator
+  uint64_t batched_requests = 0; // requests summed over those batches
+  double window_seconds = 0.0;
+
+  double qps = 0.0;              // requests / window_seconds
+  double mean_batch_fill = 0.0;  // batched_requests / batches
+  double cache_hit_rate = 0.0;   // hits / (hits + misses)
+
+  // End-to-end request latency (submit to result), microseconds.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Thread-safe serving metrics collector: per-request end-to-end latency
+/// into a fixed-bucket util::LatencyHistogram plus wait-free counters for
+/// throughput, batch fill, and cache effectiveness. Record* methods are
+/// called concurrently from client and worker threads; Snapshot is cheap
+/// enough to poll. Reset is not safe against concurrent recording —
+/// quiesce first (the bench resets between timed sections).
+class ServingStats {
+ public:
+  ServingStats() { Reset(); }
+
+  void RecordRequest(double latency_us) {
+    latency_.Record(latency_us);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordCacheHit() {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordBatch(size_t fill) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(fill, std::memory_order_relaxed);
+  }
+
+  ServingStatsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  util::LatencyHistogram latency_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  std::chrono::steady_clock::time_point window_start_;
+};
+
+}  // namespace lmkg::serving
+
+#endif  // LMKG_SERVING_SERVING_STATS_H_

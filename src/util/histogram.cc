@@ -1,0 +1,85 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmkg::util {
+
+namespace {
+
+// 12 buckets per decade: index = floor(log10(us) * 12).
+constexpr double kBucketsPerDecade = 12.0;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() { Reset(); }
+
+void LatencyHistogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketIndex(double us) {
+  if (!(us > 1.0)) return 0;  // sub-microsecond (and NaN) -> bucket 0
+  const double idx = std::log10(us) * kBucketsPerDecade;
+  if (idx >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+double LatencyHistogram::BucketLowerUs(size_t index) {
+  return std::pow(10.0, static_cast<double>(index) / kBucketsPerDecade);
+}
+
+void LatencyHistogram::Record(double us) {
+  if (!(us >= 0.0)) us = 0.0;  // clamp NaN/negative clock glitches
+  counts_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t ns = static_cast<uint64_t>(us * 1e3);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  return total_count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::PercentileUs(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  // Rank of the target sample, 1-based.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Geometric midpoint of [lower, upper); bucket 0 reports its upper
+      // bound region midpoint as well (lower bound is 1 us by
+      // construction, sub-us samples round up harmlessly).
+      const double lower = BucketLowerUs(i);
+      const double upper = BucketLowerUs(i + 1);
+      return std::sqrt(lower * upper);
+    }
+  }
+  return MaxUs();
+}
+
+double LatencyHistogram::MeanUs() const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+         1e3 / static_cast<double>(total);
+}
+
+double LatencyHistogram::MaxUs() const {
+  return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e3;
+}
+
+}  // namespace lmkg::util

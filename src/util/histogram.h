@@ -1,0 +1,60 @@
+#ifndef LMKG_UTIL_HISTOGRAM_H_
+#define LMKG_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lmkg::util {
+
+/// Fixed-bucket latency histogram for the serving subsystem: geometric
+/// buckets spanning 1 microsecond to ~100 seconds (12 buckets per decade,
+/// ratio 10^(1/12) ~ 1.21, so a reported percentile is within ~10% of the
+/// true value — plenty for p50/p95/p99 serving dashboards).
+///
+/// Record is wait-free (one relaxed fetch_add per call plus a CAS loop
+/// for the max) so concurrent request threads never serialize on the
+/// collector; readers (Percentile/Mean) see a consistent-enough snapshot
+/// for monitoring without stopping the world. Reset is NOT safe against
+/// concurrent Record — quiesce the service first (the bench does).
+class LatencyHistogram {
+ public:
+  /// 8 decades x 12 buckets: bucket i covers [r^i, r^{i+1}) microseconds
+  /// with r = 10^(1/12); bucket 0 additionally absorbs sub-microsecond
+  /// samples and the last bucket absorbs everything above ~100 s.
+  static constexpr size_t kBuckets = 96;
+
+  LatencyHistogram();
+
+  /// Records one sample, in microseconds. Thread-safe, wait-free.
+  void Record(double us);
+
+  /// Total samples recorded.
+  uint64_t TotalCount() const;
+
+  /// Approximate value at quantile `p` in [0, 1]: the geometric midpoint
+  /// of the bucket holding the p-th sample (0 when empty).
+  double PercentileUs(double p) const;
+
+  /// Exact mean of the recorded samples (sums are kept in nanoseconds).
+  double MeanUs() const;
+
+  /// Largest recorded sample (exact, via CAS max).
+  double MaxUs() const;
+
+  /// Clears all buckets. Not safe against concurrent Record.
+  void Reset();
+
+ private:
+  static size_t BucketIndex(double us);
+  static double BucketLowerUs(size_t index);
+
+  std::atomic<uint64_t> counts_[kBuckets];
+  std::atomic<uint64_t> total_count_;
+  std::atomic<uint64_t> sum_ns_;
+  std::atomic<uint64_t> max_ns_;
+};
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_HISTOGRAM_H_

@@ -3,7 +3,50 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/check.h"
+
 namespace lmkg::util {
+
+namespace {
+
+// Debug-build reentrancy detection: records which pool (if any) the
+// current thread is executing a body for (worker or participating
+// submitter). A nested ParallelFor on the SAME pool would deadlock on
+// submit_mu_; the check turns that silent hang into an immediate
+// failure. Nesting across two different pools is deadlock-free (their
+// locks are independent) and stays allowed — the save/restore scope
+// keeps the outer pool's mark intact. Thread-local so concurrent
+// submitters on different threads (which the pool supports) don't trip
+// each other.
+#ifndef NDEBUG
+thread_local const void* tls_in_body_of_pool = nullptr;
+
+class ScopedBodyFlag {
+ public:
+  explicit ScopedBodyFlag(const void* pool)
+      : previous_(tls_in_body_of_pool) {
+    tls_in_body_of_pool = pool;
+  }
+  ~ScopedBodyFlag() { tls_in_body_of_pool = previous_; }
+  ScopedBodyFlag(const ScopedBodyFlag&) = delete;
+  ScopedBodyFlag& operator=(const ScopedBodyFlag&) = delete;
+
+ private:
+  const void* previous_;
+};
+
+#define LMKG_PARALLEL_FOR_REENTRANCY_CHECK()                               \
+  LMKG_CHECK(tls_in_body_of_pool != this)                                  \
+      << "ThreadPool::ParallelFor is not reentrant: called from inside a " \
+         "body running on the same pool (nested data-parallel loops "      \
+         "deadlock on the pool); hoist the inner loop or run it serially"
+#define LMKG_PARALLEL_FOR_BODY_SCOPE() ScopedBodyFlag scoped_body_flag(this)
+#else
+#define LMKG_PARALLEL_FOR_REENTRANCY_CHECK() ((void)0)
+#define LMKG_PARALLEL_FOR_BODY_SCOPE() ((void)0)
+#endif
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   threads_.reserve(num_threads);
@@ -34,7 +77,10 @@ void ThreadPool::WorkerLoop() {
       chunks_.pop_back();
       ++in_flight_;
       lock.unlock();
-      (*body_)(chunk.begin, chunk.end);
+      {
+        LMKG_PARALLEL_FOR_BODY_SCOPE();
+        (*body_)(chunk.begin, chunk.end);
+      }
       lock.lock();
       --in_flight_;
     }
@@ -45,11 +91,17 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
                              const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;
+  // The inline path below never touches the pool's locks, but the
+  // contract bans ANY nested call: whether a given call takes the inline
+  // or the parallel path depends on n and the pool size, so a nested call
+  // that happens to run inline today is a deadlock after a resize.
+  LMKG_PARALLEL_FOR_REENTRANCY_CHECK();
   min_chunk = std::max<size_t>(min_chunk, 1);
   const size_t max_chunks = threads_.empty() ? 1 : threads_.size() + 1;
   const size_t num_chunks =
       std::min(max_chunks, (n + min_chunk - 1) / min_chunk);
   if (num_chunks <= 1 || threads_.empty()) {
+    LMKG_PARALLEL_FOR_BODY_SCOPE();
     body(0, n);
     return;
   }
@@ -74,7 +126,10 @@ void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
     chunks_.pop_back();
     ++in_flight_;
     lock.unlock();
-    body(chunk.begin, chunk.end);
+    {
+      LMKG_PARALLEL_FOR_BODY_SCOPE();
+      body(chunk.begin, chunk.end);
+    }
     lock.lock();
     --in_flight_;
   }

@@ -36,7 +36,14 @@ class ThreadPool {
   /// instead of paying the hand-off latency. Blocks until done.
   /// Concurrent submitters are serialized (the pool runs one job at a
   /// time), so e.g. two threads computing large MatMuls stay correct.
-  /// Not reentrant: do not call ParallelFor from inside a body.
+  /// Not reentrant: do not call ParallelFor from inside one of this
+  /// pool's own bodies — the nested submission deadlocks on submit_mu_
+  /// while the outer job waits for the nesting chunk to finish. Debug
+  /// builds enforce this with a thread-local in-body pool mark and fail
+  /// fast with a clear message instead of hanging (the serving worker
+  /// threads route every batch through the nn kernels' ParallelFor, so
+  /// a silently nested loop would stall the whole service). Nesting
+  /// into a DIFFERENT pool is fine (independent locks).
   void ParallelFor(size_t n, size_t min_chunk,
                    const std::function<void(size_t, size_t)>& body);
 

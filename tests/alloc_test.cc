@@ -15,6 +15,7 @@
 #include "core/lmkg_s.h"
 #include "encoding/query_encoder.h"
 #include "nn/tensor.h"
+#include "query/fingerprint.h"
 #include "query/query.h"
 #include "sampling/workload.h"
 #include "test_util.h"
@@ -106,6 +107,39 @@ TEST_F(AllocationTest, AsChainIsAllocationFreeWithWarmScratch) {
     ASSERT_EQ(view.size(), q.size());
   }
   EXPECT_EQ(lmkg::testing::AllocationCount() - before, 0u);
+}
+
+// The serving cache key: fingerprinting a query with a warm scratch
+// performs zero heap allocations, so the cache-hit fast path of
+// serving::EstimatorService never touches the allocator.
+TEST_F(AllocationTest, FingerprintIsAllocationFreeWithWarmScratch) {
+  // Stars and chains plus a cyclic query, so the star, chain, AND
+  // composite-fallback branches are all pinned allocation-free.
+  std::vector<Query> queries = mixed_;
+  {
+    using query::PatternTerm;
+    Query cycle;
+    cycle.patterns.push_back({PatternTerm::Variable(0),
+                              PatternTerm::Bound(1),
+                              PatternTerm::Variable(1)});
+    cycle.patterns.push_back({PatternTerm::Variable(1),
+                              PatternTerm::Bound(2),
+                              PatternTerm::Variable(0)});
+    cycle.num_vars = 2;
+    queries.push_back(std::move(cycle));
+  }
+  query::FingerprintScratch scratch;
+  for (const Query& q : queries)
+    (void)query::ComputeFingerprint(q, &scratch);  // warm-up
+  const size_t before = lmkg::testing::AllocationCount();
+  query::Fingerprint accumulated{0, 0};
+  for (const Query& q : queries) {
+    const query::Fingerprint fp = query::ComputeFingerprint(q, &scratch);
+    accumulated.hi ^= fp.hi;  // keep the calls observable
+    accumulated.lo ^= fp.lo;
+  }
+  EXPECT_EQ(lmkg::testing::AllocationCount() - before, 0u);
+  EXPECT_NE(accumulated.hi | accumulated.lo, 0u);
 }
 
 // End-to-end: a trained LMKG-S serving a warm batch allocates nothing —

@@ -1,0 +1,224 @@
+// Property tests for query::Fingerprint, the canonical query identity
+// the serving result cache keys on. The contract under test:
+//   * equivalence: queries equal up to pattern order and variable
+//     renaming fingerprint identically (stars and chains exactly);
+//   * separation: semantically distinct queries fingerprint differently
+//     (no collisions across generated workloads);
+//   * the fingerprint is insensitive to var_names (display metadata).
+#include "query/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query.h"
+#include "sampling/workload.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace lmkg::query {
+namespace {
+
+using lmkg::testing::MakeRandomGraph;
+
+std::vector<Query> GeneratedWorkload(const rdf::Graph& graph,
+                                     Topology topology, int size,
+                                     size_t count, uint64_t seed) {
+  sampling::WorkloadGenerator generator(graph);
+  sampling::WorkloadGenerator::Options options;
+  options.topology = topology;
+  options.query_size = size;
+  options.count = count;
+  options.seed = seed;
+  std::vector<Query> queries;
+  for (auto& lq : generator.Generate(options))
+    queries.push_back(std::move(lq.query));
+  return queries;
+}
+
+// Shuffles the pattern order of `q` (same query as a set of patterns).
+Query ShufflePatterns(const Query& q, util::Pcg32& rng) {
+  Query shuffled = q;
+  rng.Shuffle(&shuffled.patterns);
+  return shuffled;
+}
+
+// Applies a random permutation to the variable ids (an isomorphic
+// renaming; num_vars unchanged).
+Query RenameVariables(const Query& q, util::Pcg32& rng) {
+  Query renamed = q;
+  std::vector<int> perm(static_cast<size_t>(q.num_vars));
+  for (int v = 0; v < q.num_vars; ++v) perm[v] = v;
+  rng.Shuffle(&perm);
+  auto apply = [&](PatternTerm* t) {
+    if (t->is_var()) t->var = perm[t->var];
+  };
+  for (auto& pattern : renamed.patterns) {
+    apply(&pattern.s);
+    apply(&pattern.p);
+    apply(&pattern.o);
+  }
+  renamed.var_names.clear();  // names would be stale; fp ignores them
+  return renamed;
+}
+
+class FingerprintPropertyTest : public ::testing::Test {
+ protected:
+  FingerprintPropertyTest()
+      : graph_(MakeRandomGraph(80, 8, 900, 21)) {
+    for (int size : {2, 3, 5}) {
+      for (Topology topology : {Topology::kStar, Topology::kChain}) {
+        auto queries =
+            GeneratedWorkload(graph_, topology, size, 40,
+                              17 * static_cast<uint64_t>(size) +
+                                  (topology == Topology::kStar ? 0 : 1));
+        workload_.insert(workload_.end(), queries.begin(), queries.end());
+      }
+    }
+  }
+
+  rdf::Graph graph_;
+  std::vector<Query> workload_;
+  FingerprintScratch scratch_;
+};
+
+TEST_F(FingerprintPropertyTest, StableAcrossRepeatedCalls) {
+  ASSERT_FALSE(workload_.empty());
+  for (const Query& q : workload_) {
+    const Fingerprint a = ComputeFingerprint(q, &scratch_);
+    const Fingerprint b = ComputeFingerprint(q, &scratch_);
+    FingerprintScratch fresh;
+    const Fingerprint c = ComputeFingerprint(q, &fresh);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+  }
+}
+
+TEST_F(FingerprintPropertyTest, ShuffledPatternOrderCollides) {
+  util::Pcg32 rng(501);
+  for (const Query& q : workload_) {
+    const Fingerprint original = ComputeFingerprint(q, &scratch_);
+    for (int round = 0; round < 4; ++round) {
+      const Query shuffled = ShufflePatterns(q, rng);
+      EXPECT_EQ(ComputeFingerprint(shuffled, &scratch_), original)
+          << QueryToString(q) << " vs shuffled "
+          << QueryToString(shuffled);
+    }
+  }
+}
+
+TEST_F(FingerprintPropertyTest, RenamedIsomorphicVariablesCollide) {
+  util::Pcg32 rng(502);
+  for (const Query& q : workload_) {
+    const Fingerprint original = ComputeFingerprint(q, &scratch_);
+    for (int round = 0; round < 4; ++round) {
+      Query renamed = RenameVariables(q, rng);
+      EXPECT_EQ(ComputeFingerprint(renamed, &scratch_), original)
+          << QueryToString(q) << " vs renamed " << QueryToString(renamed);
+      // Renaming and shuffling together.
+      const Query both = ShufflePatterns(renamed, rng);
+      EXPECT_EQ(ComputeFingerprint(both, &scratch_), original)
+          << QueryToString(q) << " vs " << QueryToString(both);
+    }
+  }
+}
+
+TEST_F(FingerprintPropertyTest, DistinctQueriesDoNotCollide) {
+  // Group the workload by fingerprint: queries sharing one must be equal
+  // up to pattern order + renaming. Workload queries over one graph are
+  // near-duplicates by construction sometimes (the generator can emit
+  // the same query twice) — verify sharing a fingerprint implies sharing
+  // the canonical string of a sorted/renamed form via a second,
+  // independent canonicalization: identical topology, size, and
+  // term multisets.
+  std::unordered_map<Fingerprint, size_t, FingerprintHasher> first_seen;
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    const Fingerprint fp = ComputeFingerprint(workload_[i], &scratch_);
+    auto [it, inserted] = first_seen.emplace(fp, i);
+    if (inserted) continue;
+    const Query& a = workload_[it->second];
+    const Query& b = workload_[i];
+    // A legitimate collision must at minimum agree on size and the
+    // multiset of bound term ids; a hash collision between different
+    // queries would almost surely disagree.
+    ASSERT_EQ(a.size(), b.size())
+        << QueryToString(a) << " vs " << QueryToString(b);
+    auto bound_ids = [](const Query& q) {
+      std::vector<uint64_t> ids;
+      for (const auto& t : q.patterns)
+        for (const PatternTerm* term : {&t.s, &t.p, &t.o})
+          if (term->bound()) ids.push_back(term->value);
+      std::sort(ids.begin(), ids.end());
+      return ids;
+    };
+    ASSERT_EQ(bound_ids(a), bound_ids(b))
+        << QueryToString(a) << " vs " << QueryToString(b);
+  }
+}
+
+TEST_F(FingerprintPropertyTest, PerturbedQueriesSeparate) {
+  // Flipping one bound term to a different id must change the
+  // fingerprint.
+  size_t checked = 0;
+  for (const Query& q : workload_) {
+    const Fingerprint original = ComputeFingerprint(q, &scratch_);
+    Query mutated = q;
+    bool changed = false;
+    for (auto& pattern : mutated.patterns) {
+      if (pattern.p.bound()) {
+        pattern.p.value = pattern.p.value == 1 ? 2 : pattern.p.value - 1;
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) continue;
+    EXPECT_NE(ComputeFingerprint(mutated, &scratch_), original)
+        << QueryToString(q) << " vs " << QueryToString(mutated);
+    ++checked;
+  }
+  EXPECT_GT(checked, workload_.size() / 2);
+}
+
+TEST(FingerprintTest, VarNamesDoNotContribute) {
+  Query q = MakeStarQuery(
+      PatternTerm::Variable(0),
+      {{PatternTerm::Bound(3), PatternTerm::Variable(1)},
+       {PatternTerm::Bound(5), PatternTerm::Bound(9)}});
+  Query named = q;
+  named.var_names = {"subject", "object"};
+  EXPECT_EQ(ComputeFingerprint(q), ComputeFingerprint(named));
+}
+
+TEST(FingerprintTest, TopologyTagSeparatesShapes) {
+  // A 1-pattern query takes the star branch; make sure a 2-pattern chain
+  // and 2-pattern star over the same terms separate.
+  Query star = MakeStarQuery(
+      PatternTerm::Bound(1),
+      {{PatternTerm::Bound(2), PatternTerm::Variable(0)},
+       {PatternTerm::Bound(3), PatternTerm::Variable(1)}});
+  Query chain = MakeChainQuery(
+      {PatternTerm::Bound(1), PatternTerm::Variable(0),
+       PatternTerm::Variable(1)},
+      {PatternTerm::Bound(2), PatternTerm::Bound(3)});
+  EXPECT_NE(ComputeFingerprint(star), ComputeFingerprint(chain));
+}
+
+TEST(FingerprintTest, CompositeFallbackIsStableAndSeparates) {
+  // A cycle (not star, not chain) goes through the composite branch:
+  // stable across calls, distinct from a different cycle.
+  Query cycle;
+  cycle.patterns.push_back({PatternTerm::Variable(0), PatternTerm::Bound(1),
+                            PatternTerm::Variable(1)});
+  cycle.patterns.push_back({PatternTerm::Variable(1), PatternTerm::Bound(2),
+                            PatternTerm::Variable(0)});
+  cycle.num_vars = 2;
+  Query other = cycle;
+  other.patterns[1].p = PatternTerm::Bound(3);
+  EXPECT_EQ(ComputeFingerprint(cycle), ComputeFingerprint(cycle));
+  EXPECT_NE(ComputeFingerprint(cycle), ComputeFingerprint(other));
+}
+
+}  // namespace
+}  // namespace lmkg::query

@@ -6,6 +6,7 @@
 #include "nn/gradcheck.h"
 #include "nn/layer.h"
 #include "nn/loss.h"
+#include "nn/simd.h"
 #include "nn/tensor.h"
 #include "util/random.h"
 
@@ -428,6 +429,78 @@ TEST(LossTest, SoftmaxRowsSumToOne) {
       sum += probs.at(r, c);
     }
     EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+// --- simd::Exp + the vectorized softmax -------------------------------------
+
+// The LMKG-U ConditionalProbs softmax runs on simd::Exp, a polynomial
+// approximation — this pins its accuracy contract: <= 1e-6 relative
+// error against std::exp across the whole softmax operating range
+// (x - max <= 0) and a positive margin, on both the scalar-tail and the
+// vector paths of whatever ISA the build resolved.
+TEST(SimdExpTest, ScalarPathMatchesStdExpWithinRelativeBound) {
+  for (double x = -87.3; x <= 20.0; x += 0.00373) {
+    const float fx = static_cast<float>(x);
+    const double got = static_cast<double>(simd::ExpScalar(fx));
+    const double want = std::exp(static_cast<double>(fx));
+    ASSERT_NEAR(got / want, 1.0, 1e-6) << "x=" << fx;
+  }
+}
+
+TEST(SimdExpTest, VectorPathMatchesStdExpWithinRelativeBound) {
+  util::Pcg32 rng(77);
+  float in[simd::kLanes], out[simd::kLanes];
+  for (int round = 0; round < 4000; ++round) {
+    for (size_t lane = 0; lane < simd::kLanes; ++lane)
+      in[lane] = static_cast<float>(rng.Uniform(-87.3, 20.0));
+    simd::Store(out, simd::Exp(simd::Load(in)));
+    for (size_t lane = 0; lane < simd::kLanes; ++lane) {
+      const double want = std::exp(static_cast<double>(in[lane]));
+      ASSERT_NEAR(static_cast<double>(out[lane]) / want, 1.0, 1e-6)
+          << "x=" << in[lane];
+    }
+  }
+}
+
+TEST(SimdExpTest, ExtremeInputsStayFinite) {
+  // Clamping keeps the result finite: huge negatives flush toward 0,
+  // huge positives saturate below FLT_MAX instead of producing inf.
+  EXPECT_LT(simd::ExpScalar(-1000.0f), 1e-37f);
+  EXPECT_GE(simd::ExpScalar(-1000.0f), 0.0f);
+  EXPECT_TRUE(std::isfinite(simd::ExpScalar(1000.0f)));
+  EXPECT_GT(simd::ExpScalar(1000.0f), 1e38f);
+}
+
+TEST(LossTest, SoftmaxMatchesDoubleReferenceAcrossLaneBoundaries) {
+  // Column counts straddling every lane width the library might resolve
+  // (4 / 8 / 16 — this TU's own simd::kLanes can differ from the lmkg
+  // library's, see the linkage note in nn/simd.h), so the vector body
+  // and the scalar tail are both exercised; rows checked against a
+  // double-precision softmax. The per-element bound is the pinned 1e-6
+  // exp error plus float normalization rounding.
+  util::Pcg32 rng(99);
+  const size_t lane_cases[] = {1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 67, 203};
+  for (size_t cols : lane_cases) {
+    Matrix logits(5, cols), probs;
+    FillGaussian(&logits, 3.0f, rng);
+    Softmax(logits, &probs);
+    for (size_t r = 0; r < logits.rows(); ++r) {
+      double max_logit = logits.at(r, 0);
+      for (size_t c = 1; c < cols; ++c)
+        max_logit = std::max(max_logit,
+                             static_cast<double>(logits.at(r, c)));
+      double sum = 0.0;
+      for (size_t c = 0; c < cols; ++c)
+        sum += std::exp(static_cast<double>(logits.at(r, c)) - max_logit);
+      for (size_t c = 0; c < cols; ++c) {
+        const double want =
+            std::exp(static_cast<double>(logits.at(r, c)) - max_logit) /
+            sum;
+        ASSERT_NEAR(static_cast<double>(probs.at(r, c)) / want, 1.0, 2e-6)
+            << "cols=" << cols << " r=" << r << " c=" << c;
+      }
+    }
   }
 }
 

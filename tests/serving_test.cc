@@ -1,0 +1,274 @@
+// Concurrency-correctness tests for serving::EstimatorService: K client
+// threads hammering the service with a shuffled workload must observe
+// results pinned IDENTICAL to the serial per-query path — LMKG-S batch
+// results are bit-equal to per-query results (the PR-2/3 contract), so
+// no batching schedule, worker interleaving, replica choice, or cache
+// hit may change a single bit of any response. Also covers the dynamic
+// micro-batcher's dispatch rules, the fingerprint cache front, async
+// futures, stats, and shutdown draining. This suite is the target of the
+// ASan and TSan CI legs.
+#include "serving/estimator_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/lmkg_s.h"
+#include "encoding/query_encoder.h"
+#include "query/fingerprint.h"
+#include "sampling/workload.h"
+#include "test_util.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lmkg::serving {
+namespace {
+
+using lmkg::testing::MakeRandomGraph;
+using query::Query;
+using query::Topology;
+
+constexpr int kMaxQuerySize = 3;
+
+std::vector<Query> MakeWorkload(const rdf::Graph& graph, size_t per_combo,
+                                uint64_t seed) {
+  sampling::WorkloadGenerator generator(graph);
+  std::vector<Query> queries;
+  uint64_t combo = 0;
+  for (Topology topology : {Topology::kStar, Topology::kChain}) {
+    for (int size : {2, kMaxQuerySize}) {
+      sampling::WorkloadGenerator::Options options;
+      options.topology = topology;
+      options.query_size = size;
+      options.count = per_combo;
+      options.seed = seed + 31 * combo++;
+      for (auto& lq : generator.Generate(options))
+        queries.push_back(std::move(lq.query));
+    }
+  }
+  return queries;
+}
+
+class ServingTest : public ::testing::Test {
+ protected:
+  ServingTest() : graph_(MakeRandomGraph(60, 6, 700, 11)) {
+    core::LmkgSConfig config;
+    config.hidden_dim = 16;
+    config.epochs = 2;
+    config.dropout = 0.0;
+    config.seed = 7;
+    reference_ = std::make_unique<core::LmkgS>(NewEncoder(), config);
+
+    sampling::WorkloadGenerator generator(graph_);
+    std::vector<sampling::LabeledQuery> train;
+    uint64_t combo = 0;
+    for (Topology topology : {Topology::kStar, Topology::kChain}) {
+      for (int size : {2, kMaxQuerySize}) {
+        sampling::WorkloadGenerator::Options options;
+        options.topology = topology;
+        options.query_size = size;
+        options.count = 40;
+        options.seed = 1000 + 31 * combo++;
+        auto labeled = generator.Generate(options);
+        train.insert(train.end(), labeled.begin(), labeled.end());
+      }
+    }
+    reference_->Train(train);
+    std::ostringstream blob;
+    LMKG_CHECK(reference_->Save(blob).ok());
+    model_blob_ = blob.str();
+
+    workload_ = MakeWorkload(graph_, 20, 5);
+    expected_.reserve(workload_.size());
+    for (const Query& q : workload_)
+      expected_.push_back(reference_->EstimateCardinality(q));
+  }
+
+  std::unique_ptr<encoding::QueryEncoder> NewEncoder() {
+    return encoding::MakeSgEncoder(graph_, kMaxQuerySize + 1,
+                                   kMaxQuerySize,
+                                   encoding::TermEncoding::kBinary);
+  }
+
+  // A replica is the trained reference serialized and re-loaded — the
+  // "train once, serve from R copies" deployment shape.
+  std::unique_ptr<core::CardinalityEstimator> NewReplica() {
+    core::LmkgSConfig config;
+    config.hidden_dim = 16;
+    config.epochs = 2;
+    config.dropout = 0.0;
+    config.seed = 7;
+    auto replica = std::make_unique<core::LmkgS>(NewEncoder(), config);
+    std::istringstream blob(model_blob_);
+    EXPECT_TRUE(replica->Load(blob).ok());
+    return replica;
+  }
+
+  std::vector<std::unique_ptr<core::CardinalityEstimator>> Replicas(
+      size_t n) {
+    std::vector<std::unique_ptr<core::CardinalityEstimator>> replicas;
+    for (size_t i = 0; i < n; ++i) replicas.push_back(NewReplica());
+    return replicas;
+  }
+
+  rdf::Graph graph_;
+  std::unique_ptr<core::LmkgS> reference_;
+  std::string model_blob_;
+  std::vector<Query> workload_;
+  std::vector<double> expected_;
+};
+
+TEST_F(ServingTest, ReplicaReproducesReferenceEstimates) {
+  auto replica = NewReplica();
+  for (size_t i = 0; i < workload_.size(); ++i)
+    EXPECT_DOUBLE_EQ(replica->EstimateCardinality(workload_[i]),
+                     expected_[i]);
+}
+
+TEST_F(ServingTest, BlockingEstimateMatchesSerialPath) {
+  ServiceConfig config;
+  config.max_batch_size = 16;
+  EstimatorService service(Replicas(1), config);
+  for (size_t i = 0; i < workload_.size(); ++i)
+    EXPECT_DOUBLE_EQ(service.Estimate(workload_[i]), expected_[i]);
+  const ServingStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.requests, workload_.size());
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST_F(ServingTest, AsyncFuturesMatchSerialPath) {
+  ServiceConfig config;
+  config.max_batch_size = 8;
+  config.max_queue_delay_us = 100;
+  EstimatorService service(Replicas(1), config);
+  std::vector<std::future<double>> futures;
+  futures.reserve(workload_.size());
+  for (const Query& q : workload_)
+    futures.push_back(service.EstimateAsync(q));
+  for (size_t i = 0; i < workload_.size(); ++i)
+    EXPECT_DOUBLE_EQ(futures[i].get(), expected_[i]);
+}
+
+// The headline stress: K threads, each submitting the whole workload in
+// its own shuffled order, through shared replicas and workers — every
+// single response must equal the serial per-query estimate exactly.
+TEST_F(ServingTest, ConcurrentShuffledClientsMatchSerialPathExactly) {
+  for (const bool with_cache : {false, true}) {
+    ServiceConfig config;
+    config.max_batch_size = 16;
+    config.max_queue_delay_us = 100;
+    config.num_workers = 2;
+    config.cache_capacity = with_cache ? 1024 : 0;
+    EstimatorService service(Replicas(2), config);
+
+    constexpr size_t kClients = 8;
+    std::vector<std::vector<double>> results(
+        kClients, std::vector<double>(workload_.size(), 0.0));
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<size_t> order(workload_.size());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        util::Pcg32 rng(900 + c);
+        rng.Shuffle(&order);
+        for (size_t i : order)
+          results[c][i] = service.Estimate(workload_[i]);
+      });
+    }
+    for (auto& client : clients) client.join();
+
+    for (size_t c = 0; c < kClients; ++c)
+      for (size_t i = 0; i < workload_.size(); ++i)
+        EXPECT_DOUBLE_EQ(results[c][i], expected_[i])
+            << "client " << c << " query " << i
+            << " cache=" << with_cache;
+
+    const ServingStatsSnapshot stats = service.Stats();
+    EXPECT_EQ(stats.requests, kClients * workload_.size());
+    if (with_cache) {
+      EXPECT_GT(stats.cache_hits, 0u);
+    }
+  }
+}
+
+TEST_F(ServingTest, MicroBatcherDispatchesOnFullBatch) {
+  // Delay far beyond the test runtime: the only way the batch can
+  // dispatch quickly is the max_batch_size trigger, so exactly one batch
+  // carries all 8 requests.
+  ServiceConfig config;
+  config.max_batch_size = 8;
+  config.max_queue_delay_us = 2'000'000;
+  EstimatorService service(Replicas(1), config);
+  std::vector<std::future<double>> futures;
+  for (size_t i = 0; i < 8; ++i)
+    futures.push_back(service.EstimateAsync(workload_[i]));
+  for (size_t i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(futures[i].get(), expected_[i]);
+  const ServingStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_fill, 8.0);
+}
+
+TEST_F(ServingTest, MicroBatcherDispatchesOnDelayExpiry) {
+  // One pending request, batch never fills: the delay deadline must
+  // dispatch it (and the end-to-end latency reflects the wait).
+  ServiceConfig config;
+  config.max_batch_size = 64;
+  config.max_queue_delay_us = 2'000;
+  EstimatorService service(Replicas(1), config);
+  EXPECT_DOUBLE_EQ(service.Estimate(workload_[0]), expected_[0]);
+  const ServingStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_fill, 1.0);
+  EXPECT_GE(stats.max_us, 2'000.0);
+}
+
+TEST_F(ServingTest, CacheShortCircuitsRepeatsAndEquivalentQueries) {
+  ServiceConfig config;
+  config.max_batch_size = 16;
+  config.cache_capacity = 1024;
+  EstimatorService service(Replicas(1), config);
+  for (size_t i = 0; i < workload_.size(); ++i)
+    EXPECT_DOUBLE_EQ(service.Estimate(workload_[i]), expected_[i]);
+  const uint64_t batched_first_pass = service.Stats().batched_requests;
+  // Second pass: every query hits.
+  for (size_t i = 0; i < workload_.size(); ++i)
+    EXPECT_DOUBLE_EQ(service.Estimate(workload_[i]), expected_[i]);
+  const ServingStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, workload_.size());
+  EXPECT_EQ(stats.batched_requests, batched_first_pass);
+  EXPECT_GT(stats.cache_hit_rate, 0.49);
+
+  // A pattern-shuffled variant is the same canonical query: hit, same
+  // answer.
+  Query shuffled = workload_[0];
+  std::reverse(shuffled.patterns.begin(), shuffled.patterns.end());
+  EXPECT_DOUBLE_EQ(service.Estimate(shuffled), expected_[0]);
+  EXPECT_EQ(service.Stats().cache_hits, workload_.size() + 1);
+}
+
+TEST_F(ServingTest, DestructionDrainsOutstandingFutures) {
+  std::vector<std::future<double>> futures;
+  {
+    // max_batch_size larger than the submission count and a long delay:
+    // the requests would sit in the coalescing window, but shutdown must
+    // dispatch and complete them all.
+    ServiceConfig config;
+    config.max_batch_size = 64;
+    config.max_queue_delay_us = 10'000'000;
+    EstimatorService service(Replicas(1), config);
+    for (size_t i = 0; i < workload_.size(); ++i)
+      futures.push_back(service.EstimateAsync(workload_[i]));
+  }
+  for (size_t i = 0; i < futures.size(); ++i)
+    EXPECT_DOUBLE_EQ(futures[i].get(), expected_[i]);
+}
+
+}  // namespace
+}  // namespace lmkg::serving

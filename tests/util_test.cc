@@ -1,14 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/check.h"
 #include "util/flags.h"
+#include "util/histogram.h"
 #include "util/math.h"
 #include "util/random.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace lmkg::util {
 namespace {
@@ -330,6 +334,133 @@ TEST(FlagsTest, DoubleAndDefaults) {
   EXPECT_DOUBLE_EQ(flags.GetDouble("x", 0), 2.5);
   EXPECT_DOUBLE_EQ(flags.GetDouble("y", 1.5), 1.5);
   EXPECT_FALSE(flags.Has("y"));
+}
+
+// --- thread pool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(touched.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i)
+      touched[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolRunsInline) {
+  ThreadPool pool(0);
+  size_t total = 0;
+  pool.ParallelFor(17, 4, [&](size_t begin, size_t end) {
+    total += end - begin;  // inline: no synchronization needed
+  });
+  EXPECT_EQ(total, 17u);
+}
+
+TEST(ThreadPoolTest, NestingAcrossDifferentPoolsIsAllowed) {
+  // Only SAME-pool nesting deadlocks; a body may submit to another pool
+  // (independent locks), and the debug guard must not trip on it.
+  ThreadPool outer(2);
+  ThreadPool inner(0);  // inline — runs on the outer pool's threads
+  std::atomic<size_t> total{0};
+  outer.ParallelFor(8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i)
+      inner.ParallelFor(3, 1, [&](size_t b, size_t e) {
+        total.fetch_add(e - b, std::memory_order_relaxed);
+      });
+  });
+  EXPECT_EQ(total.load(), 24u);
+}
+
+#ifndef NDEBUG
+// The debug reentrancy guard turns the nested-ParallelFor deadlock into
+// an immediate LMKG_CHECK failure. Debug builds only (the release build
+// compiles the guard out).
+TEST(ThreadPoolDeathTest, NestedParallelForAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.ParallelFor(8, 1, [&](size_t, size_t) {
+          pool.ParallelFor(2, 1, [](size_t, size_t) {});
+        });
+      },
+      "not reentrant");
+}
+
+TEST(ThreadPoolDeathTest, NestedInlinePathAlsoAborts) {
+  // Even a nested call that would run inline (tiny n) violates the
+  // contract and must fail fast — whether it runs inline depends on the
+  // pool size, not the call site.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.ParallelFor(8, 1, [&](size_t, size_t) {
+          pool.ParallelFor(1, 1, [](size_t, size_t) {});
+        });
+      },
+      "not reentrant");
+}
+#endif  // NDEBUG
+
+// --- latency histogram ------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.PercentileUs(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.MeanUs(), 0.0);
+  EXPECT_DOUBLE_EQ(h.MaxUs(), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesWithinBucketResolution) {
+  LatencyHistogram h;
+  // 1000 samples spread uniformly over [10us, 1000us): every reported
+  // percentile must land within one geometric bucket (ratio 10^(1/12)
+  // ~ 1.21) of the true value.
+  for (int i = 0; i < 1000; ++i) h.Record(10.0 + i * 0.99);
+  EXPECT_EQ(h.TotalCount(), 1000u);
+  const double ratio = std::pow(10.0, 1.0 / 12.0);
+  struct Case {
+    double p;
+    double want;
+  } cases[] = {{0.50, 505.0}, {0.95, 950.5}, {0.99, 990.1}};
+  for (const auto& c : cases) {
+    const double got = h.PercentileUs(c.p);
+    EXPECT_GT(got, c.want / (ratio * ratio)) << "p=" << c.p;
+    EXPECT_LT(got, c.want * ratio * ratio) << "p=" << c.p;
+  }
+  EXPECT_NEAR(h.MeanUs(), 504.5, 1.0);
+  EXPECT_NEAR(h.MaxUs(), 999.01, 0.01);
+}
+
+TEST(LatencyHistogramTest, OutOfRangeSamplesClampToEdgeBuckets) {
+  LatencyHistogram h;
+  h.Record(0.001);   // sub-microsecond -> bucket 0
+  h.Record(1e9);     // 1000 seconds -> last bucket
+  EXPECT_EQ(h.TotalCount(), 2u);
+  EXPECT_GT(h.PercentileUs(1.0), 1e7);
+  EXPECT_NEAR(h.MaxUs(), 1e9, 1.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram h;
+  ThreadPool pool(4);
+  pool.ParallelFor(8, 1, [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t)
+      for (int i = 0; i < 10000; ++i)
+        h.Record(1.0 + static_cast<double>(t));
+  });
+  EXPECT_EQ(h.TotalCount(), 80000u);
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(42.0);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(h.MaxUs(), 0.0);
 }
 
 }  // namespace
