@@ -15,6 +15,14 @@
 // regardless of completions (the heavy-traffic shape), showing how the
 // coalescing delay trades tail latency for batch fill below saturation.
 //
+// Workload shift: the model-lifecycle scenario — AdaptiveLmkg replicas
+// covering only star combos serve a client stream that shifts to chains;
+// a serving::ModelLifecycle cycle detects the drift from the service's
+// workload tap, trains the missing chain models on a shadow replica off
+// the serving path, hot-swaps the replicas, and bumps the cache epoch.
+// Reports chain qps and median q-error before vs after the swap,
+// adaptation cost, and stale-cache evictions.
+//
 // Emits BENCH_serving.json; CI gates the closed-loop 16-client qps of
 // the gated config against bench/baselines/serving_baseline.json via
 // scripts/check_bench_regression.py.
@@ -45,13 +53,16 @@
 #include <thread>
 #include <vector>
 
+#include "core/adaptive.h"
 #include "core/lmkg_s.h"
 #include "data/dataset.h"
 #include "encoding/query_encoder.h"
 #include "eval/suite.h"
 #include "nn/tensor.h"
 #include "serving/estimator_service.h"
+#include "serving/model_lifecycle.h"
 #include "util/flags.h"
+#include "util/math.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
@@ -267,6 +278,11 @@ int main(int argc, char** argv) {
   sampling::WorkloadGenerator generator(graph);
   std::vector<sampling::LabeledQuery> train;
   std::vector<query::Query> workload;
+  // Small-size per-topology slices for the workload-shift phase (its
+  // adaptive models train per combo, so it sticks to sizes 2-3).
+  std::vector<query::Query> shift_star_queries;
+  std::vector<query::Query> shift_chain_queries;
+  std::vector<sampling::LabeledQuery> shift_chain_tests;
   size_t combo = 0;
   for (Topology topology : {Topology::kStar, Topology::kChain}) {
     for (int size : options.query_sizes) {
@@ -280,8 +296,17 @@ int main(int argc, char** argv) {
       train.insert(train.end(), labeled.begin(), labeled.end());
       wopts.count = options.test_queries_per_combo;
       wopts.seed = options.seed + 7919 * combo + 104729;
-      for (auto& lq : generator.Generate(wopts))
+      for (auto& lq : generator.Generate(wopts)) {
+        if (size <= 3) {
+          if (topology == Topology::kStar) {
+            shift_star_queries.push_back(lq.query);
+          } else {
+            shift_chain_queries.push_back(lq.query);
+            shift_chain_tests.push_back(lq);
+          }
+        }
         workload.push_back(std::move(lq.query));
+      }
       ++combo;
     }
   }
@@ -396,6 +421,110 @@ int main(int argc, char** argv) {
   }
   open_table.Print(std::cout);
 
+  // Workload shift: the drift -> adapt -> hot-swap loop under traffic.
+  // Replicas are AdaptiveLmkg instances bootstrapped with star models
+  // only; clients settle on stars, then shift to chains. One synchronous
+  // ModelLifecycle cycle (reproducibility — production runs it on a
+  // background thread) drains the tap, trains the chain models on the
+  // shadow off the serving path, swaps the replicas, and bumps the
+  // cache epoch.
+  double shift_pre_qps = 0.0, shift_post_qps = 0.0;
+  double shift_pre_qerr = 0.0, shift_post_qerr = 0.0;
+  double shift_adapt_seconds = 0.0;
+  size_t shift_models_created = 0;
+  uint64_t shift_stale_evictions = 0, shift_epoch = 0;
+  {
+    core::AdaptiveLmkgConfig aconfig;
+    aconfig.s_config.hidden_dim = std::min<size_t>(options.s_hidden_dim, 64);
+    aconfig.s_config.epochs = std::min(options.s_epochs, 6);
+    aconfig.s_config.seed = options.seed;
+    aconfig.train_queries = options.train_queries_per_combo;
+    aconfig.workload_options.max_cardinality = options.max_cardinality;
+    aconfig.monitor.min_observations = 30;
+    aconfig.monitor.decay = 0.98;
+    aconfig.initial_combos = {{Topology::kStar, 2}, {Topology::kStar, 3}};
+    aconfig.seed = options.seed + 5;
+    core::AdaptiveLmkg shadow(graph, aconfig);
+
+    serving::ModelLifecycle::ReplicaFactory replica_factory =
+        serving::MakeAdaptiveReplicaFactory(graph, aconfig);
+    std::ostringstream boot;
+    if (!shadow.Save(boot).ok()) {
+      std::cerr << "[serving] shadow snapshot failed\n";
+      std::exit(1);
+    }
+    std::vector<std::unique_ptr<core::CardinalityEstimator>> areplicas;
+    for (size_t r = 0; r < replicas; ++r)
+      areplicas.push_back(replica_factory(boot.str()));
+
+    serving::ServiceConfig shift_config;
+    shift_config.max_batch_size = 64;
+    shift_config.cache_capacity = 65536;
+    shift_config.workload_tap_capacity = 1024;
+    serving::EstimatorService service(std::move(areplicas), shift_config);
+    serving::ModelLifecycleConfig lconfig;
+    lconfig.background = false;
+    lconfig.min_samples_per_cycle = 1;
+    serving::ModelLifecycle lifecycle(&service, &shadow, replica_factory,
+                                      lconfig);
+
+    const size_t shift_clients = 4;
+    // Settle on the star mix; the steady cycle must not churn anything.
+    RunClosedLoop(&service, shift_star_queries, shift_clients, 1,
+                  options.seed + 31);
+    (void)lifecycle.RunOnce();
+
+    // Mixed size order: the monitor weights recent observations, and a
+    // size-sorted pass would make only the trailing combo look hot.
+    {
+      util::Pcg32 rng(options.seed + 37);
+      rng.Shuffle(&shift_chain_tests);
+    }
+    auto median_qerror = [&] {
+      std::vector<double> qerrors;
+      qerrors.reserve(shift_chain_tests.size());
+      for (const auto& lq : shift_chain_tests)
+        qerrors.push_back(
+            util::QError(service.Estimate(lq.query), lq.cardinality));
+      return util::QErrorStats::Compute(std::move(qerrors)).median;
+    };
+
+    const RunResult pre = RunClosedLoop(&service, shift_chain_queries,
+                                        shift_clients, rounds,
+                                        options.seed + 33);
+    shift_pre_qps = pre.qps;
+    shift_pre_qerr = median_qerror();
+
+    util::Stopwatch adapt_timer;
+    const serving::LifecycleReport cycle = lifecycle.RunOnce();
+    shift_adapt_seconds = adapt_timer.ElapsedSeconds();
+    shift_models_created = cycle.adapt.created.size();
+    if (!cycle.swapped)
+      std::cerr << "[serving] WARNING: workload shift did not trigger a "
+                   "swap\n";
+
+    const RunResult post = RunClosedLoop(&service, shift_chain_queries,
+                                         shift_clients, rounds,
+                                         options.seed + 35);
+    shift_post_qps = post.qps;
+    shift_post_qerr = median_qerror();
+    shift_stale_evictions = service.Stats().cache_stale_evictions;
+    shift_epoch = service.epoch();
+
+    util::TablePrinter shift_table(
+        "Workload shift: drift -> adapt -> hot-swap (chains)");
+    shift_table.SetHeader({"phase", "qps", "median q-error"});
+    shift_table.AddRow("pre-swap", {shift_pre_qps, shift_pre_qerr});
+    shift_table.AddRow("post-swap", {shift_post_qps, shift_post_qerr});
+    shift_table.Print(std::cout);
+    std::cout << util::StrFormat(
+        "lifecycle: %zu models trained off-path in %.1fs, epoch %llu, "
+        "%llu stale cache entries evicted\n",
+        shift_models_created, shift_adapt_seconds,
+        static_cast<unsigned long long>(shift_epoch),
+        static_cast<unsigned long long>(shift_stale_evictions));
+  }
+
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"bench\": \"serving\",\n"
@@ -417,7 +546,16 @@ int main(int argc, char** argv) {
        << "  \"closed_loop\": [\n"
        << closed_json.str() << "\n  ],\n"
        << "  \"open_loop\": [\n"
-       << open_json.str() << "\n  ]\n"
+       << open_json.str() << "\n  ],\n"
+       << "  \"workload_shift\": {\"clients\": 4, \"models_created\": "
+       << shift_models_created
+       << ", \"adapt_seconds\": " << shift_adapt_seconds
+       << ", \"pre_swap_chain_qps\": " << shift_pre_qps
+       << ", \"post_swap_chain_qps\": " << shift_post_qps
+       << ", \"pre_swap_chain_median_qerror\": " << shift_pre_qerr
+       << ", \"post_swap_chain_median_qerror\": " << shift_post_qerr
+       << ", \"stale_cache_evictions\": " << shift_stale_evictions
+       << ", \"model_epoch\": " << shift_epoch << "}\n"
        << "}\n";
   std::cout << "\nwrote " << out_path << "\n";
   return 0;

@@ -1,12 +1,19 @@
 #include "core/adaptive.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <iostream>
+#include <istream>
+#include <limits>
 #include <map>
+#include <ostream>
 
 #include "encoding/query_encoder.h"
+#include "nn/serialize.h"
 #include "sampling/composite.h"
 #include "util/check.h"
+#include "util/strings.h"
 
 namespace lmkg::core {
 
@@ -27,19 +34,30 @@ AdaptiveLmkg::AdaptiveLmkg(const rdf::Graph& graph,
   }
 }
 
+// The encoder a combo's model is built on — shared by training and
+// snapshot rehydration so a loaded model's input layout can never drift
+// from the one it was trained with.
+std::unique_ptr<encoding::QueryEncoder> AdaptiveLmkg::MakeComboEncoder(
+    const Combo& combo) const {
+  if (combo.topology == Topology::kStar)
+    return encoding::MakeStarEncoder(graph_, combo.size,
+                                     config_.term_encoding);
+  if (combo.topology == Topology::kChain)
+    return encoding::MakeChainEncoder(graph_, combo.size,
+                                      config_.term_encoding);
+  // Composite combos: SG-Encoding over trees of that size.
+  return encoding::MakeSgEncoder(graph_, combo.size + 1, combo.size,
+                                 config_.term_encoding);
+}
+
 std::unique_ptr<LmkgS> AdaptiveLmkg::TrainSpecialized(const Combo& combo) {
   LMKG_CHECK_GE(combo.size, 2) << "size-1 queries are answered exactly";
   const uint64_t seed = config_.seed + 131 * (models_created_++) + 17;
 
-  std::unique_ptr<encoding::QueryEncoder> encoder;
+  std::unique_ptr<encoding::QueryEncoder> encoder = MakeComboEncoder(combo);
   std::vector<sampling::LabeledQuery> train;
   if (combo.topology == Topology::kStar ||
       combo.topology == Topology::kChain) {
-    encoder = combo.topology == Topology::kStar
-                  ? encoding::MakeStarEncoder(graph_, combo.size,
-                                              config_.term_encoding)
-                  : encoding::MakeChainEncoder(graph_, combo.size,
-                                               config_.term_encoding);
     sampling::WorkloadGenerator generator(graph_);
     sampling::WorkloadGenerator::Options options =
         config_.workload_options;
@@ -49,9 +67,7 @@ std::unique_ptr<LmkgS> AdaptiveLmkg::TrainSpecialized(const Combo& combo) {
     options.seed = seed;
     train = generator.Generate(options);
   } else {
-    // Composite combos: SG-Encoding over tree workloads of that size.
-    encoder = encoding::MakeSgEncoder(graph_, combo.size + 1, combo.size,
-                                      config_.term_encoding);
+    // Composite combos train on tree workloads of that size.
     sampling::CompositeWorkloadGenerator generator(graph_);
     sampling::CompositeWorkloadGenerator::Options options;
     options.query_size = combo.size;
@@ -172,16 +188,25 @@ AdaptiveLmkg::AdaptReport AdaptiveLmkg::Adapt() {
     report.created.push_back(combo);
   }
   // Enforce the memory budget by dropping cold models, coldest first.
-  if (config_.memory_budget_bytes > 0) {
+  // The shares cannot change inside the pass (the monitor only moves on
+  // Observe), so build the combo -> share map once instead of rescanning
+  // Shares() per model per eviction, and seed the running minimum with
+  // +inf so a cold model sitting exactly at a share boundary is still
+  // eligible — candidacy is decided by IsCold alone, the share only
+  // orders the candidates.
+  if (config_.memory_budget_bytes > 0 &&
+      MemoryBytes() > config_.memory_budget_bytes) {
+    std::map<Combo, double> share_of;
+    for (const auto& cs : monitor_.Shares()) share_of[cs.combo] = cs.share;
     while (MemoryBytes() > config_.memory_budget_bytes) {
       auto coldest = models_.end();
-      double coldest_share = config_.monitor.cold_share;
+      double coldest_share = std::numeric_limits<double>::infinity();
       for (auto it = models_.begin(); it != models_.end(); ++it) {
         if (!monitor_.IsCold(it->first)) continue;
-        double share = 0.0;
-        for (const auto& cs : monitor_.Shares())
-          if (cs.combo == it->first) share = cs.share;
-        if (coldest == models_.end() || share < coldest_share) {
+        const auto found = share_of.find(it->first);
+        const double share =
+            found != share_of.end() ? found->second : 0.0;
+        if (share < coldest_share) {
           coldest = it;
           coldest_share = share;
         }
@@ -202,6 +227,132 @@ size_t AdaptiveLmkg::MemoryBytes() const {
   size_t bytes = 0;
   for (const auto& [combo, model] : models_) bytes += model->MemoryBytes();
   return bytes;
+}
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x4c4d4b41;  // "LMKA"
+constexpr uint32_t kSnapshotVersion = 1;
+// Upper bound on a plausible combo size in a snapshot: far above any
+// trainable query size, far below anything that could push a corrupt
+// value into encoder-width arithmetic (or a bad_alloc out of a function
+// spec'd to return a Status).
+constexpr uint32_t kMaxComboSize = 256;
+
+}  // namespace
+
+util::Status AdaptiveLmkg::Save(std::ostream& out) {
+  nn::WriteU32(out, kSnapshotMagic);
+  nn::WriteU32(out, kSnapshotVersion);
+  // Config header: enough to reject a Load into a mismatched
+  // architecture before touching any tensor (the per-tensor shape checks
+  // in nn::LoadParams then catch anything subtler, e.g. a graph whose
+  // encoder widths differ).
+  nn::WriteU32(out, static_cast<uint32_t>(config_.term_encoding));
+  nn::WriteU32(out, static_cast<uint32_t>(config_.s_config.hidden_dim));
+  nn::WriteU32(out,
+               static_cast<uint32_t>(config_.s_config.num_hidden_layers));
+  nn::WriteU64(out, static_cast<uint64_t>(models_created_));
+  const WorkloadMonitor::SavedState monitor = monitor_.SaveState();
+  nn::WriteU64(out, monitor.observations);
+  nn::WriteF64(out, monitor.total_weight);
+  nn::WriteU32(out, static_cast<uint32_t>(monitor.entries.size()));
+  for (const auto& e : monitor.entries) {
+    nn::WriteU32(out, static_cast<uint32_t>(e.combo.topology));
+    nn::WriteU32(out, static_cast<uint32_t>(e.combo.size));
+    nn::WriteF64(out, e.weight);
+    nn::WriteU64(out, e.stamp);
+  }
+  nn::WriteU32(out, static_cast<uint32_t>(models_.size()));
+  for (auto& [combo, model] : models_) {
+    nn::WriteU32(out, static_cast<uint32_t>(combo.topology));
+    nn::WriteU32(out, static_cast<uint32_t>(combo.size));
+    util::Status status = model->Save(out);
+    if (!status.ok()) return status;
+  }
+  out.flush();
+  if (!out) return util::Status::Error("adaptive: snapshot write failed");
+  return util::Status::Ok();
+}
+
+util::Status AdaptiveLmkg::Load(std::istream& in) {
+  uint32_t magic = 0, version = 0;
+  if (!nn::ReadU32(in, &magic) || magic != kSnapshotMagic)
+    return util::Status::Error(
+        "adaptive: bad magic (not an LMKG adaptive snapshot)");
+  if (!nn::ReadU32(in, &version) || version != kSnapshotVersion)
+    return util::Status::Error(util::StrFormat(
+        "adaptive: unsupported snapshot version %u", version));
+  uint32_t term_encoding = 0, hidden_dim = 0, hidden_layers = 0;
+  if (!nn::ReadU32(in, &term_encoding) || !nn::ReadU32(in, &hidden_dim) ||
+      !nn::ReadU32(in, &hidden_layers))
+    return util::Status::Error("adaptive: truncated config header");
+  if (term_encoding != static_cast<uint32_t>(config_.term_encoding) ||
+      hidden_dim != static_cast<uint32_t>(config_.s_config.hidden_dim) ||
+      hidden_layers !=
+          static_cast<uint32_t>(config_.s_config.num_hidden_layers))
+    return util::Status::Error(util::StrFormat(
+        "adaptive: config mismatch (snapshot encoding=%u hidden=%u "
+        "layers=%u; model encoding=%u hidden=%zu layers=%d)",
+        term_encoding, hidden_dim, hidden_layers,
+        static_cast<uint32_t>(config_.term_encoding),
+        config_.s_config.hidden_dim, config_.s_config.num_hidden_layers));
+  uint64_t created = 0;
+  if (!nn::ReadU64(in, &created))
+    return util::Status::Error("adaptive: truncated header");
+  WorkloadMonitor::SavedState monitor;
+  uint32_t monitor_entries = 0;
+  if (!nn::ReadU64(in, &monitor.observations) ||
+      !nn::ReadF64(in, &monitor.total_weight) ||
+      !nn::ReadU32(in, &monitor_entries))
+    return util::Status::Error("adaptive: truncated monitor state");
+  // A NaN/negative total slips past the monitor's `total_weight_ <= 0`
+  // empty-state guards and would turn every share into NaN.
+  if (!std::isfinite(monitor.total_weight) || monitor.total_weight < 0.0)
+    return util::Status::Error("adaptive: corrupt monitor total weight");
+  monitor.entries.resize(monitor_entries);
+  for (auto& e : monitor.entries) {
+    uint32_t topology = 0, size = 0;
+    if (!nn::ReadU32(in, &topology) || !nn::ReadU32(in, &size) ||
+        !nn::ReadF64(in, &e.weight) || !nn::ReadU64(in, &e.stamp))
+      return util::Status::Error("adaptive: truncated monitor entry");
+    if (topology > static_cast<uint32_t>(Topology::kComposite) ||
+        size > kMaxComboSize)
+      return util::Status::Error("adaptive: corrupt monitor combo");
+    // A stamp from the future or a non-finite/negative weight would feed
+    // DecayedWeight a negative exponent or NaN and silently poison every
+    // share — reject corruption here like the model registry does.
+    if (e.stamp > monitor.observations || !std::isfinite(e.weight) ||
+        e.weight < 0.0)
+      return util::Status::Error("adaptive: corrupt monitor entry");
+    e.combo = Combo{static_cast<Topology>(topology),
+                    static_cast<int>(size)};
+  }
+  uint32_t num_models = 0;
+  if (!nn::ReadU32(in, &num_models))
+    return util::Status::Error("adaptive: truncated model registry");
+  // Rehydrate into a scratch registry first: a mid-stream failure must
+  // leave the current serving state untouched.
+  std::map<Combo, std::unique_ptr<LmkgS>> loaded;
+  for (uint32_t i = 0; i < num_models; ++i) {
+    uint32_t topology = 0, size = 0;
+    if (!nn::ReadU32(in, &topology) || !nn::ReadU32(in, &size))
+      return util::Status::Error("adaptive: truncated model header");
+    if (topology > static_cast<uint32_t>(Topology::kComposite) ||
+        size < 2 || size > kMaxComboSize)
+      return util::Status::Error("adaptive: corrupt model combo");
+    Combo combo{static_cast<Topology>(topology), static_cast<int>(size)};
+    auto model =
+        std::make_unique<LmkgS>(MakeComboEncoder(combo), config_.s_config);
+    util::Status status = model->Load(in);
+    if (!status.ok()) return status;
+    if (!loaded.emplace(combo, std::move(model)).second)
+      return util::Status::Error("adaptive: duplicate combo in snapshot");
+  }
+  models_ = std::move(loaded);
+  monitor_.RestoreState(monitor);
+  models_created_ = static_cast<size_t>(created);
+  return util::Status::Ok();
 }
 
 }  // namespace lmkg::core

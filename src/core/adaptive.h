@@ -1,6 +1,7 @@
 #ifndef LMKG_CORE_ADAPTIVE_H_
 #define LMKG_CORE_ADAPTIVE_H_
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 #include "encoding/term_encoder.h"
 #include "rdf/graph.h"
 #include "sampling/workload.h"
+#include "util/status.h"
 
 namespace lmkg::core {
 
@@ -80,6 +82,24 @@ class AdaptiveLmkg : public CardinalityEstimator {
   /// queries); training hot models is the expensive part.
   AdaptReport Adapt();
 
+  /// Feeds one query into the workload monitor WITHOUT estimating it —
+  /// how a background lifecycle mirrors live serving traffic into a
+  /// shadow replica's drift detector (the serving path already observes
+  /// its own estimates; the shadow never sees those calls).
+  void ObserveWorkload(const query::Query& q) { monitor_.Observe(q); }
+
+  /// Versioned snapshot of the whole replica state: a config header
+  /// (validated on Load), the workload monitor's decayed counts, and the
+  /// per-combo model registry — each model's label scaler + parameters
+  /// via the nn::SaveParams format. Load into an AdaptiveLmkg built over
+  /// the same graph with the same config reproduces estimates
+  /// bit-identically and resumes drift detection where the donor left
+  /// off; models present before Load are discarded. Construct the target
+  /// with `initial_combos` cleared to skip training throwaway models
+  /// (the snapshot carries the real ones).
+  util::Status Save(std::ostream& out);
+  util::Status Load(std::istream& in);
+
   bool Covers(const Combo& combo) const {
     return models_.count(combo) > 0;
   }
@@ -87,6 +107,8 @@ class AdaptiveLmkg : public CardinalityEstimator {
   const WorkloadMonitor& monitor() const { return monitor_; }
 
  private:
+  std::unique_ptr<encoding::QueryEncoder> MakeComboEncoder(
+      const Combo& combo) const;
   std::unique_ptr<LmkgS> TrainSpecialized(const Combo& combo);
   // The model serving q: its exact (topology, size) combo if trained,
   // otherwise any model whose encoder fits (e.g. a larger SG model);

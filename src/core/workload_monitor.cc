@@ -52,6 +52,25 @@ std::vector<WorkloadMonitor::Combo> WorkloadMonitor::HotCombos() const {
   return hot;
 }
 
+WorkloadMonitor::SavedState WorkloadMonitor::SaveState() const {
+  SavedState state;
+  state.observations = observations_;
+  state.total_weight = total_weight_;
+  state.entries.reserve(weights_.size());
+  for (const auto& [combo, entry] : weights_)
+    state.entries.push_back(
+        {combo, entry.weight, static_cast<uint64_t>(entry.stamp)});
+  return state;
+}
+
+void WorkloadMonitor::RestoreState(const SavedState& state) {
+  observations_ = static_cast<size_t>(state.observations);
+  total_weight_ = state.total_weight;
+  weights_.clear();
+  for (const SavedState::SavedEntry& e : state.entries)
+    weights_[e.combo] = Entry{e.weight, static_cast<size_t>(e.stamp)};
+}
+
 bool WorkloadMonitor::IsCold(const Combo& combo) const {
   auto it = weights_.find(combo);
   if (it == weights_.end()) return true;

@@ -64,6 +64,24 @@ class WorkloadMonitor {
   size_t observations() const { return observations_; }
   double total_weight() const { return total_weight_; }
 
+  /// Point-in-time copy of the decayed counts, the persistable half of
+  /// the monitor (options travel with the owning config). RestoreState on
+  /// a monitor with the same options reproduces Shares / HotCombos /
+  /// IsCold bit-identically — AdaptiveLmkg snapshots lean on this so a
+  /// rehydrated replica resumes drift detection where the donor left off.
+  struct SavedState {
+    struct SavedEntry {
+      Combo combo;
+      double weight = 0.0;
+      uint64_t stamp = 0;
+    };
+    uint64_t observations = 0;
+    double total_weight = 0.0;
+    std::vector<SavedEntry> entries;  // combo-ordered
+  };
+  SavedState SaveState() const;
+  void RestoreState(const SavedState& state);
+
  private:
   // Weights are stored time-stamped: the true decayed weight of an entry
   // is weight * decay^(observations_ - stamp). Normalizing by

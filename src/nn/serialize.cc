@@ -12,6 +12,8 @@ namespace {
 constexpr uint32_t kMagic = 0x4c4d4b47;  // "LMKG"
 constexpr uint32_t kVersion = 1;
 
+}  // namespace
+
 void WriteU32(std::ostream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -21,7 +23,23 @@ bool ReadU32(std::istream& in, uint32_t* v) {
   return static_cast<bool>(in);
 }
 
-}  // namespace
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadF64(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
 
 util::Status SaveParams(const std::vector<ParamRef>& params,
                         std::ostream& out) {

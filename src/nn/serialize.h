@@ -22,6 +22,16 @@ util::Status SaveParams(const std::vector<ParamRef>& params,
 util::Status LoadParams(const std::vector<ParamRef>& params,
                         std::istream& in);
 
+/// Plain host-endian POD writers/readers shared by the snapshot formats
+/// layered on top of SaveParams (LmkgS's scaler header, AdaptiveLmkg's
+/// model-registry snapshot). Readers return false on truncation.
+void WriteU32(std::ostream& out, uint32_t v);
+bool ReadU32(std::istream& in, uint32_t* v);
+void WriteU64(std::ostream& out, uint64_t v);
+bool ReadU64(std::istream& in, uint64_t* v);
+void WriteF64(std::ostream& out, double v);
+bool ReadF64(std::istream& in, double* v);
+
 }  // namespace lmkg::nn
 
 #endif  // LMKG_NN_SERIALIZE_H_

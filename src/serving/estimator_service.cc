@@ -10,6 +10,8 @@ namespace {
 
 ServiceConfig Sanitize(ServiceConfig config) {
   config.max_batch_size = std::max<size_t>(config.max_batch_size, 1);
+  config.workload_sample_every =
+      std::max<size_t>(config.workload_sample_every, 1);
   return config;
 }
 
@@ -50,13 +52,20 @@ EstimatorService::~EstimatorService() {
 
 bool EstimatorService::TryCache(const query::Query& q, Request* request,
                                 double* estimate) {
+  // Capturing the epoch BEFORE the lookup/compute is the stale-safety
+  // linchpin: if a hot-swap lands after this point, the request's insert
+  // is tagged with the old generation and can never be served past the
+  // swap — while a request that captures the bumped epoch is guaranteed
+  // (swap-then-advance protocol + replica mutexes) to compute on the new
+  // model.
+  request->epoch = epoch_.load(std::memory_order_acquire);
   if (!cache_.enabled()) return false;
   // Per-thread scratch keeps fingerprinting allocation-free once warm
   // without a lock; the scratch holds no cross-call state.
   thread_local query::FingerprintScratch scratch;
   request->fp = query::ComputeFingerprint(q, &scratch);
   request->cacheable = true;
-  if (cache_.Lookup(request->fp, estimate)) {
+  if (cache_.Lookup(request->fp, request->epoch, estimate)) {
     stats_.RecordCacheHit();
     stats_.RecordRequest(MicrosSince(request->enqueue_time,
                                      std::chrono::steady_clock::now()));
@@ -66,9 +75,45 @@ bool EstimatorService::TryCache(const query::Query& q, Request* request,
   return false;
 }
 
+void EstimatorService::MaybeSampleWorkload(const query::Query& q) {
+  if (config_.workload_tap_capacity == 0) return;
+  const uint64_t n = tap_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (n % config_.workload_sample_every != 0) return;
+  std::unique_lock<std::mutex> lock(tap_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // drop the sample, never stall a client
+  if (tap_.size() < config_.workload_tap_capacity) {
+    tap_.push_back(q);
+  } else {
+    tap_[tap_next_] = q;
+    tap_next_ = (tap_next_ + 1) % config_.workload_tap_capacity;
+  }
+}
+
+std::vector<query::Query> EstimatorService::DrainWorkloadSamples() {
+  std::vector<query::Query> drained;
+  std::lock_guard<std::mutex> lock(tap_mu_);
+  drained.swap(tap_);
+  // Keep the refill allocation-free: the push_back regrowth would
+  // otherwise happen inside MaybeSampleWorkload's critical section,
+  // dropping contending samples for nothing.
+  tap_.reserve(config_.workload_tap_capacity);
+  tap_next_ = 0;
+  return drained;
+}
+
+std::unique_ptr<core::CardinalityEstimator> EstimatorService::ReplaceReplica(
+    size_t index, std::unique_ptr<core::CardinalityEstimator> replacement) {
+  LMKG_CHECK_LT(index, replicas_.size());
+  LMKG_CHECK(replacement != nullptr) << "replica swap needs a model";
+  std::lock_guard<std::mutex> lock(*replica_mus_[index]);
+  replicas_[index].swap(replacement);
+  return replacement;  // the previous model, for the caller to retire
+}
+
 double EstimatorService::Estimate(const query::Query& q) {
   Request request;
   request.enqueue_time = std::chrono::steady_clock::now();
+  MaybeSampleWorkload(q);
   double estimate = 0.0;
   if (TryCache(q, &request, &estimate)) return estimate;
   request.query = &q;  // the caller blocks here, so no copy is needed
@@ -87,14 +132,17 @@ double EstimatorService::Estimate(const query::Query& q) {
 }
 
 std::future<double> EstimatorService::EstimateAsync(const query::Query& q) {
-  auto* request = new Request;
+  // The unique_ptr owns the request until the queue does: the query copy
+  // and fingerprinting below can throw (bad_alloc), and a raw `new` here
+  // would leak the request on any such unwind.
+  auto request = std::make_unique<Request>();
   request->enqueue_time = std::chrono::steady_clock::now();
   request->promise.emplace();
   std::future<double> future = request->promise->get_future();
+  MaybeSampleWorkload(q);
   double estimate = 0.0;
-  if (TryCache(q, request, &estimate)) {
+  if (TryCache(q, request.get(), &estimate)) {
     request->promise->set_value(estimate);
-    delete request;
     return future;
   }
   request->owned_query = q;  // the caller may return before completion
@@ -102,7 +150,9 @@ std::future<double> EstimatorService::EstimateAsync(const query::Query& q) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     LMKG_CHECK(!stop_) << "EstimateAsync on a shut-down EstimatorService";
-    queue_.push_back(request);
+    queue_.push_back(request.get());
+    // Handoff complete: from here the worker side deletes it (Complete).
+    request.release();
   }
   queue_cv_.notify_one();
   return future;
@@ -111,7 +161,16 @@ std::future<double> EstimatorService::EstimateAsync(const query::Query& q) {
 void EstimatorService::Complete(
     Request* request, double value,
     std::chrono::steady_clock::time_point now) {
-  if (request->cacheable) cache_.Insert(request->fp, value);
+  // Tagged with the submission-time epoch: a value computed on the old
+  // model but inserted after a swap lands stale-tagged and is never
+  // served at the new epoch (a fresh value tagged conservatively old
+  // costs one extra miss — harmless). Skip the insert outright when the
+  // epoch already moved on — an unservable entry would only displace a
+  // live one from the LRU. The load is racy by nature (the epoch may
+  // bump right after), which only readmits the harmless tagged-old case.
+  if (request->cacheable &&
+      request->epoch == epoch_.load(std::memory_order_acquire))
+    cache_.Insert(request->fp, request->epoch, value);
   stats_.RecordRequest(MicrosSince(request->enqueue_time, now));
   if (request->promise.has_value()) {
     request->promise->set_value(value);
@@ -123,9 +182,11 @@ void EstimatorService::Complete(
 }
 
 void EstimatorService::WorkerLoop(size_t worker_index) {
-  core::CardinalityEstimator* replica =
-      replicas_[worker_index % replicas_.size()].get();
-  std::mutex& replica_mu = *replica_mus_[worker_index % replicas_.size()];
+  // The replica SLOT is fixed per worker; the model inside it is
+  // re-fetched under the mutex each batch so a ReplaceReplica hot-swap
+  // takes effect at the next batch boundary.
+  const size_t replica_index = worker_index % replicas_.size();
+  std::mutex& replica_mu = *replica_mus_[replica_index];
   const auto delay = std::chrono::microseconds(config_.max_queue_delay_us);
 
   // Reused batch buffers: Query assignment recycles pattern capacity, so
@@ -168,9 +229,10 @@ void EstimatorService::WorkerLoop(size_t worker_index) {
       queries[i] = *batch[i]->query;
     {
       // Estimators are not thread-safe (reused encode/forward scratch);
-      // workers sharing a replica serialize here.
+      // workers sharing a replica serialize here, and hot-swaps of the
+      // slot's model synchronize on the same mutex.
       std::lock_guard<std::mutex> model_lock(replica_mu);
-      replica->EstimateCardinalityBatch(queries, results);
+      replicas_[replica_index]->EstimateCardinalityBatch(queries, results);
     }
     stats_.RecordBatch(batch.size());
 

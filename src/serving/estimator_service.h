@@ -42,6 +42,14 @@ struct ServiceConfig {
   /// Result-cache entries across all shards; 0 disables the cache.
   size_t cache_capacity = 0;
   size_t cache_shards = 8;
+  /// Live-workload tap: sampled request queries accumulate in a small
+  /// ring that DrainWorkloadSamples empties — the signal a background
+  /// ModelLifecycle feeds into its WorkloadMonitor to detect drift.
+  /// 0 disables the tap (no overhead on the request path).
+  size_t workload_tap_capacity = 0;
+  /// Sample every Nth request into the tap (clamped to >= 1). Sampling
+  /// preserves the workload's combo mix, which is all the monitor needs.
+  size_t workload_sample_every = 1;
 };
 
 /// Thread-safe serving front for any core::CardinalityEstimator:
@@ -69,6 +77,21 @@ struct ServiceConfig {
 /// cache hit replays the first estimate — sampling-noise-level effects;
 /// disable the cache if replay matters.
 ///
+/// Model generations: the service carries a monotonically increasing
+/// epoch. Result-cache entries are tagged with the epoch of the model
+/// that computed them and only hit at that epoch, so AdvanceEpoch()
+/// atomically invalidates every estimate cached before a model mutation
+/// (hot-swap, adaptation, outlier-buffer insert, reload) without a
+/// stop-the-world flush. ReplaceReplica swaps a model under its replica
+/// mutex — in-flight batches finish on whichever model they locked, and
+/// once the caller bumps the epoch, every cached lookup recomputes
+/// against the new generation (tests/model_lifecycle_test.cc pins zero
+/// stale values across a mid-stream swap). The swap protocol (replace
+/// every replica, THEN advance the epoch) is what makes late stale
+/// inserts harmless: a request tags its insert with the epoch captured
+/// at submission, so a pre-swap computation landing after the bump is
+/// tagged old and never served.
+///
 /// Ownership: the service owns its replicas and must outlive every
 /// outstanding future. Destruction drains the queue (all futures
 /// complete) before joining the workers.
@@ -94,13 +117,44 @@ class EstimatorService {
   /// resolves when the carrying batch completes (or on shutdown drain).
   std::future<double> EstimateAsync(const query::Query& q);
 
-  /// Counters + latency percentiles since construction or ResetStats.
-  ServingStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  /// Counters + latency percentiles since construction or ResetStats,
+  /// plus the current model epoch and cumulative stale-entry evictions.
+  ServingStatsSnapshot Stats() const {
+    ServingStatsSnapshot snap = stats_.Snapshot();
+    snap.model_epoch = epoch();
+    snap.cache_stale_evictions = cache_.stale_evictions();
+    return snap;
+  }
   /// Not safe against concurrent Estimate calls; quiesce first.
   void ResetStats() { stats_.Reset(); }
 
   size_t num_workers() const { return workers_.size(); }
   size_t num_replicas() const { return replicas_.size(); }
+
+  /// Current model generation. Starts at 0; only AdvanceEpoch moves it.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Declares a new model generation: every result cached before this
+  /// call stops hitting (evicted lazily on contact). Call AFTER the model
+  /// mutation is visible to workers — i.e. after every ReplaceReplica of
+  /// a swap, or after an external mutation of a served model completed
+  /// under its replica mutex.
+  void AdvanceEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
+
+  /// Swaps the model at `index` for `replacement` under the replica's
+  /// mutex and returns the previous model. In-flight batches holding the
+  /// mutex finish on the old model first; the swap itself is a pointer
+  /// exchange, so serving never blocks on model preparation (train and
+  /// load off-path, then swap). Callers swap every replica, then
+  /// AdvanceEpoch() once.
+  std::unique_ptr<core::CardinalityEstimator> ReplaceReplica(
+      size_t index,
+      std::unique_ptr<core::CardinalityEstimator> replacement);
+
+  /// Empties the live-workload tap (see ServiceConfig::workload_tap_*).
+  /// Safe against concurrent request traffic; samples are in arrival
+  /// order up to ring wrap-around.
+  std::vector<query::Query> DrainWorkloadSamples();
 
  private:
   struct Request {
@@ -108,6 +162,7 @@ class EstimatorService {
     query::Query owned_query;             // async path keeps its own copy
     query::Fingerprint fp;
     bool cacheable = false;
+    uint64_t epoch = 0;                   // generation at submission
     std::chrono::steady_clock::time_point enqueue_time;
     // Exactly one completion channel: async requests carry a promise
     // (service-owned, deleted after fulfillment); blocking requests live
@@ -119,6 +174,8 @@ class EstimatorService {
 
   // True and fills *estimate on a cache hit (records stats).
   bool TryCache(const query::Query& q, Request* request, double* estimate);
+  // Samples q into the workload tap (cheap, never blocks the caller).
+  void MaybeSampleWorkload(const query::Query& q);
   void WorkerLoop(size_t worker_index);
   // Fulfills one request with `value` (cache insert + latency stats).
   void Complete(Request* request, double value,
@@ -129,6 +186,14 @@ class EstimatorService {
   std::vector<std::unique_ptr<std::mutex>> replica_mus_;
   QueryCache cache_;
   ServingStats stats_;
+  std::atomic<uint64_t> epoch_{0};
+
+  // Live-workload tap (ring buffer). try_lock on the request path: under
+  // contention a sample is simply dropped rather than stalling a client.
+  std::mutex tap_mu_;
+  std::vector<query::Query> tap_;
+  size_t tap_next_ = 0;
+  std::atomic<uint64_t> tap_counter_{0};
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;   // workers wait for requests

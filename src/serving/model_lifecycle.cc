@@ -1,0 +1,111 @@
+#include "serving/model_lifecycle.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace lmkg::serving {
+
+ModelLifecycle::ModelLifecycle(EstimatorService* service,
+                               core::AdaptiveLmkg* shadow,
+                               ReplicaFactory replica_factory,
+                               const ModelLifecycleConfig& config)
+    : service_(service),
+      shadow_(shadow),
+      replica_factory_(std::move(replica_factory)),
+      config_(config) {
+  LMKG_CHECK(service_ != nullptr);
+  LMKG_CHECK(shadow_ != nullptr);
+  LMKG_CHECK(replica_factory_ != nullptr);
+  if (config_.background) thread_ = std::thread([this] { Loop(); });
+}
+
+ModelLifecycle::~ModelLifecycle() { Stop(); }
+
+void ModelLifecycle::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ModelLifecycle::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, config_.poll_interval, [&] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    (void)RunOnce();
+    lock.lock();
+  }
+}
+
+LifecycleReport ModelLifecycle::RunOnce() {
+  std::lock_guard<std::mutex> cycle_lock(cycle_mu_);
+  LifecycleReport report;
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+
+  // 1. Mirror the live stream into the shadow's drift detector.
+  std::vector<query::Query> samples = service_->DrainWorkloadSamples();
+  report.samples_observed = samples.size();
+  for (const query::Query& q : samples) shadow_->ObserveWorkload(q);
+  if (samples.size() < config_.min_samples_per_cycle) {
+    report.epoch = service_->epoch();
+    return report;
+  }
+
+  // 2. Reconcile the shadow's model pool with the observed mix. This is
+  // where training happens — on this thread, against a model no serving
+  // worker can reach.
+  report.adapt = shadow_->Adapt();
+  if (report.adapt.created.empty() && report.adapt.dropped.empty()) {
+    report.epoch = service_->epoch();
+    return report;
+  }
+
+  // 3. The pool changed: snapshot the shadow, rehydrate one replica per
+  // serving slot, swap them in, and only then advance the epoch — the
+  // order is the stale-cache-safety contract (see EstimatorService).
+  std::ostringstream blob;
+  const util::Status status = shadow_->Save(blob);
+  LMKG_CHECK(status.ok()) << "lifecycle snapshot failed: "
+                          << status.message();
+  const std::string snapshot = blob.str();
+  for (size_t i = 0; i < service_->num_replicas(); ++i) {
+    std::unique_ptr<core::CardinalityEstimator> replica =
+        replica_factory_(snapshot);
+    LMKG_CHECK(replica != nullptr)
+        << "lifecycle replica factory returned null";
+    // The retired model is destroyed here, after the slot's mutex was
+    // released — no worker can still be inside it.
+    service_->ReplaceReplica(i, std::move(replica));
+  }
+  service_->AdvanceEpoch();
+  report.swapped = true;
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  report.epoch = service_->epoch();
+  return report;
+}
+
+ModelLifecycle::ReplicaFactory MakeAdaptiveReplicaFactory(
+    const rdf::Graph& graph, const core::AdaptiveLmkgConfig& config) {
+  core::AdaptiveLmkgConfig replica_config = config;
+  replica_config.initial_combos.clear();  // the snapshot carries the models
+  return [&graph, replica_config](const std::string& snapshot)
+             -> std::unique_ptr<core::CardinalityEstimator> {
+    auto replica =
+        std::make_unique<core::AdaptiveLmkg>(graph, replica_config);
+    std::istringstream in(snapshot);
+    const util::Status status = replica->Load(in);
+    LMKG_CHECK(status.ok())
+        << "replica rehydration failed: " << status.message();
+    return replica;
+  };
+}
+
+}  // namespace lmkg::serving

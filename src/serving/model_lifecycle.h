@@ -1,0 +1,131 @@
+#ifndef LMKG_SERVING_MODEL_LIFECYCLE_H_
+#define LMKG_SERVING_MODEL_LIFECYCLE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/adaptive.h"
+#include "serving/estimator_service.h"
+
+namespace lmkg::serving {
+
+struct ModelLifecycleConfig {
+  /// Pause between background cycles (the thread also wakes promptly on
+  /// Stop).
+  std::chrono::milliseconds poll_interval{200};
+  /// A cycle that drained fewer samples than this skips Adapt() — never
+  /// retrain on silence. The drained samples still reach the shadow's
+  /// monitor, so nothing is lost across skipped cycles.
+  size_t min_samples_per_cycle = 16;
+  /// false: no background thread — the owner drives RunOnce() manually
+  /// (tests, benches, external schedulers).
+  bool background = true;
+};
+
+/// What one lifecycle cycle did.
+struct LifecycleReport {
+  /// Queries drained from the service's workload tap this cycle.
+  size_t samples_observed = 0;
+  /// Models the shadow created/dropped (empty when Adapt was skipped or
+  /// found nothing to do).
+  core::AdaptiveLmkg::AdaptReport adapt;
+  /// Whether the serving replicas were hot-swapped (implies the cache
+  /// epoch advanced).
+  bool swapped = false;
+  /// Service epoch after the cycle.
+  uint64_t epoch = 0;
+};
+
+/// Closes the paper's §IV loop under live traffic: "if a change in the
+/// workload of queries is detected during the execution phase, a new
+/// model may be created, or an existing model may be dropped" — here
+/// detected FROM the serving stream and applied TO the serving replicas
+/// without ever blocking a worker on training.
+///
+/// Each cycle: (1) drain the EstimatorService workload tap and mirror the
+/// sampled queries into the shadow AdaptiveLmkg's WorkloadMonitor;
+/// (2) run Adapt() on the shadow — all training happens on the lifecycle
+/// thread, on a model no worker touches; (3) if the model pool changed,
+/// snapshot the shadow (AdaptiveLmkg::Save), rehydrate one fresh replica
+/// per serving slot through the caller's ReplicaFactory, swap each in
+/// under its replica mutex, and advance the service epoch — which
+/// atomically turns every result cached against the old generation into
+/// a miss. Workers at most wait out a pointer swap; requests keep
+/// flowing on the old generation until the instant theirs is replaced.
+///
+/// Threading: the shadow is the lifecycle's alone — the owner must not
+/// call into it while the lifecycle runs (Stop() first). RunOnce is
+/// serialized internally, so driving it manually while the background
+/// thread polls is safe, if unusual.
+class ModelLifecycle {
+ public:
+  /// Rehydrates one serving replica from an AdaptiveLmkg snapshot blob.
+  /// Typical shape: construct an AdaptiveLmkg over the same graph/config
+  /// with `initial_combos` cleared (skip throwaway training), Load the
+  /// blob, return it.
+  using ReplicaFactory =
+      std::function<std::unique_ptr<core::CardinalityEstimator>(
+          const std::string& snapshot)>;
+
+  /// `service` and `shadow` are borrowed and must outlive this object.
+  /// The service should be constructed with a nonzero
+  /// workload_tap_capacity, or every cycle will drain zero samples.
+  ModelLifecycle(EstimatorService* service, core::AdaptiveLmkg* shadow,
+                 ReplicaFactory replica_factory,
+                 const ModelLifecycleConfig& config);
+  ~ModelLifecycle();
+
+  ModelLifecycle(const ModelLifecycle&) = delete;
+  ModelLifecycle& operator=(const ModelLifecycle&) = delete;
+
+  /// Stops the background thread (if any) and joins it. Idempotent.
+  void Stop();
+
+  /// One synchronous lifecycle cycle; see the class comment for the
+  /// steps. Returns what happened. Thread-safe against the background
+  /// loop.
+  LifecycleReport RunOnce();
+
+  uint64_t cycles() const {
+    return cycles_.load(std::memory_order_relaxed);
+  }
+  uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  EstimatorService* service_;
+  core::AdaptiveLmkg* shadow_;
+  ReplicaFactory replica_factory_;
+  const ModelLifecycleConfig config_;
+
+  std::atomic<uint64_t> cycles_{0};
+  std::atomic<uint64_t> swaps_{0};
+
+  std::mutex cycle_mu_;  // serializes RunOnce bodies
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// The canonical ReplicaFactory for AdaptiveLmkg deployments: rehydrates
+/// each replica over `graph` with `config` (initial_combos cleared — the
+/// snapshot carries the real models) and CHECK-fails on a Load error,
+/// since a lifecycle swap has no recovery path for a corrupt
+/// self-produced snapshot. `graph` is captured by reference and must
+/// outlive the factory and every replica it produces.
+ModelLifecycle::ReplicaFactory MakeAdaptiveReplicaFactory(
+    const rdf::Graph& graph, const core::AdaptiveLmkgConfig& config);
+
+}  // namespace lmkg::serving
+
+#endif  // LMKG_SERVING_MODEL_LIFECYCLE_H_

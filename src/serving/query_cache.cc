@@ -18,12 +18,22 @@ QueryCache::QueryCache(const QueryCacheConfig& config) {
     shards_.push_back(std::make_unique<Shard>());
 }
 
-bool QueryCache::Lookup(const query::Fingerprint& fp, double* value) {
+bool QueryCache::Lookup(const query::Fingerprint& fp, uint64_t epoch,
+                        double* value) {
   if (!enabled()) return false;
   Shard& shard = ShardFor(fp);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(fp);
   if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (it->second->epoch < epoch) {
+    // Computed by a pre-mutation model generation: evict on contact so
+    // the slot frees up for the recomputed value.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    stale_evictions_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -33,14 +43,20 @@ bool QueryCache::Lookup(const query::Fingerprint& fp, double* value) {
   return true;
 }
 
-void QueryCache::Insert(const query::Fingerprint& fp, double value) {
+void QueryCache::Insert(const query::Fingerprint& fp, uint64_t epoch,
+                        double value) {
   if (!enabled()) return;
   Shard& shard = ShardFor(fp);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(fp);
   if (it != shard.index.end()) {
-    // Concurrent in-flight duplicates both insert; keep the newest value
-    // (identical for deterministic estimators) and refresh recency.
+    // A resident entry from a newer epoch wins: an insert tagged older
+    // is a pre-swap computation landing late, and refreshing with it
+    // would resurrect a stale value. Same-epoch duplicates (concurrent
+    // in-flight requests) keep the newest value — identical for
+    // deterministic estimators — and refresh recency.
+    if (it->second->epoch > epoch) return;
+    it->second->epoch = epoch;
     it->second->value = value;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
@@ -49,7 +65,7 @@ void QueryCache::Insert(const query::Fingerprint& fp, double value) {
     shard.index.erase(shard.lru.back().fp);
     shard.lru.pop_back();
   }
-  shard.lru.push_front(Entry{fp, value});
+  shard.lru.push_front(Entry{fp, epoch, value});
   shard.index.emplace(fp, shard.lru.begin());
 }
 

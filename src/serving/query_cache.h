@@ -35,28 +35,48 @@ struct QueryCacheConfig {
 /// estimates, which for deterministic estimators (LMKG-S) exactly equal a
 /// fresh computation; for sampling estimators a hit replays the first
 /// computed estimate.
+///
+/// Model generations: every entry is tagged with the epoch of the model
+/// that computed it. A lookup only hits when the entry's epoch equals the
+/// caller's current epoch; entries from older epochs are evicted on
+/// contact (counted in stale_evictions). The serving layer bumps its
+/// epoch on any model mutation (hot-swap, adaptation, reload), which
+/// atomically turns every cached pre-mutation estimate into a miss — the
+/// cache itself never needs a stop-the-world flush. Inserts tagged with
+/// an epoch older than the resident entry's are dropped, so a slow
+/// pre-swap computation landing after the swap cannot resurrect a stale
+/// value.
 class QueryCache {
  public:
   explicit QueryCache(const QueryCacheConfig& config);
 
   bool enabled() const { return !shards_.empty(); }
 
-  /// True and fills *value if present (the entry becomes most recent).
-  bool Lookup(const query::Fingerprint& fp, double* value);
+  /// True and fills *value if an entry computed at `epoch` is present
+  /// (the entry becomes most recent). An entry from an older epoch is
+  /// erased and reported as a miss.
+  bool Lookup(const query::Fingerprint& fp, uint64_t epoch, double* value);
 
-  /// Inserts or refreshes fp -> value, evicting the shard's LRU entry at
-  /// capacity.
-  void Insert(const query::Fingerprint& fp, double value);
+  /// Inserts or refreshes fp -> value tagged with `epoch`, evicting the
+  /// shard's LRU entry at capacity. A resident entry from a newer epoch
+  /// wins over the insert (late stale write).
+  void Insert(const query::Fingerprint& fp, uint64_t epoch, double value);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
+  }
+  /// Entries evicted because a lookup found them tagged with an older
+  /// epoch (a subset of misses).
+  uint64_t stale_evictions() const {
+    return stale_evictions_.load(std::memory_order_relaxed);
   }
   size_t size() const;
 
  private:
   struct Entry {
     query::Fingerprint fp;
+    uint64_t epoch;
     double value;
   };
   struct Shard {
@@ -78,6 +98,7 @@ class QueryCache {
   size_t per_shard_capacity_ = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> stale_evictions_{0};
 };
 
 }  // namespace lmkg::serving

@@ -18,6 +18,11 @@ struct ServingStatsSnapshot {
   uint64_t cache_misses = 0;     // requests that went through the batcher
   uint64_t batches = 0;          // batches dispatched to an estimator
   uint64_t batched_requests = 0; // requests summed over those batches
+  // Filled by EstimatorService::Stats (not part of the collector): the
+  // current model generation and how many cached pre-swap entries were
+  // evicted on contact since construction.
+  uint64_t model_epoch = 0;
+  uint64_t cache_stale_evictions = 0;
   double window_seconds = 0.0;
 
   double qps = 0.0;              // requests / window_seconds

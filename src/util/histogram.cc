@@ -7,8 +7,11 @@ namespace lmkg::util {
 
 namespace {
 
-// 12 buckets per decade: index = floor(log10(us) * 12).
+// 12 buckets per decade: index = floor(log10(us) * 12) + the offset of
+// the sub-microsecond decades.
 constexpr double kBucketsPerDecade = 12.0;
+// Lower edge of bucket 0 (10 nanoseconds, in microseconds).
+constexpr double kMinBucketUs = 1e-2;
 
 }  // namespace
 
@@ -22,14 +25,19 @@ void LatencyHistogram::Reset() {
 }
 
 size_t LatencyHistogram::BucketIndex(double us) {
-  if (!(us > 1.0)) return 0;  // sub-microsecond (and NaN) -> bucket 0
-  const double idx = std::log10(us) * kBucketsPerDecade;
+  if (!(us > kMinBucketUs)) return 0;  // sub-10ns (and NaN) -> bucket 0
+  const double idx = std::log10(us) * kBucketsPerDecade +
+                     static_cast<double>(kSubMicroBuckets);
+  if (idx <= 0.0) return 0;  // log10 rounding right at the 10ns edge
   if (idx >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
   return static_cast<size_t>(idx);
 }
 
 double LatencyHistogram::BucketLowerUs(size_t index) {
-  return std::pow(10.0, static_cast<double>(index) / kBucketsPerDecade);
+  return std::pow(10.0,
+                  (static_cast<double>(index) -
+                   static_cast<double>(kSubMicroBuckets)) /
+                      kBucketsPerDecade);
 }
 
 void LatencyHistogram::Record(double us) {
@@ -61,8 +69,8 @@ double LatencyHistogram::PercentileUs(double p) const {
     seen += counts_[i].load(std::memory_order_relaxed);
     if (seen >= rank) {
       // Geometric midpoint of [lower, upper); bucket 0 reports its upper
-      // bound region midpoint as well (lower bound is 1 us by
-      // construction, sub-us samples round up harmlessly).
+      // bound region midpoint as well (lower bound is 10 ns by
+      // construction, sub-10ns samples round up harmlessly).
       const double lower = BucketLowerUs(i);
       const double upper = BucketLowerUs(i + 1);
       return std::sqrt(lower * upper);

@@ -8,9 +8,13 @@
 namespace lmkg::util {
 
 /// Fixed-bucket latency histogram for the serving subsystem: geometric
-/// buckets spanning 1 microsecond to ~100 seconds (12 buckets per decade,
-/// ratio 10^(1/12) ~ 1.21, so a reported percentile is within ~10% of the
-/// true value — plenty for p50/p95/p99 serving dashboards).
+/// buckets spanning 10 nanoseconds to ~100 seconds (12 buckets per
+/// decade, ratio 10^(1/12) ~ 1.21, so a reported percentile is within
+/// ~10% of the true value — plenty for p50/p95/p99 serving dashboards).
+/// The sub-microsecond decades matter for the cached-hit path: a warm
+/// fingerprint lookup completes in tens to hundreds of nanoseconds, and
+/// a 1us floor would pin its p50 at the bottom bucket's midpoint
+/// regardless of the true latency.
 ///
 /// Record is wait-free (one relaxed fetch_add per call plus a CAS loop
 /// for the max) so concurrent request threads never serialize on the
@@ -19,10 +23,13 @@ namespace lmkg::util {
 /// concurrent Record — quiesce the service first (the bench does).
 class LatencyHistogram {
  public:
-  /// 8 decades x 12 buckets: bucket i covers [r^i, r^{i+1}) microseconds
-  /// with r = 10^(1/12); bucket 0 additionally absorbs sub-microsecond
-  /// samples and the last bucket absorbs everything above ~100 s.
-  static constexpr size_t kBuckets = 96;
+  /// 10 decades x 12 buckets: bucket i covers
+  /// [r^(i-kSubMicroBuckets), r^(i-kSubMicroBuckets+1)) microseconds with
+  /// r = 10^(1/12), i.e. the scale starts at 10ns; bucket 0 additionally
+  /// absorbs sub-10ns samples and the last bucket absorbs everything
+  /// above ~80 s.
+  static constexpr size_t kSubMicroBuckets = 24;  // [10ns, 1us)
+  static constexpr size_t kBuckets = 96 + kSubMicroBuckets;
 
   LatencyHistogram();
 

@@ -17,6 +17,7 @@ namespace {
 using query::PatternTerm;
 using query::Query;
 using query::Topology;
+using Combo = WorkloadMonitor::Combo;
 
 PatternTerm B(rdf::TermId id) { return PatternTerm::Bound(id); }
 PatternTerm V(int v) { return PatternTerm::Variable(v); }
@@ -75,6 +76,93 @@ TEST(WorkloadMonitorTest, HotCombosRequireMinObservations) {
 TEST(WorkloadMonitorTest, NeverObservedComboIsCold) {
   WorkloadMonitor monitor;
   EXPECT_TRUE(monitor.IsCold({Topology::kChain, 8}));
+}
+
+TEST(WorkloadMonitorTest, DecayedSharesMatchClosedForm) {
+  // Observe A then B with decay d: A's weight decays to d while B adds
+  // 1, and the total is d + 1 — the shares must be exactly d/(d+1) and
+  // 1/(d+1) (the time-stamped lazy-decay storage must cancel exactly).
+  WorkloadMonitor::Options options;
+  options.decay = 0.5;
+  WorkloadMonitor monitor(options);
+  monitor.Observe(Star(2));
+  monitor.Observe(Chain(3));
+  auto shares = monitor.Shares();
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_EQ(shares[0].combo.topology, Topology::kChain);
+  EXPECT_DOUBLE_EQ(shares[0].share, 1.0 / 1.5);
+  EXPECT_DOUBLE_EQ(shares[1].share, 0.5 / 1.5);
+
+  // Longer mixed run vs. the closed form sum_{k} d^(age_k): 10x A then
+  // 5x B — A's decayed weight is sum_{k=5}^{14} d^k, B's is
+  // sum_{k=0}^{4} d^k, total is sum_{k=0}^{14} d^k.
+  const double d = 0.9;
+  WorkloadMonitor::Options mixed_options;
+  mixed_options.decay = d;
+  WorkloadMonitor mixed(mixed_options);
+  for (int i = 0; i < 10; ++i) mixed.Observe(Star(2));
+  for (int i = 0; i < 5; ++i) mixed.Observe(Chain(3));
+  double weight_a = 0.0, weight_b = 0.0, total = 0.0;
+  for (int age = 0; age < 15; ++age) {
+    const double w = std::pow(d, age);
+    total += w;
+    (age < 5 ? weight_b : weight_a) += w;
+  }
+  for (const auto& cs : mixed.Shares()) {
+    const double want =
+        cs.combo.topology == Topology::kStar ? weight_a : weight_b;
+    EXPECT_NEAR(cs.share, want / total, 1e-12);
+  }
+  EXPECT_NEAR(mixed.total_weight(), total, 1e-12);
+}
+
+TEST(WorkloadMonitorTest, HotAndColdThresholdsAreStrictBoundaries) {
+  WorkloadMonitor::Options options;
+  options.decay = 1.0;  // plain frequencies: thresholds hit exactly
+  options.hot_share = 0.6;
+  options.cold_share = 0.25;
+  options.min_observations = 1;
+  WorkloadMonitor monitor(options);
+  for (int i = 0; i < 7; ++i) monitor.Observe(Star(2));
+  for (int i = 0; i < 3; ++i) monitor.Observe(Chain(3));
+  // Star at 0.7 >= 0.6 is hot; chain at 0.3 is neither hot nor cold.
+  auto hot = monitor.HotCombos();
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0].topology, Topology::kStar);
+  EXPECT_FALSE(monitor.IsCold({Topology::kChain, 3}));
+  // Push chain to the cold boundary exactly: 3/12 == cold_share, and
+  // "cold" means strictly below, so it is still warm...
+  for (int i = 0; i < 2; ++i) monitor.Observe(Star(2));
+  EXPECT_FALSE(monitor.IsCold({Topology::kChain, 3}));
+  // ...one more observation tips it under.
+  monitor.Observe(Star(2));
+  EXPECT_TRUE(monitor.IsCold({Topology::kChain, 3}));
+}
+
+TEST(WorkloadMonitorTest, SaveRestoreStateRoundTripsExactly) {
+  WorkloadMonitor::Options options;
+  options.decay = 0.93;
+  WorkloadMonitor monitor(options);
+  for (int i = 0; i < 25; ++i) monitor.Observe(Star(2));
+  for (int i = 0; i < 9; ++i) monitor.Observe(Chain(3));
+
+  WorkloadMonitor restored(options);
+  restored.RestoreState(monitor.SaveState());
+  EXPECT_EQ(restored.observations(), monitor.observations());
+  EXPECT_DOUBLE_EQ(restored.total_weight(), monitor.total_weight());
+  auto original_shares = monitor.Shares();
+  auto restored_shares = restored.Shares();
+  ASSERT_EQ(original_shares.size(), restored_shares.size());
+  for (size_t i = 0; i < original_shares.size(); ++i) {
+    EXPECT_EQ(restored_shares[i].combo, original_shares[i].combo);
+    EXPECT_DOUBLE_EQ(restored_shares[i].share, original_shares[i].share);
+  }
+  // The restored monitor keeps decaying identically.
+  monitor.Observe(Chain(3));
+  restored.Observe(Chain(3));
+  EXPECT_DOUBLE_EQ(restored.total_weight(), monitor.total_weight());
+  EXPECT_EQ(restored.IsCold({Topology::kStar, 2}),
+            monitor.IsCold({Topology::kStar, 2}));
 }
 
 TEST(WorkloadMonitorTest, MinorityComboBelowHotShare) {
@@ -216,6 +304,50 @@ TEST_F(AdaptiveLmkgTest, MemoryBudgetDropsColdModels) {
   // The hot star model is never dropped even though the budget is still
   // exceeded: only cold models are eligible.
   EXPECT_TRUE(adaptive.Covers({Topology::kStar, 2}));
+}
+
+TEST_F(AdaptiveLmkgTest, AdaptCreateThenDropRoundTripUnderBudget) {
+  // Size a budget that fits roughly one specialized model by probing a
+  // bootstrap instance.
+  const size_t one_model_bytes =
+      AdaptiveLmkg(graph_, SmallConfig()).MemoryBytes();
+  AdaptiveLmkgConfig config = SmallConfig();  // initial: star-2
+  config.memory_budget_bytes = one_model_bytes * 3 / 2;
+  AdaptiveLmkg adaptive(graph_, config);
+
+  // Shift 1: all chain-3 — Adapt must create the chain model AND, in
+  // the same pass, evict the now-cold star model to honor the budget.
+  auto chains = MakeWorkload(Topology::kChain, 3, 40, 9);
+  ASSERT_GE(chains.size(), 25u);
+  for (const auto& lq : chains) adaptive.EstimateCardinality(lq.query);
+  auto first = adaptive.Adapt();
+  ASSERT_EQ(first.created.size(), 1u);
+  EXPECT_EQ(first.created[0], (Combo{Topology::kChain, 3}));
+  ASSERT_EQ(first.dropped.size(), 1u);
+  EXPECT_EQ(first.dropped[0], (Combo{Topology::kStar, 2}));
+  EXPECT_TRUE(adaptive.Covers({Topology::kChain, 3}));
+  EXPECT_FALSE(adaptive.Covers({Topology::kStar, 2}));
+
+  // Shift 2: back to star-2 — the round trip re-creates the star model
+  // and drops the chain model, so the pool tracks the workload both
+  // ways under the same budget.
+  auto stars = MakeWorkload(Topology::kStar, 2, 40, 13);
+  ASSERT_GE(stars.size(), 25u);
+  for (const auto& lq : stars) adaptive.EstimateCardinality(lq.query);
+  auto second = adaptive.Adapt();
+  ASSERT_EQ(second.created.size(), 1u);
+  EXPECT_EQ(second.created[0], (Combo{Topology::kStar, 2}));
+  ASSERT_EQ(second.dropped.size(), 1u);
+  EXPECT_EQ(second.dropped[0], (Combo{Topology::kChain, 3}));
+  EXPECT_TRUE(adaptive.Covers({Topology::kStar, 2}));
+  EXPECT_FALSE(adaptive.Covers({Topology::kChain, 3}));
+  EXPECT_EQ(adaptive.num_models(), 1u);
+
+  // Estimates keep flowing for both shapes throughout.
+  EXPECT_TRUE(
+      std::isfinite(adaptive.EstimateCardinality(chains[0].query)));
+  EXPECT_TRUE(
+      std::isfinite(adaptive.EstimateCardinality(stars[0].query)));
 }
 
 TEST_F(AdaptiveLmkgTest, TwoPatternCompositeStaysOnFallback) {

@@ -1,0 +1,539 @@
+// Model-lifecycle tests: the epoch-tagged result cache (the stale-cache
+// bugfix — no estimate computed by a pre-swap model generation may ever
+// be served after the swap's epoch bump), hot replica swaps under
+// concurrent clients, AdaptiveLmkg versioned snapshots (Save -> Load
+// reproduces estimates bit-identically), and the background
+// drift->adapt->hot-swap loop of serving::ModelLifecycle. Together with
+// serving_test.cc this suite is the target of the TSan CI leg.
+#include "serving/model_lifecycle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/lmkg_s.h"
+#include "encoding/query_encoder.h"
+#include "query/fingerprint.h"
+#include "sampling/workload.h"
+#include "serving/estimator_service.h"
+#include "serving/query_cache.h"
+#include "test_util.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lmkg::serving {
+namespace {
+
+using lmkg::testing::MakeRandomGraph;
+using query::Query;
+using query::Topology;
+
+// --- epoch-tagged QueryCache -------------------------------------------------
+
+TEST(EpochCacheTest, StaleEpochEntryMissesAndIsEvicted) {
+  QueryCache cache(QueryCacheConfig{64, 1});
+  const query::Fingerprint fp{1, 2};
+  cache.Insert(fp, /*epoch=*/0, 10.0);
+  double value = 0.0;
+  ASSERT_TRUE(cache.Lookup(fp, 0, &value));
+  EXPECT_DOUBLE_EQ(value, 10.0);
+  // Same fingerprint, newer epoch: the pre-swap entry must not hit, and
+  // its slot is reclaimed.
+  EXPECT_FALSE(cache.Lookup(fp, 1, &value));
+  EXPECT_EQ(cache.stale_evictions(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // The recomputed value hits at the new epoch.
+  cache.Insert(fp, 1, 20.0);
+  ASSERT_TRUE(cache.Lookup(fp, 1, &value));
+  EXPECT_DOUBLE_EQ(value, 20.0);
+}
+
+TEST(EpochCacheTest, LateStaleInsertCannotResurrectOldValue) {
+  QueryCache cache(QueryCacheConfig{64, 1});
+  const query::Fingerprint fp{3, 4};
+  cache.Insert(fp, /*epoch=*/1, 20.0);
+  // A slow pre-swap computation lands after the swap: tagged epoch 0, it
+  // must lose to the resident epoch-1 entry.
+  cache.Insert(fp, /*epoch=*/0, 10.0);
+  double value = 0.0;
+  ASSERT_TRUE(cache.Lookup(fp, 1, &value));
+  EXPECT_DOUBLE_EQ(value, 20.0);
+}
+
+TEST(EpochCacheTest, SameEpochInsertRefreshes) {
+  QueryCache cache(QueryCacheConfig{64, 1});
+  const query::Fingerprint fp{5, 6};
+  cache.Insert(fp, 2, 1.0);
+  cache.Insert(fp, 2, 2.0);
+  double value = 0.0;
+  ASSERT_TRUE(cache.Lookup(fp, 2, &value));
+  EXPECT_DOUBLE_EQ(value, 2.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// --- hot swap through EstimatorService ---------------------------------------
+
+constexpr int kMaxQuerySize = 3;
+
+std::vector<Query> MakeServingWorkload(const rdf::Graph& graph,
+                                       size_t per_combo, uint64_t seed) {
+  sampling::WorkloadGenerator generator(graph);
+  std::vector<Query> queries;
+  uint64_t combo = 0;
+  for (Topology topology : {Topology::kStar, Topology::kChain}) {
+    for (int size : {2, kMaxQuerySize}) {
+      sampling::WorkloadGenerator::Options options;
+      options.topology = topology;
+      options.query_size = size;
+      options.count = per_combo;
+      options.seed = seed + 31 * combo++;
+      for (auto& lq : generator.Generate(options))
+        queries.push_back(std::move(lq.query));
+    }
+  }
+  return queries;
+}
+
+// Two generations of the "same" deployment: model A and model B share
+// the architecture but are trained with different seeds, so they give
+// different estimates for (at least some of) the workload — the
+// precondition for observing a stale cache value at all.
+class HotSwapTest : public ::testing::Test {
+ protected:
+  HotSwapTest() : graph_(MakeRandomGraph(60, 6, 700, 11)) {
+    sampling::WorkloadGenerator generator(graph_);
+    std::vector<sampling::LabeledQuery> train;
+    uint64_t combo = 0;
+    for (Topology topology : {Topology::kStar, Topology::kChain}) {
+      for (int size : {2, kMaxQuerySize}) {
+        sampling::WorkloadGenerator::Options options;
+        options.topology = topology;
+        options.query_size = size;
+        options.count = 40;
+        options.seed = 1000 + 31 * combo++;
+        auto labeled = generator.Generate(options);
+        train.insert(train.end(), labeled.begin(), labeled.end());
+      }
+    }
+    blob_a_ = TrainBlob(train, /*seed=*/7);
+    blob_b_ = TrainBlob(train, /*seed=*/8);
+
+    workload_ = MakeServingWorkload(graph_, 20, 5);
+    auto model_a = LoadModel(blob_a_, 7);
+    auto model_b = LoadModel(blob_b_, 8);
+    expected_a_.reserve(workload_.size());
+    expected_b_.reserve(workload_.size());
+    bool any_difference = false;
+    for (const Query& q : workload_) {
+      expected_a_.push_back(model_a->EstimateCardinality(q));
+      expected_b_.push_back(model_b->EstimateCardinality(q));
+      any_difference |= expected_a_.back() != expected_b_.back();
+    }
+    // Without at least one differing estimate a stale cache value would
+    // be indistinguishable from a fresh one and the swap tests vacuous.
+    LMKG_CHECK(any_difference);
+  }
+
+  core::LmkgSConfig ModelConfig(uint64_t seed) {
+    core::LmkgSConfig config;
+    config.hidden_dim = 16;
+    config.epochs = 2;
+    config.dropout = 0.0;
+    config.seed = seed;
+    return config;
+  }
+
+  std::string TrainBlob(const std::vector<sampling::LabeledQuery>& train,
+                        uint64_t seed) {
+    core::LmkgS model(NewEncoder(), ModelConfig(seed));
+    model.Train(train);
+    std::ostringstream blob;
+    LMKG_CHECK(model.Save(blob).ok());
+    return blob.str();
+  }
+
+  std::unique_ptr<encoding::QueryEncoder> NewEncoder() {
+    return encoding::MakeSgEncoder(graph_, kMaxQuerySize + 1,
+                                   kMaxQuerySize,
+                                   encoding::TermEncoding::kBinary);
+  }
+
+  std::unique_ptr<core::LmkgS> LoadModel(const std::string& blob,
+                                         uint64_t seed) {
+    auto model =
+        std::make_unique<core::LmkgS>(NewEncoder(), ModelConfig(seed));
+    std::istringstream in(blob);
+    EXPECT_TRUE(model->Load(in).ok());
+    return model;
+  }
+
+  std::vector<std::unique_ptr<core::CardinalityEstimator>> Replicas(
+      const std::string& blob, uint64_t seed, size_t n) {
+    std::vector<std::unique_ptr<core::CardinalityEstimator>> replicas;
+    for (size_t i = 0; i < n; ++i)
+      replicas.push_back(LoadModel(blob, seed));
+    return replicas;
+  }
+
+  // All clients submit the whole workload in their own shuffled order;
+  // returns per-client results indexed like workload_.
+  std::vector<std::vector<double>> RunClients(EstimatorService* service,
+                                              size_t clients,
+                                              uint64_t seed) {
+    std::vector<std::vector<double>> results(
+        clients, std::vector<double>(workload_.size(), 0.0));
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<size_t> order(workload_.size());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        util::Pcg32 rng(seed + c);
+        rng.Shuffle(&order);
+        for (size_t i : order)
+          results[c][i] = service->Estimate(workload_[i]);
+      });
+    }
+    for (auto& t : threads) t.join();
+    return results;
+  }
+
+  rdf::Graph graph_;
+  std::string blob_a_;
+  std::string blob_b_;
+  std::vector<Query> workload_;
+  std::vector<double> expected_a_;
+  std::vector<double> expected_b_;
+};
+
+// The headline bugfix pin: 8 concurrent clients fill the cache against
+// model A; the replicas are hot-swapped to model B and the epoch bumped;
+// 8 concurrent clients then re-submit the same workload (every entry
+// still resident in the cache). Every single post-epoch response must be
+// bit-identical to a serial run on model B — i.e. zero pre-swap cache
+// values survive the swap.
+TEST_F(HotSwapTest, MidStreamSwapServesZeroStaleCacheValues) {
+  ServiceConfig config;
+  config.max_batch_size = 16;
+  config.max_queue_delay_us = 100;
+  config.num_workers = 2;
+  config.cache_capacity = 4096;  // whole workload stays resident
+  EstimatorService service(Replicas(blob_a_, 7, 2), config);
+
+  constexpr size_t kClients = 8;
+  auto phase1 = RunClients(&service, kClients, 900);
+  for (size_t c = 0; c < kClients; ++c)
+    for (size_t i = 0; i < workload_.size(); ++i)
+      EXPECT_DOUBLE_EQ(phase1[c][i], expected_a_[i])
+          << "client " << c << " query " << i << " (phase 1)";
+  EXPECT_GT(service.Stats().cache_hits, 0u);
+
+  // Hot-swap: every replica first, then ONE epoch bump.
+  for (size_t r = 0; r < service.num_replicas(); ++r) {
+    auto old_model = service.ReplaceReplica(r, LoadModel(blob_b_, 8));
+    EXPECT_NE(old_model, nullptr);
+  }
+  service.AdvanceEpoch();
+  EXPECT_EQ(service.epoch(), 1u);
+
+  auto phase2 = RunClients(&service, kClients, 1700);
+  for (size_t c = 0; c < kClients; ++c)
+    for (size_t i = 0; i < workload_.size(); ++i)
+      EXPECT_DOUBLE_EQ(phase2[c][i], expected_b_[i])
+          << "client " << c << " query " << i << " (phase 2)";
+
+  const ServingStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.model_epoch, 1u);
+  // Phase 2 touched the phase-1 entries: each contact evicted one.
+  EXPECT_GT(stats.cache_stale_evictions, 0u);
+}
+
+// Swaps racing the clients: every response must be model A's or model
+// B's estimate for that query — a stale cache value would instead leak
+// an A estimate arbitrarily long after the last swap to B, which the
+// final quiesced pass catches.
+TEST_F(HotSwapTest, SwapsRacingClientsNeverMixGenerations) {
+  ServiceConfig config;
+  config.max_batch_size = 16;
+  config.num_workers = 2;
+  config.cache_capacity = 4096;
+  EstimatorService service(Replicas(blob_a_, 7, 2), config);
+
+  constexpr size_t kClients = 4;
+  constexpr int kRounds = 6;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      util::Pcg32 rng(4200 + c);
+      std::vector<size_t> order(workload_.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      for (int round = 0; round < kRounds; ++round) {
+        rng.Shuffle(&order);
+        for (size_t i : order) {
+          const double got = service.Estimate(workload_[i]);
+          EXPECT_TRUE(got == expected_a_[i] || got == expected_b_[i])
+              << "client " << c << " query " << i << " got " << got;
+        }
+      }
+    });
+  }
+  // Swap A -> B -> A -> B while the clients hammer the service.
+  const std::string* blobs[] = {&blob_b_, &blob_a_, &blob_b_};
+  const uint64_t seeds[] = {8, 7, 8};
+  for (int swap = 0; swap < 3; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    for (size_t r = 0; r < service.num_replicas(); ++r)
+      service.ReplaceReplica(r, LoadModel(*blobs[swap], seeds[swap]));
+    service.AdvanceEpoch();
+  }
+  for (auto& t : clients) t.join();
+
+  // Quiesced on generation B: a fresh pass must be pure B.
+  for (size_t i = 0; i < workload_.size(); ++i)
+    EXPECT_DOUBLE_EQ(service.Estimate(workload_[i]), expected_b_[i]);
+  EXPECT_EQ(service.epoch(), 3u);
+}
+
+// --- AdaptiveLmkg versioned snapshots ----------------------------------------
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() : graph_(MakeRandomGraph(40, 5, 400, 23)) {}
+
+  core::AdaptiveLmkgConfig SmallConfig() {
+    core::AdaptiveLmkgConfig config;
+    config.s_config.hidden_dim = 32;
+    config.s_config.epochs = 8;
+    config.s_config.dropout = 0.0;
+    config.train_queries = 120;
+    config.initial_combos = {{Topology::kStar, 2}};
+    config.monitor.min_observations = 20;
+    config.monitor.decay = 0.9;
+    config.seed = 3;
+    return config;
+  }
+
+  std::vector<Query> Workload(Topology topology, int size, size_t count,
+                              uint64_t seed) {
+    sampling::WorkloadGenerator generator(graph_);
+    sampling::WorkloadGenerator::Options options;
+    options.topology = topology;
+    options.query_size = size;
+    options.count = count;
+    options.seed = seed;
+    std::vector<Query> queries;
+    for (auto& lq : generator.Generate(options))
+      queries.push_back(std::move(lq.query));
+    return queries;
+  }
+
+  rdf::Graph graph_;
+};
+
+TEST_F(SnapshotTest, SaveLoadReproducesEstimatesExactly) {
+  core::AdaptiveLmkg original(graph_, SmallConfig());
+  // Shift the workload so Adapt grows the registry beyond the initial
+  // combo — the snapshot must carry the full replica set.
+  auto chains = Workload(Topology::kChain, 3, 40, 9);
+  ASSERT_GE(chains.size(), 25u);
+  for (const Query& q : chains) original.EstimateCardinality(q);
+  auto report = original.Adapt();
+  ASSERT_EQ(report.created.size(), 1u);
+  ASSERT_EQ(original.num_models(), 2u);
+
+  std::ostringstream blob;
+  ASSERT_TRUE(original.Save(blob).ok());
+
+  core::AdaptiveLmkgConfig target_config = SmallConfig();
+  target_config.initial_combos.clear();  // the snapshot carries the models
+  core::AdaptiveLmkg loaded(graph_, target_config);
+  ASSERT_EQ(loaded.num_models(), 0u);
+  std::istringstream in(blob.str());
+  ASSERT_TRUE(loaded.Load(in).ok());
+
+  EXPECT_EQ(loaded.num_models(), original.num_models());
+  EXPECT_TRUE(loaded.Covers({Topology::kStar, 2}));
+  EXPECT_TRUE(loaded.Covers({Topology::kChain, 3}));
+  // Monitor state travels too: drift detection resumes where the donor
+  // left off.
+  EXPECT_EQ(loaded.monitor().observations(),
+            original.monitor().observations());
+  EXPECT_DOUBLE_EQ(loaded.monitor().total_weight(),
+                   original.monitor().total_weight());
+
+  // Bit-identical estimates across every dispatch path: model-served
+  // star-2 and chain-3, exact single-pattern, independence fallback.
+  std::vector<Query> probes;
+  for (auto& q : Workload(Topology::kStar, 2, 10, 31)) probes.push_back(q);
+  for (auto& q : Workload(Topology::kChain, 3, 10, 37)) probes.push_back(q);
+  for (auto& q : Workload(Topology::kStar, 1, 5, 41)) probes.push_back(q);
+  for (auto& q : Workload(Topology::kChain, 4, 5, 43)) probes.push_back(q);
+  ASSERT_GT(probes.size(), 20u);
+  for (const Query& q : probes)
+    EXPECT_DOUBLE_EQ(loaded.EstimateCardinality(q),
+                     original.EstimateCardinality(q));
+}
+
+TEST_F(SnapshotTest, LoadRejectsMismatchedConfig) {
+  core::AdaptiveLmkg original(graph_, SmallConfig());
+  std::ostringstream blob;
+  ASSERT_TRUE(original.Save(blob).ok());
+
+  core::AdaptiveLmkgConfig wrong = SmallConfig();
+  wrong.initial_combos.clear();
+  wrong.s_config.hidden_dim = 64;  // architecture mismatch
+  core::AdaptiveLmkg target(graph_, wrong);
+  std::istringstream in(blob.str());
+  EXPECT_FALSE(target.Load(in).ok());
+  EXPECT_EQ(target.num_models(), 0u);  // failed load leaves it untouched
+}
+
+TEST_F(SnapshotTest, LoadRejectsGarbageAndTruncation) {
+  core::AdaptiveLmkgConfig config = SmallConfig();
+  config.initial_combos.clear();
+  core::AdaptiveLmkg target(graph_, config);
+
+  std::istringstream garbage("definitely not a snapshot");
+  EXPECT_FALSE(target.Load(garbage).ok());
+
+  core::AdaptiveLmkg original(graph_, SmallConfig());
+  std::ostringstream blob;
+  ASSERT_TRUE(original.Save(blob).ok());
+  const std::string full = blob.str();
+  std::istringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(target.Load(truncated).ok());
+  EXPECT_EQ(target.num_models(), 0u);
+}
+
+// --- ModelLifecycle: drift -> adapt -> hot-swap ------------------------------
+
+class ModelLifecycleTest : public SnapshotTest {
+ protected:
+  // One serving replica rehydrated from an AdaptiveLmkg snapshot blob.
+  ModelLifecycle::ReplicaFactory Factory() {
+    return MakeAdaptiveReplicaFactory(graph_, SmallConfig());
+  }
+
+  std::vector<std::unique_ptr<core::CardinalityEstimator>>
+  ReplicasFromShadow(core::AdaptiveLmkg* shadow, size_t n) {
+    std::ostringstream blob;
+    LMKG_CHECK(shadow->Save(blob).ok());
+    auto factory = Factory();
+    std::vector<std::unique_ptr<core::CardinalityEstimator>> replicas;
+    for (size_t i = 0; i < n; ++i) replicas.push_back(factory(blob.str()));
+    return replicas;
+  }
+};
+
+TEST_F(ModelLifecycleTest, DetectsDriftTrainsOffPathAndHotSwaps) {
+  core::AdaptiveLmkg shadow(graph_, SmallConfig());
+
+  ServiceConfig service_config;
+  service_config.max_batch_size = 16;
+  service_config.num_workers = 2;
+  service_config.cache_capacity = 1024;
+  service_config.workload_tap_capacity = 256;
+  EstimatorService service(ReplicasFromShadow(&shadow, 2), service_config);
+
+  ModelLifecycleConfig lifecycle_config;
+  lifecycle_config.background = false;  // drive cycles manually
+  lifecycle_config.min_samples_per_cycle = 1;
+  ModelLifecycle lifecycle(&service, &shadow, Factory(), lifecycle_config);
+
+  // The workload shifts to chain-3 — a combo the shadow does not cover.
+  auto chains = Workload(Topology::kChain, 3, 40, 9);
+  ASSERT_GE(chains.size(), 25u);
+  for (const Query& q : chains) (void)service.Estimate(q);
+
+  LifecycleReport report = lifecycle.RunOnce();
+  EXPECT_GT(report.samples_observed, 0u);
+  ASSERT_EQ(report.adapt.created.size(), 1u);
+  EXPECT_EQ(report.adapt.created[0].topology, Topology::kChain);
+  EXPECT_EQ(report.adapt.created[0].size, 3);
+  EXPECT_TRUE(report.swapped);
+  EXPECT_EQ(report.epoch, 1u);
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_EQ(lifecycle.swaps(), 1u);
+
+  // The swapped-in replicas are rehydrations of the adapted shadow:
+  // every post-swap response must equal a serial reference built from
+  // the same snapshot, bit for bit — including the chain-3 queries now
+  // served by the new specialized model.
+  std::ostringstream blob;
+  ASSERT_TRUE(shadow.Save(blob).ok());
+  auto reference = Factory()(blob.str());
+  ASSERT_TRUE(static_cast<core::AdaptiveLmkg*>(reference.get())
+                  ->Covers({Topology::kChain, 3}));
+  for (const Query& q : chains)
+    EXPECT_DOUBLE_EQ(service.Estimate(q),
+                     reference->EstimateCardinality(q));
+
+  // A steady workload does not churn models or epochs.
+  for (const Query& q : chains) (void)service.Estimate(q);
+  LifecycleReport steady = lifecycle.RunOnce();
+  EXPECT_TRUE(steady.adapt.created.empty());
+  EXPECT_TRUE(steady.adapt.dropped.empty());
+  EXPECT_FALSE(steady.swapped);
+  EXPECT_EQ(service.epoch(), 1u);
+}
+
+TEST_F(ModelLifecycleTest, BackgroundThreadSwapsUnderLiveTraffic) {
+  core::AdaptiveLmkg shadow(graph_, SmallConfig());
+
+  ServiceConfig service_config;
+  service_config.max_batch_size = 16;
+  service_config.num_workers = 2;
+  service_config.cache_capacity = 1024;
+  service_config.workload_tap_capacity = 256;
+  EstimatorService service(ReplicasFromShadow(&shadow, 2), service_config);
+
+  ModelLifecycleConfig lifecycle_config;
+  lifecycle_config.background = true;
+  lifecycle_config.poll_interval = std::chrono::milliseconds(10);
+  lifecycle_config.min_samples_per_cycle = 16;
+  ModelLifecycle lifecycle(&service, &shadow, Factory(), lifecycle_config);
+
+  // Concurrent clients sustain the shifted workload until the background
+  // thread notices, trains off-path, and swaps.
+  auto chains = Workload(Topology::kChain, 3, 30, 9);
+  ASSERT_GE(chains.size(), 20u);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed))
+        for (const Query& q : chains) (void)service.Estimate(q);
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (lifecycle.swaps() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : clients) t.join();
+  lifecycle.Stop();
+
+  ASSERT_GE(lifecycle.swaps(), 1u);
+  EXPECT_GE(service.epoch(), 1u);
+  EXPECT_TRUE(shadow.Covers({Topology::kChain, 3}));
+  // Quiesced: the service now answers from replicas equal to the
+  // adapted shadow's snapshot.
+  std::ostringstream blob;
+  ASSERT_TRUE(shadow.Save(blob).ok());
+  auto reference = Factory()(blob.str());
+  for (const Query& q : chains)
+    EXPECT_DOUBLE_EQ(service.Estimate(q),
+                     reference->EstimateCardinality(q));
+}
+
+}  // namespace
+}  // namespace lmkg::serving

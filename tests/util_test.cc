@@ -435,11 +435,35 @@ TEST(LatencyHistogramTest, PercentilesWithinBucketResolution) {
   EXPECT_NEAR(h.MaxUs(), 999.01, 0.01);
 }
 
+TEST(LatencyHistogramTest, SubMicrosecondPercentilesResolve) {
+  // The cached-hit path completes in tens to hundreds of nanoseconds; a
+  // histogram floored at 1us would pin every such p50 at the bottom
+  // bucket's midpoint. The sub-microsecond decades must resolve these
+  // samples with the same one-bucket guarantee as the rest of the range.
+  const double ratio = std::pow(10.0, 1.0 / 12.0);
+  for (const double us : {0.05, 0.2, 0.8}) {
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i) h.Record(us);
+    const double got = h.PercentileUs(0.5);
+    EXPECT_GT(got, us / ratio) << "us=" << us;
+    EXPECT_LT(got, us * ratio) << "us=" << us;
+  }
+  // Two clusters a decade apart below 1us must not collapse into one
+  // bucket: the p25 sits in the fast cluster, the p75 in the slow one.
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(0.05);
+  for (int i = 0; i < 100; ++i) h.Record(0.5);
+  EXPECT_LT(h.PercentileUs(0.25), 0.1);
+  EXPECT_GT(h.PercentileUs(0.75), 0.3);
+  EXPECT_NEAR(h.MeanUs(), 0.275, 0.01);
+}
+
 TEST(LatencyHistogramTest, OutOfRangeSamplesClampToEdgeBuckets) {
   LatencyHistogram h;
-  h.Record(0.001);   // sub-microsecond -> bucket 0
+  h.Record(0.001);   // 1 nanosecond (below the 10ns floor) -> bucket 0
   h.Record(1e9);     // 1000 seconds -> last bucket
   EXPECT_EQ(h.TotalCount(), 2u);
+  EXPECT_LT(h.PercentileUs(0.0), 0.02);
   EXPECT_GT(h.PercentileUs(1.0), 1e7);
   EXPECT_NEAR(h.MaxUs(), 1e9, 1.0);
 }
