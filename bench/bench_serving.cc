@@ -23,25 +23,36 @@
 // Reports chain qps and median q-error before vs after the swap,
 // adaptation cost, and stale-cache evictions.
 //
-// Emits BENCH_serving.json; CI gates the closed-loop 16-client qps of
-// the gated config against bench/baselines/serving_baseline.json via
-// scripts/check_bench_regression.py.
+// Emits BENCH_serving.json; CI gates the closed-loop 16-client metrics
+// against the machine-class baseline
+// bench/baselines/serving_baseline_{N}core.json (selected by the JSON's
+// hardware_threads) via scripts/check_bench_regression.py, and
+// additionally gates 4-shard vs 1-shard scaling from two runs of the
+// same job (--scaling mode).
 //
-// The gated metric (closed_loop_16_qps) is measured separately from the
-// sweep: steady state (cache warmed by a full pass) and best of
-// --repeats timings — single cold-cache passes swing with scheduler
-// timing on small machines, while the warm hit path is noise-floored,
-// so max is the robust statistic (same protocol as
-// bench_throughput_batch).
+// Two gated metrics, both measured separately from the sweep as best of
+// --repeats timings (single passes swing with scheduler timing on small
+// machines; the steady-state path only slows down under interference,
+// so max is the robust statistic, same protocol as
+// bench_throughput_batch):
+//   closed_loop_16_qps          cached config, cache warmed by one full
+//                               pass (the production config)
+//   closed_loop_16_uncached_qps greedy config, no cache — every request
+//                               crosses the ring into a batch compute,
+//                               so THIS is the metric that scales with
+//                               shards (the cached one noise-floors on
+//                               the lock-free hit path)
 //
 // Flags: the common suite flags (--scale, --seed, --queries, ...) plus
 //   --rounds=N    closed-loop passes over the workload per client
 //                 (default 3)
 //   --repeats=N   independent timings of the gated steady-state
 //                 measurement; the best is reported (default 3)
-//   --replicas=N  model replicas inside the service (default 2)
+//   --shards=N    serving shards = model replicas inside the service
+//                 (default 0 = one per hardware thread)
 //   --smoke       CI-sized run: scale 0.01, client counts {1,4,16},
-//                 2 rounds (the gated 16-client entry is still emitted)
+//                 2 rounds (the gated 16-client entries are still
+//                 emitted)
 //   --out=PATH    JSON output path (default BENCH_serving.json)
 #include <algorithm>
 #include <fstream>
@@ -245,8 +256,10 @@ int main(int argc, char** argv) {
   const int rounds =
       static_cast<int>(flags.GetInt("rounds", smoke ? 2 : 3));
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
-  const size_t replicas =
-      static_cast<size_t>(flags.GetInt("replicas", 2));
+  // One serving shard per replica; 0 = shard-per-core.
+  size_t shards = static_cast<size_t>(flags.GetInt("shards", 0));
+  if (shards == 0)
+    shards = std::max<size_t>(1, std::thread::hardware_concurrency());
   const std::string out_path = flags.GetString("out", "BENCH_serving.json");
   std::vector<size_t> client_counts = {1, 4, 16, 64};
   if (smoke) client_counts = {1, 4, 16};
@@ -314,7 +327,8 @@ int main(int argc, char** argv) {
             << " queries...\n";
   ReplicaFactory factory(graph, max_size, model_config, train);
   std::cerr << "[serving] workload " << workload.size() << " queries, "
-            << rounds << " rounds/client, " << replicas << " replicas\n";
+            << rounds << " rounds/client, " << shards
+            << " shards (one replica each)\n";
 
   // Baseline: the serial per-query loop (no service, no threads).
   auto serial_model = factory.NewModel();
@@ -336,7 +350,7 @@ int main(int argc, char** argv) {
       service_config.max_batch_size = config.max_batch_size;
       service_config.max_queue_delay_us = config.max_queue_delay_us;
       service_config.cache_capacity = config.cache ? 65536 : 0;
-      serving::EstimatorService service(factory.Replicas(replicas),
+      serving::EstimatorService service(factory.Replicas(shards),
                                         service_config);
       // Warm-up pass (scratch buffers, first-touch pages) — skipped for
       // cached configs so the measured run starts with a COLD cache and
@@ -366,12 +380,19 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
 
-  // The gated metric: steady-state closed-loop qps of the gated config
-  // at 16 clients — cache warmed by one full pass, then best of
-  // `repeats` timings (single cold-cache passes swing with scheduler
-  // timing; the warm hit path only slows down under interference, so
-  // max is the robust statistic, as in bench_throughput_batch).
+  // The gated metrics: steady-state closed-loop qps at 16 clients, best
+  // of `repeats` timings (single passes swing with scheduler timing;
+  // the steady-state path only slows down under interference, so max is
+  // the robust statistic, as in bench_throughput_batch).
+  //
+  // Cached: the production config, cache warmed by one full pass — the
+  // absolute-throughput gate. Uncached (greedy, no cache): every request
+  // crosses the ring into a batch compute on its shard's replica, so
+  // this is the number that must scale with shard count (the
+  // cross-shard-run scaling gate compares it between a 1-shard and a
+  // 4-shard run of the same job).
   double gated_qps = 0.0;
+  double gated_uncached_qps = 0.0;
   {
     const BatcherConfig* gated = nullptr;
     for (const BatcherConfig& config : configs)
@@ -380,7 +401,7 @@ int main(int argc, char** argv) {
     service_config.max_batch_size = gated->max_batch_size;
     service_config.max_queue_delay_us = gated->max_queue_delay_us;
     service_config.cache_capacity = gated->cache ? 65536 : 0;
-    serving::EstimatorService service(factory.Replicas(replicas),
+    serving::EstimatorService service(factory.Replicas(shards),
                                       service_config);
     RunClosedLoop(&service, workload, gated_clients, 1,
                   options.seed + 17);  // warm-up (fills the cache)
@@ -392,6 +413,25 @@ int main(int argc, char** argv) {
     std::cout << util::StrFormat(
         "\ngated steady-state qps (%s, %zu clients, best of %d): %.0f\n",
         gated_config.c_str(), gated_clients, repeats, gated_qps);
+  }
+  {
+    serving::ServiceConfig service_config;
+    service_config.max_batch_size = 64;
+    service_config.max_queue_delay_us = 0;
+    service_config.cache_capacity = 0;
+    serving::EstimatorService service(factory.Replicas(shards),
+                                      service_config);
+    RunClosedLoop(&service, workload, std::min<size_t>(gated_clients, 4),
+                  1, options.seed + 19);  // warm-up (scratch, pages)
+    for (int rep = 0; rep < repeats; ++rep) {
+      const RunResult result = RunClosedLoop(
+          &service, workload, gated_clients, rounds, options.seed + rep);
+      gated_uncached_qps = std::max(gated_uncached_qps, result.qps);
+    }
+    std::cout << util::StrFormat(
+        "gated uncached qps (greedy, %zu clients, %zu shards, best of "
+        "%d): %.0f\n",
+        gated_clients, shards, repeats, gated_uncached_qps);
   }
 
   // Open loop at fractions of the serial baseline: latency under a
@@ -408,7 +448,7 @@ int main(int argc, char** argv) {
     serving::ServiceConfig service_config;
     service_config.max_batch_size = 64;
     service_config.max_queue_delay_us = 200;
-    serving::EstimatorService service(factory.Replicas(replicas),
+    serving::EstimatorService service(factory.Replicas(shards),
                                       service_config);
     const RunResult result = RunOpenLoop(&service, workload, target,
                                          total, options.seed + 2000);
@@ -454,7 +494,7 @@ int main(int argc, char** argv) {
       std::exit(1);
     }
     std::vector<std::unique_ptr<core::CardinalityEstimator>> areplicas;
-    for (size_t r = 0; r < replicas; ++r)
+    for (size_t r = 0; r < shards; ++r)
       areplicas.push_back(replica_factory(boot.str()));
 
     serving::ServiceConfig shift_config;
@@ -534,7 +574,7 @@ int main(int argc, char** argv) {
        << "  \"scale\": " << options.dataset_scale << ",\n"
        << "  \"queries\": " << workload.size() << ",\n"
        << "  \"rounds\": " << rounds << ",\n"
-       << "  \"replicas\": " << replicas << ",\n"
+       << "  \"shards\": " << shards << ",\n"
        << "  \"hardware_threads\": "
        << std::thread::hardware_concurrency() << ",\n"
        << "  \"serial_qps\": " << serial_qps << ",\n"
@@ -543,6 +583,8 @@ int main(int argc, char** argv) {
        << "  \"gated_protocol\": \"steady-state (warm cache), best of "
        << repeats << " timings\",\n"
        << "  \"closed_loop_16_qps\": " << gated_qps << ",\n"
+       << "  \"closed_loop_16_uncached_qps\": " << gated_uncached_qps
+       << ",\n"
        << "  \"closed_loop\": [\n"
        << closed_json.str() << "\n  ],\n"
        << "  \"open_loop\": [\n"

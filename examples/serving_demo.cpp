@@ -6,10 +6,10 @@
 //
 // What it shows:
 //   serving::EstimatorService — thread-safe serving front: blocking
-//       Estimate(), future-based EstimateAsync(), dynamic micro-batching
-//       (dispatch on max_batch_size or max_queue_delay_us), worker
-//       threads draining batches through EstimateCardinalityBatch across
-//       model replicas
+//       Estimate(), future-based EstimateAsync(), fingerprint-routed
+//       shards (one per replica) each micro-batching its own requests
+//       (dispatch on max_batch_size or max_queue_delay_us) and draining
+//       them through EstimateCardinalityBatch
 //   query fingerprint cache   — repeated (or pattern-shuffled but
 //       canonically equal) queries short-circuit in front of the batcher
 //   ServingStats              — p50/p95/p99 end-to-end latency, achieved
@@ -85,8 +85,9 @@ int main() {
     replicas.push_back(std::move(replica));
   }
 
-  // 3. The service: micro-batches up to 32 requests or 100us of queue
-  //    delay, 2 workers over the 2 replicas, fingerprint cache in front.
+  // 3. The service: 2 fingerprint-routed shards (one per replica), each
+  //    micro-batching up to 32 requests or 100us of queue delay, with a
+  //    slice of the fingerprint cache in front.
   serving::ServiceConfig service_config;
   service_config.max_batch_size = 32;
   service_config.max_queue_delay_us = 100;

@@ -6,15 +6,33 @@ the result JSON:
 
   * batch_inference (bench_throughput_batch): batch-64 queries/sec
     against bench/baselines/batch_inference_baseline.json
-  * serving (bench_serving): closed-loop 16-client qps of the gated
-    batcher config against bench/baselines/serving_baseline.json
+  * serving (bench_serving): closed-loop 16-client qps (cached and
+    uncached gated metrics) against the MACHINE-CLASS baseline
+    bench/baselines/serving_baseline_{N}core.json, where N is the
+    "hardware_threads" the result JSON reports. Absolute qps is only
+    comparable within a machine class, so a 1-core container and a
+    4-vCPU CI runner each gate against their own committed file; a
+    missing file for the detected class is a hard failure with
+    bootstrap instructions, not a silent skip.
 
-Either gate FAILS (exit 1) if the gated metric drops more than
+Either gate FAILS (exit 1) if a gated metric drops more than
 --threshold (default 20%) below its committed baseline. The gates run on
 the gcc Release CI leg; the 20% margin absorbs shared-runner noise while
 still catching real regressions like a de-vectorized kernel, a
 reintroduced per-query allocation, or a serving-layer lock added to the
 hot path.
+
+Scaling mode (machine-relative, no committed absolutes involved)
+----------------------------------------------------------------
+  check_bench_regression.py --scaling BENCH_4shard.json BENCH_1shard.json
+
+compares the UNCACHED gated metric (closed_loop_16_uncached_qps — the
+one where every request crosses a shard's ring into a batch compute)
+between two runs from the SAME job and fails if multi-shard qps is
+below --min-scaling x single-shard qps (default 2.5, sized for a 4-vCPU
+runner). Because both numbers come from the same machine minutes apart,
+this gate is immune to runner-class drift and enforces that
+shard-per-core serving actually scales.
 
 Refreshing a baseline
 ---------------------
@@ -28,10 +46,15 @@ After a deliberate perf change (or a runner upgrade) lands on main:
            --out=BENCH_batch_inference.json
        ./build/bench/bench_serving --smoke --out=BENCH_serving.json
   2. Refresh and commit (the baseline path is picked from the JSON's
-     "bench" field):
+     "bench" field — and, for serving, its "hardware_threads"):
        python3 scripts/check_bench_regression.py \
            --update-baseline BENCH_serving.json
        git add bench/baselines/
+
+A serving baseline carrying "bootstrap": true marks a machine class
+whose absolute numbers have not been measured yet: the absolute gate
+warns and passes on such a file (the scaling gate still runs in CI).
+Replace it with real numbers from a green run as soon as one exists.
 
 Never refresh to paper over an unexplained drop — the gate exists to
 make that conversation happen on the PR.
@@ -56,12 +79,15 @@ def qps_at(report: dict, batch_size: int) -> float:
 
 
 class BatchInferenceGate:
-    baseline_path = BASELINE_DIR / "batch_inference_baseline.json"
     name = f"batch-{GATED_BATCH_SIZE} throughput"
 
     @staticmethod
-    def gated_metric(report: dict) -> float:
-        return qps_at(report, GATED_BATCH_SIZE)
+    def baseline_path_for(report: dict) -> Path:
+        return BASELINE_DIR / "batch_inference_baseline.json"
+
+    @staticmethod
+    def gated_metrics(report: dict) -> dict:
+        return {"batch-64 qps": qps_at(report, GATED_BATCH_SIZE)}
 
     @staticmethod
     def print_comparison(baseline: dict, result: dict) -> None:
@@ -80,12 +106,29 @@ class BatchInferenceGate:
 
 
 class ServingGate:
-    baseline_path = BASELINE_DIR / "serving_baseline.json"
     name = "closed-loop 16-client serving throughput"
 
     @staticmethod
-    def gated_metric(report: dict) -> float:
-        return float(report["closed_loop_16_qps"])
+    def baseline_path_for(report: dict) -> Path:
+        cores = report.get("hardware_threads")
+        if not cores:
+            print("ERROR: serving result JSON carries no "
+                  "\"hardware_threads\"; cannot pick a machine-class "
+                  "baseline.", file=sys.stderr)
+            sys.exit(2)
+        return BASELINE_DIR / f"serving_baseline_{int(cores)}core.json"
+
+    @staticmethod
+    def gated_metrics(report: dict) -> dict:
+        metrics = {
+            "cached 16-client qps": float(report["closed_loop_16_qps"]),
+        }
+        # Older baselines predate the uncached metric; gate it only when
+        # both sides carry it.
+        if "closed_loop_16_uncached_qps" in report:
+            metrics["uncached 16-client qps"] = float(
+                report["closed_loop_16_uncached_qps"])
+        return metrics
 
     @staticmethod
     def print_comparison(baseline: dict, result: dict) -> None:
@@ -127,6 +170,53 @@ def gate_for(report: dict, path: Path):
     return GATES[kind]
 
 
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"ERROR: {path} does not exist.", file=sys.stderr)
+        sys.exit(2)
+
+
+def run_scaling_gate(multi_path: Path, single_path: Path,
+                     min_scaling: float) -> int:
+    multi = load(multi_path)
+    single = load(single_path)
+    for report, path in ((multi, multi_path), (single, single_path)):
+        if report.get("bench") != "serving":
+            print(f"ERROR: --scaling expects serving JSONs; {path} is "
+                  f"{report.get('bench')!r}.", file=sys.stderr)
+            return 2
+        if "closed_loop_16_uncached_qps" not in report:
+            print(f"ERROR: {path} carries no closed_loop_16_uncached_qps "
+                  f"(bench_serving too old?).", file=sys.stderr)
+            return 2
+    multi_shards = int(multi.get("shards", 0))
+    single_shards = int(single.get("shards", 0))
+    if single_shards != 1:
+        print(f"ERROR: the second --scaling argument must be a 1-shard "
+              f"run (got shards={single_shards} in {single_path}).",
+              file=sys.stderr)
+        return 2
+    multi_qps = float(multi["closed_loop_16_uncached_qps"])
+    single_qps = float(single["closed_loop_16_uncached_qps"])
+    ratio = multi_qps / single_qps if single_qps > 0 else 0.0
+    print(f"shard scaling (uncached 16-client closed loop): "
+          f"{multi_shards} shards {multi_qps:.0f} q/s vs 1 shard "
+          f"{single_qps:.0f} q/s -> {ratio:.2f}x "
+          f"(required >= {min_scaling:.2f}x)")
+    if ratio < min_scaling:
+        print(f"\nFAIL: {multi_shards}-shard uncached qps is only "
+              f"{ratio:.2f}x the 1-shard run (required "
+              f">= {min_scaling:.2f}x). Shard-per-core serving stopped "
+              f"scaling — look for a cross-shard lock, a shared atomic "
+              f"on the hot path, or worker threads pinned to one core.",
+              file=sys.stderr)
+        return 1
+    print(f"OK: shard scaling {ratio:.2f}x >= {min_scaling:.2f}x.")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("result", nargs="?",
@@ -134,34 +224,60 @@ def main() -> int:
                         help="fresh benchmark JSON (default: %(default)s)")
     parser.add_argument("--baseline", default=None,
                         help="committed baseline JSON (default: picked "
-                             "from the result's bench kind)")
+                             "from the result's bench kind and machine "
+                             "class)")
     parser.add_argument("--threshold", type=float, default=0.20,
-                        help="max allowed fractional drop of the gated "
+                        help="max allowed fractional drop of a gated "
                              "metric (default: %(default)s)")
+    parser.add_argument("--scaling", nargs=2,
+                        metavar=("MULTI_SHARD_JSON", "SINGLE_SHARD_JSON"),
+                        help="machine-relative shard-scaling gate: "
+                             "compare closed_loop_16_uncached_qps of a "
+                             "multi-shard run against a 1-shard run from "
+                             "the same job")
+    parser.add_argument("--min-scaling", type=float, default=2.5,
+                        help="required multi-shard / 1-shard uncached qps "
+                             "ratio for --scaling (default: %(default)s)")
     parser.add_argument("--update-baseline", metavar="RESULT_JSON",
-                        help="copy RESULT_JSON over its kind's baseline "
-                             "and exit")
+                        help="copy RESULT_JSON over its kind's (and "
+                             "machine class's) baseline and exit")
     args = parser.parse_args()
+
+    if args.scaling:
+        return run_scaling_gate(Path(args.scaling[0]),
+                                Path(args.scaling[1]), args.min_scaling)
 
     if args.update_baseline:
         src = Path(args.update_baseline)
         report = json.loads(src.read_text())  # refuse malformed JSON
         dest = Path(args.baseline) if args.baseline else gate_for(
-            report, src).baseline_path
+            report, src).baseline_path_for(report)
         dest.parent.mkdir(parents=True, exist_ok=True)
         shutil.copyfile(src, dest)
         print(f"baseline refreshed from {src} -> {dest}")
         return 0
 
     result_path = Path(args.result)
-    result = json.loads(result_path.read_text())
+    result = load(result_path)
     gate = gate_for(result, result_path)
     baseline_path = Path(args.baseline) if args.baseline \
-        else gate.baseline_path
-    baseline = json.loads(baseline_path.read_text())
+        else gate.baseline_path_for(result)
+    if not baseline_path.exists():
+        cores = result.get("hardware_threads", "?")
+        print(f"FAIL: no committed baseline for this machine class: "
+              f"{baseline_path} does not exist (this run reports "
+              f"hardware_threads={cores}).", file=sys.stderr)
+        print(f"Bootstrap one from a representative run on this class "
+              f"and commit it:\n"
+              f"  python3 scripts/check_bench_regression.py "
+              f"--update-baseline {result_path}\n"
+              f"  git add bench/baselines/", file=sys.stderr)
+        return 1
+    baseline = load(baseline_path)
 
     # Absolute qps is only comparable on the same machine class; the SIMD
-    # ISA the kernels resolved to is the best proxy the JSON carries. On a
+    # ISA the kernels resolved to is the best proxy the JSON carries
+    # beyond the core count already baked into the file name. On a
     # mismatch (e.g. a baseline recorded on an AVX-512 dev box vs an
     # AVX2-pinned CI runner) the hard gate would only measure the hardware
     # delta — warn and ask for a refresh instead of failing spuriously.
@@ -174,21 +290,45 @@ def main() -> int:
               f"class (see the header of this script).")
         return 0
 
+    # A bootstrap baseline records the machine class but no trustworthy
+    # absolute numbers yet (committed before the class had a green run).
+    if baseline.get("bootstrap"):
+        print(f"WARNING: {baseline_path} is a bootstrap placeholder for "
+              f"this machine class — absolute gate skipped. Refresh it "
+              f"with real numbers from a green run:\n"
+              f"  python3 scripts/check_bench_regression.py "
+              f"--update-baseline {result_path}\n"
+              f"  git add bench/baselines/")
+        return 0
+
     gate.print_comparison(baseline, result)
 
-    gated_base = gate.gated_metric(baseline)
-    gated_cur = gate.gated_metric(result)
-    floor = gated_base * (1.0 - args.threshold)
-    if gated_cur < floor:
-        print(f"\nFAIL: {gate.name} {gated_cur:.0f} q/s is below the "
-              f"regression floor {floor:.0f} q/s ({gated_base:.0f} "
-              f"baseline - {args.threshold:.0%}).", file=sys.stderr)
-        print("If this drop is intended, refresh the baseline (see the "
+    base_metrics = gate.gated_metrics(baseline)
+    cur_metrics = gate.gated_metrics(result)
+    failed = False
+    print()
+    for name, base_value in base_metrics.items():
+        cur_value = cur_metrics.get(name)
+        if cur_value is None:
+            print(f"FAIL: gated metric {name!r} missing from "
+                  f"{result_path}.", file=sys.stderr)
+            failed = True
+            continue
+        floor = base_value * (1.0 - args.threshold)
+        if cur_value < floor:
+            print(f"FAIL: {gate.name} [{name}] {cur_value:.0f} q/s is "
+                  f"below the regression floor {floor:.0f} q/s "
+                  f"({base_value:.0f} baseline - {args.threshold:.0%}).",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK: {gate.name} [{name}] {cur_value:.0f} q/s >= "
+                  f"floor {floor:.0f} q/s (baseline {base_value:.0f}, "
+                  f"threshold {args.threshold:.0%}).")
+    if failed:
+        print("If a drop is intended, refresh the baseline (see the "
               "header of this script).", file=sys.stderr)
         return 1
-    print(f"\nOK: {gate.name} {gated_cur:.0f} q/s >= floor {floor:.0f} "
-          f"q/s (baseline {gated_base:.0f}, threshold "
-          f"{args.threshold:.0%}).")
     return 0
 
 

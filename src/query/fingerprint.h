@@ -35,6 +35,25 @@ struct Fingerprint {
   uint64_t lo = 0;
 
   friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+  /// Stable 64-bit routing hash for shard selection (serving routes a
+  /// query to `ShardHash() % num_shards`). Mixes BOTH lanes through a
+  /// full avalanche so it stays statistically independent of consumers
+  /// that slice raw lane bits (the per-shard result cache masks `hi` for
+  /// its sub-shard and buckets on `lo`) — a shard's cache still spreads
+  /// over all of its sub-shards. Deterministic across processes and
+  /// runs: equal fingerprints (isomorphic queries) always route to the
+  /// same shard, so a query's cache entry, batcher, and replica live
+  /// together.
+  uint64_t ShardHash() const {
+    // splitmix64 finalizer over a lane combination that keeps hi and lo
+    // both load-bearing.
+    uint64_t x = hi ^ (lo * 0xff51afd7ed558ccdull) ^ (lo >> 33);
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
 };
 
 /// Hash functor for unordered containers: the fingerprint IS already a

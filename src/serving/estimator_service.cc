@@ -1,6 +1,7 @@
 #include "serving/estimator_service.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/check.h"
 
@@ -12,6 +13,10 @@ ServiceConfig Sanitize(ServiceConfig config) {
   config.max_batch_size = std::max<size_t>(config.max_batch_size, 1);
   config.workload_sample_every =
       std::max<size_t>(config.workload_sample_every, 1);
+  // A ring smaller than one batch would back-pressure producers before a
+  // single batch could even fill.
+  config.ring_capacity =
+      std::max(config.ring_capacity, config.max_batch_size);
   return config;
 }
 
@@ -22,144 +27,169 @@ double MicrosSince(std::chrono::steady_clock::time_point start,
 
 }  // namespace
 
+EstimatorService::Shard::Shard(
+    std::unique_ptr<core::CardinalityEstimator> model,
+    const ServiceConfig& config, size_t cache_capacity,
+    size_t tap_capacity_in)
+    : ring(config.ring_capacity),
+      replica(std::move(model)),
+      cache(QueryCacheConfig{cache_capacity, config.cache_shards}),
+      tap_capacity(tap_capacity_in) {
+  tap.reserve(tap_capacity);
+}
+
 EstimatorService::EstimatorService(
     std::vector<std::unique_ptr<core::CardinalityEstimator>> replicas,
     const ServiceConfig& config)
-    : config_(Sanitize(config)),
-      replicas_(std::move(replicas)),
-      // From config_ (declared before cache_), so Sanitize clamps apply.
-      cache_(
-          QueryCacheConfig{config_.cache_capacity, config_.cache_shards}) {
-  LMKG_CHECK(!replicas_.empty()) << "EstimatorService needs >= 1 replica";
-  replica_mus_.reserve(replicas_.size());
-  for (size_t i = 0; i < replicas_.size(); ++i)
-    replica_mus_.push_back(std::make_unique<std::mutex>());
-  const size_t num_workers =
-      config_.num_workers > 0 ? config_.num_workers : replicas_.size();
-  workers_.reserve(num_workers);
-  for (size_t i = 0; i < num_workers; ++i)
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
+    : config_(Sanitize(config)) {
+  LMKG_CHECK(!replicas.empty()) << "EstimatorService needs >= 1 replica";
+  const size_t n = replicas.size();
+  // The configured cache/tap capacities are TOTALS; each shard owns an
+  // equal slice (at least one entry, so enabling the feature enables it
+  // on every shard).
+  const size_t cache_per_shard =
+      config_.cache_capacity == 0
+          ? 0
+          : std::max<size_t>(1, config_.cache_capacity / n);
+  const size_t tap_per_shard =
+      config_.workload_tap_capacity == 0
+          ? 0
+          : std::max<size_t>(1, config_.workload_tap_capacity / n);
+  shards_.reserve(n);
+  for (auto& replica : replicas)
+    shards_.push_back(std::make_unique<Shard>(
+        std::move(replica), config_, cache_per_shard, tap_per_shard));
+  // Workers start only after every shard is constructed; each worker
+  // touches exclusively its own shard.
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
 }
 
 EstimatorService::~EstimatorService() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    stop_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // Close every ring first (new pushes fail fast everywhere), then join:
+  // each worker drains what its ring already accepted — completing every
+  // outstanding future — and exits.
+  for (auto& shard : shards_) shard->ring.Close();
+  for (auto& shard : shards_) shard->worker.join();
 }
 
-bool EstimatorService::TryCache(const query::Query& q, Request* request,
-                                double* estimate) {
+bool EstimatorService::PrepareAndTryCache(const query::Query& q,
+                                          Request* request, Shard** shard,
+                                          double* estimate) {
+  // Fingerprinting is unconditional now — it IS the routing key, cache
+  // on or off. Per-thread scratch keeps it allocation-free once warm
+  // without a lock; the scratch holds no cross-call state.
+  thread_local query::FingerprintScratch scratch;
+  request->fp = query::ComputeFingerprint(q, &scratch);
+  Shard& s = ShardFor(request->fp);
+  *shard = &s;
+  MaybeSampleWorkload(s, q);
   // Capturing the epoch BEFORE the lookup/compute is the stale-safety
   // linchpin: if a hot-swap lands after this point, the request's insert
   // is tagged with the old generation and can never be served past the
   // swap — while a request that captures the bumped epoch is guaranteed
-  // (swap-then-advance protocol + replica mutexes) to compute on the new
-  // model.
+  // (swap-then-advance protocol + per-shard replica mutexes) to compute
+  // on the new model.
   request->epoch = epoch_.load(std::memory_order_acquire);
-  if (!cache_.enabled()) return false;
-  // Per-thread scratch keeps fingerprinting allocation-free once warm
-  // without a lock; the scratch holds no cross-call state.
-  thread_local query::FingerprintScratch scratch;
-  request->fp = query::ComputeFingerprint(q, &scratch);
+  if (!s.cache.enabled()) return false;
   request->cacheable = true;
-  if (cache_.Lookup(request->fp, request->epoch, estimate)) {
-    stats_.RecordCacheHit();
-    stats_.RecordRequest(MicrosSince(request->enqueue_time,
-                                     std::chrono::steady_clock::now()));
+  if (s.cache.Lookup(request->fp, request->epoch, estimate)) {
+    s.stats.RecordCacheHit();
+    s.stats.RecordRequest(MicrosSince(request->enqueue_time,
+                                      std::chrono::steady_clock::now()));
     return true;
   }
-  stats_.RecordCacheMiss();
+  s.stats.RecordCacheMiss();
   return false;
 }
 
-void EstimatorService::MaybeSampleWorkload(const query::Query& q) {
-  if (config_.workload_tap_capacity == 0) return;
-  const uint64_t n = tap_counter_.fetch_add(1, std::memory_order_relaxed);
+void EstimatorService::MaybeSampleWorkload(Shard& shard,
+                                           const query::Query& q) {
+  if (shard.tap_capacity == 0) return;
+  const uint64_t n =
+      shard.tap_counter.fetch_add(1, std::memory_order_relaxed);
   if (n % config_.workload_sample_every != 0) return;
-  std::unique_lock<std::mutex> lock(tap_mu_, std::try_to_lock);
+  std::unique_lock<std::mutex> lock(shard.tap_mu, std::try_to_lock);
   if (!lock.owns_lock()) return;  // drop the sample, never stall a client
-  if (tap_.size() < config_.workload_tap_capacity) {
-    tap_.push_back(q);
+  if (shard.tap.size() < shard.tap_capacity) {
+    shard.tap.push_back(q);
   } else {
-    tap_[tap_next_] = q;
-    tap_next_ = (tap_next_ + 1) % config_.workload_tap_capacity;
+    shard.tap[shard.tap_next] = q;
+    shard.tap_next = (shard.tap_next + 1) % shard.tap_capacity;
   }
 }
 
 std::vector<query::Query> EstimatorService::DrainWorkloadSamples() {
   std::vector<query::Query> drained;
-  std::lock_guard<std::mutex> lock(tap_mu_);
-  drained.swap(tap_);
-  // Keep the refill allocation-free: the push_back regrowth would
-  // otherwise happen inside MaybeSampleWorkload's critical section,
-  // dropping contending samples for nothing.
-  tap_.reserve(config_.workload_tap_capacity);
-  tap_next_ = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->tap_mu);
+    std::move(shard->tap.begin(), shard->tap.end(),
+              std::back_inserter(drained));
+    shard->tap.clear();
+    // Keep the refill allocation-free: push_back regrowth would
+    // otherwise happen inside MaybeSampleWorkload's critical section,
+    // dropping contending samples for nothing.
+    shard->tap.reserve(shard->tap_capacity);
+    shard->tap_next = 0;
+  }
   return drained;
 }
 
 std::unique_ptr<core::CardinalityEstimator> EstimatorService::ReplaceReplica(
     size_t index, std::unique_ptr<core::CardinalityEstimator> replacement) {
-  LMKG_CHECK_LT(index, replicas_.size());
+  LMKG_CHECK_LT(index, shards_.size());
   LMKG_CHECK(replacement != nullptr) << "replica swap needs a model";
-  std::lock_guard<std::mutex> lock(*replica_mus_[index]);
-  replicas_[index].swap(replacement);
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.replica_mu);
+  shard.replica.swap(replacement);
   return replacement;  // the previous model, for the caller to retire
 }
 
 double EstimatorService::Estimate(const query::Query& q) {
   Request request;
   request.enqueue_time = std::chrono::steady_clock::now();
-  MaybeSampleWorkload(q);
+  Shard* shard = nullptr;
   double estimate = 0.0;
-  if (TryCache(q, &request, &estimate)) return estimate;
+  if (PrepareAndTryCache(q, &request, &shard, &estimate)) return estimate;
   request.query = &q;  // the caller blocks here, so no copy is needed
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    LMKG_CHECK(!stop_) << "Estimate on a shut-down EstimatorService";
-    queue_.push_back(&request);
-  }
-  queue_cv_.notify_one();
+  LMKG_CHECK(shard->ring.Push(&request))
+      << "Estimate on a shut-down EstimatorService";
 
-  std::unique_lock<std::mutex> lock(done_mu_);
-  done_cv_.wait(lock, [&] {
+  std::unique_lock<std::mutex> lock(shard->done_mu);
+  shard->done_cv.wait(lock, [&] {
     return request.done.load(std::memory_order_acquire);
   });
   return request.result;
 }
 
 std::future<double> EstimatorService::EstimateAsync(const query::Query& q) {
-  // The unique_ptr owns the request until the queue does: the query copy
+  // The unique_ptr owns the request until the ring does: the query copy
   // and fingerprinting below can throw (bad_alloc), and a raw `new` here
   // would leak the request on any such unwind.
   auto request = std::make_unique<Request>();
   request->enqueue_time = std::chrono::steady_clock::now();
   request->promise.emplace();
   std::future<double> future = request->promise->get_future();
-  MaybeSampleWorkload(q);
+  Shard* shard = nullptr;
   double estimate = 0.0;
-  if (TryCache(q, request.get(), &estimate)) {
+  if (PrepareAndTryCache(q, request.get(), &shard, &estimate)) {
     request->promise->set_value(estimate);
     return future;
   }
   request->owned_query = q;  // the caller may return before completion
   request->query = &request->owned_query;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    LMKG_CHECK(!stop_) << "EstimateAsync on a shut-down EstimatorService";
-    queue_.push_back(request.get());
-    // Handoff complete: from here the worker side deletes it (Complete).
-    request.release();
-  }
-  queue_cv_.notify_one();
+  // Handoff: once the push succeeds the worker side owns and deletes the
+  // request (Complete), so release BEFORE pushing and never touch it
+  // after.
+  Request* raw = request.release();
+  const bool accepted = shard->ring.Push(raw);
+  if (!accepted) request.reset(raw);  // reclaim before the check aborts
+  LMKG_CHECK(accepted) << "EstimateAsync on a shut-down EstimatorService";
   return future;
 }
 
 void EstimatorService::Complete(
-    Request* request, double value,
+    Shard& shard, Request* request, double value,
     std::chrono::steady_clock::time_point now) {
   // Tagged with the submission-time epoch: a value computed on the old
   // model but inserted after a swap lands stale-tagged and is never
@@ -170,8 +200,8 @@ void EstimatorService::Complete(
   // bump right after), which only readmits the harmless tagged-old case.
   if (request->cacheable &&
       request->epoch == epoch_.load(std::memory_order_acquire))
-    cache_.Insert(request->fp, request->epoch, value);
-  stats_.RecordRequest(MicrosSince(request->enqueue_time, now));
+    shard.cache.Insert(request->fp, request->epoch, value);
+  shard.stats.RecordRequest(MicrosSince(request->enqueue_time, now));
   if (request->promise.has_value()) {
     request->promise->set_value(value);
     delete request;  // async requests are service-owned
@@ -181,12 +211,7 @@ void EstimatorService::Complete(
   }
 }
 
-void EstimatorService::WorkerLoop(size_t worker_index) {
-  // The replica SLOT is fixed per worker; the model inside it is
-  // re-fetched under the mutex each batch so a ReplaceReplica hot-swap
-  // takes effect at the next batch boundary.
-  const size_t replica_index = worker_index % replicas_.size();
-  std::mutex& replica_mu = *replica_mus_[replica_index];
+void EstimatorService::WorkerLoop(Shard* shard) {
   const auto delay = std::chrono::microseconds(config_.max_queue_delay_us);
 
   // Reused batch buffers: Query assignment recycles pattern capacity, so
@@ -197,30 +222,38 @@ void EstimatorService::WorkerLoop(size_t worker_index) {
 
   for (;;) {
     batch.clear();
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and queue drained
-      if (config_.max_queue_delay_us > 0 && !stop_ &&
-          queue_.size() < config_.max_batch_size) {
-        // Micro-batch coalescing window: hold the batch open until it
-        // fills or the oldest pending request hits its delay budget —
-        // whichever comes first. Shutdown dispatches immediately.
-        const auto deadline = queue_.front()->enqueue_time + delay;
-        queue_cv_.wait_until(lock, deadline, [&] {
-          return stop_ || queue_.empty() ||
-                 queue_.size() >= config_.max_batch_size;
-        });
-        if (queue_.empty()) continue;  // another worker claimed them
+    Request* req = nullptr;
+    // Claim the batch's first request, parking on the ring while empty.
+    for (;;) {
+      if (shard->ring.TryPop(&req)) break;
+      if (shard->ring.closed()) {
+        // Drain-then-exit: one more pop attempt after observing closed
+        // catches a push that raced the close; empty + closed = done.
+        if (shard->ring.TryPop(&req)) break;
+        return;
       }
-      const size_t n = std::min(queue_.size(), config_.max_batch_size);
-      batch.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        batch.push_back(queue_.front());
-        queue_.pop_front();
+      shard->ring.WaitForItem();
+    }
+    batch.push_back(req);
+
+    if (config_.max_queue_delay_us > 0 && !shard->ring.closed()) {
+      // Micro-batch coalescing window: hold the batch open until it
+      // fills or the OLDEST request hits its delay budget — whichever
+      // comes first. Shutdown dispatches immediately with what we have.
+      const auto deadline = batch.front()->enqueue_time + delay;
+      while (batch.size() < config_.max_batch_size) {
+        if (shard->ring.TryPop(&req)) {
+          batch.push_back(req);
+          continue;
+        }
+        if (shard->ring.closed()) break;
+        if (!shard->ring.WaitForItemUntil(deadline)) break;  // expired
       }
-      // Leftover requests can start filling another worker's batch now.
-      if (!queue_.empty()) queue_cv_.notify_one();
+    } else {
+      // Greedy: dispatch immediately with whatever is already queued.
+      while (batch.size() < config_.max_batch_size &&
+             shard->ring.TryPop(&req))
+        batch.push_back(req);
     }
 
     queries.resize(batch.size());
@@ -229,27 +262,49 @@ void EstimatorService::WorkerLoop(size_t worker_index) {
       queries[i] = *batch[i]->query;
     {
       // Estimators are not thread-safe (reused encode/forward scratch);
-      // workers sharing a replica serialize here, and hot-swaps of the
-      // slot's model synchronize on the same mutex.
-      std::lock_guard<std::mutex> model_lock(replica_mu);
-      replicas_[replica_index]->EstimateCardinalityBatch(queries, results);
+      // the shard's worker and hot-swaps of the shard's model
+      // synchronize on this mutex. No other thread computes here.
+      std::lock_guard<std::mutex> model_lock(shard->replica_mu);
+      shard->replica->EstimateCardinalityBatch(queries, results);
     }
-    stats_.RecordBatch(batch.size());
+    shard->stats.RecordBatch(batch.size());
 
     const auto now = std::chrono::steady_clock::now();
     bool any_blocking = false;
     for (size_t i = 0; i < batch.size(); ++i) {
       any_blocking |= !batch[i]->promise.has_value();
-      Complete(batch[i], results[i], now);
+      Complete(*shard, batch[i], results[i], now);
     }
     if (any_blocking) {
       // The empty critical section pairs with the waiter's predicate
-      // check under done_mu_, closing the store-then-sleep race; one
-      // notify_all wakes every caller the batch carried.
-      { std::lock_guard<std::mutex> wake(done_mu_); }
-      done_cv_.notify_all();
+      // check under done_mu, closing the store-then-sleep race; one
+      // notify_all wakes every caller the batch carried — all of them
+      // clients of THIS shard.
+      { std::lock_guard<std::mutex> wake(shard->done_mu); }
+      shard->done_cv.notify_all();
     }
   }
+}
+
+ServingStatsSnapshot EstimatorService::Stats() const {
+  // Roll every shard's collector into a fresh local one, then snapshot:
+  // counters sum, histograms bucket-merge, and the window spans from the
+  // earliest shard's start (see ServingStats::MergeFrom for the ordering
+  // that keeps derived ratios bounded under live traffic).
+  ServingStats rollup;
+  uint64_t stale_evictions = 0;
+  for (const auto& shard : shards_) {
+    rollup.MergeFrom(shard->stats);
+    stale_evictions += shard->cache.stale_evictions();
+  }
+  ServingStatsSnapshot snap = rollup.Snapshot();
+  snap.model_epoch = epoch();
+  snap.cache_stale_evictions = stale_evictions;
+  return snap;
+}
+
+void EstimatorService::ResetStats() {
+  for (auto& shard : shards_) shard->stats.Reset();
 }
 
 }  // namespace lmkg::serving

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -17,15 +16,19 @@
 #include "query/query.h"
 #include "serving/query_cache.h"
 #include "serving/serving_stats.h"
+#include "util/mpsc_ring.h"
 
 namespace lmkg::serving {
 
 /// Tuning knobs of the serving layer. The defaults suit a closed-loop
 /// optimizer workload (tens of concurrent plan-pricing clients, repeated
 /// candidate queries); see the README "Serving" section for how the knobs
-/// trade latency against batch fill.
+/// trade latency against batch fill. Shard count is NOT a knob here: the
+/// service runs one shard per replica it is constructed with — pass as
+/// many replicas as cores you want serving to scale across.
 struct ServiceConfig {
-  /// A batch dispatches as soon as this many requests are pending...
+  /// A shard's batch dispatches as soon as this many requests are
+  /// pending on it...
   size_t max_batch_size = 64;
   /// ...or once the oldest pending request has waited this long,
   /// whichever comes first. 0 = dispatch immediately with whatever is
@@ -33,72 +36,93 @@ struct ServiceConfig {
   /// naturally with the requests that arrived while the previous batch
   /// was computing, without the idle-window latency tax.
   size_t max_queue_delay_us = 0;
-  /// Worker threads draining the request queue. 0 = one per replica.
-  /// Workers map to replicas round-robin; workers sharing a replica
-  /// serialize on its mutex (estimators are not thread-safe), so extra
-  /// workers only help when they have their own replica or the batch
-  /// assembly overlaps usefully.
-  size_t num_workers = 0;
-  /// Result-cache entries across all shards; 0 disables the cache.
+  /// Slots in each shard's lock-free submission ring (rounded up to a
+  /// power of two, floored at max_batch_size). A full ring back-pressures
+  /// producers onto a timed park — size it well above max_batch_size so
+  /// that only happens under genuine overload.
+  size_t ring_capacity = 1024;
+  /// Result-cache entries summed across all shards; 0 disables the
+  /// cache. Each shard owns an independent slice keyed by the same
+  /// fingerprints that route to it, so a query's cache entry lives on
+  /// the shard that serves it.
   size_t cache_capacity = 0;
+  /// Independently-locked sub-shards inside each serving shard's cache
+  /// slice (concurrent CLIENT threads of one shard contend on lookup,
+  /// not the shard worker).
   size_t cache_shards = 8;
-  /// Live-workload tap: sampled request queries accumulate in a small
-  /// ring that DrainWorkloadSamples empties — the signal a background
-  /// ModelLifecycle feeds into its WorkloadMonitor to detect drift.
-  /// 0 disables the tap (no overhead on the request path).
+  /// Live-workload tap: sampled request queries accumulate in small
+  /// per-shard rings that DrainWorkloadSamples empties — the signal a
+  /// background ModelLifecycle feeds into its WorkloadMonitor to detect
+  /// drift. The capacity is summed across shards; 0 disables the tap (no
+  /// overhead on the request path).
   size_t workload_tap_capacity = 0;
-  /// Sample every Nth request into the tap (clamped to >= 1). Sampling
-  /// preserves the workload's combo mix, which is all the monitor needs.
+  /// Sample every Nth request per shard into the tap (clamped to >= 1).
+  /// Sampling preserves the workload's combo mix, which is all the
+  /// monitor needs.
   size_t workload_sample_every = 1;
 };
 
-/// Thread-safe serving front for any core::CardinalityEstimator:
-/// concurrent callers submit single queries (blocking Estimate or
-/// future-based EstimateAsync); a dynamic micro-batcher coalesces pending
-/// requests into batches; worker threads drain them through the
-/// estimator's EstimateCardinalityBatch fast path, optionally across
-/// multiple model replicas for shard parallelism. A sharded
-/// query-fingerprint LRU cache in front of the batcher short-circuits
-/// repeated queries, and a ServingStats collector tracks end-to-end
-/// latency percentiles, achieved qps, batch fill, and cache hit rate.
+/// Thread-safe serving front for any core::CardinalityEstimator,
+/// structured as N INDEPENDENT SHARDS routed by query::Fingerprint:
+/// each shard owns one model replica, one micro-batcher fed by a bounded
+/// lock-free MPSC ring, one slice of the result cache, one slice of the
+/// workload tap, and its own stats collector — the hot path from
+/// submission to completion touches exactly one shard and takes zero
+/// cross-shard locks, so closed-loop throughput scales with cores
+/// instead of serializing on a global queue mutex.
 ///
-/// The micro-batcher is cooperative: there is no dedicated batcher
-/// thread. An idle worker claims the queue, holds it open until
-/// max_batch_size requests are pending or the oldest has waited
-/// max_queue_delay_us (whichever first, per ServiceConfig), then drains
-/// up to max_batch_size requests as one EstimateCardinalityBatch call.
+/// Routing: a stable hash of the query's canonical 128-bit fingerprint
+/// (Fingerprint::ShardHash) picks the shard, so isomorphic queries —
+/// shuffled patterns, renamed variables — always land on the same shard
+/// and its cache slice. Concurrent callers submit single queries
+/// (blocking Estimate or future-based EstimateAsync); the shard's worker
+/// drains its ring through the replica's EstimateCardinalityBatch fast
+/// path.
+///
+/// The micro-batcher is per shard and single-consumer: the shard worker
+/// pops whatever is ready, and with max_queue_delay_us > 0 holds the
+/// batch open until it fills or the oldest request hits its delay budget
+/// (whichever first), parking on the ring rather than spinning.
 ///
 /// Determinism: with a deterministic estimator (LMKG-S — batch results
 /// are pinned bit-identical to per-query results), every response equals
-/// the serial per-query path regardless of batching, scheduling, or
-/// cache hits; tests/serving_test.cc pins this under a K-thread stress.
-/// Sampling estimators (LMKG-U, WanderJoin) consume their RNG in
-/// dispatch order, so concurrent serving reorders their draws and a
-/// cache hit replays the first estimate — sampling-noise-level effects;
-/// disable the cache if replay matters.
+/// the serial per-query path regardless of sharding, batching,
+/// scheduling, or cache hits; tests/serving_test.cc pins this under a
+/// K-thread stress. Sampling estimators (LMKG-U, WanderJoin) consume
+/// their RNG in dispatch order, so concurrent serving reorders their
+/// draws and a cache hit replays the first estimate — sampling-noise-
+/// level effects; disable the cache if replay matters.
+///
+/// Stats: Stats() merges every shard's collector into one coherent
+/// snapshot (counters summed, latency histograms bucket-merged) — see
+/// ServingStats::MergeFrom for the read-ordering contract that keeps
+/// derived ratios (hit rate, batch fill) from transiently exceeding
+/// their true bounds while traffic is live.
 ///
 /// Model generations: the service carries a monotonically increasing
-/// epoch. Result-cache entries are tagged with the epoch of the model
-/// that computed them and only hit at that epoch, so AdvanceEpoch()
-/// atomically invalidates every estimate cached before a model mutation
-/// (hot-swap, adaptation, outlier-buffer insert, reload) without a
-/// stop-the-world flush. ReplaceReplica swaps a model under its replica
-/// mutex — in-flight batches finish on whichever model they locked, and
-/// once the caller bumps the epoch, every cached lookup recomputes
-/// against the new generation (tests/model_lifecycle_test.cc pins zero
-/// stale values across a mid-stream swap). The swap protocol (replace
-/// every replica, THEN advance the epoch) is what makes late stale
-/// inserts harmless: a request tags its insert with the epoch captured
-/// at submission, so a pre-swap computation landing after the bump is
-/// tagged old and never served.
+/// epoch shared by all shards. Result-cache entries are tagged with the
+/// epoch of the model that computed them and only hit at that epoch, so
+/// AdvanceEpoch() atomically invalidates every estimate cached before a
+/// model mutation (hot-swap, adaptation, outlier-buffer insert, reload)
+/// without a stop-the-world flush — across every shard at once.
+/// ReplaceReplica swaps a shard's model under that shard's replica mutex
+/// — an in-flight batch finishes on whichever model it locked, and once
+/// the caller bumps the epoch, every cached lookup recomputes against
+/// the new generation (tests/model_lifecycle_test.cc pins zero stale
+/// values across a mid-stream swap). The swap protocol (replace EVERY
+/// shard's replica, THEN advance the epoch once) is what makes late
+/// stale inserts harmless: a request tags its insert with the epoch
+/// captured at submission, so a pre-swap computation landing after the
+/// bump is tagged old and never served.
 ///
 /// Ownership: the service owns its replicas and must outlive every
-/// outstanding future. Destruction drains the queue (all futures
-/// complete) before joining the workers.
+/// outstanding future. Destruction drains every shard's ring (all
+/// futures complete) before joining the workers.
 class EstimatorService {
  public:
   /// `replicas` are interchangeable models of the SAME estimator (e.g.
   /// one trained LmkgS serialized and loaded R times); at least one.
+  /// The service runs one shard per replica.
   EstimatorService(
       std::vector<std::unique_ptr<core::CardinalityEstimator>> replicas,
       const ServiceConfig& config);
@@ -107,53 +131,53 @@ class EstimatorService {
   EstimatorService(const EstimatorService&) = delete;
   EstimatorService& operator=(const EstimatorService&) = delete;
 
-  /// Blocking single-query estimate: enqueues, waits for the batch that
-  /// carries it, returns the estimate. Safe from any number of threads.
-  /// The request rides the caller's stack — no allocation beyond the
-  /// batch assembly copy.
+  /// Blocking single-query estimate: routes to the query's shard,
+  /// enqueues, waits for the batch that carries it, returns the
+  /// estimate. Safe from any number of threads. The request rides the
+  /// caller's stack — no allocation beyond the batch assembly copy.
   double Estimate(const query::Query& q);
 
   /// Future-based variant: copies `q`, returns immediately. The future
   /// resolves when the carrying batch completes (or on shutdown drain).
   std::future<double> EstimateAsync(const query::Query& q);
 
-  /// Counters + latency percentiles since construction or ResetStats,
-  /// plus the current model epoch and cumulative stale-entry evictions.
-  ServingStatsSnapshot Stats() const {
-    ServingStatsSnapshot snap = stats_.Snapshot();
-    snap.model_epoch = epoch();
-    snap.cache_stale_evictions = cache_.stale_evictions();
-    return snap;
-  }
-  /// Not safe against concurrent Estimate calls; quiesce first.
-  void ResetStats() { stats_.Reset(); }
+  /// One coherent snapshot rolled up across all shards: counters summed,
+  /// latency histograms merged, plus the current model epoch and
+  /// cumulative stale-entry evictions.
+  ServingStatsSnapshot Stats() const;
 
-  size_t num_workers() const { return workers_.size(); }
-  size_t num_replicas() const { return replicas_.size(); }
+  /// Not safe against concurrent Estimate calls; quiesce first.
+  void ResetStats();
+
+  size_t num_shards() const { return shards_.size(); }
+  /// One replica per shard; kept for lifecycle callers that loop
+  /// `ReplaceReplica(0..num_replicas())`.
+  size_t num_replicas() const { return shards_.size(); }
 
   /// Current model generation. Starts at 0; only AdvanceEpoch moves it.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// Declares a new model generation: every result cached before this
-  /// call stops hitting (evicted lazily on contact). Call AFTER the model
-  /// mutation is visible to workers — i.e. after every ReplaceReplica of
-  /// a swap, or after an external mutation of a served model completed
-  /// under its replica mutex.
+  /// call stops hitting (evicted lazily on contact), on every shard.
+  /// Call AFTER the model mutation is visible to workers — i.e. after
+  /// every ReplaceReplica of a swap, or after an external mutation of a
+  /// served model completed under its shard's replica mutex.
   void AdvanceEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
 
-  /// Swaps the model at `index` for `replacement` under the replica's
-  /// mutex and returns the previous model. In-flight batches holding the
-  /// mutex finish on the old model first; the swap itself is a pointer
-  /// exchange, so serving never blocks on model preparation (train and
-  /// load off-path, then swap). Callers swap every replica, then
-  /// AdvanceEpoch() once.
+  /// Swaps shard `index`'s model for `replacement` under the shard's
+  /// replica mutex and returns the previous model. An in-flight batch
+  /// holding the mutex finishes on the old model first; the swap itself
+  /// is a pointer exchange, so serving never blocks on model preparation
+  /// (train and load off-path, then swap). Callers swap every shard,
+  /// then AdvanceEpoch() once.
   std::unique_ptr<core::CardinalityEstimator> ReplaceReplica(
       size_t index,
       std::unique_ptr<core::CardinalityEstimator> replacement);
 
-  /// Empties the live-workload tap (see ServiceConfig::workload_tap_*).
-  /// Safe against concurrent request traffic; samples are in arrival
-  /// order up to ring wrap-around.
+  /// Empties every shard's live-workload tap (see
+  /// ServiceConfig::workload_tap_*). Safe against concurrent request
+  /// traffic; within a shard, samples are in arrival order up to ring
+  /// wrap-around.
   std::vector<query::Query> DrainWorkloadSamples();
 
  private:
@@ -166,44 +190,68 @@ class EstimatorService {
     std::chrono::steady_clock::time_point enqueue_time;
     // Exactly one completion channel: async requests carry a promise
     // (service-owned, deleted after fulfillment); blocking requests live
-    // on the caller's stack and wait on done_cv_ for `done`.
+    // on the caller's stack and wait on their OWN shard's completion
+    // condvar for `done` — batches finishing on one shard never wake
+    // callers parked on another. (Not C++20 atomic wait/notify: the
+    // notifier would touch the caller's stack-resident atomic after the
+    // waiter may have observed the value and unwound — the shard-owned
+    // condvar has no such lifetime race.)
     std::optional<std::promise<double>> promise;
     std::atomic<bool> done{false};
     double result = 0.0;
   };
 
-  // True and fills *estimate on a cache hit (records stats).
-  bool TryCache(const query::Query& q, Request* request, double* estimate);
-  // Samples q into the workload tap (cheap, never blocks the caller).
-  void MaybeSampleWorkload(const query::Query& q);
-  void WorkerLoop(size_t worker_index);
+  /// Everything one query touches on the hot path lives here; no member
+  /// of a shard is ever accessed from another shard's path.
+  struct Shard {
+    Shard(std::unique_ptr<core::CardinalityEstimator> model,
+          const ServiceConfig& config, size_t cache_capacity,
+          size_t tap_capacity);
+
+    util::MpscRing<Request*> ring;
+    std::mutex replica_mu;  // serializes batches against hot swaps
+    std::unique_ptr<core::CardinalityEstimator> replica;
+    QueryCache cache;
+    ServingStats stats;
+
+    // Blocking callers of THIS shard park here; the worker signals once
+    // per completed batch (empty critical section + notify_all closes
+    // the store-then-sleep race, see WorkerLoop).
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+
+    // Per-shard workload tap (ring buffer). try_lock on the request
+    // path: under contention a sample is dropped, never stalling a
+    // client.
+    std::mutex tap_mu;
+    std::vector<query::Query> tap;
+    size_t tap_capacity = 0;
+    size_t tap_next = 0;
+    std::atomic<uint64_t> tap_counter{0};
+
+    std::thread worker;  // started by the service after construction
+  };
+
+  Shard& ShardFor(const query::Fingerprint& fp) {
+    return *shards_[fp.ShardHash() % shards_.size()];
+  }
+
+  // Fingerprints q (allocation-free once the thread's scratch is warm),
+  // routes to the shard, samples the tap, captures the epoch, and
+  // serves from the shard's cache if it can (records stats; returns
+  // true with *estimate filled). On false the request is ready to
+  // enqueue on *shard.
+  bool PrepareAndTryCache(const query::Query& q, Request* request,
+                          Shard** shard, double* estimate);
+  void MaybeSampleWorkload(Shard& shard, const query::Query& q);
+  void WorkerLoop(Shard* shard);
   // Fulfills one request with `value` (cache insert + latency stats).
-  void Complete(Request* request, double value,
+  void Complete(Shard& shard, Request* request, double value,
                 std::chrono::steady_clock::time_point now);
 
   const ServiceConfig config_;
-  std::vector<std::unique_ptr<core::CardinalityEstimator>> replicas_;
-  std::vector<std::unique_ptr<std::mutex>> replica_mus_;
-  QueryCache cache_;
-  ServingStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> epoch_{0};
-
-  // Live-workload tap (ring buffer). try_lock on the request path: under
-  // contention a sample is simply dropped rather than stalling a client.
-  std::mutex tap_mu_;
-  std::vector<query::Query> tap_;
-  size_t tap_next_ = 0;
-  std::atomic<uint64_t> tap_counter_{0};
-
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;   // workers wait for requests
-  std::deque<Request*> queue_;
-  bool stop_ = false;
-
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;    // blocking callers wait here
-
-  std::vector<std::thread> workers_;
 };
 
 }  // namespace lmkg::serving

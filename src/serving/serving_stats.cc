@@ -4,12 +4,19 @@ namespace lmkg::serving {
 
 ServingStatsSnapshot ServingStats::Snapshot() const {
   ServingStatsSnapshot snap;
-  snap.requests = requests_.load(std::memory_order_relaxed);
+  // batched_requests_ (acquire) before batches_: pairs with
+  // RecordBatch's release so every fill counted in the numerator has its
+  // batch visible in the denominator — mean_batch_fill can transiently
+  // under-report under live traffic but never exceed the true fill (or
+  // max_batch_size). Hits before misses is free to interleave: the hit
+  // rate divides by (hits + misses) with the same hits sample embedded
+  // in the denominator, so it is structurally <= 1.0.
+  snap.batched_requests =
+      batched_requests_.load(std::memory_order_acquire);
+  snap.batches = batches_.load(std::memory_order_relaxed);
   snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  snap.batches = batches_.load(std::memory_order_relaxed);
-  snap.batched_requests =
-      batched_requests_.load(std::memory_order_relaxed);
+  snap.requests = requests_.load(std::memory_order_relaxed);
   snap.window_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     window_start_)
@@ -29,6 +36,27 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
   snap.mean_us = latency_.MeanUs();
   snap.max_us = latency_.MaxUs();
   return snap;
+}
+
+void ServingStats::MergeFrom(const ServingStats& other) {
+  // See the header for why this read order is load-bearing.
+  latency_.MergeFrom(other.latency_);
+  const uint64_t batched =
+      other.batched_requests_.load(std::memory_order_acquire);
+  batches_.fetch_add(other.batches_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  batched_requests_.fetch_add(batched, std::memory_order_relaxed);
+  cache_hits_.fetch_add(other.cache_hits_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  cache_misses_.fetch_add(
+      other.cache_misses_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  requests_.fetch_add(other.requests_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  // The merged window spans from the earliest shard's window start, so
+  // rolled-up qps divides total requests by the full observation span.
+  if (other.window_start_ < window_start_)
+    window_start_ = other.window_start_;
 }
 
 void ServingStats::Reset() {

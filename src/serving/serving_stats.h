@@ -58,12 +58,36 @@ class ServingStats {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   void RecordBatch(size_t fill) {
+    // batches_ first, and the batched_requests_ add is a release: a
+    // reader that acquires a batched_requests_ value is then guaranteed
+    // to observe the batches_ increment of every fill it counted, which
+    // is what lets Snapshot/MergeFrom bound mean_batch_fill at the true
+    // value (see MergeFrom).
     batches_.fetch_add(1, std::memory_order_relaxed);
-    batched_requests_.fetch_add(fill, std::memory_order_relaxed);
+    batched_requests_.fetch_add(fill, std::memory_order_release);
   }
 
   ServingStatsSnapshot Snapshot() const;
   void Reset();
+
+  /// Accumulates another collector into this one — the sharded service
+  /// merges every shard's collector into a fresh local rollup per
+  /// Stats() call, then Snapshots the rollup. Safe against concurrent
+  /// Record* on `other`; the destination must be private to the caller.
+  ///
+  /// Counter read ordering (load-bearing, do not reorder): within each
+  /// merged shard, `batched_requests` is acquired FIRST and pairs with
+  /// RecordBatch's release increment — every fill visible in the
+  /// numerator sample has its batch visible in the `batches` read that
+  /// follows, so a mid-flight RecordBatch lands in the denominator but
+  /// never only in the numerator and mean_batch_fill cannot transiently
+  /// exceed the true fill. Hit rate is derived as hits / (hits +
+  /// misses), whose denominator embeds the very hits sample in the
+  /// numerator — structurally <= 1.0 however the per-shard reads
+  /// interleave with live traffic. `requests` is read last so qps
+  /// (requests over the merged window) never counts a request whose
+  /// latency sample has not landed yet.
+  void MergeFrom(const ServingStats& other);
 
  private:
   util::LatencyHistogram latency_;

@@ -53,6 +53,31 @@ void LatencyHistogram::Record(double us) {
   }
 }
 
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  // total_count_ before the buckets: Record increments the bucket first
+  // and the total second, so snapshotting in the OPPOSITE order
+  // guarantees merged-buckets >= merged-total for any mid-flight sample
+  // — PercentileUs then always finds its rank inside the buckets instead
+  // of walking off the end and reporting MaxUs for a mid-stream
+  // percentile.
+  const uint64_t other_total =
+      other.total_count_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    const uint64_t n = other.counts_[i].load(std::memory_order_relaxed);
+    if (n != 0) counts_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  total_count_.fetch_add(other_total, std::memory_order_relaxed);
+  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  const uint64_t other_max =
+      other.max_ns_.load(std::memory_order_relaxed);
+  uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_ns_.compare_exchange_weak(seen, other_max,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
 uint64_t LatencyHistogram::TotalCount() const {
   return total_count_.load(std::memory_order_relaxed);
 }

@@ -49,6 +49,18 @@ class LatencyHistogram {
   /// Largest recorded sample (exact, via CAS max).
   double MaxUs() const;
 
+  /// Accumulates `other`'s samples into this histogram: bucket-wise
+  /// count addition plus the exact sum and the max, so percentiles,
+  /// MeanUs, and MaxUs of the merged histogram equal those of one
+  /// histogram that recorded both sample streams. Safe against
+  /// concurrent Record on `other` (relaxed snapshot reads — the merged
+  /// view is consistent-enough, same contract as the readers); the
+  /// DESTINATION must not be concurrently recorded into. The serving
+  /// stats rollup merges every shard's histogram into a fresh local one
+  /// per Stats() call; benches use it to aggregate per-thread
+  /// collectors.
+  void MergeFrom(const LatencyHistogram& other);
+
   /// Clears all buckets. Not safe against concurrent Record.
   void Reset();
 

@@ -205,6 +205,44 @@ TEST(FingerprintTest, TopologyTagSeparatesShapes) {
   EXPECT_NE(ComputeFingerprint(star), ComputeFingerprint(chain));
 }
 
+TEST_F(FingerprintPropertyTest, ShardRoutingIsIsomorphismInvariant) {
+  // The serving layer routes a request to ShardHash() % num_shards, so
+  // every query the cache would treat as identical must land on the
+  // SAME shard — otherwise an isomorphic repeat recomputes on a shard
+  // whose cache never saw it. Equal fingerprints already imply equal
+  // ShardHash; this pins the property end-to-end through the same
+  // shuffle/rename machinery the equivalence tests use.
+  util::Pcg32 rng(601);
+  for (const Query& q : workload_) {
+    const uint64_t route = ComputeFingerprint(q, &scratch_).ShardHash();
+    for (int round = 0; round < 4; ++round) {
+      Query variant = ShufflePatterns(q, rng);
+      variant = RenameVariables(variant, rng);
+      EXPECT_EQ(ComputeFingerprint(variant, &scratch_).ShardHash(), route)
+          << QueryToString(q) << " re-routed as " << QueryToString(variant);
+    }
+  }
+}
+
+TEST_F(FingerprintPropertyTest, ShardRoutingSpreadsAcrossShards) {
+  // ShardHash must actually balance: a generated 240-query workload over
+  // 4 shards should put a non-trivial share on every shard (a uniform
+  // split is 60 per shard; 15 is > 5 sigma below it). Also pin that the
+  // routing is independent of the cache's own hashes — queries sharing a
+  // cache sub-shard (fp.hi) must not all collapse onto one serving
+  // shard.
+  for (const size_t num_shards : {2u, 4u, 8u}) {
+    std::vector<size_t> per_shard(num_shards, 0);
+    for (const Query& q : workload_) {
+      const Fingerprint fp = ComputeFingerprint(q, &scratch_);
+      ++per_shard[fp.ShardHash() % num_shards];
+    }
+    for (size_t s = 0; s < num_shards; ++s)
+      EXPECT_GE(per_shard[s], workload_.size() / (num_shards * 4))
+          << num_shards << "-shard routing starves shard " << s;
+  }
+}
+
 TEST(FingerprintTest, CompositeFallbackIsStableAndSeparates) {
   // A cycle (not star, not chain) goes through the composite branch:
   // stable across calls, distinct from a different cycle.

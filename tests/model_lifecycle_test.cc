@@ -223,7 +223,6 @@ TEST_F(HotSwapTest, MidStreamSwapServesZeroStaleCacheValues) {
   ServiceConfig config;
   config.max_batch_size = 16;
   config.max_queue_delay_us = 100;
-  config.num_workers = 2;
   config.cache_capacity = 4096;  // whole workload stays resident
   EstimatorService service(Replicas(blob_a_, 7, 2), config);
 
@@ -262,7 +261,6 @@ TEST_F(HotSwapTest, MidStreamSwapServesZeroStaleCacheValues) {
 TEST_F(HotSwapTest, SwapsRacingClientsNeverMixGenerations) {
   ServiceConfig config;
   config.max_batch_size = 16;
-  config.num_workers = 2;
   config.cache_capacity = 4096;
   EstimatorService service(Replicas(blob_a_, 7, 2), config);
 
@@ -438,7 +436,6 @@ TEST_F(ModelLifecycleTest, DetectsDriftTrainsOffPathAndHotSwaps) {
 
   ServiceConfig service_config;
   service_config.max_batch_size = 16;
-  service_config.num_workers = 2;
   service_config.cache_capacity = 1024;
   service_config.workload_tap_capacity = 256;
   EstimatorService service(ReplicasFromShadow(&shadow, 2), service_config);
@@ -490,7 +487,6 @@ TEST_F(ModelLifecycleTest, BackgroundThreadSwapsUnderLiveTraffic) {
 
   ServiceConfig service_config;
   service_config.max_batch_size = 16;
-  service_config.num_workers = 2;
   service_config.cache_capacity = 1024;
   service_config.workload_tap_capacity = 256;
   EstimatorService service(ReplicasFromShadow(&shadow, 2), service_config);

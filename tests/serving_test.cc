@@ -162,7 +162,6 @@ TEST_F(ServingTest, ConcurrentShuffledClientsMatchSerialPathExactly) {
     ServiceConfig config;
     config.max_batch_size = 16;
     config.max_queue_delay_us = 100;
-    config.num_workers = 2;
     config.cache_capacity = with_cache ? 1024 : 0;
     EstimatorService service(Replicas(2), config);
 

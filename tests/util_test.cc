@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/check.h"
@@ -485,6 +486,105 @@ TEST(LatencyHistogramTest, ResetClearsEverything) {
   h.Reset();
   EXPECT_EQ(h.TotalCount(), 0u);
   EXPECT_DOUBLE_EQ(h.MaxUs(), 0.0);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsSingleHistogramOfBothStreams) {
+  // The defining property of MergeFrom: merging B into A must report
+  // exactly what one histogram that recorded both streams reports —
+  // count, every percentile, mean, and max.
+  LatencyHistogram a, b, both;
+  for (int i = 0; i < 300; ++i) {
+    const double fast = 5.0 + i * 0.1;    // [5us, 35us)
+    const double slow = 200.0 + i * 2.0;  // [200us, 800us)
+    a.Record(fast);
+    both.Record(fast);
+    b.Record(slow);
+    both.Record(slow);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.TotalCount(), both.TotalCount());
+  for (const double p : {0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(a.PercentileUs(p), both.PercentileUs(p)) << "p=" << p;
+  EXPECT_DOUBLE_EQ(a.MeanUs(), both.MeanUs());
+  EXPECT_DOUBLE_EQ(a.MaxUs(), both.MaxUs());
+}
+
+TEST(LatencyHistogramTest, MergeAtBucketBoundariesPreservesBucketing) {
+  // Samples sitting exactly on geometric bucket edges (powers of the
+  // ratio 10^(1/12)) are the worst case for any merge that re-derived
+  // bucket indices: a sample must land in the SAME bucket whether it
+  // was recorded directly or arrived via MergeFrom. Percentile equality
+  // at every probe is only possible if the bucket-wise addition
+  // preserved each sample's bucket exactly.
+  const double ratio = std::pow(10.0, 1.0 / 12.0);
+  LatencyHistogram merged, direct;
+  double edge = 0.01;  // the 10ns lower edge of bucket 0
+  for (int i = 0; i < 120; ++i, edge *= ratio) {
+    LatencyHistogram piece;
+    piece.Record(edge);
+    piece.Record(edge * 1.0000001);  // just inside the same bucket
+    direct.Record(edge);
+    direct.Record(edge * 1.0000001);
+    merged.MergeFrom(piece);
+  }
+  EXPECT_EQ(merged.TotalCount(), direct.TotalCount());
+  for (double p = 0.0; p <= 1.0; p += 0.01)
+    EXPECT_DOUBLE_EQ(merged.PercentileUs(p), direct.PercentileUs(p))
+        << "p=" << p;
+  EXPECT_DOUBLE_EQ(merged.MaxUs(), direct.MaxUs());
+}
+
+TEST(LatencyHistogramTest, MergeEdgeCases) {
+  // Empty-into-empty, empty-into-full, full-into-empty, and the
+  // clamped edge buckets (sub-10ns floor, >80s ceiling).
+  LatencyHistogram empty_dst, full;
+  full.Record(0.001);  // below the 10ns floor -> bucket 0
+  full.Record(1e9);    // 1000 seconds -> last bucket
+  LatencyHistogram still_empty;
+  empty_dst.MergeFrom(still_empty);
+  EXPECT_EQ(empty_dst.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(empty_dst.PercentileUs(0.5), 0.0);
+  empty_dst.MergeFrom(full);
+  EXPECT_EQ(empty_dst.TotalCount(), 2u);
+  EXPECT_LT(empty_dst.PercentileUs(0.0), 0.02);
+  EXPECT_GT(empty_dst.PercentileUs(1.0), 1e7);
+  EXPECT_NEAR(empty_dst.MaxUs(), 1e9, 1.0);
+  // Merging into a populated destination accumulates, never replaces.
+  LatencyHistogram more;
+  more.Record(1e9);
+  empty_dst.MergeFrom(more);
+  EXPECT_EQ(empty_dst.TotalCount(), 3u);
+  EXPECT_NEAR(empty_dst.MaxUs(), 1e9, 1.0);
+}
+
+TEST(LatencyHistogramTest, MergeWhileSourceRecordsStaysSane) {
+  // The shard-rollup scenario: MergeFrom snapshots a histogram that
+  // other threads keep recording into (TSan covers the access safety).
+  // The merged view may lag, but every probe must stay inside the
+  // sampled range with monotone percentiles — the total-before-buckets
+  // read order in MergeFrom keeps merged-total <= merged-bucket-sum, so
+  // a rank never walks off the buckets into the MaxUs fallback.
+  LatencyHistogram source;
+  std::atomic<bool> stop{false};
+  std::thread recorder([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed))
+      source.Record(1.0 + static_cast<double>(i++ % 100));
+  });
+  for (int round = 0; round < 200; ++round) {
+    LatencyHistogram rollup;
+    rollup.MergeFrom(source);
+    if (rollup.TotalCount() == 0) continue;
+    const double p50 = rollup.PercentileUs(0.50);
+    const double p99 = rollup.PercentileUs(0.99);
+    const double p100 = rollup.PercentileUs(1.0);
+    EXPECT_GT(p50, 0.5);
+    EXPECT_LE(p50, p99);
+    EXPECT_LE(p99, p100 * 1.3);  // within one bucket of the top
+    EXPECT_LT(p100, 150.0);      // all samples lie in [1us, 101us)
+  }
+  stop.store(true, std::memory_order_relaxed);
+  recorder.join();
 }
 
 }  // namespace
