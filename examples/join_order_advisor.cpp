@@ -1,58 +1,29 @@
 // Join-order advisor: the motivating application of cardinality
 // estimation (paper §I: "producing efficient query plans heavily relies
-// on accurate cardinality estimates"). For a basic graph pattern, the
-// advisor scores every left-deep join order by the estimated sizes of its
-// intermediate results and recommends the cheapest; an exact-counting
-// oracle shows how close the learned estimates get to the true optimum.
+// on accurate cardinality estimates"). Built on the planner subsystem:
+// a DP-over-connected-subgraphs enumerator prices every candidate
+// sub-plan through the learned model — fingerprinting pattern subsets in
+// place instead of the old per-prefix copy-and-renormalize loop — and an
+// exact-counting oracle shows how close the learned plan's TRUE cost
+// gets to the true optimum.
 #include <algorithm>
 #include <iostream>
-#include <numeric>
 
 #include "core/lmkg.h"
 #include "data/dataset.h"
+#include "planner/planner.h"
 #include "query/executor.h"
 #include "query/sparql_parser.h"
-#include "util/math.h"
 #include "util/table.h"
 
-namespace {
-
-using namespace lmkg;
-
-// Cost of a left-deep order = sum of estimated intermediate result sizes
-// (the C_out cost model). `estimate` maps a prefix BGP to a cardinality.
-template <typename EstimateFn>
-double OrderCost(const query::Query& q, const std::vector<size_t>& order,
-                 EstimateFn estimate) {
-  double cost = 0.0;
-  query::Query prefix;
-  for (size_t idx : order) {
-    prefix.patterns.push_back(q.patterns[idx]);
-    query::Query normalized = prefix;
-    query::NormalizeVariables(&normalized);
-    cost += estimate(normalized);
-  }
-  return cost;
-}
-
-std::string OrderToString(const std::vector<size_t>& order) {
-  std::string s;
-  for (size_t idx : order) {
-    s += 't';
-    s += std::to_string(idx);
-    s += ' ';
-  }
-  return s;
-}
-
-}  // namespace
-
 int main() {
+  using namespace lmkg;
+
   rdf::Graph graph = data::MakeDataset("swdf", 0.01, /*seed=*/7);
   std::cout << "Graph: " << rdf::GraphSummary(graph) << "\n\n";
 
-  // The estimator: LMKG-S over both topologies and sizes up to 3 (prefix
-  // subqueries of the plan can be stars, chains, or composites — the
+  // The estimator: LMKG-S over both topologies and sizes up to 3 (DP
+  // sub-plans of the query below are stars, chains, or composites — the
   // facade decomposes what no model covers).
   core::LmkgConfig config;
   config.kind = core::ModelKind::kSupervised;
@@ -79,45 +50,53 @@ int main() {
   std::cout << "Query: " << text << "\n\n";
 
   query::Executor executor(graph);
-  auto learned = [&](const query::Query& sub) {
-    return lmkg.EstimateCardinality(sub);
-  };
-  auto exact = [&](const query::Query& sub) {
-    return executor.Cardinality(sub);
-  };
+  planner::DirectSource learned_source(&lmkg);
+  planner::OracleSource oracle_source(&executor);
 
-  // Enumerate all left-deep orders (3 patterns -> 6 orders).
-  std::vector<size_t> order(q.patterns.size());
-  std::iota(order.begin(), order.end(), 0);
-  util::TablePrinter table("join orders: estimated vs true cost");
-  table.SetHeader({"order", "LMKG cost", "true cost"});
-  std::vector<size_t> best_learned, best_true;
-  double best_learned_cost = 1e300, best_true_cost = 1e300;
-  do {
-    double learned_cost = OrderCost(q, order, learned);
-    double true_cost = OrderCost(q, order, exact);
-    table.AddRow({OrderToString(order), util::FormatValue(learned_cost),
-                  util::FormatValue(true_cost)});
-    if (learned_cost < best_learned_cost) {
-      best_learned_cost = learned_cost;
-      best_learned = order;
-    }
-    if (true_cost < best_true_cost) {
-      best_true_cost = true_cost;
-      best_true = order;
-    }
-  } while (std::next_permutation(order.begin(), order.end()));
+  // One planner per source, same enumeration: the learned plan is chosen
+  // from estimates, the oracle plan is the true optimum under C_out.
+  planner::PlannerConfig planner_config;
+  planner::JoinPlanner learned_planner(&learned_source, planner_config);
+  planner::JoinPlanner oracle_planner(&oracle_source, planner_config);
+
+  const planner::Plan& learned_plan = learned_planner.PlanQuery(q);
+  const std::string learned_str = planner::PlanToString(learned_plan);
+  const double learned_est_cost = learned_plan.cost;
+  const double learned_true_cost =
+      planner::PlanTrueCost(q, learned_plan, &oracle_source);
+  const size_t considered = learned_plan.subplans_considered;
+  const size_t priced = learned_plan.subplans_priced;
+
+  const planner::Plan& oracle_plan = oracle_planner.PlanQuery(q);
+  const std::string oracle_str = planner::PlanToString(oracle_plan);
+  const double oracle_true_cost = oracle_plan.cost;
+
+  util::TablePrinter table("chosen plans: estimated vs true C_out");
+  table.SetHeader({"planner", "plan", "est. cost", "true cost"});
+  table.AddRow({"LMKG", learned_str, util::FormatValue(learned_est_cost),
+                util::FormatValue(learned_true_cost)});
+  table.AddRow({"oracle", oracle_str, "-",
+                util::FormatValue(oracle_true_cost)});
   table.Print(std::cout);
 
-  double chosen_true_cost = OrderCost(q, best_learned, exact);
-  std::cout << "\nLMKG picks:    " << OrderToString(best_learned)
-            << " (true cost " << util::FormatValue(chosen_true_cost)
-            << ")\n";
-  std::cout << "True optimum:  " << OrderToString(best_true)
-            << " (true cost " << util::FormatValue(best_true_cost) << ")\n";
-  std::cout << "Plan overhead vs optimum: "
-            << util::FormatValue(chosen_true_cost /
-                                 std::max(best_true_cost, 1.0))
+  std::cout << "\nDP lattice: " << considered << " connected sub-plans, "
+            << priced << " priced (subset-fingerprint memo covered "
+            << (considered - priced) << ")\n";
+  std::cout << "LMKG picks:    " << learned_str << " (true cost "
+            << util::FormatValue(learned_true_cost) << ")\n";
+  std::cout << "True optimum:  " << oracle_str << " (true cost "
+            << util::FormatValue(oracle_true_cost) << ")\n";
+  const double overhead =
+      learned_true_cost / std::max(oracle_true_cost, 1.0);
+  std::cout << "Plan overhead vs optimum: " << util::FormatValue(overhead)
             << "x\n";
-  return 0;
+
+  // Replan after the memo is warm: every lattice cell is a hit, so the
+  // planner does no model inference at all — the steady state a real
+  // optimizer-in-the-loop deployment sits in.
+  const planner::Plan& replanned = learned_planner.PlanQuery(q);
+  std::cout << "Warm replan:   " << replanned.memo_hits << "/"
+            << replanned.subplans_considered
+            << " sub-plans from memo, 0 model calls\n";
+  return replanned.subplans_priced == 0 ? 0 : 1;
 }

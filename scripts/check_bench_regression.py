@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf-regression gate for the serving-path benchmarks.
 
-Two benchmark kinds are gated, auto-detected from the "bench" field of
+Three benchmark kinds are gated, auto-detected from the "bench" field of
 the result JSON:
 
   * batch_inference (bench_throughput_batch): batch-64 queries/sec
@@ -14,6 +14,14 @@ the result JSON:
     4-vCPU CI runner each gate against their own committed file; a
     missing file for the detected class is a hard failure with
     bootstrap instructions, not a silent skip.
+  * planner (bench_planner): warm plans/sec against the machine-class
+    baseline bench/baselines/planner_baseline_{N}core.json, plus a
+    MACHINE-RELATIVE hard floor: batched_vs_naive_speedup (memoized
+    batched pricing vs one blocking Estimate per sub-plan, measured
+    within the same run) must stay >= --min-planner-speedup (default
+    5). The relative floor is enforced even when the absolute gate is
+    skipped for an ISA mismatch or a bootstrap baseline — both numbers
+    come from the same process, so hardware drift cancels out.
 
 Either gate FAILS (exit 1) if a gated metric drops more than
 --threshold (default 20%) below its committed baseline. The gates run on
@@ -155,10 +163,62 @@ class ServingGate:
                   f"{cur_serial / base_serial:>7.2f}")
 
 
+class PlannerGate:
+    name = "planner enumeration throughput"
+
+    @staticmethod
+    def baseline_path_for(report: dict) -> Path:
+        cores = report.get("hardware_threads")
+        if not cores:
+            print("ERROR: planner result JSON carries no "
+                  "\"hardware_threads\"; cannot pick a machine-class "
+                  "baseline.", file=sys.stderr)
+            sys.exit(2)
+        return BASELINE_DIR / f"planner_baseline_{int(cores)}core.json"
+
+    @staticmethod
+    def gated_metrics(report: dict) -> dict:
+        return {"warm plans/sec": float(report["plans_per_sec"])}
+
+    @staticmethod
+    def print_comparison(baseline: dict, result: dict) -> None:
+        print(f"{'metric':>24} {'baseline':>14} {'current':>14} "
+              f"{'ratio':>7}")
+        for key in ("plans_per_sec", "plans_per_sec_cold",
+                    "plans_per_sec_naive", "subplans_per_sec",
+                    "batched_vs_naive_speedup"):
+            base = baseline.get(key)
+            cur = result.get(key)
+            if base is None or cur is None:
+                continue
+            base, cur = float(base), float(cur)
+            ratio = cur / base if base > 0 else 0.0
+            print(f"{key:>24} {base:>14.0f} {cur:>14.0f} {ratio:>7.2f}")
+
+
 GATES = {
     "batch_inference": BatchInferenceGate,
     "serving": ServingGate,
+    "planner": PlannerGate,
 }
+
+
+def run_planner_speedup_floor(result: dict, result_path: Path,
+                              min_speedup: float) -> bool:
+    """The machine-relative planner floor; True when it holds."""
+    speedup = float(result.get("batched_vs_naive_speedup", 0.0))
+    if speedup < min_speedup:
+        print(f"FAIL: planner batched+memoized pricing is only "
+              f"{speedup:.1f}x the naive one-Estimate-per-sub-plan mode "
+              f"in {result_path} (required >= {min_speedup:.1f}x). The "
+              f"bulk pricing path stopped paying for itself — look for "
+              f"a memo regression, per-sub-plan materialization creeping "
+              f"back in, or EstimateBatch falling back to per-query "
+              f"submission.", file=sys.stderr)
+        return False
+    print(f"OK: planner batched+memoized vs naive speedup {speedup:.1f}x "
+          f">= {min_speedup:.1f}x (machine-relative floor).")
+    return True
 
 
 def gate_for(report: dict, path: Path):
@@ -238,6 +298,11 @@ def main() -> int:
     parser.add_argument("--min-scaling", type=float, default=2.5,
                         help="required multi-shard / 1-shard uncached qps "
                              "ratio for --scaling (default: %(default)s)")
+    parser.add_argument("--min-planner-speedup", type=float, default=5.0,
+                        help="required batched_vs_naive_speedup for "
+                             "planner results (machine-relative, "
+                             "enforced even when the absolute gate is "
+                             "skipped; default: %(default)s)")
     parser.add_argument("--update-baseline", metavar="RESULT_JSON",
                         help="copy RESULT_JSON over its kind's (and "
                              "machine class's) baseline and exit")
@@ -260,6 +325,14 @@ def main() -> int:
     result_path = Path(args.result)
     result = load(result_path)
     gate = gate_for(result, result_path)
+
+    # The planner's machine-relative floor holds regardless of whether an
+    # absolute baseline exists for this machine class.
+    planner_floor_ok = True
+    if result.get("bench") == "planner":
+        planner_floor_ok = run_planner_speedup_floor(
+            result, result_path, args.min_planner_speedup)
+
     baseline_path = Path(args.baseline) if args.baseline \
         else gate.baseline_path_for(result)
     if not baseline_path.exists():
@@ -288,7 +361,7 @@ def main() -> int:
               f"this run's simd_isa={cur_isa!r}; skipping the regression "
               f"gate — refresh the baseline from a run on this machine "
               f"class (see the header of this script).")
-        return 0
+        return 0 if planner_floor_ok else 1
 
     # A bootstrap baseline records the machine class but no trustworthy
     # absolute numbers yet (committed before the class had a green run).
@@ -299,7 +372,7 @@ def main() -> int:
               f"  python3 scripts/check_bench_regression.py "
               f"--update-baseline {result_path}\n"
               f"  git add bench/baselines/")
-        return 0
+        return 0 if planner_floor_ok else 1
 
     gate.print_comparison(baseline, result)
 
@@ -325,9 +398,10 @@ def main() -> int:
             print(f"OK: {gate.name} [{name}] {cur_value:.0f} q/s >= "
                   f"floor {floor:.0f} q/s (baseline {base_value:.0f}, "
                   f"threshold {args.threshold:.0%}).")
-    if failed:
-        print("If a drop is intended, refresh the baseline (see the "
-              "header of this script).", file=sys.stderr)
+    if failed or not planner_floor_ok:
+        if failed:
+            print("If a drop is intended, refresh the baseline (see the "
+                  "header of this script).", file=sys.stderr)
         return 1
     return 0
 

@@ -63,17 +63,23 @@ std::array<uint64_t, 6> StructuralKey(const TriplePattern& t) {
   return {s[0], s[1], p[0], p[1], o[0], o[1]};
 }
 
-}  // namespace
-
-Fingerprint ComputeFingerprint(const Query& q,
-                               FingerprintScratch* scratch) {
+// Shared implementation of ComputeFingerprint/ComputeSubsetFingerprint
+// over the n patterns q.patterns[subset[0..n)] (subset == nullptr means
+// the identity 0..n). Variable ids are the FULL query's ids in both
+// cases; TermToken renumbers them by first appearance in the canonical
+// emission order, which is what makes the subset fingerprint match the
+// fingerprint of a materialized, re-normalized subquery.
+Fingerprint ComputeFingerprintImpl(const Query& q, const int* subset,
+                                   size_t n, FingerprintScratch* scratch) {
   Hash128 hash;
   scratch->var_map.assign(static_cast<size_t>(std::max(q.num_vars, 0)),
                           -1);
   int next_var = 0;
 
   StarView star;
-  if (AsStar(q, &star)) {
+  if (subset == nullptr
+          ? AsStar(q, &star)
+          : AsStarSubset(q, std::span<const int>(subset, n), &star)) {
     hash.Absorb(kTagStar);
     hash.Absorb(star.size());
     // Canonical (p, o) pair order — the exact ordering the encoders and
@@ -93,7 +99,10 @@ Fingerprint ComputeFingerprint(const Query& q,
   }
 
   ChainView chain;
-  if (AsChain(q, &scratch->chain, &chain)) {
+  if (subset == nullptr
+          ? AsChain(q, &scratch->chain, &chain)
+          : AsChainSubset(q, std::span<const int>(subset, n),
+                          &scratch->chain, &chain)) {
     hash.Absorb(kTagChain);
     hash.Absorb(chain.size());
     // Walk order is unique (single head), so any pattern shuffle and any
@@ -113,13 +122,16 @@ Fingerprint ComputeFingerprint(const Query& q,
   // (different queries emit different streams) but only best-effort
   // canonical — see the header.
   hash.Absorb(kTagOther);
-  hash.Absorb(q.patterns.size());
-  scratch->order.resize(q.patterns.size());
-  for (size_t i = 0; i < q.patterns.size(); ++i)
-    scratch->order[i] = static_cast<int>(i);
+  hash.Absorb(n);
+  scratch->order.resize(n);
+  for (size_t i = 0; i < n; ++i)
+    scratch->order[i] = subset == nullptr ? static_cast<int>(i) : subset[i];
   // std::sort with the original index as tie-break reproduces
   // stable_sort's order without its temporary-buffer allocation (the
-  // "allocation-free once warm" contract covers every shape).
+  // "allocation-free once warm" contract covers every shape). Tie-broken
+  // patterns keep ascending original-index order, which for an ascending
+  // subset equals the materialized subquery's pattern order — so subset
+  // and materialized fingerprints agree on composites too.
   std::sort(scratch->order.begin(), scratch->order.end(),
             [&](int a, int b) {
               const auto key_a = StructuralKey(q.patterns[a]);
@@ -134,6 +146,19 @@ Fingerprint ComputeFingerprint(const Query& q,
     hash.Absorb(TermToken(t.o, &scratch->var_map, &next_var));
   }
   return hash.Done();
+}
+
+}  // namespace
+
+Fingerprint ComputeFingerprint(const Query& q,
+                               FingerprintScratch* scratch) {
+  return ComputeFingerprintImpl(q, nullptr, q.patterns.size(), scratch);
+}
+
+Fingerprint ComputeSubsetFingerprint(const Query& q,
+                                     std::span<const int> subset,
+                                     FingerprintScratch* scratch) {
+  return ComputeFingerprintImpl(q, subset.data(), subset.size(), scratch);
 }
 
 Fingerprint ComputeFingerprint(const Query& q) {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "query/query.h"
@@ -77,6 +78,23 @@ struct FingerprintScratch {
 /// Computes the canonical fingerprint of `q`. Allocation-free once
 /// `scratch` is warm.
 Fingerprint ComputeFingerprint(const Query& q, FingerprintScratch* scratch);
+
+/// Fingerprints the sub-BGP formed by the patterns q.patterns[subset[i]]
+/// WITHOUT materializing or re-normalizing a subquery — the planner calls
+/// this per candidate sub-plan, so it must stay allocation-free once
+/// `scratch` is warm. `subset` must be non-empty, duplicate-free, and in
+/// ASCENDING order (ascending indices make the composite-fallback
+/// tie-break match the materialized subquery's pattern order).
+///
+/// Equals ComputeFingerprint(materialize(q, subset) + NormalizeVariables)
+/// for chain- and composite-shaped subsets exactly, and for star-shaped
+/// subsets except a corner where an object VARIABLE repeats across pairs
+/// that tie on predicate (pair order then depends on variable numbering;
+/// both sides stay sound — equal fingerprints still imply equivalent
+/// sub-BGPs, a miss just prices one sub-plan twice).
+Fingerprint ComputeSubsetFingerprint(const Query& q,
+                                     std::span<const int> subset,
+                                     FingerprintScratch* scratch);
 
 /// Convenience overload with a throwaway scratch (allocates; fine off the
 /// hot path).

@@ -212,6 +212,20 @@ bool AsStar(const Query& q, StarView* view) {
   for (const auto& t : q.patterns)
     if (!SameTerm(t.s, center)) return false;
   view->q_ = &q;
+  view->subset_ = nullptr;
+  view->size_ = q.patterns.size();
+  return true;
+}
+
+bool AsStarSubset(const Query& q, std::span<const int> subset,
+                  StarView* view) {
+  if (subset.empty()) return false;
+  const PatternTerm& center = q.patterns[subset[0]].s;
+  for (int index : subset)
+    if (!SameTerm(q.patterns[index].s, center)) return false;
+  view->q_ = &q;
+  view->subset_ = subset.data();
+  view->size_ = subset.size();
   return true;
 }
 
@@ -231,15 +245,24 @@ void CanonicalStarOrder(const StarView& star, std::vector<int>* order) {
   });
 }
 
-bool AsChain(const Query& q, ChainScratch* scratch, ChainView* view) {
-  const size_t k = q.patterns.size();
-  if (k == 0) return false;
-  scratch->order.resize(k);
-  view->q_ = &q;
-  view->order_ = scratch->order.data();
-  view->k_ = k;
+namespace {
+
+// Shared implementation of AsChain/AsChainSubset over the k patterns
+// q.patterns[Pat(0..k)], where Pat(j) = subset ? subset[j] : j. The walk
+// order written into scratch->order (and the walk itself) always uses
+// ORIGINAL pattern indices, so ChainView accessors work identically for
+// both entry points.
+bool AsChainImpl(const Query& q, const int* subset, size_t k,
+                 ChainScratch* scratch, ChainView* view) {
+  auto pat = [&](size_t j) -> const TriplePattern& {
+    return q.patterns[subset == nullptr ? j
+                                        : static_cast<size_t>(subset[j])];
+  };
+  auto original = [&](size_t j) -> int {
+    return subset == nullptr ? static_cast<int>(j) : subset[j];
+  };
   if (k == 1) {
-    scratch->order[0] = 0;
+    scratch->order[0] = original(0);
     return true;
   }
 
@@ -252,18 +275,19 @@ bool AsChain(const Query& q, ChainScratch* scratch, ChainView* view) {
   for (size_t j = 0; j < k; ++j) {
     bool inserted;
     int64_t* payload = table.FindOrInsert(
-        Fingerprint(q.patterns[j].o),
-        (int64_t{1} << 32) | static_cast<int64_t>(j), &inserted);
+        Fingerprint(pat(j).o),
+        (int64_t{1} << 32) | static_cast<int64_t>(original(j)),
+        &inserted);
     if (!inserted)
       *payload += int64_t{1} << 32;  // count++, owner stays the first
   }
   int head = -1;
   for (size_t i = 0; i < k; ++i) {
-    const int64_t* payload = table.Find(Fingerprint(q.patterns[i].s));
+    const int64_t* payload = table.Find(Fingerprint(pat(i).s));
     const bool is_object =
         payload != nullptr &&
         ((*payload >> 32) >= 2 ||
-         static_cast<size_t>(*payload & 0xffffffff) != i);
+         static_cast<int>(*payload & 0xffffffff) != original(i));
     if (!is_object) {
       if (head != -1) {
         // Two heads: not a single chain — composite shapes go through
@@ -281,13 +305,13 @@ bool AsChain(const Query& q, ChainScratch* scratch, ChainView* view) {
   table.Clear();
   for (size_t j = 0; j < k; ++j) {
     bool inserted;
-    table.FindOrInsert(Fingerprint(q.patterns[j].s),
-                       static_cast<int64_t>(j), &inserted);
+    table.FindOrInsert(Fingerprint(pat(j).s),
+                       static_cast<int64_t>(original(j)), &inserted);
     if (!inserted) return false;
   }
 
   // Walk from the head, marking consumed patterns with bit 32.
-  uint64_t current = Fingerprint(q.patterns[head].s);
+  uint64_t current = Fingerprint(pat(static_cast<size_t>(head)).s);
   for (size_t step = 0; step < k; ++step) {
     int64_t* payload = table.Find(current);
     if (payload == nullptr) return false;            // disconnected
@@ -307,6 +331,29 @@ bool AsChain(const Query& q, ChainScratch* scratch, ChainView* view) {
     if (!inserted) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool AsChain(const Query& q, ChainScratch* scratch, ChainView* view) {
+  const size_t k = q.patterns.size();
+  if (k == 0) return false;
+  scratch->order.resize(k);
+  view->q_ = &q;
+  view->order_ = scratch->order.data();
+  view->k_ = k;
+  return AsChainImpl(q, nullptr, k, scratch, view);
+}
+
+bool AsChainSubset(const Query& q, std::span<const int> subset,
+                   ChainScratch* scratch, ChainView* view) {
+  const size_t k = subset.size();
+  if (k == 0) return false;
+  scratch->order.resize(k);
+  view->q_ = &q;
+  view->order_ = scratch->order.data();
+  view->k_ = k;
+  return AsChainImpl(q, subset.data(), k, scratch, view);
 }
 
 Topology ClassifyTopology(const Query& q, ChainScratch* scratch) {

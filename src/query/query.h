@@ -2,6 +2,7 @@
 #define LMKG_QUERY_QUERY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,27 +88,45 @@ Query MakeChainQuery(const std::vector<PatternTerm>& nodes,
                      const std::vector<PatternTerm>& predicates);
 
 /// Non-owning star view: center + (p, o) pairs, indexing straight into
-/// `q.patterns` (pair i is pattern i). Valid only while the viewed Query
-/// is alive and unmodified. Building one allocates nothing.
+/// `q.patterns` — pair i is pattern i for a whole-query view (AsStar),
+/// or pattern subset[i] for a subset view (AsStarSubset). Valid only
+/// while the viewed Query (and, for a subset view, the caller's index
+/// array) is alive and unmodified. Building one allocates nothing.
 class StarView {
  public:
   StarView() = default;
 
-  PatternTerm center() const { return q_->patterns[0].s; }
-  /// Number of (p, o) pairs (== number of patterns).
-  size_t size() const { return q_->patterns.size(); }
-  PatternTerm predicate(size_t i) const { return q_->patterns[i].p; }
-  PatternTerm object(size_t i) const { return q_->patterns[i].o; }
+  PatternTerm center() const { return pattern(0).s; }
+  /// Number of (p, o) pairs (== number of viewed patterns).
+  size_t size() const { return size_; }
+  PatternTerm predicate(size_t i) const { return pattern(i).p; }
+  PatternTerm object(size_t i) const { return pattern(i).o; }
 
  private:
   friend bool AsStar(const Query& q, StarView* view);
+  friend bool AsStarSubset(const Query& q, std::span<const int> subset,
+                           StarView* view);
+  const TriplePattern& pattern(size_t i) const {
+    return q_->patterns[subset_ == nullptr ? i
+                                           : static_cast<size_t>(
+                                                 subset_[i])];
+  }
   const Query* q_ = nullptr;
+  const int* subset_ = nullptr;  // nullptr = identity (pair i = pattern i)
+  size_t size_ = 0;
 };
 
 /// Fills `*view` and returns true iff the query is star-shaped (all
 /// subjects are the same term; single patterns qualify as stars of
 /// size 1). Allocation-free.
 bool AsStar(const Query& q, StarView* view);
+
+/// Subset variant: views only the patterns q.patterns[subset[i]] and
+/// returns true iff THAT sub-BGP is star-shaped, without materializing a
+/// subquery. The view aliases `subset`, which must stay alive and
+/// untouched while the view is used. Allocation-free.
+bool AsStarSubset(const Query& q, std::span<const int> subset,
+                  StarView* view);
 
 /// Writes the canonical (p, o) pair order of a star into *order as a
 /// sorted index permutation (bound terms by id before variables by
@@ -156,6 +175,8 @@ class ChainView {
  private:
   friend bool AsChain(const Query& q, ChainScratch* scratch,
                       ChainView* view);
+  friend bool AsChainSubset(const Query& q, std::span<const int> subset,
+                            ChainScratch* scratch, ChainView* view);
   const TriplePattern& pattern(size_t i) const {
     return q_->patterns[order_[i]];
   }
@@ -169,6 +190,14 @@ class ChainView {
 /// nodes). O(k) via fingerprint hashing; allocation-free once `scratch`
 /// is warm.
 bool AsChain(const Query& q, ChainScratch* scratch, ChainView* view);
+
+/// Subset variant: considers only the patterns q.patterns[subset[i]] and
+/// returns true iff that sub-BGP is chain-shaped, without materializing a
+/// subquery. The view's pattern_index values are indices into the FULL
+/// query's pattern list (i.e. subset entries in walk order). Same scratch
+/// and lifetime rules as AsChain; allocation-free once warm.
+bool AsChainSubset(const Query& q, std::span<const int> subset,
+                   ChainScratch* scratch, ChainView* view);
 
 /// Classifies the topology; chain detection reorders patterns if needed.
 /// The scratch overload is allocation-free once warm; the plain overload

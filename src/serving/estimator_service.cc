@@ -151,6 +151,23 @@ double EstimatorService::Estimate(const query::Query& q) {
   Shard* shard = nullptr;
   double estimate = 0.0;
   if (PrepareAndTryCache(q, &request, &shard, &estimate)) return estimate;
+  // Inline fast path: an idle shard (empty ring, uncontended replica)
+  // means the worker round-trip — push, wake, park, batch, notify —
+  // would dominate a single forward pass. Compute here instead. The
+  // try_lock makes this safe against the worker and hot-swaps (both
+  // serialize on replica_mu); a request that slips into the ring
+  // meanwhile just blocks the worker on the mutex for one query.
+  if (config_.inline_execution && shard->ring.ApproxSize() == 0) {
+    std::unique_lock<std::mutex> model_lock(shard->replica_mu,
+                                            std::try_to_lock);
+    if (model_lock.owns_lock()) {
+      const double value = shard->replica->EstimateCardinality(q);
+      model_lock.unlock();
+      shard->stats.RecordBatch(1);
+      Complete(*shard, &request, value, std::chrono::steady_clock::now());
+      return request.result;
+    }
+  }
   request.query = &q;  // the caller blocks here, so no copy is needed
   LMKG_CHECK(shard->ring.Push(&request))
       << "Estimate on a shut-down EstimatorService";
@@ -186,6 +203,95 @@ std::future<double> EstimatorService::EstimateAsync(const query::Query& q) {
   if (!accepted) request.reset(raw);  // reclaim before the check aborts
   LMKG_CHECK(accepted) << "EstimateAsync on a shut-down EstimatorService";
   return future;
+}
+
+void EstimatorService::EstimateBatch(std::span<const query::Query> queries,
+                                     std::span<double> results) {
+  LMKG_CHECK_EQ(queries.size(), results.size());
+  if (queries.empty()) return;
+  // One clock read for the whole batch: enqueue_time feeds latency stats
+  // and the coalescing deadline, neither of which needs per-query
+  // resolution inside one submission.
+  const auto now = std::chrono::steady_clock::now();
+
+  // In-place construction; Requests are pinned (the rings hold pointers
+  // into this vector), so it must never reallocate — hence the sized
+  // constructor, not push_back.
+  std::vector<Request> requests(queries.size());
+  std::vector<uint8_t> touched(shards_.size(), 0);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Request& request = requests[i];
+    request.enqueue_time = now;
+    Shard* shard = nullptr;
+    if (PrepareAndTryCache(queries[i], &request, &shard, &results[i]))
+      continue;  // request.query stays null — nothing to wait for
+    request.query = &queries[i];
+    const size_t idx = request.fp.ShardHash() % shards_.size();
+    if (shard->ring.TryPushNoWake(&request)) {
+      touched[idx] = 1;  // wake once per shard after the fan-out
+    } else {
+      // Full ring: publish what this batch already deferred onto it,
+      // then fall back to the blocking push (wakes internally).
+      shard->ring.WakeConsumer();
+      LMKG_CHECK(shard->ring.Push(&request))
+          << "EstimateBatch on a shut-down EstimatorService";
+    }
+  }
+  // Deferred publication: one fence + conditional notify per touched
+  // shard, not per query — the amortization this API exists for.
+  for (size_t s = 0; s < shards_.size(); ++s)
+    if (touched[s]) shards_[s]->ring.WakeConsumer();
+
+  // Collect. Waiting shard-by-shard in submission order is fine: total
+  // wall time is the max over shards either way.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Request& request = requests[i];
+    if (request.query == nullptr) continue;  // served from cache
+    Shard& shard = ShardFor(request.fp);
+    std::unique_lock<std::mutex> lock(shard.done_mu);
+    shard.done_cv.wait(lock, [&] {
+      return request.done.load(std::memory_order_acquire);
+    });
+    results[i] = request.result;
+  }
+}
+
+std::vector<std::future<double>> EstimatorService::EstimateBatchAsync(
+    std::span<const query::Query> queries) {
+  std::vector<std::future<double>> futures;
+  futures.reserve(queries.size());
+  std::vector<uint8_t> touched(shards_.size(), 0);
+  const auto now = std::chrono::steady_clock::now();
+
+  for (const query::Query& q : queries) {
+    auto request = std::make_unique<Request>();
+    request->enqueue_time = now;
+    request->promise.emplace();
+    futures.push_back(request->promise->get_future());
+    Shard* shard = nullptr;
+    double estimate = 0.0;
+    if (PrepareAndTryCache(q, request.get(), &shard, &estimate)) {
+      request->promise->set_value(estimate);
+      continue;
+    }
+    request->owned_query = q;
+    request->query = &request->owned_query;
+    const size_t idx = request->fp.ShardHash() % shards_.size();
+    Request* raw = request.release();
+    if (shard->ring.TryPushNoWake(raw)) {
+      touched[idx] = 1;
+    } else {
+      shard->ring.WakeConsumer();
+      const bool accepted = shard->ring.Push(raw);
+      if (!accepted) request.reset(raw);  // reclaim before the check aborts
+      LMKG_CHECK(accepted)
+          << "EstimateBatchAsync on a shut-down EstimatorService";
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s)
+    if (touched[s]) shards_[s]->ring.WakeConsumer();
+  return futures;
 }
 
 void EstimatorService::Complete(

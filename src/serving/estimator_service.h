@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -60,6 +61,15 @@ struct ServiceConfig {
   /// Sampling preserves the workload's combo mix, which is all the
   /// monitor needs.
   size_t workload_sample_every = 1;
+  /// When a blocking Estimate targets a shard whose ring is empty and
+  /// whose worker is idle (replica mutex uncontended), compute on the
+  /// CALLER's thread instead of round-tripping through the worker —
+  /// enqueue + park + wake costs more than a single-query forward pass,
+  /// which is why 1-core uncached serving used to run ~0.7x the serial
+  /// path. Contention (worker mid-batch, concurrent inline caller)
+  /// falls back to the queued path, so throughput under load is
+  /// unchanged.
+  bool inline_execution = true;
 };
 
 /// Thread-safe serving front for any core::CardinalityEstimator,
@@ -140,6 +150,24 @@ class EstimatorService {
   /// Future-based variant: copies `q`, returns immediately. The future
   /// resolves when the carrying batch completes (or on shutdown drain).
   std::future<double> EstimateAsync(const query::Query& q);
+
+  /// Blocking bulk estimate: fans `queries` across shards by fingerprint
+  /// in ONE pass — cache hits fill immediately, misses ride a no-wake
+  /// ring push, then each touched shard gets a single consumer wakeup —
+  /// so a k-query batch costs one publish fence per SHARD instead of one
+  /// per query, and every shard's micro-batcher sees the whole sub-batch
+  /// at once. Returns after all k results land in `results`
+  /// (results.size() must equal queries.size()). Requests ride this
+  /// call's stack; no per-query allocation beyond the worker's batch
+  /// assembly. This is the planner's sub-plan pricing path.
+  void EstimateBatch(std::span<const query::Query> queries,
+                     std::span<double> results);
+
+  /// Future-based bulk variant: same amortized submission, returns one
+  /// future per query immediately (cache hits resolve pre-fulfilled).
+  /// Copies each missing query; safe to destroy `queries` after return.
+  std::vector<std::future<double>> EstimateBatchAsync(
+      std::span<const query::Query> queries);
 
   /// One coherent snapshot rolled up across all shards: counters summed,
   /// latency histograms merged, plus the current model epoch and

@@ -61,6 +61,20 @@ class MpscRing {
   /// Lock-free multi-producer push. False when the ring is full or
   /// closed (the item is NOT enqueued).
   bool TryPush(T item) {
+    if (!TryPushNoWake(item)) return false;
+    WakeConsumerIfParked();
+    return true;
+  }
+
+  /// TryPush without the consumer wakeup — the bulk-submission path
+  /// pushes a whole batch with this and issues ONE WakeConsumer() per
+  /// ring afterwards, amortizing the seq_cst fence and (when the worker
+  /// is parked) the mutex/notify across the batch. The Dekker handshake
+  /// still holds batched: the consumer's advertise-fence-recheck in
+  /// WaitForItem sees either the LAST published item or the deferred
+  /// wake. Callers MUST follow a successful no-wake push with
+  /// WakeConsumer() before blocking on the result.
+  bool TryPushNoWake(T item) {
     if (closed_.load(std::memory_order_acquire)) return false;
     size_t pos = tail_.load(std::memory_order_relaxed);
     Cell* cell;
@@ -81,9 +95,13 @@ class MpscRing {
     }
     cell->value = item;
     cell->seq.store(pos + 1, std::memory_order_release);
-    WakeConsumerIfParked();
     return true;
   }
+
+  /// Publishes deferred TryPushNoWake items to a possibly-parked
+  /// consumer (fence + conditional notify). Cheap when the consumer is
+  /// running: one fence and one relaxed load.
+  void WakeConsumer() { WakeConsumerIfParked(); }
 
   /// Blocking push: spins briefly on full, then parks until the consumer
   /// frees space. False only when the ring is (or becomes) closed.

@@ -15,6 +15,7 @@
 #include "core/lmkg_s.h"
 #include "encoding/query_encoder.h"
 #include "nn/tensor.h"
+#include "planner/planner.h"
 #include "query/fingerprint.h"
 #include "query/query.h"
 #include "sampling/workload.h"
@@ -140,6 +141,61 @@ TEST_F(AllocationTest, FingerprintIsAllocationFreeWithWarmScratch) {
   }
   EXPECT_EQ(lmkg::testing::AllocationCount() - before, 0u);
   EXPECT_NE(accumulated.hi | accumulated.lo, 0u);
+}
+
+// The planner's per-sub-plan key: fingerprinting pattern-index subsets
+// in place — star, chain, AND composite/disconnected subsets — allocates
+// nothing once the scratch is warm, so DP enumeration never pays the
+// materialize-and-renormalize copy the old advisor loop did.
+TEST_F(AllocationTest, SubsetFingerprintIsAllocationFreeWithWarmScratch) {
+  query::FingerprintScratch scratch;
+  std::vector<int> subset;
+  subset.reserve(8);
+  auto all_subsets = [&](const Query& q, bool count) -> size_t {
+    const int n = static_cast<int>(q.patterns.size());
+    const size_t before = lmkg::testing::AllocationCount();
+    uint64_t accumulated = 0;
+    for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+      subset.clear();
+      for (int i = 0; i < n; ++i)
+        if (mask & (uint64_t{1} << i)) subset.push_back(i);
+      accumulated ^=
+          query::ComputeSubsetFingerprint(q, subset, &scratch).lo;
+    }
+    EXPECT_NE(accumulated, 0u);
+    return count ? lmkg::testing::AllocationCount() - before : 0;
+  };
+  for (const Query& q : mixed_) all_subsets(q, false);  // warm-up
+  for (const Query& q : mixed_) EXPECT_EQ(all_subsets(q, true), 0u);
+}
+
+// One warm DP enumeration round allocates nothing: with every lattice
+// cell memoized by the first round, the second PlanQuery runs subset
+// fingerprinting, memo lookups, DP, and tree emission entirely out of
+// reused buffers — the planner's steady state over a stable workload.
+TEST_F(AllocationTest, WarmDpEnumerationRoundIsAllocationFree) {
+  class FingerprintHashSource : public planner::CardinalitySource {
+   public:
+    double EstimateOne(const Query& q) override {
+      return static_cast<double>(
+          query::ComputeFingerprint(q, &scratch_).lo % 99991);
+    }
+
+   private:
+    query::FingerprintScratch scratch_;
+  };
+  FingerprintHashSource source;
+  planner::JoinPlanner planner(&source);
+  for (const Query& q : mixed_) (void)planner.PlanQuery(q);  // warm + memo
+  const size_t before = lmkg::testing::AllocationCount();
+  double accumulated = 0.0;
+  for (const Query& q : mixed_) {
+    const planner::Plan& plan = planner.PlanQuery(q);
+    EXPECT_EQ(plan.subplans_priced, 0u);  // fully memoized round
+    accumulated += plan.cost;
+  }
+  EXPECT_EQ(lmkg::testing::AllocationCount() - before, 0u);
+  EXPECT_GT(accumulated, 0.0);
 }
 
 // End-to-end: a trained LMKG-S serving a warm batch allocates nothing —

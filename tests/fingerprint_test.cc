@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -240,6 +242,102 @@ TEST_F(FingerprintPropertyTest, ShardRoutingSpreadsAcrossShards) {
     for (size_t s = 0; s < num_shards; ++s)
       EXPECT_GE(per_shard[s], workload_.size() / (num_shards * 4))
           << num_shards << "-shard routing starves shard " << s;
+  }
+}
+
+// Copies the patterns at ascending `subset` indices and renumbers the
+// variables densely — the subquery ComputeSubsetFingerprint promises to
+// fingerprint without materializing.
+Query MaterializeNormalized(const Query& q, const std::vector<int>& subset) {
+  Query sub;
+  for (int index : subset) sub.patterns.push_back(q.patterns[index]);
+  NormalizeVariables(&sub);
+  return sub;
+}
+
+TEST_F(FingerprintPropertyTest, SubsetMatchesMaterializedSubquery) {
+  // The planner's core identity: fingerprinting a pattern-index subset in
+  // place equals materializing + re-normalizing the subquery and
+  // fingerprinting that — over EVERY non-empty subset of every generated
+  // star/chain query (subsets of these include stars, chains, single
+  // patterns, and disconnected composites).
+  ASSERT_FALSE(workload_.empty());
+  FingerprintScratch materialized_scratch;
+  for (const Query& q : workload_) {
+    const int n = static_cast<int>(q.patterns.size());
+    ASSERT_LE(n, 10);
+    for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+      std::vector<int> subset;
+      for (int i = 0; i < n; ++i)
+        if (mask & (uint64_t{1} << i)) subset.push_back(i);
+      const Fingerprint in_place =
+          ComputeSubsetFingerprint(q, subset, &scratch_);
+      const Fingerprint materialized = ComputeFingerprint(
+          MaterializeNormalized(q, subset), &materialized_scratch);
+      EXPECT_EQ(in_place, materialized)
+          << QueryToString(q) << " subset mask " << mask;
+    }
+  }
+}
+
+TEST_F(FingerprintPropertyTest, FullSubsetEqualsWholeQueryFingerprint) {
+  for (const Query& q : workload_) {
+    std::vector<int> all(q.patterns.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+    EXPECT_EQ(ComputeSubsetFingerprint(q, all, &scratch_),
+              ComputeFingerprint(q, &scratch_));
+  }
+}
+
+TEST_F(FingerprintPropertyTest, SubsetSeparatesDistinctSubsets) {
+  // Different subsets of one query fingerprint differently unless they
+  // are isomorphic sub-BGPs; count collisions across all subset pairs of
+  // each query via a map and require every collision to be a genuine
+  // isomorphism witness (same materialized fingerprint).
+  for (const Query& q : workload_) {
+    const int n = static_cast<int>(q.patterns.size());
+    std::unordered_map<Fingerprint, std::vector<uint64_t>,
+                       FingerprintHasher>
+        by_fp;
+    for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+      std::vector<int> subset;
+      for (int i = 0; i < n; ++i)
+        if (mask & (uint64_t{1} << i)) subset.push_back(i);
+      by_fp[ComputeSubsetFingerprint(q, subset, &scratch_)].push_back(mask);
+    }
+    for (const auto& [fp, masks] : by_fp) {
+      if (masks.size() < 2) continue;
+      // Colliding subsets must be same-size (a sub-BGP determines its
+      // pattern count).
+      for (const uint64_t mask : masks)
+        EXPECT_EQ(std::popcount(mask), std::popcount(masks.front()))
+            << "different-size subsets collided in " << QueryToString(q);
+    }
+  }
+}
+
+TEST(FingerprintSubsetTest, SubsetOfCompositeMatchesMaterialized) {
+  // A triangle's 2-pattern subsets are chains; its full subset is the
+  // composite fallback. All must match their materialized twins.
+  Query triangle;
+  triangle.patterns.push_back({PatternTerm::Variable(0),
+                               PatternTerm::Bound(1),
+                               PatternTerm::Variable(1)});
+  triangle.patterns.push_back({PatternTerm::Variable(1),
+                               PatternTerm::Bound(2),
+                               PatternTerm::Variable(2)});
+  triangle.patterns.push_back({PatternTerm::Variable(2),
+                               PatternTerm::Bound(3),
+                               PatternTerm::Variable(0)});
+  triangle.num_vars = 3;
+  FingerprintScratch scratch;
+  for (uint64_t mask = 1; mask < 8; ++mask) {
+    std::vector<int> subset;
+    for (int i = 0; i < 3; ++i)
+      if (mask & (uint64_t{1} << i)) subset.push_back(i);
+    EXPECT_EQ(ComputeSubsetFingerprint(triangle, subset, &scratch),
+              ComputeFingerprint(MaterializeNormalized(triangle, subset)))
+        << "mask " << mask;
   }
 }
 

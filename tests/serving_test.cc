@@ -216,8 +216,11 @@ TEST_F(ServingTest, MicroBatcherDispatchesOnFullBatch) {
 
 TEST_F(ServingTest, MicroBatcherDispatchesOnDelayExpiry) {
   // One pending request, batch never fills: the delay deadline must
-  // dispatch it (and the end-to-end latency reflects the wait).
+  // dispatch it (and the end-to-end latency reflects the wait). Inline
+  // execution would serve an idle-shard Estimate on the caller's thread
+  // and never exercise the window — off, it is the path under test.
   ServiceConfig config;
+  config.inline_execution = false;
   config.max_batch_size = 64;
   config.max_queue_delay_us = 2'000;
   EstimatorService service(Replicas(1), config);
@@ -250,6 +253,133 @@ TEST_F(ServingTest, CacheShortCircuitsRepeatsAndEquivalentQueries) {
   std::reverse(shuffled.patterns.begin(), shuffled.patterns.end());
   EXPECT_DOUBLE_EQ(service.Estimate(shuffled), expected_[0]);
   EXPECT_EQ(service.Stats().cache_hits, workload_.size() + 1);
+}
+
+TEST_F(ServingTest, EstimateBatchMatchesSerialPath) {
+  for (const size_t shards : {size_t{1}, size_t{2}}) {
+    for (const bool with_cache : {false, true}) {
+      ServiceConfig config;
+      config.max_batch_size = 16;
+      config.cache_capacity = with_cache ? 1024 : 0;
+      EstimatorService service(Replicas(shards), config);
+      std::vector<double> results(workload_.size(), -1.0);
+      service.EstimateBatch(workload_, results);
+      for (size_t i = 0; i < workload_.size(); ++i)
+        EXPECT_DOUBLE_EQ(results[i], expected_[i])
+            << "shards=" << shards << " cache=" << with_cache;
+      // Second submission: with the cache on it must be served entirely
+      // from it, and either way stays bit-identical.
+      service.EstimateBatch(workload_, results);
+      for (size_t i = 0; i < workload_.size(); ++i)
+        EXPECT_DOUBLE_EQ(results[i], expected_[i]);
+      const ServingStatsSnapshot stats = service.Stats();
+      EXPECT_EQ(stats.requests, 2 * workload_.size());
+      if (with_cache) {
+        EXPECT_EQ(stats.cache_hits, workload_.size());
+      }
+    }
+  }
+}
+
+TEST_F(ServingTest, EstimateBatchAsyncMatchesSerialPath) {
+  ServiceConfig config;
+  config.max_batch_size = 16;
+  config.cache_capacity = 1024;
+  EstimatorService service(Replicas(2), config);
+  auto futures = service.EstimateBatchAsync(workload_);
+  ASSERT_EQ(futures.size(), workload_.size());
+  for (size_t i = 0; i < workload_.size(); ++i)
+    EXPECT_DOUBLE_EQ(futures[i].get(), expected_[i]);
+  // Repeat resolves pre-fulfilled from the cache.
+  auto again = service.EstimateBatchAsync(workload_);
+  for (size_t i = 0; i < workload_.size(); ++i)
+    EXPECT_DOUBLE_EQ(again[i].get(), expected_[i]);
+}
+
+TEST_F(ServingTest, EstimateBatchBackpressuresThroughTinyRing) {
+  // A ring far smaller than the submission forces the bulk path through
+  // its full-ring fallback (wake + blocking push) mid-batch; results
+  // must still come back complete and exact.
+  ServiceConfig config;
+  config.max_batch_size = 4;
+  config.ring_capacity = 4;
+  EstimatorService service(Replicas(1), config);
+  std::vector<double> results(workload_.size(), -1.0);
+  service.EstimateBatch(workload_, results);
+  for (size_t i = 0; i < workload_.size(); ++i)
+    EXPECT_DOUBLE_EQ(results[i], expected_[i]);
+}
+
+// The planner-shaped TSan stress: K concurrent "enumerations", each
+// fanning bulk submissions (sync and async alternating) over shared
+// shards, caches, and rings — every response must equal the serial
+// estimate bit for bit.
+TEST_F(ServingTest, ConcurrentBatchSubmissionsMatchSerialPathExactly) {
+  ServiceConfig config;
+  config.max_batch_size = 16;
+  config.max_queue_delay_us = 100;
+  config.cache_capacity = 512;
+  EstimatorService service(Replicas(2), config);
+
+  constexpr size_t kEnumerations = 6;
+  std::vector<std::vector<double>> results(
+      kEnumerations, std::vector<double>(workload_.size(), 0.0));
+  std::vector<std::thread> enumerations;
+  enumerations.reserve(kEnumerations);
+  for (size_t c = 0; c < kEnumerations; ++c) {
+    enumerations.emplace_back([&, c] {
+      // Shuffled sub-batches, like DP levels arriving in lattice order.
+      std::vector<size_t> order(workload_.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      util::Pcg32 rng(4200 + c);
+      rng.Shuffle(&order);
+      const size_t chunk = 7;
+      for (size_t start = 0; start < order.size(); start += chunk) {
+        const size_t n = std::min(chunk, order.size() - start);
+        std::vector<Query> queries;
+        queries.reserve(n);
+        for (size_t k = 0; k < n; ++k)
+          queries.push_back(workload_[order[start + k]]);
+        if ((start / chunk + c) % 2 == 0) {
+          std::vector<double> out(n, 0.0);
+          service.EstimateBatch(queries, out);
+          for (size_t k = 0; k < n; ++k)
+            results[c][order[start + k]] = out[k];
+        } else {
+          auto futures = service.EstimateBatchAsync(queries);
+          for (size_t k = 0; k < n; ++k)
+            results[c][order[start + k]] = futures[k].get();
+        }
+      }
+    });
+  }
+  for (auto& e : enumerations) e.join();
+
+  for (size_t c = 0; c < kEnumerations; ++c)
+    for (size_t i = 0; i < workload_.size(); ++i)
+      EXPECT_DOUBLE_EQ(results[c][i], expected_[i])
+          << "enumeration " << c << " query " << i;
+}
+
+TEST_F(ServingTest, InlineFastPathMatchesQueuedPath) {
+  // Same workload through an inline-enabled and an inline-disabled
+  // service: identical results, and the single-threaded inline run must
+  // execute at least some requests on the caller's thread (batches of
+  // exactly 1 with an empty ring are the inline signature; with one
+  // caller and no cache every request qualifies).
+  ServiceConfig inline_config;
+  inline_config.inline_execution = true;
+  EstimatorService inline_service(Replicas(1), inline_config);
+  ServiceConfig queued_config;
+  queued_config.inline_execution = false;
+  EstimatorService queued_service(Replicas(1), queued_config);
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(inline_service.Estimate(workload_[i]), expected_[i]);
+    EXPECT_DOUBLE_EQ(queued_service.Estimate(workload_[i]), expected_[i]);
+  }
+  const ServingStatsSnapshot stats = inline_service.Stats();
+  EXPECT_EQ(stats.requests, workload_.size());
+  EXPECT_DOUBLE_EQ(stats.mean_batch_fill, 1.0);
 }
 
 TEST_F(ServingTest, DestructionDrainsOutstandingFutures) {
