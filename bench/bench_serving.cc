@@ -23,6 +23,18 @@
 // Reports chain qps and median q-error before vs after the swap,
 // adaptation cost, and stale-cache evictions.
 //
+// Feedback loop: the executor-feedback scenario — the same drift is run
+// TWICE over a fixed star-2 working set the model has never seen: once
+// with the full loop closed (served estimates noted in a
+// FeedbackCollector, every query executed through query::Executor whose
+// truth sink feeds the collector, lifecycle cycles draining the pairs
+// into blended incremental retrains and per-combo swaps) and once with
+// feedback disabled (same serving + lifecycle, no collector). The
+// feedback run's median q-error must converge measurably below the
+// feedback-off run's; the JSON's feedback_loop.qerror_convergence_ratio
+// (off/on final medians, > 1 = feedback wins) is gated as a
+// machine-relative floor on the gcc Release CI leg.
+//
 // Emits BENCH_serving.json; CI gates the closed-loop 16-client metrics
 // against the machine-class baseline
 // bench/baselines/serving_baseline_{N}core.json (selected by the JSON's
@@ -73,11 +85,14 @@
 
 #include "core/adaptive.h"
 #include "core/lmkg_s.h"
+#include "core/single_pattern.h"
 #include "data/dataset.h"
 #include "encoding/query_encoder.h"
 #include "eval/suite.h"
 #include "nn/tensor.h"
+#include "query/executor.h"
 #include "serving/estimator_service.h"
+#include "serving/feedback_collector.h"
 #include "serving/model_lifecycle.h"
 #include "util/flags.h"
 #include "util/math.h"
@@ -572,6 +587,123 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(shift_stale_evictions));
   }
 
+  // Feedback loop: drift onto a FIXED star-2 working set the synthetic
+  // training distribution never sampled, run twice under identical
+  // serving + lifecycle configs — once with the loop closed (collector +
+  // executor truth sink + feedback retrains), once open. Convergence is
+  // the median q-error over the working set after each lifecycle cycle;
+  // the gated ratio compares the two runs' final medians.
+  const size_t fb_cycles = smoke ? 3 : 4;
+  std::vector<double> fb_on_curve, fb_off_curve;
+  size_t fb_incremental_swaps = 0, fb_pairs_drained = 0;
+  size_t fb_deactivated = 0, fb_queries = 0;
+  {
+    // The drift working set: labeled star-2 queries from a seed disjoint
+    // from every synthetic training seed the shadow uses.
+    sampling::WorkloadGenerator::Options drift_opts;
+    drift_opts.topology = Topology::kStar;
+    drift_opts.query_size = 2;
+    drift_opts.max_cardinality = options.max_cardinality;
+    drift_opts.count = smoke ? 48 : 96;
+    drift_opts.seed = options.seed + 271828;
+    const std::vector<sampling::LabeledQuery> drift =
+        generator.Generate(drift_opts);
+    fb_queries = drift.size();
+
+    auto run_drift = [&](bool with_feedback, std::vector<double>* curve) {
+      core::AdaptiveLmkgConfig aconfig;
+      aconfig.s_config.hidden_dim =
+          std::min<size_t>(options.s_hidden_dim, 64);
+      aconfig.s_config.epochs = std::min(options.s_epochs, 6);
+      aconfig.s_config.seed = options.seed;
+      aconfig.train_queries = options.train_queries_per_combo;
+      aconfig.workload_options.max_cardinality = options.max_cardinality;
+      // Freeze the pool: this phase isolates the FEEDBACK path (weights
+      // change, pool doesn't), so every swap is the incremental one.
+      aconfig.monitor.min_observations = 1u << 30;
+      aconfig.initial_combos = {{Topology::kStar, 2}};
+      aconfig.seed = options.seed + 11;
+      core::AdaptiveLmkg shadow(graph, aconfig);
+
+      core::IndependenceEstimator fallback(graph);
+      serving::FeedbackCollector collector(&fallback,
+                                           serving::FeedbackConfig{});
+      query::Executor executor(graph);
+      if (with_feedback)
+        executor.SetTruthSink(serving::MakeExecutorTruthSink(&collector));
+
+      serving::ModelLifecycle::ReplicaFactory replica_factory =
+          serving::MakeAdaptiveReplicaFactory(graph, aconfig);
+      std::ostringstream boot;
+      if (!shadow.Save(boot).ok()) {
+        std::cerr << "[serving] feedback shadow snapshot failed\n";
+        std::exit(1);
+      }
+      std::vector<std::unique_ptr<core::CardinalityEstimator>> replicas;
+      for (size_t r = 0; r < shards; ++r)
+        replicas.push_back(replica_factory(boot.str()));
+
+      serving::ServiceConfig fconfig;
+      fconfig.max_batch_size = 64;
+      fconfig.cache_capacity = 65536;
+      fconfig.workload_tap_capacity = 1024;
+      if (with_feedback) fconfig.feedback = &collector;
+      serving::EstimatorService service(std::move(replicas), fconfig);
+
+      serving::ModelLifecycleConfig lconfig;
+      lconfig.background = false;
+      lconfig.min_samples_per_cycle = 1;
+      if (with_feedback) lconfig.feedback = &collector;
+      serving::ModelLifecycle lifecycle(&service, &shadow, replica_factory,
+                                        lconfig);
+
+      auto median_qerror = [&] {
+        std::vector<double> qerrors;
+        qerrors.reserve(drift.size());
+        for (const auto& lq : drift)
+          qerrors.push_back(
+              util::QError(service.Estimate(lq.query), lq.cardinality));
+        return util::QErrorStats::Compute(std::move(qerrors)).median;
+      };
+
+      curve->push_back(median_qerror());  // pre-drift baseline
+      for (size_t cycle = 0; cycle < fb_cycles; ++cycle) {
+        for (const auto& lq : drift) {
+          (void)service.Estimate(lq.query);
+          // The closed loop's truth source: EXECUTE the query; the
+          // executor's sink records the exact count against the served
+          // estimate. The open-loop run skips execution — with no sink
+          // installed the count would be pure wasted work.
+          if (with_feedback) (void)executor.Count(lq.query);
+        }
+        (void)lifecycle.RunOnce();
+        curve->push_back(median_qerror());
+      }
+      if (with_feedback) {
+        fb_incremental_swaps = lifecycle.incremental_swaps();
+        const serving::FeedbackStatsSnapshot stats = collector.Stats();
+        fb_pairs_drained = stats.pairs_drained;
+        fb_deactivated = stats.deactivated;
+      }
+    };
+    run_drift(/*with_feedback=*/true, &fb_on_curve);
+    run_drift(/*with_feedback=*/false, &fb_off_curve);
+
+    util::TablePrinter fb_table(
+        "Feedback loop: executor truths -> incremental retrain "
+        "(star-2 drift, median q-error per cycle)");
+    fb_table.SetHeader({"cycle", "feedback on", "feedback off"});
+    for (size_t i = 0; i < fb_on_curve.size(); ++i)
+      fb_table.AddRow(util::StrFormat("%zu", i),
+                      {fb_on_curve[i], fb_off_curve[i]});
+    fb_table.Print(std::cout);
+    std::cout << util::StrFormat(
+        "feedback loop: convergence ratio %.2fx (off/on final medians), "
+        "%zu incremental swaps, %zu pairs drained, %zu deactivated\n",
+        fb_off_curve.back() / fb_on_curve.back(), fb_incremental_swaps,
+        fb_pairs_drained, fb_deactivated);
+  }
+
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"bench\": \"serving\",\n"
@@ -607,7 +739,22 @@ int main(int argc, char** argv) {
        << ", \"pre_swap_chain_median_qerror\": " << shift_pre_qerr
        << ", \"post_swap_chain_median_qerror\": " << shift_post_qerr
        << ", \"stale_cache_evictions\": " << shift_stale_evictions
-       << ", \"model_epoch\": " << shift_epoch << "}\n"
+       << ", \"model_epoch\": " << shift_epoch << "},\n"
+       << "  \"feedback_loop\": {\"cycles\": " << fb_cycles
+       << ", \"queries\": " << fb_queries
+       << ", \"feedback_on_initial_median_qerror\": " << fb_on_curve.front()
+       << ", \"feedback_on_final_median_qerror\": " << fb_on_curve.back()
+       << ", \"feedback_off_initial_median_qerror\": "
+       << fb_off_curve.front()
+       << ", \"feedback_off_final_median_qerror\": " << fb_off_curve.back()
+       << ", \"incremental_swaps\": " << fb_incremental_swaps
+       << ", \"pairs_drained\": " << fb_pairs_drained
+       << ", \"deactivated\": " << fb_deactivated
+       << ", \"qerror_convergence_ratio\": "
+       << (fb_on_curve.back() > 0.0
+               ? fb_off_curve.back() / fb_on_curve.back()
+               : 0.0)
+       << "}\n"
        << "}\n";
   std::cout << "\nwrote " << out_path << "\n";
   return 0;

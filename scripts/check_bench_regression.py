@@ -13,7 +13,14 @@ the result JSON:
     comparable within a machine class, so a 1-core container and a
     4-vCPU CI runner each gate against their own committed file; a
     missing file for the detected class is a hard failure with
-    bootstrap instructions, not a silent skip.
+    bootstrap instructions, not a silent skip. Serving results that
+    carry a "feedback_loop" object additionally enforce a
+    MACHINE-RELATIVE floor on feedback_loop.qerror_convergence_ratio
+    (the feedback-off run's final median q-error over the feedback-on
+    run's, both measured within the same process): it must stay
+    >= --min-qerror-convergence (default 1.2), or the executor-feedback
+    training loop stopped converging. Like the planner floor, it is
+    enforced even when the absolute gate is skipped.
   * planner (bench_planner): warm plans/sec against the machine-class
     baseline bench/baselines/planner_baseline_{N}core.json, plus a
     MACHINE-RELATIVE hard floor: batched_vs_naive_speedup (memoized
@@ -45,19 +52,30 @@ shard-per-core serving actually scales.
 Refreshing a baseline
 ---------------------
 The committed baselines should track the class of machine CI runs on.
-After a deliberate perf change (or a runner upgrade) lands on main:
+After a deliberate perf change (or a runner upgrade) lands on main, the
+fast path is artifact promotion:
 
-  1. Download the benchmark artifact from a green main run
-     (Actions -> CI -> gcc-Release -> artifacts), or run locally:
-       ./build/bench/bench_throughput_batch \
-           --scale=0.01 --queries=40 --rounds=3 \
-           --out=BENCH_batch_inference.json
+  1. Download and unzip the "bench-results" artifact from a green main
+     run (Actions -> CI -> gcc-Release -> artifacts).
+  2. Promote every result it holds in one step and commit:
+       python3 scripts/check_bench_regression.py \
+           --from-artifact path/to/bench-results/
+       git add bench/baselines/
+
+--from-artifact scans the directory for benchmark JSONs, routes each to
+its kind's (and machine class's) baseline path, and copies it over.
+When the artifact carries several serving runs of the same machine
+class (CI uploads both the 4-shard and the 1-shard control), the run
+with the MOST shards wins — that is the configuration the absolute gate
+measures; the 1-shard run only exists for the scaling gate.
+
+Single files work too (e.g. from a local run):
        ./build/bench/bench_serving --smoke --out=BENCH_serving.json
-  2. Refresh and commit (the baseline path is picked from the JSON's
-     "bench" field — and, for serving, its "hardware_threads"):
        python3 scripts/check_bench_regression.py \
            --update-baseline BENCH_serving.json
        git add bench/baselines/
+The baseline path is picked from the JSON's "bench" field — and, for
+serving/planner, its "hardware_threads".
 
 A serving baseline carrying "bootstrap": true marks a machine class
 whose absolute numbers have not been measured yet: the absolute gate
@@ -221,6 +239,81 @@ def run_planner_speedup_floor(result: dict, result_path: Path,
     return True
 
 
+def run_qerror_convergence_floor(result: dict, result_path: Path,
+                                 min_ratio: float) -> bool:
+    """The machine-relative feedback-loop floor; True when it holds.
+
+    Serving results predating the feedback_loop phase pass trivially —
+    there is nothing to gate yet, and failing would block unrelated
+    baseline refreshes.
+    """
+    loop = result.get("feedback_loop")
+    if loop is None:
+        print("note: no feedback_loop object in this serving result; "
+              "convergence floor skipped (bench_serving too old?).")
+        return True
+    ratio = float(loop.get("qerror_convergence_ratio", 0.0))
+    if ratio < min_ratio:
+        print(f"FAIL: feedback-loop q-error convergence ratio is only "
+              f"{ratio:.2f}x in {result_path} (required >= "
+              f"{min_ratio:.2f}x). With the loop closed the post-drift "
+              f"median q-error must converge measurably below the "
+              f"feedback-off run's — look for a collector that stopped "
+              f"draining pairs, a lifecycle that no longer retrains on "
+              f"them, or an incremental swap shipping stale weights.",
+              file=sys.stderr)
+        return False
+    print(f"OK: feedback-loop q-error convergence {ratio:.2f}x >= "
+          f"{min_ratio:.2f}x (machine-relative floor; on-run "
+          f"{float(loop.get('feedback_on_final_median_qerror', 0.0)):.2f} "
+          f"vs off-run "
+          f"{float(loop.get('feedback_off_final_median_qerror', 0.0)):.2f} "
+          f"final median q-error).")
+    return True
+
+
+def promote_artifact(artifact_dir: Path) -> int:
+    """Promotes every benchmark JSON in a downloaded CI artifact to its
+    baseline. Several serving runs of one machine class collapse to the
+    one with the most shards (the gated configuration)."""
+    if not artifact_dir.is_dir():
+        print(f"ERROR: {artifact_dir} is not a directory.", file=sys.stderr)
+        return 2
+    candidates = sorted(artifact_dir.glob("*.json"))
+    if not candidates:
+        print(f"ERROR: no *.json files in {artifact_dir}.", file=sys.stderr)
+        return 2
+    # baseline path -> (shards, source path); higher shard counts win.
+    chosen: dict = {}
+    for path in candidates:
+        try:
+            report = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            print(f"skip {path.name}: not valid JSON")
+            continue
+        kind = report.get("bench")
+        if kind not in GATES:
+            print(f"skip {path.name}: unknown bench kind {kind!r}")
+            continue
+        dest = GATES[kind].baseline_path_for(report)
+        shards = int(report.get("shards", 0))
+        if dest in chosen and chosen[dest][0] >= shards:
+            print(f"skip {path.name}: {chosen[dest][1].name} has more "
+                  f"shards for {dest.name}")
+            continue
+        chosen[dest] = (shards, path)
+    if not chosen:
+        print(f"ERROR: nothing promotable in {artifact_dir}.",
+              file=sys.stderr)
+        return 2
+    for dest, (_, src) in sorted(chosen.items()):
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(src, dest)
+        print(f"baseline refreshed from {src} -> {dest}")
+    print("review the diff, then: git add bench/baselines/")
+    return 0
+
+
 def gate_for(report: dict, path: Path):
     kind = report.get("bench")
     if kind not in GATES:
@@ -303,14 +396,29 @@ def main() -> int:
                              "planner results (machine-relative, "
                              "enforced even when the absolute gate is "
                              "skipped; default: %(default)s)")
+    parser.add_argument("--min-qerror-convergence", type=float,
+                        default=1.2,
+                        help="required feedback_loop."
+                             "qerror_convergence_ratio for serving "
+                             "results carrying one (machine-relative, "
+                             "enforced even when the absolute gate is "
+                             "skipped; default: %(default)s)")
     parser.add_argument("--update-baseline", metavar="RESULT_JSON",
                         help="copy RESULT_JSON over its kind's (and "
                              "machine class's) baseline and exit")
+    parser.add_argument("--from-artifact", metavar="DIR",
+                        help="promote every benchmark JSON in a "
+                             "downloaded CI artifact directory to its "
+                             "baseline (serving: the run with the most "
+                             "shards wins per machine class) and exit")
     args = parser.parse_args()
 
     if args.scaling:
         return run_scaling_gate(Path(args.scaling[0]),
                                 Path(args.scaling[1]), args.min_scaling)
+
+    if args.from_artifact:
+        return promote_artifact(Path(args.from_artifact))
 
     if args.update_baseline:
         src = Path(args.update_baseline)
@@ -326,12 +434,17 @@ def main() -> int:
     result = load(result_path)
     gate = gate_for(result, result_path)
 
-    # The planner's machine-relative floor holds regardless of whether an
-    # absolute baseline exists for this machine class.
-    planner_floor_ok = True
+    # The machine-relative floors hold regardless of whether an absolute
+    # baseline exists for this machine class — both sides of each ratio
+    # come from the same process, so hardware drift cancels out.
+    relative_floors_ok = True
     if result.get("bench") == "planner":
-        planner_floor_ok = run_planner_speedup_floor(
+        relative_floors_ok = run_planner_speedup_floor(
             result, result_path, args.min_planner_speedup)
+    if result.get("bench") == "serving":
+        relative_floors_ok = run_qerror_convergence_floor(
+            result, result_path, args.min_qerror_convergence) \
+            and relative_floors_ok
 
     baseline_path = Path(args.baseline) if args.baseline \
         else gate.baseline_path_for(result)
@@ -361,7 +474,7 @@ def main() -> int:
               f"this run's simd_isa={cur_isa!r}; skipping the regression "
               f"gate — refresh the baseline from a run on this machine "
               f"class (see the header of this script).")
-        return 0 if planner_floor_ok else 1
+        return 0 if relative_floors_ok else 1
 
     # A bootstrap baseline records the machine class but no trustworthy
     # absolute numbers yet (committed before the class had a green run).
@@ -372,7 +485,7 @@ def main() -> int:
               f"  python3 scripts/check_bench_regression.py "
               f"--update-baseline {result_path}\n"
               f"  git add bench/baselines/")
-        return 0 if planner_floor_ok else 1
+        return 0 if relative_floors_ok else 1
 
     gate.print_comparison(baseline, result)
 
@@ -398,7 +511,7 @@ def main() -> int:
             print(f"OK: {gate.name} [{name}] {cur_value:.0f} q/s >= "
                   f"floor {floor:.0f} q/s (baseline {base_value:.0f}, "
                   f"threshold {args.threshold:.0%}).")
-    if failed or not planner_floor_ok:
+    if failed or not relative_floors_ok:
         if failed:
             print("If a drop is intended, refresh the baseline (see the "
                   "header of this script).", file=sys.stderr)

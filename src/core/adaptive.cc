@@ -50,12 +50,8 @@ std::unique_ptr<encoding::QueryEncoder> AdaptiveLmkg::MakeComboEncoder(
                                  config_.term_encoding);
 }
 
-std::unique_ptr<LmkgS> AdaptiveLmkg::TrainSpecialized(const Combo& combo) {
-  LMKG_CHECK_GE(combo.size, 2) << "size-1 queries are answered exactly";
-  const uint64_t seed = config_.seed + 131 * (models_created_++) + 17;
-
-  std::unique_ptr<encoding::QueryEncoder> encoder = MakeComboEncoder(combo);
-  std::vector<sampling::LabeledQuery> train;
+std::vector<sampling::LabeledQuery> AdaptiveLmkg::GenerateComboWorkload(
+    const Combo& combo, size_t count, uint64_t seed) const {
   if (combo.topology == Topology::kStar ||
       combo.topology == Topology::kChain) {
     sampling::WorkloadGenerator generator(graph_);
@@ -63,19 +59,27 @@ std::unique_ptr<LmkgS> AdaptiveLmkg::TrainSpecialized(const Combo& combo) {
         config_.workload_options;
     options.topology = combo.topology;
     options.query_size = combo.size;
-    options.count = std::max<size_t>(100, config_.train_queries);
+    options.count = count;
     options.seed = seed;
-    train = generator.Generate(options);
-  } else {
-    // Composite combos train on tree workloads of that size.
-    sampling::CompositeWorkloadGenerator generator(graph_);
-    sampling::CompositeWorkloadGenerator::Options options;
-    options.query_size = combo.size;
-    options.count = std::max<size_t>(100, config_.train_queries);
-    options.max_cardinality = config_.workload_options.max_cardinality;
-    options.seed = seed;
-    train = generator.Generate(options);
+    return generator.Generate(options);
   }
+  // Composite combos train on tree workloads of that size.
+  sampling::CompositeWorkloadGenerator generator(graph_);
+  sampling::CompositeWorkloadGenerator::Options options;
+  options.query_size = combo.size;
+  options.count = count;
+  options.max_cardinality = config_.workload_options.max_cardinality;
+  options.seed = seed;
+  return generator.Generate(options);
+}
+
+std::unique_ptr<LmkgS> AdaptiveLmkg::TrainSpecialized(const Combo& combo) {
+  LMKG_CHECK_GE(combo.size, 2) << "size-1 queries are answered exactly";
+  const uint64_t seed = config_.seed + 131 * (models_created_++) + 17;
+
+  std::unique_ptr<encoding::QueryEncoder> encoder = MakeComboEncoder(combo);
+  std::vector<sampling::LabeledQuery> train = GenerateComboWorkload(
+      combo, std::max<size_t>(100, config_.train_queries), seed);
   LMKG_CHECK(!train.empty())
       << "no training data for " << TopologyName(combo.topology) << "-"
       << combo.size;
@@ -91,33 +95,7 @@ std::unique_ptr<LmkgS> AdaptiveLmkg::TrainSpecialized(const Combo& combo) {
 }
 
 double AdaptiveLmkg::IndependenceFallback(const Query& q) const {
-  double estimate = 1.0;
-  for (const auto& t : q.patterns) {
-    Query one;
-    one.patterns = {t};
-    query::NormalizeVariables(&one);
-    estimate *= single_pattern_.EstimateCardinality(one);
-  }
-  std::map<int, int> occurrences;
-  std::map<int, bool> is_predicate;
-  for (const auto& t : q.patterns) {
-    std::map<int, bool> seen;
-    if (t.s.is_var()) seen.emplace(t.s.var, false);
-    if (t.o.is_var()) seen.emplace(t.o.var, false);
-    if (t.p.is_var()) {
-      seen.emplace(t.p.var, true);
-      is_predicate[t.p.var] = true;
-    }
-    for (const auto& [v, pred] : seen) ++occurrences[v];
-  }
-  for (const auto& [v, count] : occurrences) {
-    if (count < 2) continue;
-    double domain = is_predicate.count(v) > 0 && is_predicate[v]
-                        ? static_cast<double>(graph_.num_predicates())
-                        : static_cast<double>(graph_.num_nodes());
-    for (int i = 1; i < count; ++i) estimate /= std::max(domain, 1.0);
-  }
-  return estimate;
+  return IndependenceCombination(graph_, single_pattern_, q);
 }
 
 LmkgS* AdaptiveLmkg::SelectModel(const Query& q) {
@@ -175,6 +153,28 @@ bool AdaptiveLmkg::CanEstimate(const Query& q) const {
   return !q.patterns.empty();
 }
 
+void AdaptiveLmkg::IngestFeedback(
+    std::vector<sampling::LabeledQuery> pairs) {
+  for (sampling::LabeledQuery& pair : pairs) {
+    if (pair.size < 2) continue;  // size-1 is answered exactly
+    std::vector<sampling::LabeledQuery>& pending =
+        pending_feedback_[Combo{pair.topology, pair.size}];
+    // Bounded: evict the OLDEST pending pair — under drift the newest
+    // truths are the ones worth keeping.
+    if (config_.feedback_pending_cap > 0 &&
+        pending.size() >= config_.feedback_pending_cap)
+      pending.erase(pending.begin());
+    pending.push_back(std::move(pair));
+  }
+}
+
+size_t AdaptiveLmkg::pending_feedback_pairs() const {
+  size_t total = 0;
+  for (const auto& [combo, pending] : pending_feedback_)
+    total += pending.size();
+  return total;
+}
+
 AdaptiveLmkg::AdaptReport AdaptiveLmkg::Adapt() {
   AdaptReport report;
   // Create models for hot uncovered combos (size-1 needs no model;
@@ -220,6 +220,49 @@ AdaptiveLmkg::AdaptReport AdaptiveLmkg::Adapt() {
       models_.erase(coldest);
     }
   }
+  // Feedback retrains: combos with enough pending executed-query truths
+  // continue training from their current weights on a blend of those
+  // truths and a fresh synthetic refresh workload. Combos whose model
+  // was just created trained on a synthetic set already — their pending
+  // pairs stay queued for the NEXT cycle so the fresh weights get one
+  // settling round first. Combos that can never have a model drop their
+  // pairs (they are served by the fallback regardless).
+  for (auto it = pending_feedback_.begin();
+       it != pending_feedback_.end();) {
+    const Combo combo = it->first;
+    std::vector<sampling::LabeledQuery>& pending = it->second;
+    const bool unservable =
+        combo.size < 2 ||
+        (combo.topology == query::Topology::kComposite && combo.size < 3);
+    if (unservable || pending.empty()) {
+      it = pending_feedback_.erase(it);
+      continue;
+    }
+    const auto model_it = models_.find(combo);
+    const bool just_created =
+        std::find(report.created.begin(), report.created.end(), combo) !=
+        report.created.end();
+    if (model_it == models_.end() || just_created ||
+        pending.size() < config_.feedback_min_pairs) {
+      ++it;
+      continue;
+    }
+    const uint64_t seed =
+        config_.seed + 977 * (feedback_retrains_++) + 43;
+    std::vector<sampling::LabeledQuery> refresh = GenerateComboWorkload(
+        combo, std::max<size_t>(1, config_.feedback_refresh_queries),
+        seed);
+    std::vector<sampling::LabeledQuery> blended =
+        sampling::BlendTrainingSets(std::move(pending), std::move(refresh),
+                                    config_.feedback_blend);
+    model_it->second->Train(blended);
+    report.updated.push_back(combo);
+    if (config_.verbose)
+      std::cerr << "[adaptive] feedback-retrained "
+                << TopologyName(combo.topology) << "-" << combo.size
+                << " on " << blended.size() << " blended pairs\n";
+    it = pending_feedback_.erase(it);
+  }
   return report;
 }
 
@@ -233,6 +276,9 @@ namespace {
 
 constexpr uint32_t kSnapshotMagic = 0x4c4d4b41;  // "LMKA"
 constexpr uint32_t kSnapshotVersion = 1;
+// Per-combo incremental model snapshot (SaveModel/LoadModel).
+constexpr uint32_t kModelMagic = 0x4c4d4b4d;  // "LMKM"
+constexpr uint32_t kModelVersion = 1;
 // Upper bound on a plausible combo size in a snapshot: far above any
 // trainable query size, far below anything that could push a corrupt
 // value into encoder-width arithmetic (or a bad_alloc out of a function
@@ -352,6 +398,71 @@ util::Status AdaptiveLmkg::Load(std::istream& in) {
   models_ = std::move(loaded);
   monitor_.RestoreState(monitor);
   models_created_ = static_cast<size_t>(created);
+  return util::Status::Ok();
+}
+
+util::Status AdaptiveLmkg::SaveModel(const Combo& combo,
+                                     std::ostream& out) {
+  const auto it = models_.find(combo);
+  if (it == models_.end())
+    return util::Status::Error(util::StrFormat(
+        "adaptive: no model for combo %s-%d",
+        TopologyName(combo.topology), combo.size));
+  nn::WriteU32(out, kModelMagic);
+  nn::WriteU32(out, kModelVersion);
+  // Same config header as the full snapshot: reject a Load into a
+  // mismatched architecture before touching tensors.
+  nn::WriteU32(out, static_cast<uint32_t>(config_.term_encoding));
+  nn::WriteU32(out, static_cast<uint32_t>(config_.s_config.hidden_dim));
+  nn::WriteU32(out,
+               static_cast<uint32_t>(config_.s_config.num_hidden_layers));
+  nn::WriteU32(out, static_cast<uint32_t>(combo.topology));
+  nn::WriteU32(out, static_cast<uint32_t>(combo.size));
+  util::Status status = it->second->Save(out);
+  if (!status.ok()) return status;
+  out.flush();
+  if (!out)
+    return util::Status::Error("adaptive: combo snapshot write failed");
+  return util::Status::Ok();
+}
+
+util::Status AdaptiveLmkg::LoadModel(const Combo& combo,
+                                     std::istream& in) {
+  uint32_t magic = 0, version = 0;
+  if (!nn::ReadU32(in, &magic) || magic != kModelMagic)
+    return util::Status::Error(
+        "adaptive: bad magic (not an LMKG combo snapshot)");
+  if (!nn::ReadU32(in, &version) || version != kModelVersion)
+    return util::Status::Error(util::StrFormat(
+        "adaptive: unsupported combo snapshot version %u", version));
+  uint32_t term_encoding = 0, hidden_dim = 0, hidden_layers = 0;
+  if (!nn::ReadU32(in, &term_encoding) || !nn::ReadU32(in, &hidden_dim) ||
+      !nn::ReadU32(in, &hidden_layers))
+    return util::Status::Error("adaptive: truncated combo config header");
+  if (term_encoding != static_cast<uint32_t>(config_.term_encoding) ||
+      hidden_dim != static_cast<uint32_t>(config_.s_config.hidden_dim) ||
+      hidden_layers !=
+          static_cast<uint32_t>(config_.s_config.num_hidden_layers))
+    return util::Status::Error("adaptive: combo snapshot config mismatch");
+  uint32_t topology = 0, size = 0;
+  if (!nn::ReadU32(in, &topology) || !nn::ReadU32(in, &size))
+    return util::Status::Error("adaptive: truncated combo header");
+  if (topology != static_cast<uint32_t>(combo.topology) ||
+      size != static_cast<uint32_t>(combo.size))
+    return util::Status::Error(util::StrFormat(
+        "adaptive: combo snapshot is %s-%u, expected %s-%d",
+        TopologyName(static_cast<Topology>(topology)), size,
+        TopologyName(combo.topology), combo.size));
+  if (topology > static_cast<uint32_t>(Topology::kComposite) || size < 2 ||
+      size > kMaxComboSize)
+    return util::Status::Error("adaptive: corrupt combo header");
+  // Rehydrate into a scratch model first: a mid-stream failure must
+  // leave the served registry untouched.
+  auto model =
+      std::make_unique<LmkgS>(MakeComboEncoder(combo), config_.s_config);
+  util::Status status = model->Load(in);
+  if (!status.ok()) return status;
+  models_[combo] = std::move(model);
   return util::Status::Ok();
 }
 

@@ -13,6 +13,7 @@
 #include "core/workload_monitor.h"
 #include "encoding/term_encoder.h"
 #include "rdf/graph.h"
+#include "sampling/blend.h"
 #include "sampling/workload.h"
 #include "util/status.h"
 
@@ -36,6 +37,18 @@ struct AdaptiveLmkgConfig {
       {query::Topology::kStar, 2}, {query::Topology::kChain, 2}};
   uint64_t seed = 1;
   bool verbose = false;
+  /// Executor-feedback retraining (see IngestFeedback/Adapt): a combo
+  /// with at least this many pending fed-back pairs is incrementally
+  /// retrained on the next Adapt(); fewer stay pending.
+  size_t feedback_min_pairs = 8;
+  /// Synthetic refresh queries blended into each feedback retrain so an
+  /// incremental step on a handful of live fingerprints cannot
+  /// catastrophically forget the rest of the combo's distribution.
+  size_t feedback_refresh_queries = 100;
+  /// Pending fed-back pairs retained per combo (newest win).
+  size_t feedback_pending_cap = 4096;
+  /// How feedback and synthetic pairs mix (sampling::BlendTrainingSets).
+  sampling::BlendOptions feedback_blend;
 };
 
 /// The model-lifecycle manager the paper sketches for the execution phase
@@ -76,11 +89,32 @@ class AdaptiveLmkg : public CardinalityEstimator {
   struct AdaptReport {
     std::vector<Combo> created;
     std::vector<Combo> dropped;
+    /// Combos whose existing model was incrementally retrained on
+    /// blended executor feedback — the per-combo swap set a lifecycle
+    /// ships instead of a full snapshot when nothing was created or
+    /// dropped.
+    std::vector<Combo> updated;
   };
 
   /// Runs the lifecycle policy once. Call periodically (e.g. every N
-  /// queries); training hot models is the expensive part.
+  /// queries); training hot models is the expensive part. Besides the
+  /// paper's create-hot/drop-cold reconciliation, combos holding at
+  /// least `feedback_min_pairs` ingested executor truths are retrained
+  /// IN PLACE: the pending pairs are blended with a fresh synthetic
+  /// refresh workload (sampling::BlendTrainingSets) and the combo's
+  /// model continues training from its current weights.
   AdaptReport Adapt();
+
+  /// Queues executed-query truths (from a FeedbackCollector drain) as
+  /// pending training pairs, grouped by combo. Size-1 pairs are ignored
+  /// (answered exactly); pairs for combos that cannot have a model
+  /// (2-pattern composites) are dropped at Adapt() time. Per-combo
+  /// buffers are bounded by `feedback_pending_cap` (oldest evicted).
+  void IngestFeedback(std::vector<sampling::LabeledQuery> pairs);
+
+  /// Pending fed-back pairs not yet consumed by Adapt(), summed over
+  /// combos.
+  size_t pending_feedback_pairs() const;
 
   /// Feeds one query into the workload monitor WITHOUT estimating it —
   /// how a background lifecycle mirrors live serving traffic into a
@@ -100,6 +134,17 @@ class AdaptiveLmkg : public CardinalityEstimator {
   util::Status Save(std::ostream& out);
   util::Status Load(std::istream& in);
 
+  /// Per-combo incremental snapshot: serializes ONE combo's model (own
+  /// magic + combo header + LmkgS params) so a lifecycle that only
+  /// retrained that combo ships kilobytes instead of the whole registry.
+  /// SaveModel fails if the combo has no model; LoadModel creates or
+  /// replaces the combo's model in place (same config-compatibility
+  /// checks as Load; the stream's combo header must match `combo`).
+  /// After loading into a SERVED replica, bump the service epoch — the
+  /// model's estimates changed.
+  util::Status SaveModel(const Combo& combo, std::ostream& out);
+  util::Status LoadModel(const Combo& combo, std::istream& in);
+
   bool Covers(const Combo& combo) const {
     return models_.count(combo) > 0;
   }
@@ -110,6 +155,11 @@ class AdaptiveLmkg : public CardinalityEstimator {
   std::unique_ptr<encoding::QueryEncoder> MakeComboEncoder(
       const Combo& combo) const;
   std::unique_ptr<LmkgS> TrainSpecialized(const Combo& combo);
+  /// Fresh labeled workload for a combo (star/chain via the paper's
+  /// generator, composite via tree workloads) — shared by initial
+  /// training and feedback-retrain refresh sets.
+  std::vector<sampling::LabeledQuery> GenerateComboWorkload(
+      const Combo& combo, size_t count, uint64_t seed) const;
   // The model serving q: its exact (topology, size) combo if trained,
   // otherwise any model whose encoder fits (e.g. a larger SG model);
   // nullptr means the independence fallback. Shared by the per-query and
@@ -123,6 +173,9 @@ class AdaptiveLmkg : public CardinalityEstimator {
   std::map<Combo, std::unique_ptr<LmkgS>> models_;
   mutable SinglePatternEstimator single_pattern_;
   size_t models_created_ = 0;  // seeds successive trainings differently
+  // Ingested executor truths awaiting the next Adapt(), per combo.
+  std::map<Combo, std::vector<sampling::LabeledQuery>> pending_feedback_;
+  size_t feedback_retrains_ = 0;  // seeds successive refresh workloads
 };
 
 }  // namespace lmkg::core

@@ -69,6 +69,38 @@ void OutlierBuffer::Populate(
     if (buffer_.size() >= capacity_) break;
     buffer_.emplace(CanonicalKey(lq->query), lq->cardinality);
   }
+  if (mutation_hook_) mutation_hook_();
+}
+
+bool OutlierBuffer::Insert(const query::Query& q, double cardinality) {
+  if (capacity_ == 0) return false;
+  const std::string key = CanonicalKey(q);
+  bool changed = false;
+  if (auto it = buffer_.find(key); it != buffer_.end()) {
+    // Re-executed query: refresh the stored truth (graphs and limits
+    // don't change under us today, but the update is free).
+    changed = it->second != cardinality;
+    it->second = cardinality;
+  } else if (buffer_.size() < capacity_) {
+    buffer_.emplace(key, cardinality);
+    changed = true;
+  } else {
+    // Full: keep the running top-`capacity` outliers — evict the
+    // smallest buffered cardinality iff the newcomer beats it.
+    auto smallest = buffer_.begin();
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it)
+      if (it->second < smallest->second) smallest = it;
+    if (cardinality > smallest->second) {
+      buffer_.erase(smallest);
+      buffer_.emplace(key, cardinality);
+      changed = true;
+    }
+  }
+  // The hook is how a SERVED buffer invalidates stale cached estimates:
+  // without it, the serving cache keeps returning the pre-insert value
+  // for this query's fingerprint forever.
+  if (changed && mutation_hook_) mutation_hook_();
+  return changed;
 }
 
 double OutlierBuffer::EstimateCardinality(const query::Query& q) {

@@ -1,6 +1,7 @@
 #ifndef LMKG_CORE_OUTLIER_BUFFER_H_
 #define LMKG_CORE_OUTLIER_BUFFER_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,8 +23,28 @@ class OutlierBuffer : public CardinalityEstimator {
   OutlierBuffer(CardinalityEstimator* inner, size_t capacity);
 
   /// Fills the buffer with the `capacity` largest-cardinality queries of
-  /// the training workload.
+  /// the training workload. Fires the mutation hook once if installed.
   void Populate(const std::vector<sampling::LabeledQuery>& data);
+
+  /// Online insert of one exact (query, cardinality) truth — the
+  /// feedback loop's path into the buffer. At capacity the SMALLEST
+  /// buffered cardinality is evicted if the newcomer is larger (the
+  /// buffer stays the running top-`capacity` outliers); otherwise the
+  /// insert is a no-op. Returns whether the buffer changed; a change
+  /// fires the mutation hook.
+  bool Insert(const query::Query& q, double cardinality);
+
+  /// Invoked after every mutation of the buffer (Insert that changed
+  /// something, Populate). A buffer that participates in SERVING must
+  /// hook this to the service's AdvanceEpoch(): a mutated entry changes
+  /// this estimator's answers, and without the epoch bump the serving
+  /// cache would keep returning the pre-insert value. Install while
+  /// quiesced or under the serving shard's replica mutex (e.g. inside
+  /// EstimatorService::WithReplica) — the buffer itself is not
+  /// thread-safe.
+  void SetMutationHook(std::function<void()> hook) {
+    mutation_hook_ = std::move(hook);
+  }
 
   double EstimateCardinality(const query::Query& q) override;
   /// Looks every query up in the buffer first and forwards only the
@@ -46,6 +67,7 @@ class OutlierBuffer : public CardinalityEstimator {
   CardinalityEstimator* inner_;
   size_t capacity_;
   std::unordered_map<std::string, double> buffer_;
+  std::function<void()> mutation_hook_;  // empty = not serving
 };
 
 }  // namespace lmkg::core

@@ -1,5 +1,8 @@
 #include "core/single_pattern.h"
 
+#include <algorithm>
+#include <map>
+
 #include "util/check.h"
 
 namespace lmkg::core {
@@ -23,6 +26,47 @@ void SinglePatternEstimator::EstimateCardinalityBatch(
     LMKG_CHECK(CanEstimate(queries[i]));
     out[i] = executor_.Cardinality(queries[i]);
   }
+}
+
+double IndependenceCombination(const rdf::Graph& graph,
+                               SinglePatternEstimator& single,
+                               const query::Query& q) {
+  double estimate = 1.0;
+  for (const auto& t : q.patterns) {
+    query::Query one;
+    one.patterns = {t};
+    query::NormalizeVariables(&one);
+    estimate *= single.EstimateCardinality(one);
+  }
+  std::map<int, int> occurrences;
+  std::map<int, bool> is_predicate;
+  for (const auto& t : q.patterns) {
+    std::map<int, bool> seen;
+    if (t.s.is_var()) seen.emplace(t.s.var, false);
+    if (t.o.is_var()) seen.emplace(t.o.var, false);
+    if (t.p.is_var()) {
+      seen.emplace(t.p.var, true);
+      is_predicate[t.p.var] = true;
+    }
+    for (const auto& [v, pred] : seen) ++occurrences[v];
+  }
+  for (const auto& [v, count] : occurrences) {
+    if (count < 2) continue;
+    double domain = is_predicate.count(v) > 0 && is_predicate[v]
+                        ? static_cast<double>(graph.num_predicates())
+                        : static_cast<double>(graph.num_nodes());
+    for (int i = 1; i < count; ++i) estimate /= std::max(domain, 1.0);
+  }
+  return estimate;
+}
+
+IndependenceEstimator::IndependenceEstimator(const rdf::Graph& graph)
+    : graph_(graph), single_(graph) {}
+
+double IndependenceEstimator::EstimateCardinality(const query::Query& q) {
+  LMKG_CHECK(CanEstimate(q));
+  if (q.patterns.size() == 1) return single_.EstimateCardinality(q);
+  return IndependenceCombination(graph_, single_, q);
 }
 
 }  // namespace lmkg::core

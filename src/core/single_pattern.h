@@ -31,6 +31,38 @@ class SinglePatternEstimator : public CardinalityEstimator {
   query::Executor executor_;
 };
 
+/// The independence combination of exact single-pattern statistics:
+/// product of per-pattern counts, divided by the join variable's domain
+/// for every repeated variable occurrence (attribute-value-independence,
+/// the estimate a plain RDF engine's optimizer would use). Shared by
+/// AdaptiveLmkg's fallback path and the standalone IndependenceEstimator
+/// so the two can never drift apart.
+double IndependenceCombination(const rdf::Graph& graph,
+                               SinglePatternEstimator& single,
+                               const query::Query& q);
+
+/// Standalone always-available estimator over IndependenceCombination —
+/// the baseline the feedback loop's deactivation list compares the
+/// learned models against (a fingerprint whose model keeps losing to
+/// THIS is routed here), and the estimator deactivated traffic is served
+/// from.
+class IndependenceEstimator : public CardinalityEstimator {
+ public:
+  explicit IndependenceEstimator(const rdf::Graph& graph);
+
+  double EstimateCardinality(const query::Query& q) override;
+  bool CanEstimate(const query::Query& q) const override {
+    return !q.patterns.empty();
+  }
+  std::string name() const override { return "independence"; }
+  /// Statistics live in the graph's indexes.
+  size_t MemoryBytes() const override { return 0; }
+
+ private:
+  const rdf::Graph& graph_;
+  SinglePatternEstimator single_;
+};
+
 }  // namespace lmkg::core
 
 #endif  // LMKG_CORE_SINGLE_PATTERN_H_

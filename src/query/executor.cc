@@ -160,6 +160,9 @@ uint64_t Executor::Count(const Query& q, uint64_t limit) const {
   state.done.assign(q.patterns.size(), false);
   state.limit = limit;
   Recurse(&state, q.patterns.size());
+  // Only EXACT counts feed the truth sink: a count stopped at `limit`
+  // is a lower bound, and training on it would teach the model lies.
+  if (truth_sink_ && limit == kNoLimit) truth_sink_(q, state.count);
   return state.count;
 }
 

@@ -2,6 +2,7 @@
 #define LMKG_QUERY_EXECUTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "query/query.h"
@@ -37,6 +38,16 @@ class Executor {
     return static_cast<double>(Count(q));
   }
 
+  /// Observer of every EXACT count this executor finishes — the
+  /// feedback loop's truth source (serving::MakeExecutorTruthSink
+  /// adapts a FeedbackCollector into one). Limited counts never fire
+  /// (a count stopped at `limit` is a lower bound, not the truth). The
+  /// sink is invoked on the counting thread and must be cheap and
+  /// thread-safe if the executor is shared (Count itself is const and
+  /// concurrency-safe; the sink inherits that requirement).
+  using TruthSink = std::function<void(const Query&, uint64_t)>;
+  void SetTruthSink(TruthSink sink) { truth_sink_ = std::move(sink); }
+
  private:
   struct State {
     const Query* query = nullptr;
@@ -59,6 +70,7 @@ class Executor {
   uint64_t CountMatches(const TriplePattern& t, const State& state) const;
 
   const rdf::Graph& graph_;
+  TruthSink truth_sink_;  // empty = no feedback
 };
 
 }  // namespace lmkg::query

@@ -1,0 +1,77 @@
+#include "sampling/blend.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "query/fingerprint.h"
+#include "util/random.h"
+
+namespace lmkg::sampling {
+
+std::vector<LabeledQuery> BlendTrainingSets(
+    std::vector<LabeledQuery> feedback, std::vector<LabeledQuery> synthetic,
+    const BlendOptions& options) {
+  query::FingerprintScratch scratch;
+
+  // Dedupe feedback by fingerprint, last write wins: DrainTrainingPairs
+  // emits each entry's ring oldest-to-newest, so the survivor is the
+  // newest truth for that fingerprint.
+  std::unordered_map<query::Fingerprint, size_t, query::FingerprintHasher>
+      latest;
+  std::vector<size_t> order;  // first-seen order of surviving fingerprints
+  for (size_t i = 0; i < feedback.size(); ++i) {
+    const query::Fingerprint fp =
+        query::ComputeFingerprint(feedback[i].query, &scratch);
+    auto [it, inserted] = latest.emplace(fp, i);
+    if (inserted)
+      order.push_back(i);
+    else
+      it->second = i;  // newer truth supersedes; keeps first-seen slot
+  }
+  // Rebuild the survivor list in first-seen order with newest labels.
+  std::vector<size_t> survivors;
+  survivors.reserve(latest.size());
+  {
+    std::unordered_set<size_t> taken;
+    for (size_t slot : order) {
+      const query::Fingerprint fp =
+          query::ComputeFingerprint(feedback[slot].query, &scratch);
+      const size_t idx = latest.at(fp);
+      if (taken.insert(idx).second) survivors.push_back(idx);
+    }
+  }
+  // Newest-first priority under the cap: the tail of DrainTrainingPairs'
+  // output is the most recently touched entries, so trim from the front.
+  if (options.max_feedback > 0 && survivors.size() > options.max_feedback)
+    survivors.erase(survivors.begin(),
+                    survivors.end() - static_cast<std::ptrdiff_t>(
+                                          options.max_feedback));
+
+  const size_t replicate = std::max<size_t>(1, options.replicate_feedback);
+  std::vector<LabeledQuery> blended;
+  blended.reserve(survivors.size() * replicate + synthetic.size());
+  for (size_t idx : survivors)
+    for (size_t r = 0; r < replicate; ++r)
+      blended.push_back(feedback[idx]);
+
+  // Synthetic pairs colliding with an executed truth are superseded by
+  // it — a sampled label for the same canonical query may be stale.
+  for (LabeledQuery& lq : synthetic) {
+    const query::Fingerprint fp =
+        query::ComputeFingerprint(lq.query, &scratch);
+    if (latest.count(fp) > 0) continue;
+    blended.push_back(std::move(lq));
+  }
+
+  // Deterministic Fisher–Yates so SGD never sees one query's replicas
+  // back to back.
+  util::Pcg32 rng(options.shuffle_seed);
+  for (size_t i = blended.size(); i > 1; --i)
+    std::swap(blended[i - 1],
+              blended[rng.UniformInt(static_cast<uint32_t>(i))]);
+
+  return blended;
+}
+
+}  // namespace lmkg::sampling

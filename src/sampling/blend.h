@@ -1,0 +1,49 @@
+#ifndef LMKG_SAMPLING_BLEND_H_
+#define LMKG_SAMPLING_BLEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/workload.h"
+
+namespace lmkg::sampling {
+
+/// Knobs for mixing executor-feedback truths into a synthetic training
+/// workload (the training-set assembly step of the feedback loop).
+struct BlendOptions {
+  /// Each fed-back pair appears this many times in the blended set — the
+  /// SGD-side weight that lets a few dozen REAL truths pull a model
+  /// trained on hundreds of synthetic labels toward the live workload.
+  size_t replicate_feedback = 4;
+  /// Cap on distinct feedback pairs admitted (post-dedupe; newest-first
+  /// priority). 0 = unlimited.
+  size_t max_feedback = 0;
+  /// Deterministic shuffle of the blended set so a model's SGD never
+  /// sees all replicas of one query back to back.
+  uint64_t shuffle_seed = 7;
+};
+
+/// Assembles one training set from executed-query truths and a synthetic
+/// sampled workload:
+///
+///   1. feedback pairs are deduped by canonical fingerprint, keeping the
+///      LATEST truth per fingerprint (under drift the newest execution is
+///      the correct label),
+///   2. each surviving pair is replicated `replicate_feedback` times,
+///   3. synthetic pairs whose fingerprint collides with a feedback pair
+///      are DROPPED — the executed truth supersedes the sampled label
+///      (feeding both would average a real label against a possibly
+///      stale one),
+///   4. the union is shuffled deterministically.
+///
+/// The synthetic side is what guards an incremental retrain against
+/// catastrophic forgetting: feedback alone concentrates on the handful
+/// of fingerprints actually executed, and a model stepped only on those
+/// forgets the rest of the combo's distribution.
+std::vector<LabeledQuery> BlendTrainingSets(
+    std::vector<LabeledQuery> feedback, std::vector<LabeledQuery> synthetic,
+    const BlendOptions& options);
+
+}  // namespace lmkg::sampling
+
+#endif  // LMKG_SAMPLING_BLEND_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "serving/feedback_collector.h"
 #include "util/check.h"
 
 namespace lmkg::serving {
@@ -91,9 +92,28 @@ bool EstimatorService::PrepareAndTryCache(const query::Query& q,
   // (swap-then-advance protocol + per-shard replica mutexes) to compute
   // on the new model.
   request->epoch = epoch_.load(std::memory_order_acquire);
+  // Deactivated fingerprints (feedback loop: the model keeps losing to
+  // the fallback here) short-circuit to the fallback estimator and skip
+  // the cache in BOTH directions — no lookup (a pre-deactivation model
+  // value must not keep serving) and no insert (a fallback value must
+  // not shadow the model after reactivation). That is what lets a
+  // deactivation flip take effect immediately, with no epoch bump.
+  if (config_.feedback != nullptr &&
+      config_.feedback->IsDeactivated(request->fp)) {
+    *estimate = config_.feedback->FallbackEstimate(q);
+    config_.feedback->NoteEstimate(request->fp, *estimate,
+                                   /*from_fallback=*/true);
+    s.stats.RecordFallbackServed();
+    s.stats.RecordRequest(MicrosSince(request->enqueue_time,
+                                      std::chrono::steady_clock::now()));
+    return true;
+  }
   if (!s.cache.enabled()) return false;
   request->cacheable = true;
   if (s.cache.Lookup(request->fp, request->epoch, estimate)) {
+    if (config_.feedback != nullptr)
+      config_.feedback->NoteEstimate(request->fp, *estimate,
+                                     /*from_fallback=*/false);
     s.stats.RecordCacheHit();
     s.stats.RecordRequest(MicrosSince(request->enqueue_time,
                                       std::chrono::steady_clock::now()));
@@ -143,6 +163,15 @@ std::unique_ptr<core::CardinalityEstimator> EstimatorService::ReplaceReplica(
   std::lock_guard<std::mutex> lock(shard.replica_mu);
   shard.replica.swap(replacement);
   return replacement;  // the previous model, for the caller to retire
+}
+
+void EstimatorService::WithReplica(
+    size_t index,
+    const std::function<void(core::CardinalityEstimator*)>& fn) {
+  LMKG_CHECK_LT(index, shards_.size());
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.replica_mu);
+  fn(shard.replica.get());
 }
 
 double EstimatorService::Estimate(const query::Query& q) {
@@ -307,6 +336,11 @@ void EstimatorService::Complete(
   if (request->cacheable &&
       request->epoch == epoch_.load(std::memory_order_acquire))
     shard.cache.Insert(request->fp, request->epoch, value);
+  // Feedback: remember what was served so the truth that follows this
+  // query's execution can be scored against it.
+  if (config_.feedback != nullptr)
+    config_.feedback->NoteEstimate(request->fp, value,
+                                   /*from_fallback=*/false);
   shard.stats.RecordRequest(MicrosSince(request->enqueue_time, now));
   if (request->promise.has_value()) {
     request->promise->set_value(value);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -20,6 +21,8 @@
 #include "util/mpsc_ring.h"
 
 namespace lmkg::serving {
+
+class FeedbackCollector;
 
 /// Tuning knobs of the serving layer. The defaults suit a closed-loop
 /// optimizer workload (tens of concurrent plan-pricing clients, repeated
@@ -70,6 +73,16 @@ struct ServiceConfig {
   /// falls back to the queued path, so throughput under load is
   /// unchanged.
   bool inline_execution = true;
+  /// Executor-feedback loop (borrowed; must outlive the service; nullptr
+  /// disables all feedback paths with zero request-path overhead). When
+  /// set, every served estimate is noted in the collector so truths fed
+  /// back after execution can be scored against it, and requests whose
+  /// fingerprint is on the collector's deactivation list are served
+  /// straight from the collector's fallback estimator — bypassing the
+  /// cache in BOTH directions (no lookup, no insert), so a deactivation
+  /// flip takes effect immediately without an epoch bump and fallback
+  /// values never shadow a reactivated model's estimates.
+  FeedbackCollector* feedback = nullptr;
 };
 
 /// Thread-safe serving front for any core::CardinalityEstimator,
@@ -201,6 +214,18 @@ class EstimatorService {
   std::unique_ptr<core::CardinalityEstimator> ReplaceReplica(
       size_t index,
       std::unique_ptr<core::CardinalityEstimator> replacement);
+
+  /// Runs `fn` on shard `index`'s LIVE replica under that shard's
+  /// replica mutex — the in-place alternative to ReplaceReplica for
+  /// incremental mutations (loading one combo's updated model into an
+  /// AdaptiveLmkg replica, inserting into an outlier buffer) where
+  /// shipping a whole fresh replica per shard would copy the unchanged
+  /// majority of the registry. The shard's worker and inline callers
+  /// block for the duration, so keep `fn` to deserialize-and-swap work.
+  /// Same protocol as ReplaceReplica: mutate every shard, then
+  /// AdvanceEpoch() once.
+  void WithReplica(size_t index,
+                   const std::function<void(core::CardinalityEstimator*)>& fn);
 
   /// Empties every shard's live-workload tap (see
   /// ServiceConfig::workload_tap_*). Safe against concurrent request

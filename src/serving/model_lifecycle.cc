@@ -50,27 +50,69 @@ LifecycleReport ModelLifecycle::RunOnce() {
   LifecycleReport report;
   cycles_.fetch_add(1, std::memory_order_relaxed);
 
-  // 1. Mirror the live stream into the shadow's drift detector.
+  // 1. Mirror the live stream into the shadow's drift detector, and
+  // drain the feedback loop's executed-query truths into the shadow's
+  // pending training pairs.
   std::vector<query::Query> samples = service_->DrainWorkloadSamples();
   report.samples_observed = samples.size();
   for (const query::Query& q : samples) shadow_->ObserveWorkload(q);
-  if (samples.size() < config_.min_samples_per_cycle) {
+  if (config_.feedback != nullptr) {
+    std::vector<sampling::LabeledQuery> pairs =
+        config_.feedback->DrainTrainingPairs();
+    report.feedback_pairs = pairs.size();
+    if (!pairs.empty()) shadow_->IngestFeedback(std::move(pairs));
+  }
+  if (samples.size() < config_.min_samples_per_cycle &&
+      report.feedback_pairs == 0) {
     report.epoch = service_->epoch();
     return report;
   }
 
-  // 2. Reconcile the shadow's model pool with the observed mix. This is
-  // where training happens — on this thread, against a model no serving
-  // worker can reach.
+  // 2. Reconcile the shadow's model pool with the observed mix and the
+  // fed-back truths. This is where training happens — on this thread,
+  // against a model no serving worker can reach.
   report.adapt = shadow_->Adapt();
-  if (report.adapt.created.empty() && report.adapt.dropped.empty()) {
-    report.epoch = service_->epoch();
-    return report;
+  const bool pool_changed =
+      !report.adapt.created.empty() || !report.adapt.dropped.empty();
+  const bool weights_changed = !report.adapt.updated.empty();
+  if (pool_changed) {
+    // 3a. The POOL changed (models created or dropped): ship the whole
+    // registry — rehydrate one replica per slot from a full snapshot,
+    // swap each in, then advance the epoch once (the stale-cache-safety
+    // contract; see EstimatorService).
+    SwapAllReplicas();
+    report.swapped = true;
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+  } else if (weights_changed) {
+    // 3b. Only WEIGHTS changed (feedback retrains): ship just the
+    // updated combos, loading each into every live replica in place
+    // under its shard's replica mutex — kilobytes over the wire instead
+    // of the whole registry. Same epoch protocol: mutate every replica,
+    // THEN advance once.
+    if (SwapUpdatedCombos(report.adapt.updated)) {
+      report.incremental = true;
+      incremental_swaps_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // A replica is not an AdaptiveLmkg — per-combo loads have nowhere
+      // to land; fall back to the full swap.
+      SwapAllReplicas();
+    }
+    report.swapped = true;
+    swaps_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // 3. The pool changed: snapshot the shadow, rehydrate one replica per
-  // serving slot, swap them in, and only then advance the epoch — the
-  // order is the stale-cache-safety contract (see EstimatorService).
+  // 4. Refresh the deactivation list from the rolling q-errors — every
+  // cycle, swap or not: deactivation is driven by accumulated truths,
+  // not by model changes, and the flip routes around the cache so it
+  // needs no epoch bump of its own.
+  if (config_.feedback != nullptr)
+    report.deactivation = config_.feedback->UpdateDeactivation();
+
+  report.epoch = service_->epoch();
+  return report;
+}
+
+void ModelLifecycle::SwapAllReplicas() {
   std::ostringstream blob;
   const util::Status status = shadow_->Save(blob);
   LMKG_CHECK(status.ok()) << "lifecycle snapshot failed: "
@@ -86,10 +128,67 @@ LifecycleReport ModelLifecycle::RunOnce() {
     service_->ReplaceReplica(i, std::move(replica));
   }
   service_->AdvanceEpoch();
-  report.swapped = true;
-  swaps_.fetch_add(1, std::memory_order_relaxed);
-  report.epoch = service_->epoch();
-  return report;
+  // The collector's recovery probe must track what actually serves, or
+  // reactivation would be judged against stale weights.
+  if (config_.feedback != nullptr)
+    config_.feedback->SetProbe(replica_factory_(snapshot));
+}
+
+bool ModelLifecycle::SwapUpdatedCombos(
+    const std::vector<core::AdaptiveLmkg::Combo>& combos) {
+  // Serialize each updated combo ONCE; every replica (and the probe)
+  // loads the same blob.
+  std::vector<std::pair<core::AdaptiveLmkg::Combo, std::string>> blobs;
+  blobs.reserve(combos.size());
+  for (const core::AdaptiveLmkg::Combo& combo : combos) {
+    std::ostringstream out;
+    const util::Status status = shadow_->SaveModel(combo, out);
+    LMKG_CHECK(status.ok())
+        << "combo snapshot failed: " << status.message();
+    blobs.emplace_back(combo, out.str());
+  }
+  bool all_adaptive = true;
+  for (size_t i = 0; i < service_->num_replicas() && all_adaptive; ++i) {
+    service_->WithReplica(i, [&](core::CardinalityEstimator* replica) {
+      auto* adaptive = dynamic_cast<core::AdaptiveLmkg*>(replica);
+      if (adaptive == nullptr) {
+        all_adaptive = false;
+        return;
+      }
+      for (const auto& [combo, blob] : blobs) {
+        std::istringstream in(blob);
+        const util::Status status = adaptive->LoadModel(combo, in);
+        LMKG_CHECK(status.ok())
+            << "combo load failed: " << status.message();
+      }
+    });
+  }
+  if (!all_adaptive) return false;
+  service_->AdvanceEpoch();
+  if (config_.feedback != nullptr) {
+    if (!config_.feedback->has_probe()) {
+      // First swap was incremental: the probe needs a full rehydration
+      // once; subsequent incremental swaps patch it combo by combo.
+      std::ostringstream out;
+      const util::Status status = shadow_->Save(out);
+      LMKG_CHECK(status.ok())
+          << "probe snapshot failed: " << status.message();
+      config_.feedback->SetProbe(replica_factory_(out.str()));
+    } else {
+      config_.feedback->UpdateProbe(
+          [&](core::CardinalityEstimator* probe) {
+            auto* adaptive = dynamic_cast<core::AdaptiveLmkg*>(probe);
+            if (adaptive == nullptr) return;
+            for (const auto& [combo, blob] : blobs) {
+              std::istringstream in(blob);
+              const util::Status status = adaptive->LoadModel(combo, in);
+              LMKG_CHECK(status.ok())
+                  << "probe combo load failed: " << status.message();
+            }
+          });
+    }
+  }
+  return true;
 }
 
 ModelLifecycle::ReplicaFactory MakeAdaptiveReplicaFactory(

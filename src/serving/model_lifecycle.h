@@ -13,6 +13,7 @@
 
 #include "core/adaptive.h"
 #include "serving/estimator_service.h"
+#include "serving/feedback_collector.h"
 
 namespace lmkg::serving {
 
@@ -22,23 +23,40 @@ struct ModelLifecycleConfig {
   std::chrono::milliseconds poll_interval{200};
   /// A cycle that drained fewer samples than this skips Adapt() — never
   /// retrain on silence. The drained samples still reach the shadow's
-  /// monitor, so nothing is lost across skipped cycles.
+  /// monitor, so nothing is lost across skipped cycles. Drained FEEDBACK
+  /// pairs lift the gate too: executed truths are a stronger retrain
+  /// signal than tap samples, so a cycle with feedback always reaches
+  /// Adapt() (which applies its own per-combo minimum).
   size_t min_samples_per_cycle = 16;
   /// false: no background thread — the owner drives RunOnce() manually
   /// (tests, benches, external schedulers).
   bool background = true;
+  /// Executor-feedback loop (borrowed; must outlive the lifecycle;
+  /// nullptr runs the PR-5 tap-only cycle). When set, each cycle drains
+  /// the collector's training pairs into the shadow, refreshes the
+  /// collector's deactivation list, and keeps the collector's probe
+  /// model current with whatever the serving replicas run.
+  FeedbackCollector* feedback = nullptr;
 };
 
 /// What one lifecycle cycle did.
 struct LifecycleReport {
   /// Queries drained from the service's workload tap this cycle.
   size_t samples_observed = 0;
-  /// Models the shadow created/dropped (empty when Adapt was skipped or
-  /// found nothing to do).
+  /// Executed-query truths drained from the feedback collector.
+  size_t feedback_pairs = 0;
+  /// Models the shadow created/dropped/feedback-retrained (empty when
+  /// Adapt was skipped or found nothing to do).
   core::AdaptiveLmkg::AdaptReport adapt;
-  /// Whether the serving replicas were hot-swapped (implies the cache
-  /// epoch advanced).
+  /// Whether the serving replicas changed (implies the cache epoch
+  /// advanced).
   bool swapped = false;
+  /// True when the change shipped as per-combo incremental loads into
+  /// the live replicas (only feedback-retrained combos crossed the
+  /// wire) instead of whole-registry replica swaps.
+  bool incremental = false;
+  /// Deactivation-list changes this cycle (zeroes without a collector).
+  DeactivationReport deactivation;
   /// Service epoch after the cycle.
   uint64_t epoch = 0;
 };
@@ -97,9 +115,21 @@ class ModelLifecycle {
     return cycles_.load(std::memory_order_relaxed);
   }
   uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+  /// Swaps that shipped per-combo (subset of swaps()).
+  uint64_t incremental_swaps() const {
+    return incremental_swaps_.load(std::memory_order_relaxed);
+  }
 
  private:
   void Loop();
+  // Full-registry swap: snapshot the shadow, rehydrate + replace every
+  // replica, refresh the collector's probe. Caller advances the epoch.
+  void SwapAllReplicas();
+  // Per-combo swap: serialize each updated combo once, load it into
+  // every live replica in place (and the probe). Returns false if any
+  // replica is not an AdaptiveLmkg — the caller falls back to a full
+  // swap. Caller advances the epoch on success.
+  bool SwapUpdatedCombos(const std::vector<core::AdaptiveLmkg::Combo>& combos);
 
   EstimatorService* service_;
   core::AdaptiveLmkg* shadow_;
@@ -108,6 +138,7 @@ class ModelLifecycle {
 
   std::atomic<uint64_t> cycles_{0};
   std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> incremental_swaps_{0};
 
   std::mutex cycle_mu_;  // serializes RunOnce bodies
 

@@ -16,6 +16,8 @@ ServingStatsSnapshot ServingStats::Snapshot() const {
   snap.batches = batches_.load(std::memory_order_relaxed);
   snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.feedback_fallback_served =
+      fallback_served_.load(std::memory_order_relaxed);
   snap.requests = requests_.load(std::memory_order_relaxed);
   snap.window_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -51,6 +53,9 @@ void ServingStats::MergeFrom(const ServingStats& other) {
   cache_misses_.fetch_add(
       other.cache_misses_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
+  fallback_served_.fetch_add(
+      other.fallback_served_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   requests_.fetch_add(other.requests_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
   // The merged window spans from the earliest shard's window start, so
@@ -66,6 +71,7 @@ void ServingStats::Reset() {
   cache_misses_.store(0, std::memory_order_relaxed);
   batches_.store(0, std::memory_order_relaxed);
   batched_requests_.store(0, std::memory_order_relaxed);
+  fallback_served_.store(0, std::memory_order_relaxed);
   window_start_ = std::chrono::steady_clock::now();
 }
 

@@ -18,6 +18,11 @@ struct ServingStatsSnapshot {
   uint64_t cache_misses = 0;     // requests that went through the batcher
   uint64_t batches = 0;          // batches dispatched to an estimator
   uint64_t batched_requests = 0; // requests summed over those batches
+  /// Requests served by the feedback loop's fallback estimator because
+  /// their fingerprint is on the deactivation list (counted in
+  /// `requests`, not in the cache or batch counters — deactivated
+  /// traffic bypasses both).
+  uint64_t feedback_fallback_served = 0;
   // Filled by EstimatorService::Stats (not part of the collector): the
   // current model generation and how many cached pre-swap entries were
   // evicted on contact since construction.
@@ -56,6 +61,9 @@ class ServingStats {
   }
   void RecordCacheMiss() {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordFallbackServed() {
+    fallback_served_.fetch_add(1, std::memory_order_relaxed);
   }
   void RecordBatch(size_t fill) {
     // batches_ first, and the batched_requests_ add is a release: a
@@ -96,6 +104,7 @@ class ServingStats {
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_requests_{0};
+  std::atomic<uint64_t> fallback_served_{0};
   std::chrono::steady_clock::time_point window_start_;
 };
 
