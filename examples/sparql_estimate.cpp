@@ -20,6 +20,7 @@
 #include "query/executor.h"
 #include "query/sparql_parser.h"
 #include "rdf/ntriples.h"
+#include "util/atomic_file.h"
 #include "util/flags.h"
 #include "util/math.h"
 #include "util/stopwatch.h"
@@ -72,8 +73,11 @@ int main(int argc, char** argv) {
     lmkg.BuildModels();
     std::string save_path = flags.GetString("save_models", "");
     if (!save_path.empty()) {
-      std::ofstream out(save_path, std::ios::binary);
-      auto status = lmkg.SaveModels(out);
+      // Atomic + durable: a crash mid-save leaves the previous model
+      // file (or none), never a torn one.
+      auto status = util::WriteFileAtomic(
+          save_path,
+          [&](std::ostream& out) { return lmkg.SaveModels(out); });
       if (!status.ok()) {
         std::cerr << "save failed: " << status.message() << "\n";
         return 1;

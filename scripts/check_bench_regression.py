@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf-regression gate for the serving-path benchmarks.
 
-Three benchmark kinds are gated, auto-detected from the "bench" field of
+Four benchmark kinds are gated, auto-detected from the "bench" field of
 the result JSON:
 
   * batch_inference (bench_throughput_batch): batch-64 queries/sec
@@ -29,6 +29,16 @@ the result JSON:
     5). The relative floor is enforced even when the absolute gate is
     skipped for an ISA mismatch or a bootstrap baseline — both numbers
     come from the same process, so hardware drift cancels out.
+  * store (bench_store): mapped cold starts/sec at the largest
+    registry against the machine-class baseline
+    bench/baselines/store_baseline_{N}core.json, plus a
+    MACHINE-RELATIVE hard floor: mmap_vs_streamed_speedup (mmapped
+    attach + one-combo hydration vs a linear streamed Load of the same
+    registry, first estimates verified bit-identical within the same
+    run) must stay >= --min-store-speedup (default 5). Like the
+    planner floor, it is enforced even when the absolute gate is
+    skipped — it guards the point of the store format: cold start must
+    not scale with registry size.
 
 Either gate FAILS (exit 1) if a gated metric drops more than
 --threshold (default 20%) below its committed baseline. The gates run on
@@ -214,10 +224,56 @@ class PlannerGate:
             print(f"{key:>24} {base:>14.0f} {cur:>14.0f} {ratio:>7.2f}")
 
 
+class StoreGate:
+    name = "mapped registry cold start"
+
+    @staticmethod
+    def baseline_path_for(report: dict) -> Path:
+        cores = report.get("hardware_threads")
+        if not cores:
+            print("ERROR: store result JSON carries no "
+                  "\"hardware_threads\"; cannot pick a machine-class "
+                  "baseline.", file=sys.stderr)
+            sys.exit(2)
+        return BASELINE_DIR / f"store_baseline_{int(cores)}core.json"
+
+    @staticmethod
+    def gated_metrics(report: dict) -> dict:
+        return {"mapped cold starts/sec":
+                float(report["mapped_cold_starts_per_sec"])}
+
+    @staticmethod
+    def print_comparison(baseline: dict, result: dict) -> None:
+        print(f"{'registry':>9} {'base mapped ms':>15} "
+              f"{'cur mapped ms':>14} {'base speedup':>13} "
+              f"{'cur speedup':>12}")
+        current = {int(e["models"]): e for e in result.get("registry", [])}
+        for entry in baseline.get("registry", []):
+            models = int(entry["models"])
+            cur = current.get(models)
+            if cur is None:
+                print(f"{models:>9} {float(entry['mapped_cold_ms']):>15.3f} "
+                      f"{'missing':>14} "
+                      f"{float(entry['speedup']):>13.1f} {'-':>12}")
+                continue
+            print(f"{models:>9} {float(entry['mapped_cold_ms']):>15.3f} "
+                  f"{float(cur['mapped_cold_ms']):>14.3f} "
+                  f"{float(entry['speedup']):>13.1f} "
+                  f"{float(cur['speedup']):>12.1f}")
+        for key in ("size_independence_ratio", "mmap_vs_streamed_speedup"):
+            base = baseline.get(key)
+            cur = result.get(key)
+            if base is None or cur is None:
+                continue
+            print(f"{key}: baseline {float(base):.2f} current "
+                  f"{float(cur):.2f}")
+
+
 GATES = {
     "batch_inference": BatchInferenceGate,
     "serving": ServingGate,
     "planner": PlannerGate,
+    "store": StoreGate,
 }
 
 
@@ -236,6 +292,28 @@ def run_planner_speedup_floor(result: dict, result_path: Path,
         return False
     print(f"OK: planner batched+memoized vs naive speedup {speedup:.1f}x "
           f">= {min_speedup:.1f}x (machine-relative floor).")
+    return True
+
+
+def run_store_speedup_floor(result: dict, result_path: Path,
+                            min_speedup: float) -> bool:
+    """The machine-relative store floor; True when it holds."""
+    speedup = float(result.get("mmap_vs_streamed_speedup", 0.0))
+    models = int(result.get("largest_registry_models", 0))
+    if speedup < min_speedup:
+        print(f"FAIL: mapped cold start is only {speedup:.1f}x the "
+              f"streamed Load at the {models}-model registry in "
+              f"{result_path} (required >= {min_speedup:.1f}x). The "
+              f"store's zero-copy attach stopped paying for itself — "
+              f"look for a weight copy creeping into AttachWeights, an "
+              f"eager per-combo allocation in AttachMappedSource, or "
+              f"the manifest index re-growing O(N) work at Open.",
+              file=sys.stderr)
+        return False
+    print(f"OK: mapped vs streamed cold start {speedup:.1f}x >= "
+          f"{min_speedup:.1f}x at the {models}-model registry "
+          f"(machine-relative floor; size-independence ratio "
+          f"{float(result.get('size_independence_ratio', 0.0)):.2f}).")
     return True
 
 
@@ -396,6 +474,11 @@ def main() -> int:
                              "planner results (machine-relative, "
                              "enforced even when the absolute gate is "
                              "skipped; default: %(default)s)")
+    parser.add_argument("--min-store-speedup", type=float, default=5.0,
+                        help="required mmap_vs_streamed_speedup for "
+                             "store results (machine-relative, enforced "
+                             "even when the absolute gate is skipped; "
+                             "default: %(default)s)")
     parser.add_argument("--min-qerror-convergence", type=float,
                         default=1.2,
                         help="required feedback_loop."
@@ -444,6 +527,10 @@ def main() -> int:
     if result.get("bench") == "serving":
         relative_floors_ok = run_qerror_convergence_floor(
             result, result_path, args.min_qerror_convergence) \
+            and relative_floors_ok
+    if result.get("bench") == "store":
+        relative_floors_ok = run_store_speedup_floor(
+            result, result_path, args.min_store_speedup) \
             and relative_floors_ok
 
     baseline_path = Path(args.baseline) if args.baseline \

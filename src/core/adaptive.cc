@@ -98,16 +98,148 @@ double AdaptiveLmkg::IndependenceFallback(const Query& q) const {
   return IndependenceCombination(graph_, single_pattern_, q);
 }
 
+bool AdaptiveLmkg::PendingCanEstimate(const Combo& combo,
+                                      const query::Query& q) {
+  std::unique_ptr<encoding::QueryEncoder>& probe = mapped_probes_[combo];
+  if (probe == nullptr) probe = MakeComboEncoder(combo);
+  return probe->CanEncode(q);
+}
+
+void AdaptiveLmkg::TouchMapped(const Combo& combo) {
+  if (mapped_source_ != nullptr && mapped_hydrated_.count(combo) > 0)
+    mapped_source_->Touch(combo);
+}
+
+LmkgS* AdaptiveLmkg::HydrateMapped(const Combo& combo) {
+  const auto it = std::lower_bound(mapped_pending_.begin(),
+                                   mapped_pending_.end(), combo);
+  LMKG_CHECK(it != mapped_pending_.end() && *it == combo);
+  // Success or failure, the combo leaves the pending set: hydrated
+  // models live in models_, failed ones fall back to independence (a
+  // bad segment must not be re-probed on every query).
+  mapped_pending_.erase(it);
+  mapped_probes_.erase(combo);
+  std::optional<MappedWeights> weights = mapped_source_->Hydrate(combo);
+  if (!weights.has_value()) {
+    if (config_.verbose)
+      std::cerr << "[adaptive] mapped hydration failed for "
+                << TopologyName(combo.topology) << "-" << combo.size
+                << "\n";
+    return nullptr;
+  }
+  std::unique_ptr<LmkgS> model =
+      LmkgS::CreateMapped(MakeComboEncoder(combo), config_.s_config);
+  const util::Status status = model->AttachWeights(
+      weights->tensors, weights->log_min, weights->log_max);
+  if (!status.ok()) {
+    if (config_.verbose)
+      std::cerr << "[adaptive] mapped attach failed for "
+                << TopologyName(combo.topology) << "-" << combo.size
+                << ": " << status.message() << "\n";
+    return nullptr;
+  }
+  model->WarmUp();
+  LmkgS* raw = model.get();
+  models_[combo] = std::move(model);
+  mapped_hydrated_.insert(combo);
+  return raw;
+}
+
 LmkgS* AdaptiveLmkg::SelectModel(const Query& q) {
   Combo combo{query::ClassifyTopology(q), static_cast<int>(q.size())};
   if (auto it = models_.find(combo); it != models_.end() &&
-                                     it->second->CanEstimate(q))
+                                     it->second->CanEstimate(q)) {
+    TouchMapped(combo);
     return it->second.get();
+  }
+  if (std::binary_search(mapped_pending_.begin(), mapped_pending_.end(),
+                         combo)) {
+    // Exact combo match: hydrate directly — a pre-hydration probe would
+    // build the same encoder the hydration itself needs, doubling the
+    // cold-start cost of the first estimate.
+    if (LmkgS* model = HydrateMapped(combo);
+        model != nullptr && model->CanEstimate(q)) {
+      TouchMapped(combo);
+      return model;
+    }
+    // Hydration failed (combo dropped) or the hydrated model cannot
+    // encode this particular query; continue to the scan.
+  }
   // No exact combo model: any model whose encoder fits the query (e.g. a
-  // larger SG model) still beats the independence fallback.
-  for (auto& [key, model] : models_)
-    if (model->CanEstimate(q)) return model.get();
+  // larger SG model) still beats the independence fallback. Merge the
+  // hydrated and pending sets in combo order so the pick matches what a
+  // fully-streamed registry would choose.
+  auto mi = models_.begin();
+  size_t pi = 0;
+  while (mi != models_.end() || pi < mapped_pending_.size()) {
+    const bool take_model =
+        pi >= mapped_pending_.size() ||
+        (mi != models_.end() && mi->first < mapped_pending_[pi]);
+    if (take_model) {
+      if (mi->second->CanEstimate(q)) {
+        TouchMapped(mi->first);
+        return mi->second.get();
+      }
+      ++mi;
+    } else {
+      const Combo candidate = mapped_pending_[pi];
+      if (PendingCanEstimate(candidate, q)) {
+        if (LmkgS* model = HydrateMapped(candidate); model != nullptr) {
+          TouchMapped(candidate);
+          return model;
+        }
+        // The failed combo was erased from the pending vector, so pi
+        // already indexes the next candidate. The models_ iterator is
+        // unaffected (hydration only inserts on success, and this
+        // branch is the failure path).
+        continue;
+      }
+      ++pi;
+    }
+  }
   return nullptr;
+}
+
+void AdaptiveLmkg::AttachMappedSource(std::shared_ptr<MappedSource> source,
+                                      std::vector<Combo> combos) {
+  LMKG_CHECK(source != nullptr);
+  LMKG_CHECK(mapped_source_ == nullptr)
+      << "a replica attaches at most one mapped source";
+  std::sort(combos.begin(), combos.end());
+  combos.erase(std::unique(combos.begin(), combos.end()), combos.end());
+  // Trained models win over their store-backed counterparts.
+  combos.erase(std::remove_if(combos.begin(), combos.end(),
+                              [&](const Combo& combo) {
+                                return models_.count(combo) > 0;
+                              }),
+               combos.end());
+  mapped_source_ = std::move(source);
+  mapped_pending_ = std::move(combos);
+}
+
+util::Status AdaptiveLmkg::HydrateAllMapped() {
+  while (!mapped_pending_.empty()) {
+    const Combo combo = mapped_pending_.front();
+    if (HydrateMapped(combo) == nullptr)
+      return util::Status::Error(util::StrFormat(
+          "adaptive: mapped hydration failed for %s-%d",
+          TopologyName(combo.topology), combo.size));
+  }
+  return util::Status::Ok();
+}
+
+LmkgS* AdaptiveLmkg::FindModel(const Combo& combo) {
+  const auto it = models_.find(combo);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::vector<AdaptiveLmkg::Combo> AdaptiveLmkg::ModelCombos() const {
+  std::vector<Combo> combos;
+  combos.reserve(num_models());
+  for (const auto& [combo, model] : models_) combos.push_back(combo);
+  combos.insert(combos.end(), mapped_pending_.begin(),
+                mapped_pending_.end());
+  return combos;
 }
 
 double AdaptiveLmkg::EstimateCardinality(const Query& q) {
@@ -181,7 +313,10 @@ AdaptiveLmkg::AdaptReport AdaptiveLmkg::Adapt() {
   // composite shapes need >= 3 patterns for a genuine tree workload —
   // 2-pattern composites stay on the independence fallback).
   for (const Combo& combo : monitor_.HotCombos()) {
-    if (combo.size < 2 || models_.count(combo) > 0) continue;
+    // Covers() includes pending mapped combos: a store-backed model that
+    // simply hasn't been queried yet must not be shadowed by a freshly
+    // trained one.
+    if (combo.size < 2 || Covers(combo)) continue;
     if (combo.topology == query::Topology::kComposite && combo.size < 3)
       continue;
     models_[combo] = TrainSpecialized(combo);
@@ -217,6 +352,7 @@ AdaptiveLmkg::AdaptReport AdaptiveLmkg::Adapt() {
         std::cerr << "[adaptive] dropped "
                   << TopologyName(coldest->first.topology) << "-"
                   << coldest->first.size << "\n";
+      mapped_hydrated_.erase(coldest->first);
       models_.erase(coldest);
     }
   }
@@ -288,6 +424,11 @@ constexpr uint32_t kMaxComboSize = 256;
 }  // namespace
 
 util::Status AdaptiveLmkg::Save(std::ostream& out) {
+  // The snapshot must carry every served model, so pending mapped
+  // combos are hydrated first (their borrowed weights serialize like
+  // any other — SaveParams reads through const access).
+  if (util::Status status = HydrateAllMapped(); !status.ok())
+    return status;
   nn::WriteU32(out, kSnapshotMagic);
   nn::WriteU32(out, kSnapshotVersion);
   // Config header: enough to reject a Load into a mismatched
@@ -396,6 +537,11 @@ util::Status AdaptiveLmkg::Load(std::istream& in) {
       return util::Status::Error("adaptive: duplicate combo in snapshot");
   }
   models_ = std::move(loaded);
+  // A full snapshot replaces the registry wholesale; whatever mapped
+  // models were attached (pending or hydrated) are superseded with it.
+  mapped_pending_.clear();
+  mapped_probes_.clear();
+  mapped_hydrated_.clear();
   monitor_.RestoreState(monitor);
   models_created_ = static_cast<size_t>(created);
   return util::Status::Ok();
@@ -462,6 +608,15 @@ util::Status AdaptiveLmkg::LoadModel(const Combo& combo,
       std::make_unique<LmkgS>(MakeComboEncoder(combo), config_.s_config);
   util::Status status = model->Load(in);
   if (!status.ok()) return status;
+  // The fresh weights supersede any store-backed version of this combo
+  // (the old hydrated model — and its borrow of the mapping — dies
+  // here; the mapping itself belongs to the cache and lives on).
+  if (const auto it = std::lower_bound(mapped_pending_.begin(),
+                                       mapped_pending_.end(), combo);
+      it != mapped_pending_.end() && *it == combo)
+    mapped_pending_.erase(it);
+  mapped_probes_.erase(combo);
+  mapped_hydrated_.erase(combo);
   models_[combo] = std::move(model);
   return util::Status::Ok();
 }

@@ -1,9 +1,13 @@
 #ifndef LMKG_CORE_ADAPTIVE_H_
 #define LMKG_CORE_ADAPTIVE_H_
 
+#include <algorithm>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -145,10 +149,69 @@ class AdaptiveLmkg : public CardinalityEstimator {
   util::Status SaveModel(const Combo& combo, std::ostream& out);
   util::Status LoadModel(const Combo& combo, std::istream& in);
 
+  /// Weight views + label scaler a mapped-model provider hands back at
+  /// hydration time. The views point into storage the provider's owner
+  /// keeps alive (an mmapped store segment) — AdaptiveLmkg never copies
+  /// them; the hydrated model borrows them directly.
+  struct MappedWeights {
+    std::vector<nn::ConstMatrixView> tensors;
+    double log_min = 0.0;
+    double log_max = 0.0;
+  };
+
+  /// A tenant-scoped source of store-backed models: ONE object serves
+  /// every combo the registry holds, so attaching a registry of N
+  /// models costs O(1) allocations instead of a pair of heap-allocated
+  /// std::functions per combo — the invariant that keeps cold start
+  /// independent of registry size (bench_store gates it).
+  class MappedSource {
+   public:
+    virtual ~MappedSource() = default;
+    /// Maps the combo's segment (typically through a store::StoreCache)
+    /// and returns its weight views; nullopt on failure. Called once
+    /// per combo, at hydration. The views must stay valid for the
+    /// replica's lifetime — i.e. the mapping's owner must outlive the
+    /// replica.
+    virtual std::optional<MappedWeights> Hydrate(const Combo& combo) = 0;
+    /// Per-serve hook (the cache's LRU touch) invoked every time a
+    /// model hydrated from this source serves an estimate.
+    virtual void Touch(const Combo& combo) = 0;
+  };
+
+  /// Registers `combos` for LAZY hydration through `source`: nothing is
+  /// mapped or built until the first query a combo would serve arrives.
+  /// Pending combos count as covered (Covers/num_models) and
+  /// participate in model selection exactly as if hydrated — fallback
+  /// scans consult a cheap probe encoder, and the model itself
+  /// (serve-only LmkgS borrowing the mapped weights) is built on first
+  /// use. A combo that fails to hydrate is dropped and its queries fall
+  /// back to the independence estimate. Combos already holding a
+  /// trained model are skipped. At most one source per replica.
+  void AttachMappedSource(std::shared_ptr<MappedSource> source,
+                          std::vector<Combo> combos);
+
+  /// Forces hydration of every pending mapped combo (cold-start benches
+  /// measuring eager attach; Save, whose snapshot must carry all
+  /// models). Fails on the first segment that cannot be hydrated.
+  util::Status HydrateAllMapped();
+
+  /// The combo's hydrated model, nullptr if absent or still pending —
+  /// how a lifecycle reads trained weights out of its shadow for store
+  /// persistence.
+  LmkgS* FindModel(const Combo& combo);
+
+  /// Every served combo: hydrated models first, then pending mapped
+  /// ones, each set combo-ordered.
+  std::vector<Combo> ModelCombos() const;
+
   bool Covers(const Combo& combo) const {
-    return models_.count(combo) > 0;
+    return models_.count(combo) > 0 ||
+           std::binary_search(mapped_pending_.begin(),
+                              mapped_pending_.end(), combo);
   }
-  size_t num_models() const { return models_.size(); }
+  size_t num_models() const {
+    return models_.size() + mapped_pending_.size();
+  }
   const WorkloadMonitor& monitor() const { return monitor_; }
 
  private:
@@ -163,14 +226,35 @@ class AdaptiveLmkg : public CardinalityEstimator {
   // The model serving q: its exact (topology, size) combo if trained,
   // otherwise any model whose encoder fits (e.g. a larger SG model);
   // nullptr means the independence fallback. Shared by the per-query and
-  // batched paths so their dispatch can never drift apart.
+  // batched paths so their dispatch can never drift apart. Pending
+  // mapped combos are probed in the same combo order a fully-hydrated
+  // registry would scan, so lazy hydration can never change WHICH model
+  // serves a query — only when it gets built.
   LmkgS* SelectModel(const query::Query& q);
   double IndependenceFallback(const query::Query& q) const;
+
+  // Whether the pending combo's model could estimate q, answered by a
+  // lazily-built probe encoder (CanEstimate on a hydrated LmkgS is
+  // exactly CanEncode) — so fallback scans never hydrate blindly.
+  bool PendingCanEstimate(const Combo& combo, const query::Query& q);
+  // Moves a pending combo into models_ (source Hydrate -> CreateMapped
+  // -> AttachWeights -> WarmUp). Success or failure, the combo leaves
+  // the pending set; on failure its queries fall back and nullptr
+  // returns.
+  LmkgS* HydrateMapped(const Combo& combo);
+  void TouchMapped(const Combo& combo);
 
   const rdf::Graph& graph_;
   AdaptiveLmkgConfig config_;
   WorkloadMonitor monitor_;
   std::map<Combo, std::unique_ptr<LmkgS>> models_;
+  // The attached registry (AttachMappedSource): combos awaiting first
+  // use (sorted), their lazily-built probe encoders, and the combos in
+  // models_ whose serves LRU-touch through the source.
+  std::shared_ptr<MappedSource> mapped_source_;
+  std::vector<Combo> mapped_pending_;
+  std::map<Combo, std::unique_ptr<encoding::QueryEncoder>> mapped_probes_;
+  std::set<Combo> mapped_hydrated_;
   mutable SinglePatternEstimator single_pattern_;
   size_t models_created_ = 0;  // seeds successive trainings differently
   // Ingested executor truths awaiting the next Adapt(), per combo.

@@ -8,38 +8,119 @@
 #include "nn/serialize.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
+#include "util/strings.h"
 
 namespace lmkg::core {
 
 LmkgS::LmkgS(std::unique_ptr<encoding::QueryEncoder> encoder,
              const LmkgSConfig& config)
-    : encoder_(std::move(encoder)), config_(config) {
+    : LmkgS(std::move(encoder), config, /*mapped=*/false) {}
+
+LmkgS::LmkgS(std::unique_ptr<encoding::QueryEncoder> encoder,
+             const LmkgSConfig& config, bool mapped)
+    : encoder_(std::move(encoder)), config_(config), mapped_(mapped) {
   LMKG_CHECK(encoder_ != nullptr);
   LMKG_CHECK_GE(config_.num_hidden_layers, 1);
   BuildNetwork();
 }
 
+std::unique_ptr<LmkgS> LmkgS::CreateMapped(
+    std::unique_ptr<encoding::QueryEncoder> encoder,
+    const LmkgSConfig& config) {
+  return std::unique_ptr<LmkgS>(
+      new LmkgS(std::move(encoder), config, /*mapped=*/true));
+}
+
 void LmkgS::BuildNetwork() {
+  // The mapped stack keeps the exact layer sequence of the trained one
+  // (including Dropout, identity at inference) so the forward pass — and
+  // therefore every estimate — is bit-identical to the model the segment
+  // was written from.
   util::Pcg32 rng(config_.seed, /*stream=*/0x57f);
   size_t in_dim = encoder_->width();
   for (int layer = 0; layer < config_.num_hidden_layers; ++layer) {
-    net_.Add(std::make_unique<nn::Dense>(in_dim, config_.hidden_dim, rng));
+    net_.Add(mapped_ ? std::make_unique<nn::Dense>(nn::kNoInit)
+                     : std::make_unique<nn::Dense>(in_dim,
+                                                   config_.hidden_dim, rng));
     net_.Add(std::make_unique<nn::Relu>());
     if (config_.dropout > 0.0)
       net_.Add(std::make_unique<nn::Dropout>(config_.dropout,
                                              config_.seed + layer + 1));
     in_dim = config_.hidden_dim;
   }
-  net_.Add(std::make_unique<nn::Dense>(in_dim, 1, rng));
+  net_.Add(mapped_ ? std::make_unique<nn::Dense>(nn::kNoInit)
+                   : std::make_unique<nn::Dense>(in_dim, 1, rng));
   net_.Add(std::make_unique<nn::Sigmoid>());
-  optimizer_ = std::make_unique<nn::Adam>(net_.Params(),
-                                          config_.learning_rate);
+  if (!mapped_)
+    optimizer_ = std::make_unique<nn::Adam>(net_.Params(),
+                                            config_.learning_rate);
+}
+
+std::vector<nn::ConstMatrixView> LmkgS::ParamViews() {
+  LMKG_CHECK(trained_) << "LMKG-S ParamViews before weights exist";
+  std::vector<nn::ConstMatrixView> views;
+  for (const nn::ParamRef& p : net_.Params()) {
+    const nn::Matrix& m = *p.value;
+    views.push_back({m.data(), m.rows(), m.cols()});
+  }
+  return views;
+}
+
+std::vector<std::pair<size_t, size_t>> LmkgS::ExpectedParamShapes() const {
+  std::vector<std::pair<size_t, size_t>> shapes;
+  size_t in_dim = encoder_->width();
+  for (int layer = 0; layer < config_.num_hidden_layers; ++layer) {
+    shapes.emplace_back(in_dim, config_.hidden_dim);  // W
+    shapes.emplace_back(size_t{1}, config_.hidden_dim);  // b
+    in_dim = config_.hidden_dim;
+  }
+  shapes.emplace_back(in_dim, size_t{1});
+  shapes.emplace_back(size_t{1}, size_t{1});
+  return shapes;
+}
+
+util::Status LmkgS::AttachWeights(
+    std::span<const nn::ConstMatrixView> views, double log_min,
+    double log_max) {
+  LMKG_CHECK(mapped_) << "AttachWeights on a trained LMKG-S";
+  const auto shapes = ExpectedParamShapes();
+  if (views.size() != shapes.size())
+    return util::Status::Error(util::StrFormat(
+        "lmkg-s attach: tensor count mismatch (segment %zu, model %zu)",
+        views.size(), shapes.size()));
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (views[i].rows != shapes[i].first ||
+        views[i].cols != shapes[i].second)
+      return util::Status::Error(util::StrFormat(
+          "lmkg-s attach: tensor %zu shape mismatch (segment %zux%zu, "
+          "model %zux%zu)",
+          i, views[i].rows, views[i].cols, shapes[i].first,
+          shapes[i].second));
+  }
+  auto params = net_.Params();
+  LMKG_CHECK_EQ(params.size(), views.size());
+  for (size_t i = 0; i < views.size(); ++i)
+    params[i].value->BorrowConst(views[i]);
+  scaler_.Restore(log_min, log_max);
+  trained_ = true;
+  return util::Status::Ok();
+}
+
+void LmkgS::WarmUp() {
+  LMKG_CHECK(trained_) << "LMKG-S WarmUp before weights exist";
+  input_buffer_.ResizeZeroed(1, encoder_->width());
+  net_.Forward(input_buffer_, /*training=*/false);
+  sparse_input_buffer_.Clear(encoder_->width());
+  sparse_input_buffer_.row_begin.push_back(0);  // one all-zero row
+  net_.ForwardSparseInput(sparse_input_buffer_);
 }
 
 LmkgS::TrainStats LmkgS::Train(
     const std::vector<sampling::LabeledQuery>& data,
     const EpochCallback& callback) {
   LMKG_CHECK(!data.empty()) << "LMKG-S requires training data";
+  LMKG_CHECK(optimizer_ != nullptr)
+      << "LMKG-S Train on a mapped (serve-only) model";
   util::Stopwatch timer;
 
   // Fit the label scaler once, on the first training call.
@@ -164,6 +245,8 @@ util::Status LmkgS::Save(std::ostream& out) {
 }
 
 util::Status LmkgS::Load(std::istream& in) {
+  LMKG_CHECK(!mapped_)
+      << "LMKG-S Load on a mapped model (weights are read-only borrows)";
   double header[2] = {0.0, 0.0};
   in.read(reinterpret_cast<char*>(header), sizeof(header));
   if (!in) return util::Status::Error("lmkg-s: truncated scaler header");

@@ -4,6 +4,8 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/estimator.h"
@@ -45,6 +47,16 @@ class LmkgS : public CardinalityEstimator {
   LmkgS(std::unique_ptr<encoding::QueryEncoder> encoder,
         const LmkgSConfig& config);
 
+  /// Serve-only factory for the mmapped model store: builds the same
+  /// layer stack as the trained constructor but with EMPTY weight
+  /// matrices and no optimizer (no He init, no Adam state — nothing a
+  /// serving process pays for per model). The model cannot estimate
+  /// until AttachWeights points every parameter at store-owned memory;
+  /// Train CHECK-fails for the instance's lifetime.
+  static std::unique_ptr<LmkgS> CreateMapped(
+      std::unique_ptr<encoding::QueryEncoder> encoder,
+      const LmkgSConfig& config);
+
   struct TrainStats {
     std::vector<double> epoch_losses;
     double seconds = 0.0;
@@ -75,6 +87,36 @@ class LmkgS : public CardinalityEstimator {
   util::Status Save(std::ostream& out);
   util::Status Load(std::istream& in);
 
+  /// Read-only views of the trained parameters in CollectParams order —
+  /// what store::ModelStore::WriteSegment serializes into a segment.
+  /// Valid only while the model (or, for mapped models, the underlying
+  /// mapping) is alive.
+  std::vector<nn::ConstMatrixView> ParamViews();
+
+  /// Parameter shapes in CollectParams order ({W, b} per Dense layer)
+  /// for the network this encoder/config pair builds — what the model
+  /// store validates a segment's tensor table against before attaching.
+  std::vector<std::pair<size_t, size_t>> ExpectedParamShapes() const;
+
+  /// Points every parameter at caller-owned read-only storage (mmapped
+  /// segment tensors; 64-byte-aligned for full kernel speed) and
+  /// restores the label scaler. `views` must match ExpectedParamShapes()
+  /// exactly — checked, not assumed. After Ok() the model estimates
+  /// directly from the mapped bytes with zero weight-matrix copies; the
+  /// storage must outlive the model. Only valid on CreateMapped models.
+  util::Status AttachWeights(std::span<const nn::ConstMatrixView> views,
+                             double log_min, double log_max);
+
+  /// Runs one throwaway dense and one sparse single-row forward to size
+  /// the activation/input buffers, so the first real estimate after an
+  /// attach needs no buffer growth (half of the alloc_test warm pin;
+  /// encoder scratch still warms on the first real query).
+  void WarmUp();
+
+  /// True for CreateMapped models (weights borrowed from a store
+  /// mapping, Train unavailable).
+  bool mapped() const { return mapped_; }
+
   const encoding::QueryEncoder& encoder() const { return *encoder_; }
   const util::LogMinMaxScaler& scaler() const { return scaler_; }
 
@@ -94,14 +136,17 @@ class LmkgS : public CardinalityEstimator {
   void ResetStageStats() { stage_stats_ = StageStats{}; }
 
  private:
+  LmkgS(std::unique_ptr<encoding::QueryEncoder> encoder,
+        const LmkgSConfig& config, bool mapped);
   void BuildNetwork();
 
   std::unique_ptr<encoding::QueryEncoder> encoder_;
   LmkgSConfig config_;
   nn::Sequential net_;
-  std::unique_ptr<nn::Adam> optimizer_;
+  std::unique_ptr<nn::Adam> optimizer_;  // null for mapped models
   util::LogMinMaxScaler scaler_;
   bool trained_ = false;
+  bool mapped_ = false;
   // Reused per-estimate buffers.
   nn::Matrix input_buffer_;
   nn::SparseRows sparse_input_buffer_;

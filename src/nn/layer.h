@@ -45,11 +45,20 @@ class Layer {
   virtual std::string name() const = 0;
 };
 
+/// Tag selecting Dense's serve-only constructor (weights left empty for a
+/// later Matrix::BorrowConst attach — no allocation, no RNG draw).
+struct NoInitTag {};
+inline constexpr NoInitTag kNoInit{};
+
 /// Fully connected layer: out = in * W + b, W is (in_dim x out_dim).
 /// He-initialized (suits the ReLU stacks used throughout LMKG).
 class Dense : public Layer {
  public:
   Dense(size_t in_dim, size_t out_dim, util::Pcg32& rng);
+  /// Serve-only: all four matrices stay empty. The caller must attach
+  /// weight storage (Matrix::BorrowConst via CollectParams) before the
+  /// first Forward; Backward is invalid for the layer's lifetime.
+  explicit Dense(NoInitTag) {}
 
   void Forward(const Matrix& in, Matrix* out, bool training) override;
   void Backward(const Matrix& in, const Matrix& out, const Matrix& dout,

@@ -47,11 +47,13 @@ util::Status SaveParams(const std::vector<ParamRef>& params,
   WriteU32(out, kVersion);
   WriteU32(out, static_cast<uint32_t>(params.size()));
   for (const ParamRef& p : params) {
-    WriteU32(out, static_cast<uint32_t>(p.value->rows()));
-    WriteU32(out, static_cast<uint32_t>(p.value->cols()));
-    out.write(reinterpret_cast<const char*>(p.value->data()),
-              static_cast<std::streamsize>(p.value->size() *
-                                           sizeof(float)));
+    // Const access only: params may be borrowed views over an mmapped
+    // store segment, where the mutating accessors are invalid.
+    const Matrix& m = *p.value;
+    WriteU32(out, static_cast<uint32_t>(m.rows()));
+    WriteU32(out, static_cast<uint32_t>(m.cols()));
+    out.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(float)));
   }
   out.flush();
   if (!out) return util::Status::Error("serialize: write failed");

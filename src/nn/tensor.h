@@ -37,10 +37,28 @@ struct CacheAlignedAllocator {
   }
 };
 
+/// A non-owning const view of a row-major float matrix — how the model
+/// store hands mmapped weight tensors to Matrix::BorrowConst without a
+/// dependency edge from nn to the store.
+struct ConstMatrixView {
+  const float* data = nullptr;
+  size_t rows = 0;
+  size_t cols = 0;
+};
+
 /// Dense row-major float matrix — the only tensor type the NN substrate
 /// needs (vectors are 1 x n matrices). Sized for the models LMKG trains
 /// (hidden dims in the hundreds); all ops are cache-aware loops with no
 /// BLAS dependency.
+///
+/// Storage is normally owned (64-byte-aligned heap); BorrowConst turns
+/// the matrix into a READ-ONLY view over external memory (an mmapped
+/// store segment) — same const accessors, zero copy. Mutating accessors
+/// (non-const data()/row()/at(), Fill, Resize, ...) are invalid on a
+/// borrowed matrix and DCHECK in debug builds; the const overloads keep
+/// the forward kernels (which only read weights) working unchanged.
+/// Copying a borrowed matrix copies the BORROW (both views alias the
+/// same external bytes); the external memory must outlive every view.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -49,25 +67,38 @@ class Matrix {
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  size_t size() const { return borrow_ ? rows_ * cols_ : data_.size(); }
+  bool empty() const { return size() == 0; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float* row(size_t r) { return data_.data() + r * cols_; }
-  const float* row(size_t r) const { return data_.data() + r * cols_; }
+  float* data() {
+    LMKG_DCHECK(borrow_ == nullptr);
+    return data_.data();
+  }
+  const float* data() const { return borrow_ ? borrow_ : data_.data(); }
+  float* row(size_t r) {
+    LMKG_DCHECK(borrow_ == nullptr);
+    return data_.data() + r * cols_;
+  }
+  const float* row(size_t r) const { return data() + r * cols_; }
 
   float& at(size_t r, size_t c) {
+    LMKG_DCHECK(borrow_ == nullptr);
     LMKG_DCHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
   float at(size_t r, size_t c) const {
     LMKG_DCHECK(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return data()[r * cols_ + c];
   }
 
-  void SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
-  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void SetZero() {
+    LMKG_DCHECK(borrow_ == nullptr);
+    std::fill(data_.begin(), data_.end(), 0.0f);
+  }
+  void Fill(float v) {
+    LMKG_DCHECK(borrow_ == nullptr);
+    std::fill(data_.begin(), data_.end(), v);
+  }
   /// Reshapes to (rows, cols), reallocating if needed. Contents are
   /// UNSPECIFIED afterwards: depending on the old shape callers observe a
   /// mix of stale values and zeros (std::vector::resize zero-fills growth
@@ -75,6 +106,7 @@ class Matrix {
   /// changes). Callers that need a defined state must either overwrite
   /// every element or use ResizeZeroed.
   void Resize(size_t rows, size_t cols) {
+    LMKG_DCHECK(borrow_ == nullptr);
     rows_ = rows;
     cols_ = cols;
     data_.resize(rows * cols);
@@ -85,10 +117,25 @@ class Matrix {
     SetZero();
   }
 
+  /// Points this matrix at external read-only storage (owned storage, if
+  /// any, is released). The bytes must stay valid and unmodified for the
+  /// lifetime of the borrow; 64-byte alignment of `view.data` gives the
+  /// SIMD kernels the same cache-line behavior as owned storage.
+  void BorrowConst(const ConstMatrixView& view) {
+    LMKG_DCHECK(view.data != nullptr || view.rows * view.cols == 0);
+    borrow_ = view.data;
+    rows_ = view.rows;
+    cols_ = view.cols;
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+  bool borrowed() const { return borrow_ != nullptr; }
+
  private:
   size_t rows_;
   size_t cols_;
   std::vector<float, CacheAlignedAllocator<float>> data_;
+  const float* borrow_ = nullptr;
 };
 
 /// A batch of unit-valued sparse rows in CSR-without-values form: row i

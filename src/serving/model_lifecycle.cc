@@ -1,9 +1,12 @@
 #include "serving/model_lifecycle.h"
 
+#include <iostream>
+#include <set>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "store/replica_attach.h"
 #include "util/check.h"
 #include "util/status.h"
 
@@ -101,6 +104,12 @@ LifecycleReport ModelLifecycle::RunOnce() {
     swaps_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // 3c. Persist the swap: whatever just went live also lands in the
+  // durable store, so the next cold start mmaps today's weights instead
+  // of retraining (or serving yesterday's).
+  if (report.swapped && config_.store != nullptr)
+    report.persisted = PersistSwap(report.adapt, report.incremental);
+
   // 4. Refresh the deactivation list from the rolling q-errors — every
   // cycle, swap or not: deactivation is driven by accumulated truths,
   // not by model changes, and the flip routes around the cache so it
@@ -188,6 +197,53 @@ bool ModelLifecycle::SwapUpdatedCombos(
           });
     }
   }
+  return true;
+}
+
+bool ModelLifecycle::PersistSwap(
+    const core::AdaptiveLmkg::AdaptReport& adapt, bool incremental) {
+  store::ModelStore* store = config_.store;
+  const std::string& tenant = config_.store_tenant;
+  const auto log_fail = [](const util::Status& status) {
+    // Persistence is best-effort relative to serving: the in-memory
+    // swap already happened and must stand. The next swap rewrites the
+    // full set, so a transient disk error heals itself.
+    std::cerr << "[lifecycle] store persist failed: " << status.message()
+              << "\n";
+    return false;
+  };
+  if (incremental) {
+    for (const core::AdaptiveLmkg::Combo& combo : adapt.updated) {
+      const util::Status status = store::WriteModelSegment(
+          store, tenant, combo, shadow_->FindModel(combo));
+      if (!status.ok()) return log_fail(status);
+    }
+  } else {
+    // Full swap: reconcile the tenant's segment set against the
+    // shadow's registry — write every current model, remove segments
+    // whose combo no longer exists (dropped this cycle or orphaned by
+    // an earlier failed persist).
+    std::set<store::ComboKey> current;
+    for (const core::AdaptiveLmkg::Combo& combo :
+         shadow_->ModelCombos()) {
+      current.insert(store::ToComboKey(combo));
+      core::LmkgS* model = shadow_->FindModel(combo);
+      // A pending mapped combo has no hydrated weights to write — and
+      // is by definition already store-backed.
+      if (model == nullptr) continue;
+      const util::Status status =
+          store::WriteModelSegment(store, tenant, combo, model);
+      if (!status.ok()) return log_fail(status);
+    }
+    for (const store::SegmentInfo& info : store->TenantSegments(tenant))
+      if (current.count(info.combo) == 0) {
+        const util::Status status =
+            store->RemoveSegment(tenant, info.combo);
+        if (!status.ok()) return log_fail(status);
+      }
+  }
+  const util::Status status = store->Commit();
+  if (!status.ok()) return log_fail(status);
   return true;
 }
 

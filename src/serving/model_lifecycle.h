@@ -14,6 +14,7 @@
 #include "core/adaptive.h"
 #include "serving/estimator_service.h"
 #include "serving/feedback_collector.h"
+#include "store/model_store.h"
 
 namespace lmkg::serving {
 
@@ -31,6 +32,15 @@ struct ModelLifecycleConfig {
   /// false: no background thread — the owner drives RunOnce() manually
   /// (tests, benches, external schedulers).
   bool background = true;
+  /// Durable model store to persist swaps into (borrowed; must outlive
+  /// the lifecycle; nullptr disables persistence). After every swap the
+  /// changed combos are written as segments under `store_tenant` and
+  /// committed in one manifest bump — an incremental swap ships single
+  /// segments, a full swap rewrites the tenant's whole set (and removes
+  /// segments for dropped combos). A crashed process then cold-starts
+  /// by mmapping the store instead of retraining.
+  store::ModelStore* store = nullptr;
+  std::string store_tenant = "default";
   /// Executor-feedback loop (borrowed; must outlive the lifecycle;
   /// nullptr runs the PR-5 tap-only cycle). When set, each cycle drains
   /// the collector's training pairs into the shadow, refreshes the
@@ -57,6 +67,11 @@ struct LifecycleReport {
   bool incremental = false;
   /// Deactivation-list changes this cycle (zeroes without a collector).
   DeactivationReport deactivation;
+  /// True when a swap's changes reached the configured model store
+  /// (always false without a store or a swap). A failed persist never
+  /// blocks serving — the swap stands, the error goes to stderr, and
+  /// the next swap retries the whole set.
+  bool persisted = false;
   /// Service epoch after the cycle.
   uint64_t epoch = 0;
 };
@@ -130,6 +145,13 @@ class ModelLifecycle {
   // replica is not an AdaptiveLmkg — the caller falls back to a full
   // swap. Caller advances the epoch on success.
   bool SwapUpdatedCombos(const std::vector<core::AdaptiveLmkg::Combo>& combos);
+  // Writes this cycle's model changes into config_.store and commits.
+  // `incremental` ships only the adapt report's updated combos; a full
+  // persist reconciles the tenant's whole segment set against the
+  // shadow's registry (new/updated combos written, dropped ones
+  // removed). Returns success; failures are logged, never fatal.
+  bool PersistSwap(const core::AdaptiveLmkg::AdaptReport& adapt,
+                   bool incremental);
 
   EstimatorService* service_;
   core::AdaptiveLmkg* shadow_;

@@ -1,0 +1,639 @@
+#include "store/model_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/atomic_file.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/strings.h"
+
+namespace lmkg::store {
+namespace {
+
+// Segment file ("LMSG" v1), all host-endian like every LMKG format:
+//   [0,80)                  fixed header (below)
+//   [80, 80+16*tc)          tensor table: {u32 rows, u32 cols, u64 off}
+//   [..., payload_offset)   zero pad to a 64-byte boundary
+//   [payload_offset, end)   64-byte-aligned float32 tensor payloads
+// payload_crc covers [80, end) — everything after the fixed header.
+constexpr uint32_t kSegmentMagic = 0x4c4d5347;  // "LMSG"
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderBytes = 80;
+constexpr size_t kTensorEntryBytes = 16;
+constexpr size_t kPayloadAlign = 64;
+// Far above any real model (a 3-layer LmkgS has 8 tensors), far below
+// anything that could overflow the offset arithmetic from a corrupt
+// count.
+constexpr uint32_t kMaxTensors = 4096;
+
+constexpr uint32_t kManifestMagic = 0x4c4d5354;  // "LMST"
+constexpr uint32_t kManifestVersion = 1;
+constexpr uint32_t kMaxManifestEntries = 1u << 20;
+constexpr uint32_t kMaxNameBytes = 4096;
+constexpr char kManifestFile[] = "MANIFEST.lmst";
+
+struct SegmentHeader {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t term_encoding = 0;
+  uint32_t hidden_dim = 0;
+  uint32_t num_hidden_layers = 0;
+  uint32_t topology = 0;
+  uint32_t combo_size = 0;
+  uint32_t tensor_count = 0;
+  uint64_t epoch = 0;
+  double log_min = 0.0;
+  double log_max = 0.0;
+  uint64_t payload_offset = 0;
+  uint64_t payload_bytes = 0;
+  uint32_t payload_crc = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(SegmentHeader) == kSegmentHeaderBytes,
+              "segment header layout is part of the on-disk format");
+
+size_t AlignUp(size_t n, size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+template <typename T>
+void Append(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+// Bounds-checked cursor over a byte buffer (manifest parsing).
+struct Reader {
+  const char* p;
+  size_t left;
+  template <typename T>
+  bool Read(T* v) {
+    if (left < sizeof(T)) return false;
+    std::memcpy(v, p, sizeof(T));
+    p += sizeof(T);
+    left -= sizeof(T);
+    return true;
+  }
+  bool ReadView(uint32_t len, std::string_view* v) {
+    if (len > kMaxNameBytes || left < len) return false;
+    *v = std::string_view(p, len);
+    p += len;
+    left -= len;
+    return true;
+  }
+};
+
+bool ValidTenantName(std::string_view tenant) {
+  if (tenant.empty() || tenant.size() > 256) return false;
+  for (char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string SegmentFileName(const std::string& tenant, ComboKey combo,
+                            uint64_t epoch) {
+  return util::StrFormat("%s.%u-%u.%llu.seg", tenant.c_str(),
+                         combo.topology, combo.size,
+                         static_cast<unsigned long long>(epoch));
+}
+
+util::Status MakeDirs(const std::string& dir) {
+  if (dir.empty()) return util::Status::Error("store: empty directory");
+  // Create each path component; EEXIST at any level is fine.
+  for (size_t pos = 1; pos <= dir.size(); ++pos) {
+    if (pos != dir.size() && dir[pos] != '/') continue;
+    const std::string prefix = dir.substr(0, pos);
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      return util::Status::Error(util::StrFormat(
+          "store: mkdir %s: %s", prefix.c_str(), std::strerror(errno)));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+// --- MappedSegment ---------------------------------------------------------
+
+MappedSegment::~MappedSegment() {
+  if (base_ != nullptr) ::munmap(base_, length_);
+}
+
+MappedSegment::MappedSegment(MappedSegment&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      length_(std::exchange(other.length_, 0)),
+      tensors_(std::move(other.tensors_)),
+      log_min_(other.log_min_),
+      log_max_(other.log_max_),
+      epoch_(other.epoch_),
+      combo_(other.combo_) {}
+
+MappedSegment& MappedSegment::operator=(MappedSegment&& other) noexcept {
+  if (this == &other) return *this;
+  if (base_ != nullptr) ::munmap(base_, length_);
+  base_ = std::exchange(other.base_, nullptr);
+  length_ = std::exchange(other.length_, 0);
+  tensors_ = std::move(other.tensors_);
+  log_min_ = other.log_min_;
+  log_max_ = other.log_max_;
+  epoch_ = other.epoch_;
+  combo_ = other.combo_;
+  return *this;
+}
+
+void MappedSegment::Evict() const {
+  if (base_ == nullptr) return;
+  // Clean file-backed PROT_READ pages: DONTNEED drops them without any
+  // writeback, and the next read through any view refaults from the
+  // file. Best-effort — a failing madvise just means nothing was freed.
+  (void)::madvise(base_, length_, MADV_DONTNEED);
+}
+
+size_t MappedSegment::ResidentBytes() const {
+  if (base_ == nullptr) return 0;
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t pages = (length_ + page - 1) / page;
+  // mincore on a file-backed mapping answers "is the page in the page
+  // cache" — which survives MADV_DONTNEED, so it cannot observe an
+  // eviction. What the budget bounds is OUR page-table residency (RSS);
+  // /proc/self/pagemap bit 63 reports exactly that, and the present bit
+  // is readable without privileges (only the PFN is masked).
+  const int fd = ::open("/proc/self/pagemap", O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    std::vector<uint64_t> entries(pages);
+    const off_t offset = static_cast<off_t>(
+        reinterpret_cast<uintptr_t>(base_) / page * sizeof(uint64_t));
+    const ssize_t want =
+        static_cast<ssize_t>(pages * sizeof(uint64_t));
+    const ssize_t got = ::pread(fd, entries.data(), want, offset);
+    ::close(fd);
+    if (got == want) {
+      size_t bytes = 0;
+      for (uint64_t entry : entries)
+        if (entry & (1ull << 63)) bytes += page;
+      return bytes;
+    }
+  }
+  // Fallback (no /proc): page-cache residency, an upper bound.
+  std::vector<unsigned char> resident(pages);
+  if (::mincore(base_, length_, resident.data()) != 0) return 0;
+  size_t bytes = 0;
+  for (size_t i = 0; i < pages; ++i)
+    if (resident[i] & 1) bytes += page;
+  return bytes;
+}
+
+// --- ModelStore ------------------------------------------------------------
+
+ModelStore::ModelStore(std::string dir, const StoreArch& arch)
+    : dir_(std::move(dir)), arch_(arch) {}
+
+util::Status ModelStore::Open(const std::string& dir,
+                              const StoreArch& arch,
+                              std::unique_ptr<ModelStore>* out) {
+  LMKG_CHECK(out != nullptr);
+  util::Status status = MakeDirs(dir);
+  if (!status.ok()) return status;
+  std::unique_ptr<ModelStore> store(new ModelStore(dir, arch));
+  status = store->LoadManifest();
+  if (!status.ok()) return status;
+  *out = std::move(store);
+  return util::Status::Ok();
+}
+
+util::Status ModelStore::ParseManifest(
+    const std::string& body, uint64_t* epoch,
+    std::vector<EntryRef>* entries) const {
+  if (body.size() < sizeof(uint32_t))
+    return util::Status::Error("store: truncated manifest");
+  // Trailing CRC covers everything before it.
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, body.data() + body.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const size_t payload = body.size() - sizeof(uint32_t);
+  if (util::Crc32(body.data(), payload) != stored_crc)
+    return util::Status::Error("store: manifest checksum mismatch");
+
+  Reader r{body.data(), payload};
+  uint32_t magic = 0, version = 0;
+  if (!r.Read(&magic) || magic != kManifestMagic)
+    return util::Status::Error(
+        "store: bad manifest magic (not an LMKG model store)");
+  if (!r.Read(&version) || version != kManifestVersion)
+    return util::Status::Error(util::StrFormat(
+        "store: unsupported manifest version %u", version));
+  StoreArch arch;
+  if (!r.Read(&arch.term_encoding) || !r.Read(&arch.hidden_dim) ||
+      !r.Read(&arch.num_hidden_layers))
+    return util::Status::Error("store: truncated manifest header");
+  if (!(arch == arch_))
+    return util::Status::Error(util::StrFormat(
+        "store: arch mismatch (store encoding=%u hidden=%u layers=%u; "
+        "caller encoding=%u hidden=%u layers=%u)",
+        arch.term_encoding, arch.hidden_dim, arch.num_hidden_layers,
+        arch_.term_encoding, arch_.hidden_dim, arch_.num_hidden_layers));
+  uint32_t count = 0;
+  if (!r.Read(epoch) || !r.Read(&count) || count > kMaxManifestEntries)
+    return util::Status::Error("store: corrupt manifest header");
+  entries->clear();
+  entries->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    EntryRef entry;
+    uint32_t tenant_len = 0, file_len = 0;
+    if (!r.Read(&tenant_len) || !r.ReadView(tenant_len, &entry.tenant) ||
+        !r.Read(&entry.combo.topology) || !r.Read(&entry.combo.size) ||
+        !r.Read(&entry.epoch) || !r.Read(&file_len) ||
+        !r.ReadView(file_len, &entry.file) || !r.Read(&entry.bytes))
+      return util::Status::Error("store: truncated manifest entry");
+    if (!ValidTenantName(entry.tenant) ||
+        entry.file.find('/') != std::string_view::npos)
+      return util::Status::Error("store: corrupt manifest entry");
+    // Strict ordering doubles as the duplicate check; Commit always
+    // serializes entries sorted by (tenant, combo).
+    if (!entries->empty()) {
+      const EntryRef& prev = entries->back();
+      if (std::make_pair(prev.tenant, prev.combo) >=
+          std::make_pair(entry.tenant, entry.combo))
+        return util::Status::Error("store: unsorted manifest entry");
+    }
+    entries->push_back(entry);
+  }
+  return util::Status::Ok();
+}
+
+util::Status ModelStore::LoadManifest() {
+  const std::string path = dir_ + "/" + kManifestFile;
+  std::string bytes;
+  {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return util::Status::Ok();  // fresh store
+      return util::Status::Error(util::StrFormat(
+          "store: stat %s: %s", path.c_str(), std::strerror(errno)));
+    }
+  }
+  util::Status status = util::ReadFile(path, &bytes);
+  if (!status.ok()) return status;
+  uint64_t epoch = 0;
+  std::vector<EntryRef> entries;
+  status = ParseManifest(bytes, &epoch, &entries);
+  if (!status.ok()) return status;
+  std::lock_guard<std::mutex> lock(mu_);
+  manifest_body_ = std::move(bytes);
+  entries_ = std::move(entries);
+  epoch_ = epoch;
+  return util::Status::Ok();
+}
+
+util::Status ModelStore::WriteSegment(const std::string& tenant,
+                                      const SegmentData& data) {
+  if (!ValidTenantName(tenant))
+    return util::Status::Error(util::StrFormat(
+        "store: invalid tenant name '%s' (want [A-Za-z0-9_-]+)",
+        tenant.c_str()));
+  if (data.tensors.empty() || data.tensors.size() > kMaxTensors)
+    return util::Status::Error("store: segment needs 1..4096 tensors");
+  for (const nn::ConstMatrixView& t : data.tensors)
+    if (t.data == nullptr || t.rows == 0 || t.cols == 0)
+      return util::Status::Error("store: empty tensor in segment");
+
+  uint64_t write_epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_epoch = epoch_ + 1;
+  }
+
+  // Lay the file out in memory: header, tensor table, aligned payloads.
+  const size_t table_end =
+      kSegmentHeaderBytes + kTensorEntryBytes * data.tensors.size();
+  const size_t payload_offset = AlignUp(table_end, kPayloadAlign);
+  std::string table, payload;
+  table.reserve(table_end - kSegmentHeaderBytes);
+  size_t offset = payload_offset;
+  for (const nn::ConstMatrixView& t : data.tensors) {
+    offset = AlignUp(offset, kPayloadAlign);
+    Append(&table, static_cast<uint32_t>(t.rows));
+    Append(&table, static_cast<uint32_t>(t.cols));
+    Append(&table, static_cast<uint64_t>(offset));
+    const size_t bytes = t.rows * t.cols * sizeof(float);
+    payload.resize(offset - payload_offset, '\0');  // inter-tensor pad
+    payload.append(reinterpret_cast<const char*>(t.data), bytes);
+    offset += bytes;
+  }
+
+  SegmentHeader header;
+  header.magic = kSegmentMagic;
+  header.version = kSegmentVersion;
+  header.term_encoding = arch_.term_encoding;
+  header.hidden_dim = arch_.hidden_dim;
+  header.num_hidden_layers = arch_.num_hidden_layers;
+  header.topology = data.combo.topology;
+  header.combo_size = data.combo.size;
+  header.tensor_count = static_cast<uint32_t>(data.tensors.size());
+  header.epoch = write_epoch;
+  header.log_min = data.log_min;
+  header.log_max = data.log_max;
+  header.payload_offset = payload_offset;
+  header.payload_bytes = payload.size();
+  // CRC over [80, end): the table, the table-to-payload pad, and the
+  // payload — chained so no concatenated copy is needed.
+  uint32_t crc = util::Crc32(table.data(), table.size());
+  const std::string pad(payload_offset - table_end, '\0');
+  crc = util::Crc32(pad.data(), pad.size(), crc);
+  header.payload_crc = util::Crc32(payload.data(), payload.size(), crc);
+
+  std::string file_bytes;
+  file_bytes.reserve(kSegmentHeaderBytes + table.size() + pad.size() +
+                     payload.size());
+  file_bytes.append(reinterpret_cast<const char*>(&header),
+                    sizeof(header));
+  file_bytes += table;
+  file_bytes += pad;
+  file_bytes += payload;
+
+  SegmentInfo info;
+  info.tenant = tenant;
+  info.combo = data.combo;
+  info.epoch = write_epoch;
+  info.file = SegmentFileName(tenant, data.combo, write_epoch);
+  info.bytes = file_bytes.size();
+  util::Status status =
+      util::WriteFileAtomic(dir_ + "/" + info.file, file_bytes);
+  if (!status.ok()) return status;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  staged_[{tenant, data.combo}] = std::move(info);
+  return util::Status::Ok();
+}
+
+util::Status ModelStore::RemoveSegment(const std::string& tenant,
+                                       ComboKey combo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(tenant, combo);
+  const auto it = LowerBoundLocked(tenant, combo);
+  const bool committed = it != entries_.end() && it->tenant == tenant &&
+                         it->combo == combo;
+  if (!committed && staged_.count(key) == 0)
+    return util::Status::Error(util::StrFormat(
+        "store: no segment for %s %u-%u", tenant.c_str(), combo.topology,
+        combo.size));
+  staged_[key] = std::nullopt;
+  return util::Status::Ok();
+}
+
+util::Status ModelStore::Commit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (staged_.empty()) return util::Status::Ok();
+  const uint64_t next_epoch = epoch_ + 1;
+
+  std::string body;
+  Append(&body, kManifestMagic);
+  Append(&body, kManifestVersion);
+  Append(&body, arch_.term_encoding);
+  Append(&body, arch_.hidden_dim);
+  Append(&body, arch_.num_hidden_layers);
+  Append(&body, next_epoch);
+  const size_t count_offset = body.size();
+  Append(&body, uint32_t{0});  // entry count, patched below
+
+  // Merge the committed index with the staged overlay — both sorted by
+  // (tenant, combo) — serializing survivors straight into the body.
+  uint32_t count = 0;
+  std::vector<std::string> obsolete;
+  const auto emit = [&](std::string_view tenant, ComboKey combo,
+                        uint64_t epoch, std::string_view file,
+                        uint64_t bytes) {
+    Append(&body, static_cast<uint32_t>(tenant.size()));
+    body += tenant;
+    Append(&body, combo.topology);
+    Append(&body, combo.size);
+    Append(&body, epoch);
+    Append(&body, static_cast<uint32_t>(file.size()));
+    body += file;
+    Append(&body, bytes);
+    ++count;
+  };
+  auto ci = entries_.begin();
+  auto si = staged_.begin();
+  while (ci != entries_.end() || si != staged_.end()) {
+    const bool take_committed =
+        si == staged_.end() ||
+        (ci != entries_.end() &&
+         std::make_pair(ci->tenant, ci->combo) <
+             std::make_pair(std::string_view(si->first.first),
+                            si->first.second));
+    if (take_committed) {
+      emit(ci->tenant, ci->combo, ci->epoch, ci->file, ci->bytes);
+      ++ci;
+      continue;
+    }
+    const bool replaces = ci != entries_.end() &&
+                          ci->tenant == si->first.first &&
+                          ci->combo == si->first.second;
+    const std::optional<SegmentInfo>& entry = si->second;
+    if (replaces && (!entry.has_value() || ci->file != entry->file))
+      obsolete.emplace_back(ci->file);
+    if (replaces) ++ci;
+    if (entry.has_value())
+      emit(entry->tenant, entry->combo, entry->epoch, entry->file,
+           entry->bytes);
+    ++si;
+  }
+  std::memcpy(body.data() + count_offset, &count, sizeof(count));
+  Append(&body, util::Crc32(body.data(), body.size()));
+
+  // The rename below is the commit point: fail before it and the staged
+  // set stays staged against the old manifest; succeed and the unlinks
+  // are pure garbage collection (a crash there leaks files only).
+  util::Status status =
+      util::WriteFileAtomic(dir_ + "/" + kManifestFile, body);
+  if (!status.ok()) return status;
+  // Re-parse what was just written so the in-memory index can never
+  // drift from the on-disk manifest (and the serialization stays
+  // self-checked).
+  uint64_t epoch = 0;
+  std::vector<EntryRef> entries;
+  status = ParseManifest(body, &epoch, &entries);
+  LMKG_CHECK(status.ok()) << status.message();
+  manifest_body_ = std::move(body);
+  entries_ = std::move(entries);
+  epoch_ = epoch;
+  staged_.clear();
+  for (const std::string& file : obsolete)
+    (void)::unlink((dir_ + "/" + file).c_str());
+  return util::Status::Ok();
+}
+
+SegmentInfo ModelStore::MakeInfo(const EntryRef& entry) const {
+  SegmentInfo info;
+  info.tenant = std::string(entry.tenant);
+  info.combo = entry.combo;
+  info.epoch = entry.epoch;
+  info.file = std::string(entry.file);
+  info.bytes = entry.bytes;
+  return info;
+}
+
+std::vector<ModelStore::EntryRef>::const_iterator
+ModelStore::LowerBoundLocked(std::string_view tenant,
+                             ComboKey combo) const {
+  return std::lower_bound(
+      entries_.begin(), entries_.end(), std::make_pair(tenant, combo),
+      [](const EntryRef& entry,
+         const std::pair<std::string_view, ComboKey>& key) {
+        return std::make_pair(entry.tenant, entry.combo) < key;
+      });
+}
+
+std::optional<SegmentInfo> ModelStore::Find(const std::string& tenant,
+                                            ComboKey combo) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = LowerBoundLocked(tenant, combo);
+  if (it == entries_.end() || it->tenant != tenant || !(it->combo == combo))
+    return std::nullopt;
+  return MakeInfo(*it);
+}
+
+std::vector<SegmentInfo> ModelStore::TenantSegments(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SegmentInfo> out;
+  for (auto it = LowerBoundLocked(tenant, ComboKey{});
+       it != entries_.end() && it->tenant == tenant; ++it)
+    out.push_back(MakeInfo(*it));
+  return out;
+}
+
+std::vector<ComboKey> ModelStore::TenantCombos(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto begin = LowerBoundLocked(tenant, ComboKey{});
+  auto end = begin;
+  while (end != entries_.end() && end->tenant == tenant) ++end;
+  std::vector<ComboKey> out;
+  out.reserve(static_cast<size_t>(end - begin));
+  for (auto it = begin; it != end; ++it) out.push_back(it->combo);
+  return out;
+}
+
+std::vector<SegmentInfo> ModelStore::Segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SegmentInfo> out;
+  out.reserve(entries_.size());
+  for (const EntryRef& entry : entries_) out.push_back(MakeInfo(entry));
+  return out;
+}
+
+uint64_t ModelStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+size_t ModelStore::num_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+util::Status ModelStore::MapSegment(const SegmentInfo& info,
+                                    bool verify_crc,
+                                    MappedSegment* out) const {
+  LMKG_CHECK(out != nullptr);
+  const std::string path = dir_ + "/" + info.file;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    return util::Status::Error(util::StrFormat(
+        "store: open %s: %s", path.c_str(), std::strerror(errno)));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const util::Status status = util::Status::Error(util::StrFormat(
+        "store: fstat %s: %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  const size_t length = static_cast<size_t>(st.st_size);
+  if (length != info.bytes || length < kSegmentHeaderBytes) {
+    ::close(fd);
+    return util::Status::Error(util::StrFormat(
+        "store: %s is %zu bytes, manifest says %llu", path.c_str(),
+        length, static_cast<unsigned long long>(info.bytes)));
+  }
+  void* base = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (base == MAP_FAILED)
+    return util::Status::Error(util::StrFormat(
+        "store: mmap %s: %s", path.c_str(), std::strerror(errno)));
+  const char* bytes = static_cast<const char*>(base);
+  auto fail = [&](std::string message) {
+    ::munmap(base, length);
+    return util::Status::Error(std::move(message));
+  };
+
+  SegmentHeader header;
+  std::memcpy(&header, bytes, sizeof(header));
+  if (header.magic != kSegmentMagic)
+    return fail("store: bad segment magic (not an LMKG segment)");
+  if (header.version != kSegmentVersion)
+    return fail(util::StrFormat("store: unsupported segment version %u",
+                                header.version));
+  if (header.term_encoding != arch_.term_encoding ||
+      header.hidden_dim != arch_.hidden_dim ||
+      header.num_hidden_layers != arch_.num_hidden_layers)
+    return fail("store: segment arch mismatch");
+  if (header.topology != info.combo.topology ||
+      header.combo_size != info.combo.size)
+    return fail("store: segment combo does not match manifest");
+  if (header.tensor_count == 0 || header.tensor_count > kMaxTensors)
+    return fail("store: corrupt segment tensor count");
+  const size_t table_end =
+      kSegmentHeaderBytes + kTensorEntryBytes * header.tensor_count;
+  if (header.payload_offset != AlignUp(table_end, kPayloadAlign) ||
+      header.payload_offset > length ||
+      header.payload_offset + header.payload_bytes != length)
+    return fail("store: corrupt segment layout");
+  if (verify_crc &&
+      util::Crc32(bytes + kSegmentHeaderBytes,
+                  length - kSegmentHeaderBytes) != header.payload_crc)
+    return fail("store: segment checksum mismatch");
+
+  std::vector<nn::ConstMatrixView> tensors(header.tensor_count);
+  const char* entry = bytes + kSegmentHeaderBytes;
+  for (uint32_t i = 0; i < header.tensor_count;
+       ++i, entry += kTensorEntryBytes) {
+    uint32_t rows = 0, cols = 0;
+    uint64_t offset = 0;
+    std::memcpy(&rows, entry, sizeof(rows));
+    std::memcpy(&cols, entry + 4, sizeof(cols));
+    std::memcpy(&offset, entry + 8, sizeof(offset));
+    const uint64_t tensor_bytes =
+        static_cast<uint64_t>(rows) * cols * sizeof(float);
+    if (rows == 0 || cols == 0 || offset % kPayloadAlign != 0 ||
+        offset < header.payload_offset || offset > length ||
+        tensor_bytes > length - offset)
+      return fail(
+          util::StrFormat("store: corrupt segment tensor %u", i));
+    tensors[i] = {reinterpret_cast<const float*>(bytes + offset), rows,
+                  cols};
+  }
+
+  MappedSegment mapped;
+  mapped.base_ = base;
+  mapped.length_ = length;
+  mapped.tensors_ = std::move(tensors);
+  mapped.log_min_ = header.log_min;
+  mapped.log_max_ = header.log_max;
+  mapped.epoch_ = header.epoch;
+  mapped.combo_ = info.combo;
+  *out = std::move(mapped);
+  return util::Status::Ok();
+}
+
+}  // namespace lmkg::store

@@ -1,0 +1,102 @@
+#include "store/replica_attach.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace lmkg::store {
+namespace {
+
+// The cache-backed MappedSource AttachReplica hands a replica: one
+// object per (cache, tenant) no matter how many combos the tenant's
+// registry holds — the attach stays O(1) in registry size.
+class CacheSource : public core::AdaptiveLmkg::MappedSource {
+ public:
+  CacheSource(StoreCache* cache, std::string tenant)
+      : cache_(cache), tenant_(std::move(tenant)) {}
+
+  std::optional<core::AdaptiveLmkg::MappedWeights> Hydrate(
+      const core::WorkloadMonitor::Combo& combo) override {
+    const MappedSegment* segment = nullptr;
+    if (!cache_->Acquire(tenant_, ToComboKey(combo), &segment).ok())
+      return std::nullopt;
+    return core::AdaptiveLmkg::MappedWeights{
+        segment->tensors(), segment->log_min(), segment->log_max()};
+  }
+
+  void Touch(const core::WorkloadMonitor::Combo& combo) override {
+    cache_->Touch(tenant_, ToComboKey(combo));
+  }
+
+ private:
+  StoreCache* const cache_;
+  const std::string tenant_;
+};
+
+}  // namespace
+
+ComboKey ToComboKey(const core::WorkloadMonitor::Combo& combo) {
+  return ComboKey{static_cast<uint32_t>(combo.topology),
+                  static_cast<uint32_t>(combo.size)};
+}
+
+StoreArch ToStoreArch(const core::AdaptiveLmkgConfig& config) {
+  return StoreArch{
+      static_cast<uint32_t>(config.term_encoding),
+      static_cast<uint32_t>(config.s_config.hidden_dim),
+      static_cast<uint32_t>(config.s_config.num_hidden_layers)};
+}
+
+util::Status AttachReplica(StoreCache* cache, const std::string& tenant,
+                           core::AdaptiveLmkg* replica,
+                           const AttachOptions& options) {
+  LMKG_CHECK(cache != nullptr);
+  LMKG_CHECK(replica != nullptr);
+  // The combo keys come straight off the store's flat manifest index;
+  // the source owns the tenant binding, and the cache owns every
+  // mapping for the replica's lifetime.
+  const std::vector<ComboKey> keys =
+      cache->store().TenantCombos(tenant);
+  std::vector<core::WorkloadMonitor::Combo> combos;
+  combos.reserve(keys.size());
+  for (const ComboKey& key : keys) {
+    if (key.topology > static_cast<uint32_t>(query::Topology::kComposite) ||
+        key.size < 2 || key.size > 256)
+      return util::Status::Error(util::StrFormat(
+          "store attach: unservable combo %u-%u for tenant %s",
+          key.topology, key.size, tenant.c_str()));
+    combos.push_back(core::WorkloadMonitor::Combo{
+        static_cast<query::Topology>(key.topology),
+        static_cast<int>(key.size)});
+  }
+  replica->AttachMappedSource(std::make_shared<CacheSource>(cache, tenant),
+                              std::move(combos));
+  if (options.hydrate_all) {
+    if (util::Status status = replica->HydrateAllMapped(); !status.ok())
+      return status;
+  }
+  for (const query::Query& q : options.warm_queries)
+    (void)replica->EstimateCardinality(q);
+  return util::Status::Ok();
+}
+
+util::Status WriteModelSegment(ModelStore* store,
+                               const std::string& tenant,
+                               const core::WorkloadMonitor::Combo& combo,
+                               core::LmkgS* model) {
+  LMKG_CHECK(store != nullptr);
+  if (model == nullptr)
+    return util::Status::Error(util::StrFormat(
+        "store write: no model for combo %s-%d",
+        query::TopologyName(combo.topology), combo.size));
+  SegmentData data;
+  data.combo = ToComboKey(combo);
+  data.log_min = model->scaler().log_min();
+  data.log_max = model->scaler().log_max();
+  data.tensors = model->ParamViews();
+  return store->WriteSegment(tenant, data);
+}
+
+}  // namespace lmkg::store

@@ -1,0 +1,99 @@
+#include "store/store_cache.h"
+
+#include "util/strings.h"
+
+namespace lmkg::store {
+
+StoreCache::StoreCache(const ModelStore& store, const Options& options)
+    : store_(store), options_(options) {}
+
+util::Status StoreCache::Acquire(const std::string& tenant, ComboKey combo,
+                                 const MappedSegment** out) {
+  LMKG_CHECK(out != nullptr);
+  const Key key{tenant, combo};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    const std::optional<SegmentInfo> info = store_.Find(tenant, combo);
+    if (!info.has_value())
+      return util::Status::Error(util::StrFormat(
+          "store cache: no committed segment for %s %u-%u",
+          tenant.c_str(), combo.topology, combo.size));
+    Entry entry;
+    const util::Status status =
+        store_.MapSegment(*info, options_.verify_crc, &entry.segment);
+    if (!status.ok()) return status;
+    it = entries_.emplace(key, std::move(entry)).first;
+  }
+  Entry& entry = it->second;
+  entry.last_used = ++clock_;
+  if (!entry.charged) {
+    entry.charged = true;
+    charged_bytes_ += entry.segment.mapped_bytes();
+    EnforceBudgetLocked(key);
+  }
+  *out = &entry.segment;
+  return util::Status::Ok();
+}
+
+void StoreCache::Touch(const std::string& tenant, ComboKey combo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find({tenant, combo});
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  entry.last_used = ++clock_;
+  if (!entry.charged) {
+    // An evicted segment got served again: its pages are faulting back
+    // in, so it re-enters the budget (possibly pushing out whatever
+    // displaced it).
+    entry.charged = true;
+    charged_bytes_ += entry.segment.mapped_bytes();
+    EnforceBudgetLocked(it->first);
+  }
+}
+
+void StoreCache::EnforceBudgetLocked(const Key& keep) {
+  if (options_.memory_budget_bytes == 0) return;
+  while (charged_bytes_ > options_.memory_budget_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.charged || it->first == keep) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used)
+        victim = it;
+    }
+    if (victim == entries_.end()) break;  // only `keep` is charged
+    victim->second.segment.Evict();
+    victim->second.charged = false;
+    charged_bytes_ -= victim->second.segment.mapped_bytes();
+    ++evictions_;
+  }
+}
+
+size_t StoreCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t StoreCache::MappedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [key, entry] : entries_)
+    bytes += entry.segment.mapped_bytes();
+  return bytes;
+}
+
+size_t StoreCache::ChargedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charged_bytes_;
+}
+
+size_t StoreCache::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [key, entry] : entries_)
+    bytes += entry.segment.ResidentBytes();
+  return bytes;
+}
+
+}  // namespace lmkg::store

@@ -1,0 +1,96 @@
+#ifndef LMKG_STORE_STORE_CACHE_H_
+#define LMKG_STORE_STORE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "store/model_store.h"
+
+namespace lmkg::store {
+
+/// LRU pager over a ModelStore's mapped segments: Acquire maps a
+/// (tenant, combo) segment on demand and charges its bytes against a
+/// memory budget; when the budget overflows, the least-recently-used
+/// segment is EVICTED — madvise'd out of memory, never unmapped — so
+/// every pointer ever handed out stays valid and a later Touch/Acquire
+/// simply faults the pages back in from the file.
+///
+/// That eviction model is what lets serving replicas borrow weight
+/// matrices straight out of cache-owned mappings (LmkgS::AttachWeights):
+/// a cold combo costs ~zero physical memory until a query for it
+/// arrives, and paging it out needs no coordination with the replica at
+/// all. The cache must outlive every replica attached through it.
+///
+/// The budget bounds CHARGED (mapped-and-not-evicted) bytes, an upper
+/// bound on the cache's resident share; a single segment larger than
+/// the whole budget is still admitted (the cache's job is paging, not
+/// admission control). Thread-safe; the mutex is per-operation and the
+/// operations are map-lookup cheap next to a model forward.
+class StoreCache {
+ public:
+  struct Options {
+    /// Charged-byte budget; 0 = unlimited (nothing ever evicted).
+    size_t memory_budget_bytes = 0;
+    /// Checksum every segment on first map (reads every page — off for
+    /// cold-start-latency paths, on when integrity beats speed).
+    bool verify_crc = false;
+  };
+
+  /// `store` is borrowed and must outlive the cache.
+  StoreCache(const ModelStore& store, const Options& options);
+
+  StoreCache(const StoreCache&) = delete;
+  StoreCache& operator=(const StoreCache&) = delete;
+
+  /// Maps the committed segment for (tenant, combo) — or revives the
+  /// existing mapping — marks it most-recently-used, and returns a
+  /// pointer valid for the cache's lifetime.
+  util::Status Acquire(const std::string& tenant, ComboKey combo,
+                       const MappedSegment** out);
+
+  /// Marks an already-acquired segment most-recently-used and, if it
+  /// was evicted, re-charges it against the budget (the page faults
+  /// bringing its bytes back happen lazily, on access). Unknown keys
+  /// are ignored. The per-serve hook replicas call on every estimate.
+  void Touch(const std::string& tenant, ComboKey combo);
+
+  /// Budget-pressure evictions so far.
+  size_t evictions() const;
+  /// Total bytes of all mappings ever created (evicted or not).
+  size_t MappedBytes() const;
+  /// Bytes currently charged against the budget.
+  size_t ChargedBytes() const;
+  /// mincore-measured resident bytes across all mappings — the ground
+  /// truth the eviction tests probe.
+  size_t ResidentBytes() const;
+
+  const ModelStore& store() const { return store_; }
+
+ private:
+  using Key = std::pair<std::string, ComboKey>;
+  struct Entry {
+    MappedSegment segment;
+    uint64_t last_used = 0;
+    bool charged = false;
+  };
+
+  // Evicts least-recently-used charged entries (never `keep`) until the
+  // budget holds. Caller holds mu_.
+  void EnforceBudgetLocked(const Key& keep);
+
+  const ModelStore& store_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  uint64_t clock_ = 0;
+  size_t charged_bytes_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace lmkg::store
+
+#endif  // LMKG_STORE_STORE_CACHE_H_

@@ -27,20 +27,31 @@
 namespace lmkg::util {
 
 inline std::atomic<size_t> g_allocation_count{0};
+inline std::atomic<size_t> g_allocation_bytes{0};
 
 /// Total operator-new calls (all replaceable forms) since process start.
 inline size_t AllocationCount() {
   return g_allocation_count.load(std::memory_order_relaxed);
 }
 
+/// Cumulative bytes requested from operator new since process start
+/// (never decremented — deltas bound the allocation VOLUME of a code
+/// region, e.g. "attaching a mapped model allocates less than one weight
+/// matrix's worth").
+inline size_t AllocationBytes() {
+  return g_allocation_bytes.load(std::memory_order_relaxed);
+}
+
 namespace alloc_hooks_internal {
 inline void* CountedAlloc(size_t size) {
   g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  g_allocation_bytes.fetch_add(size, std::memory_order_relaxed);
   if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
   throw std::bad_alloc();
 }
 inline void* CountedAlignedAlloc(size_t size, std::align_val_t align) {
   g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  g_allocation_bytes.fetch_add(size, std::memory_order_relaxed);
   size_t alignment = static_cast<size_t>(align);
   if (alignment < sizeof(void*)) alignment = sizeof(void*);
   void* p = nullptr;

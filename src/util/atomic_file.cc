@@ -1,0 +1,97 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace lmkg::util {
+namespace {
+
+std::string Errno(const char* op, const std::string& path) {
+  return StrFormat("%s %s: %s", op, path.c_str(), std::strerror(errno));
+}
+
+// fsync the directory holding `path`, making the rename itself durable.
+// Some filesystems (and all of POSIX before 2008) leave directory
+// durability unspecified without this.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Error(Errno("open dir", dir));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Error(Errno("fsync dir", dir));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp =
+      StrFormat("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Error(Errno("open", tmp));
+  const char* p = contents.data();
+  size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::Error(Errno("write", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Status::Error(Errno("fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    const Status status = Status::Error(Errno("close", tmp));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::Error(Errno("rename", tmp));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  return SyncParentDir(path);
+}
+
+Status WriteFileAtomic(
+    const std::string& path,
+    const std::function<Status(std::ostream&)>& serialize) {
+  std::ostringstream buffer;
+  Status status = serialize(buffer);
+  if (!status.ok()) return status;
+  return WriteFileAtomic(path, buffer.str());
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error(Errno("open", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Error(Errno("read", path));
+  *out = buffer.str();
+  return Status::Ok();
+}
+
+}  // namespace lmkg::util

@@ -1,0 +1,36 @@
+#ifndef LMKG_UTIL_ATOMIC_FILE_H_
+#define LMKG_UTIL_ATOMIC_FILE_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace lmkg::util {
+
+/// Durably replaces `path` with `contents` via the classic
+/// write-temp -> fsync(file) -> rename -> fsync(directory) sequence: a
+/// crash at any point leaves either the previous file or the complete
+/// new one, never a torn mix, and after Ok() the bytes have reached the
+/// disk (not just the page cache). The temp file lives next to `path`
+/// (same filesystem, so the rename is atomic) and is unlinked on any
+/// failure.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Stream-serializer convenience over WriteFileAtomic for the snapshot
+/// writers that emit to a std::ostream (AdaptiveLmkg::Save, LmkgS::Save,
+/// ...): serializes into memory first, then commits atomically — the
+/// target file is never opened for a snapshot that failed to serialize.
+Status WriteFileAtomic(
+    const std::string& path,
+    const std::function<Status(std::ostream&)>& serialize);
+
+/// Reads a whole file into `*out`; error Status (with the path in the
+/// message) when the file cannot be opened or read.
+Status ReadFile(const std::string& path, std::string* out);
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_ATOMIC_FILE_H_

@@ -1,0 +1,60 @@
+#include "util/crc32.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace lmkg::util {
+namespace {
+
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table,
+// table[j] advances a byte through j additional zero bytes. Eight
+// lookups then consume eight input bytes per iteration, breaking the
+// one-byte-per-step dependency chain — manifest and segment checksums
+// sit on the store's open path, where bytes/cycle matters.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeCrcTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    tables[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i)
+    for (int j = 1; j < 8; ++j)
+      tables[j][i] = (tables[j - 1][i] >> 8) ^
+                     tables[0][tables[j - 1][i] & 0xFFu];
+  return tables;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> kTables =
+    MakeCrcTables();
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  // The word loads fold the running CRC into the low word, which is
+  // only byte-order-correct on little-endian hosts; big-endian falls
+  // through to the byte loop (same result, one table).
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      uint32_t lo = 0, hi = 0;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+          kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+          kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+      p += 8;
+      len -= 8;
+    }
+  }
+  for (size_t i = 0; i < len; ++i)
+    c = kTables[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace lmkg::util

@@ -1,0 +1,17 @@
+#ifndef LMKG_UTIL_CRC32_H_
+#define LMKG_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lmkg::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-segment
+/// payload checksum of the model store. Chain calls by passing a previous
+/// result as `seed` to extend the checksum over discontiguous regions:
+///   crc = Crc32(a, an); crc = Crc32(b, bn, crc);
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace lmkg::util
+
+#endif  // LMKG_UTIL_CRC32_H_

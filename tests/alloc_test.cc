@@ -8,10 +8,14 @@
 // snapshot the counter tightly around the calls under test.
 #define LMKG_TEST_COUNT_ALLOCATIONS
 #include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
 
 #include <span>
+#include <string>
 #include <vector>
 
+#include "core/adaptive.h"
 #include "core/lmkg_s.h"
 #include "encoding/query_encoder.h"
 #include "nn/tensor.h"
@@ -19,6 +23,9 @@
 #include "query/fingerprint.h"
 #include "query/query.h"
 #include "sampling/workload.h"
+#include "store/model_store.h"
+#include "store/replica_attach.h"
+#include "store/store_cache.h"
 #include "test_util.h"
 
 namespace lmkg::encoding {
@@ -221,6 +228,119 @@ TEST_F(AllocationTest, LmkgSEstimateBatchIsAllocationFreeWhenWarm) {
   const size_t before = lmkg::testing::AllocationCount();
   model.EstimateCardinalityBatch(mixed_, estimates);
   EXPECT_EQ(lmkg::testing::AllocationCount() - before, 0u);
+}
+
+// --- mapped model store ------------------------------------------------------
+
+// Cold start from the store: a replica attached to mmapped segments and
+// a replica rehydrated from a byte stream. Both end up serving the same
+// models; the pins below prove the mapped one never copied the weights.
+class MappedAttachAllocationTest : public AllocationTest {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/lmkg_alloc_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+
+    config_.s_config.hidden_dim = 32;
+    config_.s_config.epochs = 2;
+    config_.s_config.dropout = 0.0;
+    config_.train_queries = 60;
+    config_.initial_combos = {{Topology::kStar, 2}};
+    config_.seed = 3;
+
+    donor_ = std::make_unique<core::AdaptiveLmkg>(graph_, config_);
+    ASSERT_TRUE(store::ModelStore::Open(dir_, store::ToStoreArch(config_),
+                                        &store_)
+                    .ok());
+    for (const auto& combo : donor_->ModelCombos())
+      ASSERT_TRUE(store::WriteModelSegment(store_.get(), "default", combo,
+                                           donor_->FindModel(combo))
+                      .ok());
+    ASSERT_TRUE(store_->Commit().ok());
+
+    stars2_ = MakeWorkload(graph_, Topology::kStar, 2, 8, 17);
+  }
+
+  void TearDown() override {
+    for (const auto& info : store_->Segments())
+      ::unlink((dir_ + "/" + info.file).c_str());
+    ::unlink((dir_ + "/MANIFEST.lmst").c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  core::AdaptiveLmkgConfig EmptyConfig() {
+    core::AdaptiveLmkgConfig config = config_;
+    config.initial_combos.clear();
+    return config;
+  }
+
+  size_t DonorWeightBytes() {
+    size_t bytes = 0;
+    for (const auto& combo : donor_->ModelCombos())
+      for (const nn::ConstMatrixView& view :
+           donor_->FindModel(combo)->ParamViews())
+        bytes += view.rows * view.cols * sizeof(float);
+    return bytes;
+  }
+
+  std::string dir_;
+  core::AdaptiveLmkgConfig config_;
+  std::unique_ptr<core::AdaptiveLmkg> donor_;
+  std::unique_ptr<store::ModelStore> store_;
+  std::vector<query::Query> stars2_;
+};
+
+// Attaching + hydrating from the store borrows every weight matrix out
+// of the mapping: the mapped cold start must allocate at least the whole
+// weight payload LESS than the streamed one (which decodes the same
+// weights into owned storage, plus optimizer state the mapped serve-only
+// model never builds).
+TEST_F(MappedAttachAllocationTest, HydrationCopiesNoWeightMatrices) {
+  const size_t weight_bytes = DonorWeightBytes();
+  ASSERT_GT(weight_bytes, 0u);
+
+  std::ostringstream blob;
+  ASSERT_TRUE(donor_->Save(blob).ok());
+  const std::string snapshot = blob.str();
+  core::AdaptiveLmkg streamed(graph_, EmptyConfig());
+  std::istringstream in(snapshot);
+  const size_t streamed_before = lmkg::testing::AllocationBytes();
+  ASSERT_TRUE(streamed.Load(in).ok());
+  const size_t streamed_bytes =
+      lmkg::testing::AllocationBytes() - streamed_before;
+
+  store::StoreCache cache(*store_, store::StoreCache::Options{});
+  core::AdaptiveLmkg mapped(graph_, EmptyConfig());
+  const size_t mapped_before = lmkg::testing::AllocationBytes();
+  ASSERT_TRUE(store::AttachReplica(&cache, "default", &mapped).ok());
+  ASSERT_TRUE(mapped.HydrateAllMapped().ok());
+  const size_t mapped_bytes =
+      lmkg::testing::AllocationBytes() - mapped_before;
+
+  EXPECT_GE(streamed_bytes, mapped_bytes + weight_bytes)
+      << "streamed=" << streamed_bytes << " mapped=" << mapped_bytes
+      << " weights=" << weight_bytes;
+  // And the mapped replica actually serves.
+  EXPECT_DOUBLE_EQ(mapped.EstimateCardinality(stars2_[0]),
+                   donor_->EstimateCardinality(stars2_[0]));
+}
+
+// The millisecond-cold-start contract end to end: attach with one warm
+// query (hydrates the combo, sizes every scratch buffer on the path),
+// then the NEXT estimate — the first real request the process serves —
+// touches the allocator zero times.
+TEST_F(MappedAttachAllocationTest, FirstEstimateAfterWarmAttachIsAllocationFree) {
+  store::StoreCache cache(*store_, store::StoreCache::Options{});
+  core::AdaptiveLmkg mapped(graph_, EmptyConfig());
+  store::AttachOptions options;
+  options.warm_queries = {stars2_[0]};
+  ASSERT_TRUE(store::AttachReplica(&cache, "default", &mapped, options).ok());
+
+  const size_t before = lmkg::testing::AllocationCount();
+  const double estimate = mapped.EstimateCardinality(stars2_[1]);
+  EXPECT_EQ(lmkg::testing::AllocationCount() - before, 0u);
+  EXPECT_DOUBLE_EQ(estimate, donor_->EstimateCardinality(stars2_[1]));
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "util/alloc_hooks.h"
 
 namespace lmkg::testing {
+using lmkg::util::AllocationBytes;
 using lmkg::util::AllocationCount;
 }  // namespace lmkg::testing
 #endif  // LMKG_TEST_COUNT_ALLOCATIONS

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "util/atomic_file.h"
 #include "util/check.h"
+#include "util/crc32.h"
 #include "util/flags.h"
 #include "util/histogram.h"
 #include "util/math.h"
@@ -585,6 +590,103 @@ TEST(LatencyHistogramTest, MergeWhileSourceRecordsStaysSane) {
   }
   stop.store(true, std::memory_order_relaxed);
   recorder.join();
+}
+
+// --- crc32 -------------------------------------------------------------------
+
+TEST(Crc32Test, KnownAnswer) {
+  // The CRC-32/ISO-HDLC check value every implementation must produce.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(data, 0), 0u);
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  const char data[] = "the quick brown fox jumps over the lazy dog";
+  const size_t n = sizeof(data) - 1;
+  const uint32_t whole = Crc32(data, n);
+  for (size_t split : {size_t{1}, n / 3, n / 2, n - 1}) {
+    const uint32_t head = Crc32(data, split);
+    EXPECT_EQ(Crc32(data + split, n - split, head), whole) << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<char>(i * 7);
+  const uint32_t clean = Crc32(data.data(), data.size());
+  data[100] ^= 0x10;
+  EXPECT_NE(Crc32(data.data(), data.size()), clean);
+}
+
+// --- atomic file writes ------------------------------------------------------
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/lmkg_atomic_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    path_ = dir_ + "/target.bin";
+  }
+  void TearDown() override {
+    ::unlink(path_.c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(AtomicFileTest, WriteThenReadRoundTrips) {
+  std::string contents = "hello\0world";
+  contents.resize(11);  // embedded NUL survives
+  ASSERT_TRUE(WriteFileAtomic(path_, contents).ok());
+  std::string read_back;
+  ASSERT_TRUE(ReadFile(path_, &read_back).ok());
+  EXPECT_EQ(read_back, contents);
+}
+
+TEST_F(AtomicFileTest, ReplacesExistingContents) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "old old old").ok());
+  ASSERT_TRUE(WriteFileAtomic(path_, "new").ok());
+  std::string read_back;
+  ASSERT_TRUE(ReadFile(path_, &read_back).ok());
+  EXPECT_EQ(read_back, "new");
+}
+
+TEST_F(AtomicFileTest, SerializeCallbackWrites) {
+  ASSERT_TRUE(WriteFileAtomic(path_, [](std::ostream& out) {
+                out << "streamed " << 42;
+                return Status::Ok();
+              }).ok());
+  std::string read_back;
+  ASSERT_TRUE(ReadFile(path_, &read_back).ok());
+  EXPECT_EQ(read_back, "streamed 42");
+}
+
+TEST_F(AtomicFileTest, FailedSerializeLeavesTargetUntouched) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "precious").ok());
+  Status status = WriteFileAtomic(path_, [](std::ostream&) {
+    return Status::Error("serialization exploded");
+  });
+  EXPECT_FALSE(status.ok());
+  std::string read_back;
+  ASSERT_TRUE(ReadFile(path_, &read_back).ok());
+  EXPECT_EQ(read_back, "precious");  // the old bytes, not a torn file
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryFailsWithoutTarget) {
+  Status status = WriteFileAtomic(dir_ + "/no/such/dir/f", "x");
+  EXPECT_FALSE(status.ok());
+  std::string read_back;
+  EXPECT_FALSE(ReadFile(dir_ + "/no/such/dir/f", &read_back).ok());
+}
+
+TEST_F(AtomicFileTest, ReadMissingFileFails) {
+  std::string read_back;
+  EXPECT_FALSE(ReadFile(path_, &read_back).ok());
 }
 
 }  // namespace
