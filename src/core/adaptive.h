@@ -71,6 +71,15 @@ struct AdaptiveLmkgConfig {
 /// Queries with no matching model fall back to the independence
 /// combination of exact single-pattern statistics — the always-available
 /// estimate a plain RDF engine would use.
+///
+/// Threading: NOT thread-safe — estimate, Adapt, and Load/Save all touch
+/// the model registry and reused encode scratch without internal locks
+/// (deliberately: serving synchronizes on the owning shard's replica
+/// mutex, and a second internal lock would buy nothing but overhead).
+/// The serving deployment keeps one instance per shard behind
+/// EstimatorService's replica_mu, one shadow instance private to the
+/// ModelLifecycle thread, and one probe instance behind
+/// FeedbackCollector's probe mutex; none is ever shared.
 class AdaptiveLmkg : public CardinalityEstimator {
  public:
   using Combo = WorkloadMonitor::Combo;

@@ -17,6 +17,15 @@ namespace lmkg::core {
 /// the exact cardinalities of the top-`capacity` largest training queries
 /// and answers them by lookup, delegating everything else to the wrapped
 /// estimator. bench_ablation_outlier_buffer measures the effect.
+///
+/// Threading: NOT thread-safe, by design — like every
+/// CardinalityEstimator it relies on EXTERNAL synchronization, and in a
+/// serving deployment that synchronizer is the owning shard's replica
+/// mutex (EstimatorService serializes batches, inline execution, and
+/// WithReplica mutations on it). There is deliberately no internal lock
+/// to annotate: adding one would double-lock the hot path. Mutate
+/// (Insert/Populate/SetMutationHook) only while quiesced or inside
+/// EstimatorService::WithReplica.
 class OutlierBuffer : public CardinalityEstimator {
  public:
   /// Does not own `inner`; it must outlive this object.

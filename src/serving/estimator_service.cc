@@ -129,8 +129,9 @@ void EstimatorService::MaybeSampleWorkload(Shard& shard,
   const uint64_t n =
       shard.tap_counter.fetch_add(1, std::memory_order_relaxed);
   if (n % config_.workload_sample_every != 0) return;
-  std::unique_lock<std::mutex> lock(shard.tap_mu, std::try_to_lock);
-  if (!lock.owns_lock()) return;  // drop the sample, never stall a client
+  // Drop the sample under contention, never stall a client.
+  if (!shard.tap_mu.TryLock()) return;
+  util::MutexLock lock(&shard.tap_mu, util::kAdoptLock);
   if (shard.tap.size() < shard.tap_capacity) {
     shard.tap.push_back(q);
   } else {
@@ -142,7 +143,7 @@ void EstimatorService::MaybeSampleWorkload(Shard& shard,
 std::vector<query::Query> EstimatorService::DrainWorkloadSamples() {
   std::vector<query::Query> drained;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->tap_mu);
+    util::MutexLock lock(&shard->tap_mu);
     std::move(shard->tap.begin(), shard->tap.end(),
               std::back_inserter(drained));
     shard->tap.clear();
@@ -160,7 +161,7 @@ std::unique_ptr<core::CardinalityEstimator> EstimatorService::ReplaceReplica(
   LMKG_CHECK_LT(index, shards_.size());
   LMKG_CHECK(replacement != nullptr) << "replica swap needs a model";
   Shard& shard = *shards_[index];
-  std::lock_guard<std::mutex> lock(shard.replica_mu);
+  util::MutexLock lock(&shard.replica_mu);
   shard.replica.swap(replacement);
   return replacement;  // the previous model, for the caller to retire
 }
@@ -170,7 +171,7 @@ void EstimatorService::WithReplica(
     const std::function<void(core::CardinalityEstimator*)>& fn) {
   LMKG_CHECK_LT(index, shards_.size());
   Shard& shard = *shards_[index];
-  std::lock_guard<std::mutex> lock(shard.replica_mu);
+  util::MutexLock lock(&shard.replica_mu);
   fn(shard.replica.get());
 }
 
@@ -186,23 +187,23 @@ double EstimatorService::Estimate(const query::Query& q) {
   // try_lock makes this safe against the worker and hot-swaps (both
   // serialize on replica_mu); a request that slips into the ring
   // meanwhile just blocks the worker on the mutex for one query.
-  if (config_.inline_execution && shard->ring.ApproxSize() == 0) {
-    std::unique_lock<std::mutex> model_lock(shard->replica_mu,
-                                            std::try_to_lock);
-    if (model_lock.owns_lock()) {
-      const double value = shard->replica->EstimateCardinality(q);
-      model_lock.unlock();
-      shard->stats.RecordBatch(1);
-      Complete(*shard, &request, value, std::chrono::steady_clock::now());
-      return request.result;
-    }
+  if (config_.inline_execution && shard->ring.ApproxSize() == 0 &&
+      shard->replica_mu.TryLock()) {
+    util::MutexLock model_lock(&shard->replica_mu, util::kAdoptLock);
+    const double value = shard->replica->EstimateCardinality(q);
+    model_lock.Unlock();
+    shard->stats.RecordBatch(1);
+    Complete(*shard, &request, value, std::chrono::steady_clock::now());
+    return request.result;
   }
   request.query = &q;  // the caller blocks here, so no copy is needed
   LMKG_CHECK(shard->ring.Push(&request))
       << "Estimate on a shut-down EstimatorService";
 
-  std::unique_lock<std::mutex> lock(shard->done_mu);
-  shard->done_cv.wait(lock, [&] {
+  util::MutexLock lock(&shard->done_mu);
+  // Predicate over the request's own atomic — no done_mu-guarded state,
+  // so the lambda form is safe under the analysis.
+  shard->done_cv.Wait(shard->done_mu, [&] {
     return request.done.load(std::memory_order_acquire);
   });
   return request.result;
@@ -278,8 +279,8 @@ void EstimatorService::EstimateBatch(std::span<const query::Query> queries,
     Request& request = requests[i];
     if (request.query == nullptr) continue;  // served from cache
     Shard& shard = ShardFor(request.fp);
-    std::unique_lock<std::mutex> lock(shard.done_mu);
-    shard.done_cv.wait(lock, [&] {
+    util::MutexLock lock(&shard.done_mu);
+    shard.done_cv.Wait(shard.done_mu, [&] {
       return request.done.load(std::memory_order_acquire);
     });
     results[i] = request.result;
@@ -352,6 +353,11 @@ void EstimatorService::Complete(
 }
 
 void EstimatorService::WorkerLoop(Shard* shard) {
+  // This thread is the shard's one consumer by construction (one worker
+  // per shard, started once in the constructor); claim the ring's
+  // consumer role so the analysis admits the TryPop/WaitForItem calls
+  // below — and rejects them anywhere else.
+  shard->ring.AssertConsumer();
   const auto delay = std::chrono::microseconds(config_.max_queue_delay_us);
 
   // Reused batch buffers: Query assignment recycles pattern capacity, so
@@ -404,7 +410,7 @@ void EstimatorService::WorkerLoop(Shard* shard) {
       // Estimators are not thread-safe (reused encode/forward scratch);
       // the shard's worker and hot-swaps of the shard's model
       // synchronize on this mutex. No other thread computes here.
-      std::lock_guard<std::mutex> model_lock(shard->replica_mu);
+      util::MutexLock model_lock(&shard->replica_mu);
       shard->replica->EstimateCardinalityBatch(queries, results);
     }
     shard->stats.RecordBatch(batch.size());
@@ -418,10 +424,10 @@ void EstimatorService::WorkerLoop(Shard* shard) {
     if (any_blocking) {
       // The empty critical section pairs with the waiter's predicate
       // check under done_mu, closing the store-then-sleep race; one
-      // notify_all wakes every caller the batch carried — all of them
+      // NotifyAll wakes every caller the batch carried — all of them
       // clients of THIS shard.
-      { std::lock_guard<std::mutex> wake(shard->done_mu); }
-      shard->done_cv.notify_all();
+      { util::MutexLock wake(&shard->done_mu); }
+      shard->done_cv.NotifyAll();
     }
   }
 }

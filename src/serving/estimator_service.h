@@ -3,11 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
@@ -19,6 +17,8 @@
 #include "serving/query_cache.h"
 #include "serving/serving_stats.h"
 #include "util/mpsc_ring.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lmkg::serving {
 
@@ -256,30 +256,57 @@ class EstimatorService {
 
   /// Everything one query touches on the hot path lives here; no member
   /// of a shard is ever accessed from another shard's path.
+  ///
+  /// Lock hierarchy (per shard — no path ever touches another shard's
+  /// locks, so the service-wide graph is this one, N times over, with no
+  /// edges between copies):
+  ///
+  ///   replica_mu   serializes batch/inline execution against hot swaps.
+  ///                Held across a model forward pass; NEVER nested with
+  ///                any other lock (Complete runs after it is released).
+  ///   done_mu      completion handshake for blocking callers. Held only
+  ///                for the empty pair-with-the-waiter critical section
+  ///                and the waiter's predicate loop; never nested.
+  ///   tap_mu       workload tap; try-lock on the request path (drop the
+  ///                sample under contention), blocking only in the
+  ///                lifecycle's DrainWorkloadSamples; never nested.
+  ///   ring         lock-free; its internal park_mu_ is leaf-level by
+  ///                construction (MpscRing takes no external locks).
+  ///   cache        QueryCache's per-sub-shard mutexes, leaf-level —
+  ///                taken with no shard lock held and release before
+  ///                returning to the caller.
+  ///
+  /// Because no two of these are ever held together, lock-order cycles
+  /// are impossible by construction; the annotations below let Clang
+  /// verify the guarded-state half of that argument at compile time.
   struct Shard {
     Shard(std::unique_ptr<core::CardinalityEstimator> model,
           const ServiceConfig& config, size_t cache_capacity,
           size_t tap_capacity);
 
     util::MpscRing<Request*> ring;
-    std::mutex replica_mu;  // serializes batches against hot swaps
-    std::unique_ptr<core::CardinalityEstimator> replica;
+    util::Mutex replica_mu;  // serializes batches against hot swaps
+    // Both the pointer (swapped by ReplaceReplica) and the pointee (the
+    // model's reused encode/forward scratch) are guarded.
+    std::unique_ptr<core::CardinalityEstimator> replica
+        LMKG_GUARDED_BY(replica_mu) LMKG_PT_GUARDED_BY(replica_mu);
     QueryCache cache;
     ServingStats stats;
 
     // Blocking callers of THIS shard park here; the worker signals once
-    // per completed batch (empty critical section + notify_all closes
-    // the store-then-sleep race, see WorkerLoop).
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    // per completed batch (empty critical section + NotifyAll closes
+    // the store-then-sleep race, see WorkerLoop). The condvar predicate
+    // is the request's own atomic `done`, not done_mu-guarded state.
+    util::Mutex done_mu;
+    util::CondVar done_cv;
 
-    // Per-shard workload tap (ring buffer). try_lock on the request
+    // Per-shard workload tap (ring buffer). try-lock on the request
     // path: under contention a sample is dropped, never stalling a
     // client.
-    std::mutex tap_mu;
-    std::vector<query::Query> tap;
-    size_t tap_capacity = 0;
-    size_t tap_next = 0;
+    util::Mutex tap_mu;
+    std::vector<query::Query> tap LMKG_GUARDED_BY(tap_mu);
+    size_t tap_capacity = 0;  // immutable after construction
+    size_t tap_next LMKG_GUARDED_BY(tap_mu) = 0;
     std::atomic<uint64_t> tap_counter{0};
 
     std::thread worker;  // started by the service after construction

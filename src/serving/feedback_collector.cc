@@ -63,11 +63,11 @@ FeedbackCollector::Entry* FeedbackCollector::FindOrCreate(
 void FeedbackCollector::NoteEstimate(const query::Fingerprint& fp,
                                      double estimate, bool from_fallback) {
   SubShard& shard = SubShardFor(fp);
-  std::unique_lock lock(shard.mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
+  if (!shard.mu.TryLock()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  util::MutexLock lock(&shard.mu, util::kAdoptLock);
   Entry* entry = FindOrCreate(shard, fp);
   if (entry == nullptr) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -92,27 +92,25 @@ void FeedbackCollector::RecordTruth(const query::Query& q,
   // rolling error stays current even while the model serves. Contended
   // try-locks skip the scoring, not the record.
   double fallback_estimate = -1.0;
-  {
-    std::unique_lock lock(fallback_mu_, std::try_to_lock);
-    if (lock.owns_lock())
-      fallback_estimate = fallback_->EstimateCardinality(q);
+  if (fallback_mu_.TryLock()) {
+    util::MutexLock lock(&fallback_mu_, util::kAdoptLock);
+    fallback_estimate = fallback_->EstimateCardinality(q);
   }
   double probe_estimate = -1.0;
-  if (deactivated) {
-    std::unique_lock lock(probe_mu_, std::try_to_lock);
-    if (lock.owns_lock() && probe_ != nullptr &&
-        probe_->CanEstimate(q)) {
+  if (deactivated && probe_mu_.TryLock()) {
+    util::MutexLock lock(&probe_mu_, util::kAdoptLock);
+    if (probe_ != nullptr && probe_->CanEstimate(q)) {
       probe_estimate = probe_->EstimateCardinality(q);
       probes_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   SubShard& shard = SubShardFor(fp);
-  std::unique_lock lock(shard.mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
+  if (!shard.mu.TryLock()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  util::MutexLock lock(&shard.mu, util::kAdoptLock);
   Entry* entry = FindOrCreate(shard, fp);
   if (entry == nullptr) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -174,7 +172,7 @@ bool FeedbackCollector::IsDeactivated(const query::Fingerprint& fp) const {
 }
 
 double FeedbackCollector::FallbackEstimate(const query::Query& q) {
-  std::lock_guard lock(fallback_mu_);
+  util::MutexLock lock(&fallback_mu_);
   return fallback_->EstimateCardinality(q);
 }
 
@@ -193,7 +191,7 @@ DeactivationReport FeedbackCollector::UpdateDeactivation() {
   DeactivationReport report;
   std::vector<query::Fingerprint> deactivated;
   for (auto& shard : sub_shards_) {
-    std::lock_guard lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     for (auto& [fp, entry] : shard->entries) {
       const double model = DecayedMean(entry.model_log_sum,
                                        entry.model_weight);
@@ -229,7 +227,7 @@ std::vector<sampling::LabeledQuery> FeedbackCollector::DrainTrainingPairs() {
   std::vector<sampling::LabeledQuery> out;
   query::ChainScratch chain_scratch;
   for (auto& shard : sub_shards_) {
-    std::lock_guard lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     for (auto& [fp, entry] : shard->entries) {
       if (entry.deactivated || entry.pairs.empty()) continue;
       for (FeedbackPair& pair : entry.pairs) {
@@ -251,18 +249,18 @@ std::vector<sampling::LabeledQuery> FeedbackCollector::DrainTrainingPairs() {
 
 void FeedbackCollector::SetProbe(
     std::unique_ptr<core::CardinalityEstimator> probe) {
-  std::lock_guard lock(probe_mu_);
+  util::MutexLock lock(&probe_mu_);
   probe_ = std::move(probe);
 }
 
 void FeedbackCollector::UpdateProbe(
     const std::function<void(core::CardinalityEstimator*)>& fn) {
-  std::lock_guard lock(probe_mu_);
+  util::MutexLock lock(&probe_mu_);
   fn(probe_.get());
 }
 
 bool FeedbackCollector::has_probe() const {
-  std::lock_guard lock(probe_mu_);
+  util::MutexLock lock(&probe_mu_);
   return probe_ != nullptr;
 }
 

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +12,8 @@
 #include "query/fingerprint.h"
 #include "query/query.h"
 #include "sampling/workload.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lmkg::serving {
 
@@ -151,7 +152,11 @@ class FeedbackCollector {
 
   /// The fallback estimate for `q`, serialized on the collector's
   /// fallback mutex. The serving path for deactivated fingerprints.
-  double FallbackEstimate(const query::Query& q);
+  /// Not reentrant (EXCLUDES: callers must not already hold the
+  /// fallback mutex — the record path computes its fallback score via
+  /// its own try-lock instead of calling back in here).
+  double FallbackEstimate(const query::Query& q)
+      LMKG_EXCLUDES(fallback_mu_);
 
   /// Re-derives the deactivation list from the rolling q-errors
   /// (hysteresis per FeedbackConfig) and publishes a fresh snapshot for
@@ -204,10 +209,10 @@ class FeedbackCollector {
   };
 
   struct SubShard {
-    std::mutex mu;
+    util::Mutex mu;
     std::unordered_map<query::Fingerprint, Entry,
                        query::FingerprintHasher>
-        entries;
+        entries LMKG_GUARDED_BY(mu);
   };
 
   SubShard& SubShardFor(const query::Fingerprint& fp) {
@@ -217,27 +222,33 @@ class FeedbackCollector {
   }
 
   // Finds or creates the entry (nullptr when at capacity and absent).
-  Entry* FindOrCreate(SubShard& shard, const query::Fingerprint& fp);
-  void ScoreEstimate(Entry* entry, const query::Query& q, double truth);
+  Entry* FindOrCreate(SubShard& shard, const query::Fingerprint& fp)
+      LMKG_REQUIRES(shard.mu);
   void PublishDeactivated(std::vector<query::Fingerprint> list);
 
   const FeedbackConfig config_;
-  core::CardinalityEstimator* fallback_;
+  // The pointee is guarded (the fallback estimator's scratch is not
+  // thread-safe); the pointer itself is set once in the constructor.
+  core::CardinalityEstimator* fallback_ LMKG_PT_GUARDED_BY(fallback_mu_);
   std::vector<std::unique_ptr<SubShard>> sub_shards_;
   std::atomic<size_t> entry_count_{0};
 
   // Sorted snapshot of the deactivated fingerprints; swapped whole by
   // UpdateDeactivation, read lock-free by IsDeactivated. The count
   // short-circuits the common nothing-deactivated case to one relaxed
-  // load.
+  // load. Deliberately outside the lock analysis: the atomic
+  // shared_ptr's release-store / acquire-load pair (publish list before
+  // count, see PublishDeactivated) IS the synchronization, and TSan
+  // covers it under the `threaded` feedback stress suite.
   std::atomic<size_t> deactivated_count_{0};
   std::atomic<std::shared_ptr<const std::vector<query::Fingerprint>>>
       deactivated_;
 
-  std::mutex fallback_mu_;
+  util::Mutex fallback_mu_;
 
-  mutable std::mutex probe_mu_;
-  std::unique_ptr<core::CardinalityEstimator> probe_;
+  mutable util::Mutex probe_mu_;
+  std::unique_ptr<core::CardinalityEstimator> probe_
+      LMKG_GUARDED_BY(probe_mu_) LMKG_PT_GUARDED_BY(probe_mu_);
 
   // Wait-free counters (relaxed; Stats tolerates slight skew).
   std::atomic<uint64_t> estimates_noted_{0};

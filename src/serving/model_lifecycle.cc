@@ -30,26 +30,36 @@ ModelLifecycle::~ModelLifecycle() { Stop(); }
 
 void ModelLifecycle::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     stop_ = true;
+    cv_.NotifyAll();
   }
-  cv_.notify_all();
+  // Exactly one caller reaches join(): joining the same std::thread from
+  // two threads at once is undefined behavior, and Stop() is documented
+  // idempotent — the second caller blocks here until the first finishes
+  // joining, then sees joinable() false and returns.
+  util::MutexLock join_lock(&join_mu_);
   if (thread_.joinable()) thread_.join();
 }
 
 void ModelLifecycle::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   while (!stop_) {
-    cv_.wait_for(lock, config_.poll_interval, [&] { return stop_; });
+    // Plain timed wait + manual re-check instead of the predicate
+    // overload: the predicate reads mu_-guarded stop_, which a lambda
+    // body would hide from the thread-safety analysis. A spurious early
+    // return just runs one cycle ahead of schedule — harmless, RunOnce
+    // on a quiet tap is gated by min_samples_per_cycle.
+    (void)cv_.WaitFor(mu_, config_.poll_interval);
     if (stop_) break;
-    lock.unlock();
+    lock.Unlock();
     (void)RunOnce();
-    lock.lock();
+    lock.Lock();
   }
 }
 
 LifecycleReport ModelLifecycle::RunOnce() {
-  std::lock_guard<std::mutex> cycle_lock(cycle_mu_);
+  util::MutexLock cycle_lock(&cycle_mu_);
   LifecycleReport report;
   cycles_.fetch_add(1, std::memory_order_relaxed);
 

@@ -3,11 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -15,6 +13,8 @@
 #include "serving/estimator_service.h"
 #include "serving/feedback_collector.h"
 #include "store/model_store.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lmkg::serving {
 
@@ -118,8 +118,11 @@ class ModelLifecycle {
   ModelLifecycle(const ModelLifecycle&) = delete;
   ModelLifecycle& operator=(const ModelLifecycle&) = delete;
 
-  /// Stops the background thread (if any) and joins it. Idempotent.
-  void Stop();
+  /// Stops the background thread (if any) and joins it. Idempotent and
+  /// safe to call from several threads at once — the join itself is
+  /// serialized internally (std::thread::join from two threads
+  /// concurrently is undefined behavior).
+  void Stop() LMKG_EXCLUDES(mu_, join_mu_);
 
   /// One synchronous lifecycle cycle; see the class comment for the
   /// steps. Returns what happened. Thread-safe against the background
@@ -162,12 +165,16 @@ class ModelLifecycle {
   std::atomic<uint64_t> swaps_{0};
   std::atomic<uint64_t> incremental_swaps_{0};
 
-  std::mutex cycle_mu_;  // serializes RunOnce bodies
+  util::Mutex cycle_mu_;  // serializes RunOnce bodies
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread thread_;
+  util::Mutex mu_;
+  util::CondVar cv_;  // Loop's poll timer; Stop pokes it for prompt exit
+  bool stop_ LMKG_GUARDED_BY(mu_) = false;
+  // The join is serialized on its own mutex (never nested with mu_) so
+  // two concurrent Stop() calls cannot both reach thread_.join(); the
+  // loser finds the thread already joined and returns.
+  util::Mutex join_mu_;
+  std::thread thread_ LMKG_GUARDED_BY(join_mu_);
 };
 
 /// The canonical ReplicaFactory for AdaptiveLmkg deployments: rehydrates

@@ -22,7 +22,7 @@ bool QueryCache::Lookup(const query::Fingerprint& fp, uint64_t epoch,
                         double* value) {
   if (!enabled()) return false;
   Shard& shard = ShardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   auto it = shard.index.find(fp);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -47,7 +47,7 @@ void QueryCache::Insert(const query::Fingerprint& fp, uint64_t epoch,
                         double value) {
   if (!enabled()) return;
   Shard& shard = ShardFor(fp);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   auto it = shard.index.find(fp);
   if (it != shard.index.end()) {
     // A resident entry from a newer epoch wins: an insert tagged older
@@ -72,7 +72,7 @@ void QueryCache::Insert(const query::Fingerprint& fp, uint64_t epoch,
 size_t QueryCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     total += shard->lru.size();
   }
   return total;

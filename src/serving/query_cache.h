@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "query/fingerprint.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lmkg::serving {
 
@@ -80,11 +81,11 @@ class QueryCache {
     double value;
   };
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
+    util::Mutex mu;
+    std::list<Entry> lru LMKG_GUARDED_BY(mu);  // front = most recent
     std::unordered_map<query::Fingerprint, std::list<Entry>::iterator,
                        query::FingerprintHasher>
-        index;
+        index LMKG_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const query::Fingerprint& fp) {

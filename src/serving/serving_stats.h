@@ -48,6 +48,12 @@ struct ServingStatsSnapshot {
 /// called concurrently from client and worker threads; Snapshot is cheap
 /// enough to poll. Reset is not safe against concurrent recording —
 /// quiesce first (the bench resets between timed sections).
+///
+/// There is no mutex here and hence nothing for the thread-safety
+/// analysis to check: every member is an atomic (or the histogram's
+/// atomics), and the one ordering subtlety — RecordBatch's release store
+/// pairing with MergeFrom's acquire — is documented at those two sites
+/// and exercised under TSan by the `threaded` serving suite.
 class ServingStats {
  public:
   ServingStats() { Reset(); }

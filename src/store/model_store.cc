@@ -287,7 +287,7 @@ util::Status ModelStore::LoadManifest() {
   std::vector<EntryRef> entries;
   status = ParseManifest(bytes, &epoch, &entries);
   if (!status.ok()) return status;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   manifest_body_ = std::move(bytes);
   entries_ = std::move(entries);
   epoch_ = epoch;
@@ -308,7 +308,7 @@ util::Status ModelStore::WriteSegment(const std::string& tenant,
 
   uint64_t write_epoch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     write_epoch = epoch_ + 1;
   }
 
@@ -370,14 +370,14 @@ util::Status ModelStore::WriteSegment(const std::string& tenant,
       util::WriteFileAtomic(dir_ + "/" + info.file, file_bytes);
   if (!status.ok()) return status;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   staged_[{tenant, data.combo}] = std::move(info);
   return util::Status::Ok();
 }
 
 util::Status ModelStore::RemoveSegment(const std::string& tenant,
                                        ComboKey combo) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   const auto key = std::make_pair(tenant, combo);
   const auto it = LowerBoundLocked(tenant, combo);
   const bool committed = it != entries_.end() && it->tenant == tenant &&
@@ -391,7 +391,7 @@ util::Status ModelStore::RemoveSegment(const std::string& tenant,
 }
 
 util::Status ModelStore::Commit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (staged_.empty()) return util::Status::Ok();
   const uint64_t next_epoch = epoch_ + 1;
 
@@ -496,7 +496,7 @@ ModelStore::LowerBoundLocked(std::string_view tenant,
 
 std::optional<SegmentInfo> ModelStore::Find(const std::string& tenant,
                                             ComboKey combo) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   const auto it = LowerBoundLocked(tenant, combo);
   if (it == entries_.end() || it->tenant != tenant || !(it->combo == combo))
     return std::nullopt;
@@ -505,7 +505,7 @@ std::optional<SegmentInfo> ModelStore::Find(const std::string& tenant,
 
 std::vector<SegmentInfo> ModelStore::TenantSegments(
     const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<SegmentInfo> out;
   for (auto it = LowerBoundLocked(tenant, ComboKey{});
        it != entries_.end() && it->tenant == tenant; ++it)
@@ -515,7 +515,7 @@ std::vector<SegmentInfo> ModelStore::TenantSegments(
 
 std::vector<ComboKey> ModelStore::TenantCombos(
     const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   const auto begin = LowerBoundLocked(tenant, ComboKey{});
   auto end = begin;
   while (end != entries_.end() && end->tenant == tenant) ++end;
@@ -526,7 +526,7 @@ std::vector<ComboKey> ModelStore::TenantCombos(
 }
 
 std::vector<SegmentInfo> ModelStore::Segments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<SegmentInfo> out;
   out.reserve(entries_.size());
   for (const EntryRef& entry : entries_) out.push_back(MakeInfo(entry));
@@ -534,12 +534,12 @@ std::vector<SegmentInfo> ModelStore::Segments() const {
 }
 
 uint64_t ModelStore::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return epoch_;
 }
 
 size_t ModelStore::num_segments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return entries_.size();
 }
 

@@ -5,14 +5,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "nn/tensor.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace lmkg::store {
 
@@ -196,18 +197,20 @@ class ModelStore {
                              std::vector<EntryRef>* entries) const;
   SegmentInfo MakeInfo(const EntryRef& entry) const;
   std::vector<EntryRef>::const_iterator LowerBoundLocked(
-      std::string_view tenant, ComboKey combo) const;
+      std::string_view tenant, ComboKey combo) const LMKG_REQUIRES(mu_);
 
   const std::string dir_;
   const StoreArch arch_;
 
-  mutable std::mutex mu_;
-  uint64_t epoch_ = 0;
-  std::string manifest_body_;       // committed manifest, verbatim
-  std::vector<EntryRef> entries_;   // sorted views into manifest_body_
+  mutable util::Mutex mu_;
+  uint64_t epoch_ LMKG_GUARDED_BY(mu_) = 0;
+  // committed manifest, verbatim
+  std::string manifest_body_ LMKG_GUARDED_BY(mu_);
+  // sorted views into manifest_body_
+  std::vector<EntryRef> entries_ LMKG_GUARDED_BY(mu_);
   // Staged since the last Commit: value nullopt = staged removal.
   std::map<std::pair<std::string, ComboKey>, std::optional<SegmentInfo>>
-      staged_;
+      staged_ LMKG_GUARDED_BY(mu_);
 };
 
 }  // namespace lmkg::store

@@ -11,7 +11,7 @@ util::Status StoreCache::Acquire(const std::string& tenant, ComboKey combo,
                                  const MappedSegment** out) {
   LMKG_CHECK(out != nullptr);
   const Key key{tenant, combo};
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     const std::optional<SegmentInfo> info = store_.Find(tenant, combo);
@@ -37,7 +37,7 @@ util::Status StoreCache::Acquire(const std::string& tenant, ComboKey combo,
 }
 
 void StoreCache::Touch(const std::string& tenant, ComboKey combo) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   const auto it = entries_.find({tenant, combo});
   if (it == entries_.end()) return;
   Entry& entry = it->second;
@@ -71,12 +71,12 @@ void StoreCache::EnforceBudgetLocked(const Key& keep) {
 }
 
 size_t StoreCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return evictions_;
 }
 
 size_t StoreCache::MappedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   size_t bytes = 0;
   for (const auto& [key, entry] : entries_)
     bytes += entry.segment.mapped_bytes();
@@ -84,12 +84,12 @@ size_t StoreCache::MappedBytes() const {
 }
 
 size_t StoreCache::ChargedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return charged_bytes_;
 }
 
 size_t StoreCache::ResidentBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   size_t bytes = 0;
   for (const auto& [key, entry] : entries_)
     bytes += entry.segment.ResidentBytes();

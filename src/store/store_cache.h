@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "store/model_store.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lmkg::store {
 
@@ -78,17 +79,17 @@ class StoreCache {
   };
 
   // Evicts least-recently-used charged entries (never `keep`) until the
-  // budget holds. Caller holds mu_.
-  void EnforceBudgetLocked(const Key& keep);
+  // budget holds.
+  void EnforceBudgetLocked(const Key& keep) LMKG_REQUIRES(mu_);
 
   const ModelStore& store_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::map<Key, Entry> entries_;
-  uint64_t clock_ = 0;
-  size_t charged_bytes_ = 0;
-  size_t evictions_ = 0;
+  mutable util::Mutex mu_;
+  std::map<Key, Entry> entries_ LMKG_GUARDED_BY(mu_);
+  uint64_t clock_ LMKG_GUARDED_BY(mu_) = 0;
+  size_t charged_bytes_ LMKG_GUARDED_BY(mu_) = 0;
+  size_t evictions_ LMKG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lmkg::store

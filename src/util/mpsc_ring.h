@@ -3,16 +3,27 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lmkg::util {
+
+/// Phantom capability expressing an exclusive ROLE rather than a lock:
+/// never acquired at runtime (it has no state), only asserted. A thread
+/// that IS the role's unique holder by construction — e.g. a serving
+/// shard's worker, the only thread ever popping that shard's ring —
+/// claims it once via an LMKG_ASSERT_CAPABILITY method, after which the
+/// analysis checks every LMKG_REQUIRES(role) call. The claim is a
+/// greppable, per-thread statement of the contract; the analysis then
+/// rejects role-restricted calls from any function that never claimed
+/// it.
+class LMKG_CAPABILITY("role") ExclusiveRole {};
 
 /// Bounded lock-free multi-producer single-consumer ring — the
 /// submission path of one serving shard. Producers (client threads)
@@ -40,6 +51,14 @@ namespace lmkg::util {
 /// fails all future pushes; items already accepted remain poppable so
 /// the consumer can drain before exiting (the serving shutdown
 /// contract: every accepted request completes).
+///
+/// Single-consumer contract, machine-checked: the consumer-side methods
+/// (TryPop / WaitForItem / WaitForItemUntil) require the ring's
+/// `consumer_role_` capability — a phantom ExclusiveRole, not a lock.
+/// The one thread that owns the consumer end claims it once with
+/// AssertConsumer() at the top of its loop; calling a consumer-side
+/// method without the claim fails the Clang thread-safety build. The
+/// producer-side methods and ApproxSize stay role-free (any thread).
 template <typename T>
 class MpscRing {
  public:
@@ -126,8 +145,10 @@ class MpscRing {
         return false;
       }
       {
-        std::unique_lock<std::mutex> lock(park_mu_);
-        space_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        MutexLock lock(&park_mu_);
+        // Predicate over atomics only — safe to run as a lambda under
+        // the analysis (no guarded fields).
+        space_cv_.WaitFor(park_mu_, std::chrono::milliseconds(1), [&] {
           return closed_.load(std::memory_order_acquire) || !Full();
         });
       }
@@ -135,8 +156,15 @@ class MpscRing {
     }
   }
 
+  /// Claims the consumer role for the calling function: the analysis
+  /// thereafter accepts consumer-side calls from it. Call it exactly
+  /// where the code establishes "this thread is the one consumer" — the
+  /// top of the shard worker loop, a test's consumer thread. No runtime
+  /// effect.
+  void AssertConsumer() const LMKG_ASSERT_CAPABILITY(consumer_role_) {}
+
   /// Single-consumer pop. False when no published item is available.
-  bool TryPop(T* out) {
+  bool TryPop(T* out) LMKG_REQUIRES(consumer_role_) {
     const size_t pos = head_.load(std::memory_order_relaxed);
     Cell& cell = cells_[pos & mask_];
     const size_t seq = cell.seq.load(std::memory_order_acquire);
@@ -150,23 +178,23 @@ class MpscRing {
     // the race costs bounded latency in the already-backpressured
     // full-ring regime — not a fence on every uncontended pop.
     if (producers_parked_.load(std::memory_order_relaxed) != 0) {
-      std::lock_guard<std::mutex> lock(park_mu_);
-      space_cv_.notify_all();
+      MutexLock lock(&park_mu_);
+      space_cv_.NotifyAll();
     }
     return true;
   }
 
   /// Consumer-side park: returns once an item may be available or the
   /// ring is closed (spurious returns are fine — the caller re-TryPops).
-  void WaitForItem() {
+  void WaitForItem() LMKG_REQUIRES(consumer_role_) {
     for (int spin = 0; spin < 64; ++spin) {
       if (ItemReady() || closed_.load(std::memory_order_acquire)) return;
       std::this_thread::yield();
     }
-    std::unique_lock<std::mutex> lock(park_mu_);
+    MutexLock lock(&park_mu_);
     consumer_parked_.store(true, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    item_cv_.wait(lock, [&] {
+    item_cv_.Wait(park_mu_, [&] {
       return ItemReady() || closed_.load(std::memory_order_acquire);
     });
     consumer_parked_.store(false, std::memory_order_relaxed);
@@ -174,12 +202,13 @@ class MpscRing {
 
   /// Timed variant for the micro-batcher's coalescing window. True if an
   /// item may be available or the ring closed; false on deadline expiry.
-  bool WaitForItemUntil(std::chrono::steady_clock::time_point deadline) {
+  bool WaitForItemUntil(std::chrono::steady_clock::time_point deadline)
+      LMKG_REQUIRES(consumer_role_) {
     if (ItemReady() || closed_.load(std::memory_order_acquire)) return true;
-    std::unique_lock<std::mutex> lock(park_mu_);
+    MutexLock lock(&park_mu_);
     consumer_parked_.store(true, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    const bool ready = item_cv_.wait_until(lock, deadline, [&] {
+    const bool ready = item_cv_.WaitUntil(park_mu_, deadline, [&] {
       return ItemReady() || closed_.load(std::memory_order_acquire);
     });
     consumer_parked_.store(false, std::memory_order_relaxed);
@@ -190,9 +219,9 @@ class MpscRing {
   /// wakes. Items already accepted stay poppable (drain-then-exit).
   void Close() {
     closed_.store(true, std::memory_order_release);
-    std::lock_guard<std::mutex> lock(park_mu_);
-    item_cv_.notify_all();
-    space_cv_.notify_all();
+    MutexLock lock(&park_mu_);
+    item_cv_.NotifyAll();
+    space_cv_.NotifyAll();
   }
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
@@ -225,8 +254,8 @@ class MpscRing {
   void WakeConsumerIfParked() {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (consumer_parked_.load(std::memory_order_relaxed)) {
-      std::lock_guard<std::mutex> lock(park_mu_);
-      item_cv_.notify_one();
+      MutexLock lock(&park_mu_);
+      item_cv_.NotifyOne();
     }
   }
 
@@ -240,9 +269,17 @@ class MpscRing {
   std::unique_ptr<Cell[]> cells_;
   size_t mask_ = 0;
 
-  std::mutex park_mu_;
-  std::condition_variable item_cv_;   // consumer parks here when empty
-  std::condition_variable space_cv_;  // producers park here when full
+  Mutex park_mu_;
+  CondVar item_cv_;   // consumer parks here when empty
+  CondVar space_cv_;  // producers park here when full
+
+  // The single-consumer role (see the class comment). The lock-free
+  // head_/tail_/cells_ protocol is the ring's own correctness argument —
+  // deliberately OUTSIDE the analysis, whose lock model cannot express
+  // acquire/release cell sequencing; TSan covers it (mpsc_ring_test is
+  // `threaded`-labeled). What the capability pins is the part the
+  // protocol cannot check itself: that exactly one thread is popping.
+  ExclusiveRole consumer_role_;
 };
 
 }  // namespace lmkg::util

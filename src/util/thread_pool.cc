@@ -56,35 +56,39 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t seen_generation = 0;
   while (true) {
-    work_ready_.wait(lock, [&] {
-      return shutdown_ || (!chunks_.empty() && generation_ != seen_generation);
-    });
+    // Manual predicate loop (not the lambda-predicate Wait): the
+    // predicate reads mu_-guarded job state, which must stay visible to
+    // the thread-safety analysis — a lambda body would hide it.
+    while (!shutdown_ &&
+           (chunks_.empty() || generation_ == seen_generation))
+      work_ready_.Wait(mu_);
     if (shutdown_) return;
     seen_generation = generation_;
     while (!chunks_.empty()) {
       Chunk chunk = chunks_.back();
       chunks_.pop_back();
       ++in_flight_;
-      lock.unlock();
+      const std::function<void(size_t, size_t)>* body = body_;
+      lock.Unlock();
       {
         LMKG_PARALLEL_FOR_BODY_SCOPE();
-        (*body_)(chunk.begin, chunk.end);
+        (*body)(chunk.begin, chunk.end);
       }
-      lock.lock();
+      lock.Lock();
       --in_flight_;
     }
-    if (in_flight_ == 0) work_done_.notify_all();
+    if (in_flight_ == 0) work_done_.NotifyAll();
   }
 }
 
@@ -108,32 +112,34 @@ void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
 
   // One job at a time: a second submitter must not clobber body_/chunks_
   // while the first job is in flight.
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  MutexLock submit_lock(&submit_mu_);
   const size_t chunk_size = (n + num_chunks - 1) / num_chunks;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   body_ = &body;
   chunks_.clear();
   for (size_t begin = 0; begin < n; begin += chunk_size)
     chunks_.push_back({begin, std::min(begin + chunk_size, n)});
   ++generation_;
-  lock.unlock();
-  work_ready_.notify_all();
+  lock.Unlock();
+  work_ready_.NotifyAll();
 
   // The caller participates instead of idling.
-  lock.lock();
+  lock.Lock();
   while (!chunks_.empty()) {
     Chunk chunk = chunks_.back();
     chunks_.pop_back();
     ++in_flight_;
-    lock.unlock();
+    lock.Unlock();
     {
       LMKG_PARALLEL_FOR_BODY_SCOPE();
       body(chunk.begin, chunk.end);
     }
-    lock.lock();
+    lock.Lock();
     --in_flight_;
   }
-  work_done_.wait(lock, [&] { return chunks_.empty() && in_flight_ == 0; });
+  // Manual predicate loop: the predicate reads mu_-guarded state (see
+  // WorkerLoop).
+  while (!chunks_.empty() || in_flight_ != 0) work_done_.Wait(mu_);
   body_ = nullptr;
 }
 

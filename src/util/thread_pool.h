@@ -1,12 +1,13 @@
 #ifndef LMKG_UTIL_THREAD_POOL_H_
 #define LMKG_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lmkg::util {
 
@@ -45,7 +46,8 @@ class ThreadPool {
   /// a silently nested loop would stall the whole service). Nesting
   /// into a DIFFERENT pool is fine (independent locks).
   void ParallelFor(size_t n, size_t min_chunk,
-                   const std::function<void(size_t, size_t)>& body);
+                   const std::function<void(size_t, size_t)>& body)
+      LMKG_EXCLUDES(submit_mu_, mu_);
 
   /// Process-wide pool, created on first use. Size is
   /// min(hardware_concurrency, 8), overridable with the LMKG_THREADS
@@ -61,15 +63,19 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::mutex submit_mu_;  // serializes ParallelFor callers
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  const std::function<void(size_t, size_t)>* body_ = nullptr;  // active job
-  std::vector<Chunk> chunks_;   // unclaimed chunks of the active job
-  size_t in_flight_ = 0;        // claimed but unfinished chunks
-  uint64_t generation_ = 0;     // bumps per job; wakes idle workers
-  bool shutdown_ = false;
+  // Lock order: submit_mu_ (job-at-a-time gate) strictly before mu_ (the
+  // job state below); workers only ever take mu_.
+  Mutex submit_mu_ LMKG_ACQUIRED_BEFORE(mu_);  // serializes ParallelFor
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  // Active job state, all guarded by mu_.
+  const std::function<void(size_t, size_t)>* body_
+      LMKG_GUARDED_BY(mu_) = nullptr;
+  std::vector<Chunk> chunks_ LMKG_GUARDED_BY(mu_);  // unclaimed chunks
+  size_t in_flight_ LMKG_GUARDED_BY(mu_) = 0;  // claimed but unfinished
+  uint64_t generation_ LMKG_GUARDED_BY(mu_) = 0;  // bumps per job
+  bool shutdown_ LMKG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lmkg::util

@@ -531,5 +531,32 @@ TEST_F(ModelLifecycleTest, BackgroundThreadSwapsUnderLiveTraffic) {
                      reference->EstimateCardinality(q));
 }
 
+TEST_F(ModelLifecycleTest, ConcurrentStopCallsAreSafeAndIdempotent) {
+  core::AdaptiveLmkg shadow(graph_, SmallConfig());
+  ServiceConfig service_config;
+  service_config.workload_tap_capacity = 64;
+  EstimatorService service(ReplicasFromShadow(&shadow, 1), service_config);
+
+  ModelLifecycleConfig lifecycle_config;
+  lifecycle_config.background = true;
+  lifecycle_config.poll_interval = std::chrono::milliseconds(2);
+  ModelLifecycle lifecycle(&service, &shadow, Factory(), lifecycle_config);
+
+  // Regression (found by the thread-safety annotation pass): Stop() is
+  // documented idempotent, but concurrent callers used to race straight
+  // to thread_.join() — and joining the same std::thread from two
+  // threads at once is undefined behavior (both can pass joinable()
+  // before either join returns). Stop now serializes the join on its
+  // own mutex; this hammers the old race, under TSan on the CI leg.
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i)
+    stoppers.emplace_back([&] { lifecycle.Stop(); });
+  lifecycle.Stop();
+  for (auto& t : stoppers) t.join();
+  // Still callable afterwards (idempotent), and the destructor's own
+  // Stop must also be a no-op.
+  lifecycle.Stop();
+}
+
 }  // namespace
 }  // namespace lmkg::serving

@@ -31,6 +31,7 @@ TEST(MpscRingTest, CapacityRoundsUpToPowerOfTwo) {
 
 TEST(MpscRingTest, PushPopIsFifo) {
   MpscRing<int> ring(8);
+  ring.AssertConsumer();  // this test body is the one consumer
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.TryPush(i));
   EXPECT_EQ(ring.ApproxSize(), 5u);
   int out = -1;
@@ -44,6 +45,7 @@ TEST(MpscRingTest, PushPopIsFifo) {
 
 TEST(MpscRingTest, TryPushFailsWhenFullThenSucceedsAfterPop) {
   MpscRing<int> ring(4);
+  ring.AssertConsumer();  // this test body is the one consumer
   for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
   EXPECT_FALSE(ring.TryPush(99));  // full: consumer has not freed a slot
   int out = -1;
@@ -61,6 +63,7 @@ TEST(MpscRingTest, WrapAroundReusesSlotsManyLaps) {
   // any sequence-number bookkeeping error shows up as a stuck push/pop
   // or an out-of-order item.
   MpscRing<int> ring(4);
+  ring.AssertConsumer();  // this test body is the one consumer
   int next_out = 0;
   for (int i = 0; i < 1000; ++i) {
     ASSERT_TRUE(ring.TryPush(i));
@@ -76,6 +79,7 @@ TEST(MpscRingTest, WrapAroundReusesSlotsManyLaps) {
 
 TEST(MpscRingTest, CloseFailsPushesButDrainsAcceptedItems) {
   MpscRing<int> ring(8);
+  ring.AssertConsumer();  // this test body is the one consumer
   EXPECT_TRUE(ring.TryPush(1));
   EXPECT_TRUE(ring.Push(2));
   ring.Close();
@@ -94,6 +98,7 @@ TEST(MpscRingTest, CloseFailsPushesButDrainsAcceptedItems) {
 
 TEST(MpscRingTest, WaitForItemReturnsOnClose) {
   MpscRing<int> ring(8);
+  ring.AssertConsumer();  // this test body is the one consumer
   std::thread closer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     ring.Close();
@@ -105,6 +110,7 @@ TEST(MpscRingTest, WaitForItemReturnsOnClose) {
 
 TEST(MpscRingTest, WaitForItemUntilTimesOutOnEmptyRing) {
   MpscRing<int> ring(8);
+  ring.AssertConsumer();  // this test body is the one consumer
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
   EXPECT_FALSE(ring.WaitForItemUntil(deadline));
@@ -113,6 +119,7 @@ TEST(MpscRingTest, WaitForItemUntilTimesOutOnEmptyRing) {
 
 TEST(MpscRingTest, WaitForItemUntilWakesOnPush) {
   MpscRing<int> ring(8);
+  ring.AssertConsumer();  // this test body is the one consumer
   std::thread producer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     EXPECT_TRUE(ring.TryPush(7));
@@ -135,6 +142,7 @@ TEST(MpscRingStressTest, ConcurrentProducersAllItemsArriveInProducerOrder) {
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 5000;
   MpscRing<uint64_t> ring(256);
+  ring.AssertConsumer();  // this test body is the one consumer
 
   std::vector<std::thread> producers;
   for (int p = 0; p < kProducers; ++p) {
@@ -173,6 +181,7 @@ TEST(MpscRingStressTest, TinyRingForcesWrapAroundUnderContention) {
   constexpr int kProducers = 3;
   constexpr int kPerProducer = 2000;
   MpscRing<uint64_t> ring(2);
+  ring.AssertConsumer();  // this test body is the one consumer
 
   std::vector<std::thread> producers;
   for (int p = 0; p < kProducers; ++p) {
@@ -229,6 +238,7 @@ TEST(MpscRingStressTest, ProducersRacingCloseNeverLoseAcceptedItems) {
   std::atomic<bool> producers_done{false};
   uint64_t drained = 0;
   std::thread consumer([&] {
+    ring.AssertConsumer();  // this lambda is the one consumer
     uint64_t item = 0;
     for (;;) {
       if (ring.TryPop(&item)) {
@@ -254,6 +264,8 @@ TEST(MpscRingStressTest, ProducersRacingCloseNeverLoseAcceptedItems) {
   consumer.join();
 
   EXPECT_EQ(drained, accepted.load());
+  // The consumer thread has exited; this thread takes over the role.
+  ring.AssertConsumer();
   uint64_t item = 0;
   EXPECT_FALSE(ring.TryPop(&item));
 }

@@ -1,0 +1,34 @@
+// Negative-compile probe for the Clang thread-safety build: the MPSC
+// ring's consumer-side methods require the ring's phantom ExclusiveRole
+// capability, claimed with AssertConsumer() by the one thread that IS
+// the consumer. A pop from a function that never claimed the role must
+// be rejected — the machine-checked half of the single-consumer
+// contract. See guarded_field_without_lock.cc for the protocol.
+#include "util/mpsc_ring.h"
+
+namespace {
+
+int PopAsConsumer(lmkg::util::MpscRing<int>& ring) {
+  ring.AssertConsumer();  // this function is the one consumer
+  int out = 0;
+  (void)ring.TryPop(&out);
+  ring.WaitForItem();
+  return out;
+}
+
+#ifdef LMKG_TSA_VIOLATION
+// Consumer role never claimed: -Wthread-safety must reject the pop.
+int PopFromAnywhere(lmkg::util::MpscRing<int>& ring) {
+  int out = 0;
+  (void)ring.TryPop(&out);
+  return out;
+}
+#endif
+
+}  // namespace
+
+int main() {
+  lmkg::util::MpscRing<int> ring(8);
+  ring.Close();
+  return PopAsConsumer(ring);
+}

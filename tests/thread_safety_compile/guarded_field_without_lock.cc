@@ -1,0 +1,35 @@
+// Negative-compile probe for the Clang thread-safety build: an
+// LMKG_GUARDED_BY field touched without its mutex must be rejected.
+//
+// Compiled two ways by tests/thread_safety_compile/CMakeLists.txt
+// (Clang only, -fsyntax-only -Wthread-safety -Werror=thread-safety):
+// without LMKG_TSA_VIOLATION it must be clean — the positive control
+// that proves the probe itself is well-formed — and with it the marked
+// access must FAIL to compile (the CTest registration is WILL_FAIL).
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  lmkg::util::Mutex mu;
+  int value LMKG_GUARDED_BY(mu) = 0;
+
+  void Increment() {
+    lmkg::util::MutexLock lock(&mu);
+    ++value;
+  }
+
+#ifdef LMKG_TSA_VIOLATION
+  // No lock held: -Wthread-safety must reject this write.
+  void IncrementUnlocked() { ++value; }
+#endif
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Negative-compile probe for the Clang thread-safety build: a manual
+// Mutex::Lock with no Unlock on some path leaks the capability past the
+// end of the function, which -Wthread-safety must reject — the reason
+// the try-lock sites adopt into a MutexLock guard instead of pairing
+// TryLock/Unlock by hand around early returns. See
+// guarded_field_without_lock.cc for the control/violation protocol.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+void BalancedManualLock(lmkg::util::Mutex& mu) {
+  mu.Lock();
+  mu.Unlock();
+}
+
+#ifdef LMKG_TSA_VIOLATION
+// Still held when the function returns: must not compile.
+void LeakyManualLock(lmkg::util::Mutex& mu) { mu.Lock(); }
+#endif
+
+}  // namespace
+
+int main() {
+  lmkg::util::Mutex mu;
+  BalancedManualLock(mu);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Negative-compile probe for the Clang thread-safety build: calling an
+// LMKG_REQUIRES(mu) function without holding mu must be rejected — the
+// contract every *Locked helper in the tree (ModelStore::
+// LowerBoundLocked, StoreCache::EnforceBudgetLocked, FeedbackCollector::
+// FindOrCreate) relies on. See guarded_field_without_lock.cc for the
+// control/violation compilation protocol.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Store {
+  lmkg::util::Mutex mu;
+  int entries LMKG_GUARDED_BY(mu) = 0;
+
+  int CountLocked() LMKG_REQUIRES(mu) { return entries; }
+
+  int Count() {
+    lmkg::util::MutexLock lock(&mu);
+    return CountLocked();
+  }
+
+#ifdef LMKG_TSA_VIOLATION
+  // mu not held at the call: -Wthread-safety must reject this.
+  int CountUnlocked() { return CountLocked(); }
+#endif
+};
+
+}  // namespace
+
+int main() {
+  Store store;
+  return store.Count();
+}
