@@ -115,7 +115,8 @@ util::Status MakeDirs(const std::string& dir) {
     const std::string prefix = dir.substr(0, pos);
     if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
       return util::Status::Error(util::StrFormat(
-          "store: mkdir %s: %s", prefix.c_str(), std::strerror(errno)));
+          "store: mkdir %s: %s", prefix.c_str(),
+          util::ErrnoMessage(errno).c_str()));
   }
   return util::Status::Ok();
 }
@@ -278,7 +279,8 @@ util::Status ModelStore::LoadManifest() {
     if (::stat(path.c_str(), &st) != 0) {
       if (errno == ENOENT) return util::Status::Ok();  // fresh store
       return util::Status::Error(util::StrFormat(
-          "store: stat %s: %s", path.c_str(), std::strerror(errno)));
+          "store: stat %s: %s", path.c_str(),
+          util::ErrnoMessage(errno).c_str()));
     }
   }
   util::Status status = util::ReadFile(path, &bytes);
@@ -551,11 +553,13 @@ util::Status ModelStore::MapSegment(const SegmentInfo& info,
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0)
     return util::Status::Error(util::StrFormat(
-        "store: open %s: %s", path.c_str(), std::strerror(errno)));
+        "store: open %s: %s", path.c_str(),
+        util::ErrnoMessage(errno).c_str()));
   struct stat st;
   if (::fstat(fd, &st) != 0) {
     const util::Status status = util::Status::Error(util::StrFormat(
-        "store: fstat %s: %s", path.c_str(), std::strerror(errno)));
+        "store: fstat %s: %s", path.c_str(),
+        util::ErrnoMessage(errno).c_str()));
     ::close(fd);
     return status;
   }
@@ -570,7 +574,8 @@ util::Status ModelStore::MapSegment(const SegmentInfo& info,
   ::close(fd);  // the mapping keeps its own reference
   if (base == MAP_FAILED)
     return util::Status::Error(util::StrFormat(
-        "store: mmap %s: %s", path.c_str(), std::strerror(errno)));
+        "store: mmap %s: %s", path.c_str(),
+        util::ErrnoMessage(errno).c_str()));
   const char* bytes = static_cast<const char*>(base);
   auto fail = [&](std::string message) {
     ::munmap(base, length);

@@ -15,7 +15,8 @@ namespace lmkg::util {
 namespace {
 
 std::string Errno(const char* op, const std::string& path) {
-  return StrFormat("%s %s: %s", op, path.c_str(), std::strerror(errno));
+  return StrFormat("%s %s: %s", op, path.c_str(),
+                   ErrnoMessage(errno).c_str());
 }
 
 // fsync the directory holding `path`, making the rename itself durable.

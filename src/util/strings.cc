@@ -1,5 +1,7 @@
 #include "util/strings.h"
 
+#include <string.h>
+
 #include <cstdarg>
 #include <cstdio>
 
@@ -91,6 +93,25 @@ std::string HumanBytes(size_t bytes) {
     ++unit;
   }
   return StrFormat("%.1f %s", value, units[unit]);
+}
+
+namespace {
+
+// Overload-resolves the two strerror_r signatures without feature-macro
+// guessing: XSI returns int (0 = buf filled), GNU returns the message
+// pointer directly (and may never touch buf).
+inline const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+inline const char* StrerrorResult(const char* message, const char*) {
+  return message != nullptr ? message : "unknown error";
+}
+
+}  // namespace
+
+std::string ErrnoMessage(int errno_value) {
+  char buf[256] = {};
+  return StrerrorResult(::strerror_r(errno_value, buf, sizeof(buf)), buf);
 }
 
 }  // namespace lmkg::util

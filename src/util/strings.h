@@ -31,6 +31,11 @@ std::string StrFormat(const char* fmt, ...)
 /// Human-readable byte count ("4.0 MB", "816.7 KB").
 std::string HumanBytes(size_t bytes);
 
+/// Thread-safe strerror: the message for `errno_value` without
+/// std::strerror's shared static buffer (a concurrency-mt-unsafe hit —
+/// concurrent error paths could garble each other's text).
+std::string ErrnoMessage(int errno_value);
+
 }  // namespace lmkg::util
 
 #endif  // LMKG_UTIL_STRINGS_H_

@@ -147,6 +147,8 @@ ThreadPool& ThreadPool::Global() {
   static ThreadPool* pool = [] {
     size_t n = std::min<size_t>(
         std::max<unsigned>(std::thread::hardware_concurrency(), 1), 8);
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): getenv races only with
+    // setenv/putenv, which this process never calls.
     if (const char* env = std::getenv("LMKG_THREADS")) {
       long parsed = std::strtol(env, nullptr, 10);
       if (parsed >= 1) n = static_cast<size_t>(parsed);
